@@ -1,0 +1,133 @@
+package entangle
+
+// One benchmark per table and figure of the paper's evaluation (§6).
+// Each benchmark runs the same verification the corresponding figure
+// measures; `go test -bench=. -benchmem` regenerates the full series,
+// and cmd/entangle-bench prints them as the paper's tables.
+
+import (
+	"fmt"
+	"testing"
+
+	"entangle/internal/bench"
+	"entangle/internal/models"
+)
+
+func runWorkload(b *testing.B, w bench.Workload, parallel, layers int) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Run(w, parallel, layers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Ops), "graph-ops")
+		}
+	}
+}
+
+func findWorkload(b *testing.B, name string) bench.Workload {
+	b.Helper()
+	for _, w := range bench.Fig3Workloads() {
+		if w.Name == name {
+			return w
+		}
+	}
+	b.Fatalf("no workload %q", name)
+	return bench.Workload{}
+}
+
+// Figure 3: end-to-end verification time per model (parallelism 2).
+
+func BenchmarkFig3_ByteDanceFwd(b *testing.B) { runWorkload(b, findWorkload(b, "ByteDance-Fwd"), 2, 1) }
+func BenchmarkFig3_ByteDanceBwd(b *testing.B) { runWorkload(b, findWorkload(b, "ByteDance-Bwd"), 2, 1) }
+func BenchmarkFig3_GPT(b *testing.B)          { runWorkload(b, findWorkload(b, "GPT"), 2, 1) }
+func BenchmarkFig3_Qwen2(b *testing.B)        { runWorkload(b, findWorkload(b, "Qwen2"), 2, 1) }
+func BenchmarkFig3_Llama3(b *testing.B)       { runWorkload(b, findWorkload(b, "Llama-3"), 2, 1) }
+func BenchmarkFig3_Regression(b *testing.B)   { runWorkload(b, findWorkload(b, "Regression"), 2, 1) }
+
+// Figure 4a: GPT (TP+SP+VP) scalability over parallelism × layers.
+
+func BenchmarkFig4_GPT(b *testing.B) {
+	gpt := bench.Workload{Name: "GPT", Build: func(p, l int) (*models.Built, error) {
+		return models.GPT(models.Options{TP: p, SP: true, VP: true, Cfg: models.Config{Layers: l}})
+	}}
+	for _, p := range []int{2, 4, 6, 8} {
+		for _, l := range []int{1, 2, 3} {
+			b.Run(fmt.Sprintf("par%d/layers%d", p, l), func(b *testing.B) {
+				runWorkload(b, gpt, p, l)
+			})
+		}
+	}
+}
+
+// Figure 4b: Llama-3 (TP) scalability; degree 6 is structurally
+// impossible (heads=8), as the paper notes.
+
+func BenchmarkFig4_Llama(b *testing.B) {
+	llama := bench.Workload{Name: "Llama-3", Build: func(p, l int) (*models.Built, error) {
+		return models.Llama(models.Options{TP: p, Cfg: models.Config{Layers: l}})
+	}, ViaHLO: true}
+	for _, p := range []int{2, 4, 8} {
+		for _, l := range []int{1, 2, 3} {
+			b.Run(fmt.Sprintf("par%d/layers%d", p, l), func(b *testing.B) {
+				runWorkload(b, llama, p, l)
+			})
+		}
+	}
+}
+
+// Figure 5: lemma statistics (the figure is a count report; the
+// benchmark measures producing it, dominated by the model checks).
+
+func BenchmarkFig5_LemmaStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Figure 6: the lemma-application heatmap across models and degrees.
+
+func BenchmarkFig6_Heatmap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Table 3: the nine-bug detection suite.
+
+func BenchmarkTable3_Bugs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, outcomes, err := bench.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, o := range outcomes {
+			if !o.Detected {
+				b.Fatalf("bug %d undetected", o.Case.ID)
+			}
+		}
+	}
+}
+
+// Ablation: the §4.3.1 frontier-restricted exploration against
+// whole-graph folding.
+
+func BenchmarkAblation_Frontier(b *testing.B) {
+	w := findWorkload(b, "GPT")
+	runWorkload(b, w, 2, 1)
+}
+
+func BenchmarkAblation_WholeGraph(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Ablation(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package entangle_test
+
+// End-to-end CLI integration: build the three binaries once and drive
+// the artifact workflow of the paper's appendix B — generate graphs,
+// verify, detect a bug, check an expectation — through real process
+// boundaries and file formats.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildTool(t *testing.T, dir, pkg string) string {
+	t.Helper()
+	bin := filepath.Join(dir, filepath.Base(pkg))
+	cmd := exec.Command("go", "build", "-o", bin, pkg)
+	cmd.Dir = "."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+func run(t *testing.T, bin string, wantExit int, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	exit := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		exit = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("%s %v: %v\n%s", bin, args, err, out)
+	}
+	if exit != wantExit {
+		t.Fatalf("%s %v: exit %d want %d\n%s", bin, args, exit, wantExit, out)
+	}
+	return string(out)
+}
+
+func TestCLIWorkflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	gen := buildTool(t, dir, "./cmd/entangle-graphgen")
+	check := buildTool(t, dir, "./cmd/entangle")
+
+	// 1. Generate a correct GPT pair and verify it.
+	prefix := filepath.Join(dir, "gpt")
+	run(t, gen, 0, "-model", "gpt", "-tp", "2", "-o", prefix)
+	out := run(t, check, 0,
+		"-gs", prefix+"-seq.json", "-gd", prefix+"-dist.json", "-rel", prefix+"-relation.json")
+	if !strings.Contains(out, "refinement verified") {
+		t.Fatalf("verify output:\n%s", out)
+	}
+
+	// 2. Inject bug 4 and confirm detection + localization via exit 1.
+	bug := filepath.Join(dir, "moebug")
+	run(t, gen, 0, "-model", "seedmoe", "-tp", "2", "-bug", "4", "-o", bug)
+	out = run(t, check, 1,
+		"-gs", bug+"-seq.json", "-gd", bug+"-dist.json", "-rel", bug+"-relation.json")
+	if !strings.Contains(out, "REFINEMENT FAILED") || !strings.Contains(out, "expert0/fc1") {
+		t.Fatalf("bug output:\n%s", out)
+	}
+
+	// 3. HLO format round trip through the CLI.
+	llx := filepath.Join(dir, "llama")
+	run(t, gen, 0, "-model", "llama", "-tp", "2", "-format", "hlo", "-o", llx)
+	out = run(t, check, 0, "-format", "hlo",
+		"-gs", llx+"-seq.hlo", "-gd", llx+"-dist.hlo", "-rel", llx+"-relation.json")
+	if !strings.Contains(out, "refinement verified") {
+		t.Fatalf("hlo verify output:\n%s", out)
+	}
+
+	// 4. §4.4 expectation: holds with the right concat, violated with
+	// the wrong dim.
+	good := filepath.Join(dir, "expect-good.json")
+	os.WriteFile(good, []byte(`{"fs": "lm_head.out", "fd": "concat(r0/lm_head.out, r1/lm_head.out, dim=1)"}`), 0o644)
+	out = run(t, check, 0,
+		"-gs", prefix+"-seq.json", "-gd", prefix+"-dist.json", "-rel", prefix+"-relation.json",
+		"-expect", good)
+	if !strings.Contains(out, "user expectation verified") {
+		t.Fatalf("expectation output:\n%s", out)
+	}
+	bad := filepath.Join(dir, "expect-bad.json")
+	os.WriteFile(bad, []byte(`{"fs": "lm_head.out", "fd": "concat(r0/lm_head.out, r1/lm_head.out, dim=0)"}`), 0o644)
+	out = run(t, check, 1,
+		"-gs", prefix+"-seq.json", "-gd", prefix+"-dist.json", "-rel", prefix+"-relation.json",
+		"-expect", bad)
+	if !strings.Contains(out, "EXPECTATION VIOLATED") {
+		t.Fatalf("violated expectation output:\n%s", out)
+	}
+
+	// 5. Usage errors exit 2.
+	run(t, check, 2)
+}

@@ -1,0 +1,50 @@
+// Command entangle-bench regenerates the paper's evaluation artifacts
+// as text reports:
+//
+//	entangle-bench                 # everything
+//	entangle-bench -exp fig3       # one experiment
+//	entangle-bench -exp bugs       # Table 3
+//
+// Experiments: fig3, fig4, fig5, fig6, bugs (Table 3), ablation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6, bugs, ablation, extensions, all")
+	flag.Parse()
+
+	steps := []struct {
+		name string
+		run  func() (string, error)
+	}{
+		{"fig3", runFig3},
+		{"fig4", runFig4},
+		{"fig5", runFig5},
+		{"fig6", runFig6},
+		{"bugs", runBugs},
+		{"ablation", runAblation},
+		{"extensions", runExtensions},
+	}
+	ran := false
+	for _, s := range steps {
+		if *exp != "all" && *exp != s.name {
+			continue
+		}
+		ran = true
+		txt, err := s.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "entangle-bench: %s: %v\n", s.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(txt)
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "entangle-bench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

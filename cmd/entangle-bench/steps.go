@@ -1,0 +1,26 @@
+package main
+
+import "entangle/internal/bench"
+
+func runFig3() (string, error) {
+	txt, _, err := bench.Fig3()
+	return txt, err
+}
+
+func runFig4() (string, error) {
+	txt, _, err := bench.Fig4()
+	return txt, err
+}
+
+func runFig5() (string, error) { return bench.Fig5() }
+
+func runFig6() (string, error) { return bench.Fig6() }
+
+func runBugs() (string, error) {
+	txt, _, err := bench.Table3()
+	return txt, err
+}
+
+func runAblation() (string, error) { return bench.Ablation() }
+
+func runExtensions() (string, error) { return bench.Extensions() }

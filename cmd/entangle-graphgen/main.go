@@ -1,0 +1,164 @@
+// Command entangle-graphgen emits the evaluation models' computation
+// graphs and input relations to files, so cmd/entangle can re-verify
+// them offline (the artifact workflow of the paper's appendix B):
+//
+//	entangle-graphgen -model gpt -tp 2 -sp -o /tmp/gpt
+//
+// writes <o>-seq.json, <o>-dist.json and <o>-relation.json (or .hlo
+// graph files with -format hlo).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"entangle"
+	"entangle/internal/models"
+	"entangle/internal/relation"
+)
+
+func main() {
+	var (
+		model  = flag.String("model", "gpt", "gpt, llama, qwen2, seedmoe, seedmoe-bwd, regression")
+		tp     = flag.Int("tp", 2, "tensor-parallel degree")
+		sp     = flag.Bool("sp", false, "enable sequence parallelism")
+		vp     = flag.Bool("vp", false, "enable vocabulary parallelism")
+		layers = flag.Int("layers", 1, "transformer layers")
+		bug    = flag.Int("bug", 0, "inject §6.2 bug number (0 = none)")
+		format = flag.String("format", "json", "graph format: json or hlo")
+		out    = flag.String("o", "model", "output path prefix")
+	)
+	flag.Parse()
+
+	opt := models.Options{TP: *tp, SP: *sp, VP: *vp, GradAccum: *tp,
+		Cfg: models.Config{Layers: *layers}, Bug: bugFlag(*bug)}
+	var b *models.Built
+	var err error
+	switch *model {
+	case "gpt":
+		b, err = models.GPT(opt)
+	case "llama":
+		b, err = models.Llama(opt)
+	case "qwen2":
+		b, err = models.Qwen2(opt)
+	case "seedmoe":
+		b, err = models.SeedMoE(opt)
+	case "seedmoe-bwd":
+		b, err = models.SeedMoEBwd(opt)
+	case "regression":
+		b, err = models.Regression(opt)
+	default:
+		fatal("unknown model %q", *model)
+	}
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	if err := writeGraph(*out+"-seq", b.Gs, *format); err != nil {
+		fatal("%v", err)
+	}
+	if err := writeGraph(*out+"-dist", b.Gd, *format); err != nil {
+		fatal("%v", err)
+	}
+	if err := writeRelation(*out+"-relation.json", b); err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("wrote %s-seq.%s, %s-dist.%s, %s-relation.json (%d + %d operators)\n",
+		*out, ext(*format), *out, ext(*format), *out,
+		b.Gs.OperatorCount(), b.Gd.OperatorCount())
+}
+
+func bugFlag(n int) models.Bug {
+	switch n {
+	case 0:
+		return models.BugNone
+	case 1:
+		return models.Bug1RoPEOffset
+	case 2:
+		return models.Bug2AuxLossScale
+	case 3:
+		return models.Bug3PadSlice
+	case 4:
+		return models.Bug4ShardedExperts
+	case 6:
+		return models.Bug6GradAccumScale
+	case 7:
+		return models.Bug7MissingAllReduce
+	}
+	fatal("bug %d is not injectable here (bugs 5, 8, 9 are expectation-based; see examples/expectations)", n)
+	return models.BugNone
+}
+
+func ext(format string) string {
+	if format == "hlo" {
+		return "hlo"
+	}
+	return "json"
+}
+
+func writeGraph(prefix string, g *entangle.Graph, format string) error {
+	f, err := os.Create(prefix + "." + ext(format))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if format == "hlo" {
+		return entangle.PrintHLO(f, g)
+	}
+	return entangle.WriteGraph(f, g)
+}
+
+// writeRelation emits the input relation in cmd/entangle's sidecar
+// format: G_s input name → textual clean expressions over G_d names.
+func writeRelation(path string, b *models.Built) error {
+	raw := map[string][]string{}
+	for _, id := range b.Ri.Tensors() {
+		name := b.Gs.Tensor(id).Name
+		for _, m := range b.Ri.Get(id) {
+			raw[name] = append(raw[name], renderForCLI(m))
+		}
+	}
+	data, err := json.MarshalIndent(raw, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// renderForCLI prints a relation term in the grammar exprparse reads
+// (function-style slice instead of the bracket display form).
+func renderForCLI(t *entangle.Term) string {
+	if t.IsLeaf() {
+		return t.Name
+	}
+	switch string(t.Op) {
+	case "slice":
+		return fmt.Sprintf("slice(%s, %s, %s, %s)",
+			renderForCLI(t.Args[0]), t.Ints[0], t.Ints[1], t.Ints[2])
+	case "concat":
+		s := "concat("
+		for _, a := range t.Args {
+			s += renderForCLI(a) + ", "
+		}
+		return s + "dim=" + t.Ints[0].String() + ")"
+	case "sum":
+		s := "sum("
+		for i, a := range t.Args {
+			if i > 0 {
+				s += ", "
+			}
+			s += renderForCLI(a)
+		}
+		return s + ")"
+	}
+	return t.String()
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "entangle-graphgen: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+var _ = relation.GdOffset

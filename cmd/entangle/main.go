@@ -1,0 +1,180 @@
+// Command entangle checks model refinement between a sequential model
+// and a distributed implementation, both supplied as graph files, with
+// the clean input relation in a small JSON sidecar:
+//
+//	entangle -gs seq.json -gd dist.json -rel relation.json
+//	entangle -gs seq.hlo -gd dist.hlo -rel relation.json -format hlo
+//
+// The relation file maps sequential input names to clean expressions
+// over distributed tensor names, in the textual form the paper uses:
+//
+//	{"A": ["concat(A1, A2, dim=1)"], "X": ["r0/X", "r1/X"]}
+//
+// Exit status: 0 when refinement holds (the output relation is printed),
+// 1 on a refinement failure (the failing operator is printed), 2 on
+// usage or input errors.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"entangle"
+	"entangle/internal/exprparse"
+	"entangle/internal/relation"
+)
+
+func main() {
+	var (
+		gsPath  = flag.String("gs", "", "sequential model graph file")
+		gdPath  = flag.String("gd", "", "distributed implementation graph file")
+		relPath = flag.String("rel", "", "input relation JSON file")
+		format  = flag.String("format", "json", "graph file format: json or hlo")
+		verbose = flag.Bool("v", false, "print the full relation, including intermediates")
+		expect  = flag.String("expect", "", "optional §4.4 expectation JSON: {\"fs\": <expr over G_s outputs>, \"fd\": <expr over G_d outputs>}")
+	)
+	flag.Parse()
+	if *gsPath == "" || *gdPath == "" || *relPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: entangle -gs <graph> -gd <graph> -rel <relation.json> [-format json|hlo] [-v]")
+		os.Exit(2)
+	}
+
+	gs, err := loadGraph(*gsPath, *format)
+	if err != nil {
+		fatal(2, "loading G_s: %v", err)
+	}
+	gd, err := loadGraph(*gdPath, *format)
+	if err != nil {
+		fatal(2, "loading G_d: %v", err)
+	}
+	ri, err := loadRelation(*relPath, gs, gd)
+	if err != nil {
+		fatal(2, "loading relation: %v", err)
+	}
+
+	checker := entangle.NewChecker(entangle.CheckerOptions{})
+	if *expect != "" {
+		if err := checkExpectation(checker, gs, gd, ri, *expect); err != nil {
+			var ee *entangle.ExpectationError
+			if errors.As(err, &ee) {
+				fmt.Fprintf(os.Stderr, "EXPECTATION VIOLATED\n%v\n", ee)
+				os.Exit(1)
+			}
+			fatal(2, "%v", err)
+		}
+		fmt.Println("user expectation verified")
+		return
+	}
+
+	report, err := checker.Check(gs, gd, ri)
+	if err != nil {
+		var re *entangle.RefinementError
+		if errors.As(err, &re) {
+			fmt.Fprintf(os.Stderr, "REFINEMENT FAILED\n%v\n", re)
+			os.Exit(1)
+		}
+		fatal(2, "%v", err)
+	}
+
+	fmt.Printf("refinement verified: %q refines %q (%d operators checked in %s)\n",
+		gd.Name, gs.Name, report.OpsProcessed, report.Duration.Round(1e6))
+	fmt.Println("output relation R_o:")
+	fmt.Print(report.OutputRelation.Render(gs))
+	if *verbose {
+		fmt.Println("full relation (including intermediates):")
+		fmt.Print(report.FullRelation.Render(gs))
+	}
+}
+
+func loadGraph(path, format string) (*entangle.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	switch format {
+	case "json":
+		return entangle.ReadGraph(f)
+	case "hlo":
+		return entangle.ParseHLO(f)
+	}
+	return nil, fmt.Errorf("unknown format %q", format)
+}
+
+func loadRelation(path string, gs, gd *entangle.Graph) (*entangle.Relation, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var raw map[string][]string
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, err
+	}
+	ri := entangle.NewRelation()
+	for gsName, exprs := range raw {
+		t, ok := gs.TensorByName(gsName)
+		if !ok {
+			return nil, fmt.Errorf("G_s has no tensor %q", gsName)
+		}
+		for _, src := range exprs {
+			term, err := exprparse.Parse(strings.TrimSpace(src), func(name string) (*entangle.Term, error) {
+				gdT, ok := gd.TensorByName(name)
+				if !ok {
+					return nil, fmt.Errorf("G_d has no tensor %q", name)
+				}
+				return relation.GdLeaf(gdT), nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("relation for %q: %v", gsName, err)
+			}
+			ri.Add(t.ID, term)
+		}
+	}
+	return ri, nil
+}
+
+// checkExpectation reads {"fs": "...", "fd": "..."} and runs the §4.4
+// check: fs is an expression over G_s tensor names, fd over G_d names.
+func checkExpectation(checker *entangle.Checker, gs, gd *entangle.Graph, ri *entangle.Relation, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var raw struct {
+		Fs string `json:"fs"`
+		Fd string `json:"fd"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	fs, err := exprparse.Parse(strings.TrimSpace(raw.Fs), func(name string) (*entangle.Term, error) {
+		t, ok := gs.TensorByName(name)
+		if !ok {
+			return nil, fmt.Errorf("G_s has no tensor %q", name)
+		}
+		return relation.GsLeaf(t), nil
+	})
+	if err != nil {
+		return fmt.Errorf("expectation fs: %v", err)
+	}
+	fd, err := exprparse.Parse(strings.TrimSpace(raw.Fd), func(name string) (*entangle.Term, error) {
+		t, ok := gd.TensorByName(name)
+		if !ok {
+			return nil, fmt.Errorf("G_d has no tensor %q", name)
+		}
+		return relation.GdLeaf(t), nil
+	})
+	if err != nil {
+		return fmt.Errorf("expectation fd: %v", err)
+	}
+	return checker.CheckExpectation(gs, gd, ri, entangle.Expectation{Fs: fs, Fd: fd})
+}
+
+func fatal(code int, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "entangle: "+format+"\n", args...)
+	os.Exit(code)
+}

@@ -1,0 +1,63 @@
+// expectations demonstrates §4.4's user-expectation checking on the
+// "missing all-reduce in the optimizer" family (§6.2 bugs 5, 8, 9).
+// These defects do NOT break plain refinement — the per-rank partial
+// gradients still sum cleanly to the true gradient — so the user
+// instead states the refinement they expect: "each rank's gradient
+// output already equals the full gradient". ENTANGLE splices f_s and
+// f_d into the graphs and demands the identity mapping.
+//
+//	go run ./examples/expectations
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"entangle"
+	"entangle/internal/models"
+)
+
+func main() {
+	checker := entangle.NewChecker(entangle.CheckerOptions{})
+	cases := []struct {
+		bug    int
+		module models.GradSyncModule
+		what   string
+	}{
+		{5, models.ModuleLayerNorm, "layernorm weight not registered with the SP-group optimizer (ByteDance)"},
+		{8, models.ModuleMoERouter, "MoE router weight under TP+SP (Megatron-LM #599)"},
+		{9, models.ModuleTELayerNorm, "TransformerEngine LayerNorm rewrite dropping the SP all-reduce (TE #1528)"},
+	}
+	for _, c := range cases {
+		fmt.Printf("== bug %d: %s ==\n", c.bug, c.what)
+		for _, synced := range []bool{true, false} {
+			b, err := models.GradSync(c.module, 2, synced)
+			if err != nil {
+				log.Fatal(err)
+			}
+			// Plain refinement holds in BOTH variants.
+			if _, err := checker.Check(b.Gs, b.Gd, b.Ri); err != nil {
+				log.Fatalf("plain refinement should hold: %v", err)
+			}
+			// The user expectation separates them.
+			err = checker.CheckExpectation(b.Gs, b.Gd, b.Ri,
+				entangle.Expectation{Fs: b.ExpectFs, Fd: b.ExpectFd})
+			label := "with gradient sync"
+			if !synced {
+				label = "sync omitted   "
+			}
+			switch {
+			case err == nil:
+				fmt.Printf("  %s: plain refinement ok, expectation HOLDS\n", label)
+			default:
+				var ee *entangle.ExpectationError
+				if !errors.As(err, &ee) {
+					log.Fatalf("unexpected error: %v", err)
+				}
+				fmt.Printf("  %s: plain refinement ok, expectation VIOLATED → bug found\n", label)
+			}
+		}
+		fmt.Println()
+	}
+}

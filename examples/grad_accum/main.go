@@ -1,0 +1,50 @@
+// grad_accum reproduces §6.2's bug 6 (wrong scaling in gradient
+// accumulation, huggingface/transformers#14638): microbatch MSE losses
+// accumulated without the 1/k factor. The correct implementation
+// verifies; the buggy one fails at the loss operator because the only
+// reconstruction would need a division — which is not a clean
+// operation.
+//
+//	go run ./examples/grad_accum [-k microbatches]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+
+	"entangle"
+	"entangle/internal/models"
+)
+
+func main() {
+	k := flag.Int("k", 2, "microbatch count")
+	flag.Parse()
+	checker := entangle.NewChecker(entangle.CheckerOptions{})
+
+	fmt.Printf("== correct accumulation (each microbatch loss scaled by 1/%d) ==\n", *k)
+	good, err := models.Regression(models.Options{GradAccum: *k})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := checker.Check(good.Gs, good.Gd, good.Ri)
+	if err != nil {
+		log.Fatalf("correct version must verify: %v", err)
+	}
+	fmt.Print(report.OutputRelation.Render(good.Gs))
+
+	fmt.Println("\n== buggy accumulation (scaling omitted) ==")
+	bad, err := models.Regression(models.Options{GradAccum: *k, Bug: models.Bug6GradAccumScale})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, err = checker.Check(bad.Gs, bad.Gd, bad.Ri)
+	var re *entangle.RefinementError
+	if !errors.As(err, &re) {
+		log.Fatalf("buggy version must fail, got %v", err)
+	}
+	fmt.Printf("ENTANGLE reports: could not map outputs for operator %q —\n", re.Op.Label)
+	fmt.Printf("the accumulated loss is %d× the full-batch loss; reconstructing it\n", *k)
+	fmt.Println("would require a division, which is not a clean operation (§3.2).")
+}

@@ -1,0 +1,80 @@
+// Quickstart: the paper's running example (Figures 1 and 2) through
+// the public API — build G_s and G_d, provide the clean input relation
+// R_i, and let ENTANGLE derive the clean output relation R_o.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"entangle"
+)
+
+func main() {
+	// Sequential model G_s: C = matmul(A, B); F = matsub(C, E).
+	bs := entangle.NewBuilder("Gs", nil)
+	A := bs.Input("A", entangle.ShapeOf(4, 8))
+	B := bs.Input("B", entangle.ShapeOf(8, 6))
+	E := bs.Input("E", entangle.ShapeOf(4, 6))
+	C := bs.MatMul("matmul", A, B)
+	F := bs.Sub("matsub", C, E)
+	bs.Output(F)
+	gs, err := bs.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Distributed implementation G_d on 2 ranks: each rank multiplies
+	// its blocks, a reduce-scatter combines the partial products into
+	// sequence shards, and each rank subtracts its shard of E.
+	bd := entangle.NewBuilder("Gd", nil)
+	A1 := bd.Input("A1", entangle.ShapeOf(4, 4))
+	A2 := bd.Input("A2", entangle.ShapeOf(4, 4))
+	B1 := bd.Input("B1", entangle.ShapeOf(4, 6))
+	B2 := bd.Input("B2", entangle.ShapeOf(4, 6))
+	E0 := bd.Input("E0", entangle.ShapeOf(2, 6))
+	E1 := bd.Input("E1", entangle.ShapeOf(2, 6))
+	C1 := bd.MatMul("r0/matmul", A1, B1)
+	C2 := bd.MatMul("r1/matmul", A2, B2)
+	D := bd.ReduceScatter("rs", 0, C1, C2)
+	F1 := bd.Sub("r0/matsub", D[0], E0)
+	F2 := bd.Sub("r1/matsub", D[1], E1)
+	bd.Output(F1, F2)
+	gd, err := bd.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Clean input relation R_i: how G_s's inputs were partitioned.
+	ri := entangle.NewRelation()
+	leaf := func(name string) *entangle.Term {
+		t, _ := gd.TensorByName(name)
+		return entangle.GdLeaf(t)
+	}
+	gsID := func(name string) entangle.TensorID {
+		t, _ := gs.TensorByName(name)
+		return t.ID
+	}
+	ri.Add(gsID("A"), entangle.Concat1(1, leaf("A1"), leaf("A2")))
+	ri.Add(gsID("B"), entangle.Concat1(0, leaf("B1"), leaf("B2")))
+	ri.Add(gsID("E"), entangle.Concat1(0, leaf("E0"), leaf("E1")))
+
+	// Check model refinement.
+	report, err := entangle.NewChecker(entangle.CheckerOptions{}).Check(gs, gd, ri)
+	if err != nil {
+		log.Fatalf("refinement failed: %v", err)
+	}
+	fmt.Printf("refinement verified in %s (%d operators)\n\n",
+		report.Duration.Round(1e6), report.OpsProcessed)
+
+	fmt.Println("clean output relation R_o:")
+	fmt.Print(report.OutputRelation.Render(gs))
+
+	fmt.Println("\nintermediate mappings found along the way (R):")
+	cT, _ := gs.TensorByName("matmul.out")
+	for _, m := range report.FullRelation.Get(cT.ID) {
+		fmt.Printf("  C = %s\n", m)
+	}
+}

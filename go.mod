@@ -1,0 +1,3 @@
+module entangle
+
+go 1.22

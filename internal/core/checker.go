@@ -1,0 +1,483 @@
+// Package core implements ENTANGLE's contribution: the iterative
+// model-refinement checker of §4. It walks the sequential model G_s in
+// topological order and, for each operator v, computes a clean output
+// relation R_v mapping v's outputs to tensors of the distributed
+// implementation G_d (Listing 1/2), using equality saturation over a
+// per-operator e-graph and the frontier-restricted exploration of G_d
+// from Listing 3. A missing R_v is reported as a RefinementError
+// naming v — the paper's bug-localization output.
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"entangle/internal/egraph"
+	"entangle/internal/expr"
+	"entangle/internal/graph"
+	"entangle/internal/lemmas"
+	"entangle/internal/relation"
+	"entangle/internal/shape"
+	"entangle/internal/sym"
+)
+
+// Options tune the checker. The zero value selects the defaults used
+// throughout the evaluation.
+type Options struct {
+	// Saturate bounds each per-operator equality-saturation run.
+	Saturate egraph.SaturateOpts
+	// MaxMappings caps how many clean mappings are kept per tensor
+	// (the paper keeps "the simplest version of each set", §4.3.2; we
+	// keep the MaxMappings simplest distinct ones). It must exceed the
+	// parallelism degree — replicated tensors carry one bare-leaf
+	// mapping per rank, and dropping any starves the T_rel frontier.
+	// Default 16.
+	MaxMappings int
+	// MaxFrontierIters bounds the Listing-3 exploration loop.
+	// Default: |G_d| + 1.
+	MaxFrontierIters int
+	// DisableFrontier folds every G_d node into every per-operator
+	// e-graph, disabling the §4.3.1 optimization. Used by the ablation
+	// benchmarks.
+	DisableFrontier bool
+	// Registry supplies the lemma library; nil selects lemmas.Default().
+	Registry *lemmas.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxMappings == 0 {
+		o.MaxMappings = 16
+	}
+	if o.Registry == nil {
+		o.Registry = lemmas.Default()
+	}
+	if o.Saturate.MaxIters == 0 {
+		o.Saturate.MaxIters = 24
+	}
+	if o.Saturate.MaxNodes == 0 {
+		o.Saturate.MaxNodes = 60_000
+	}
+	return o
+}
+
+// RefinementError reports that G_d could not be shown to refine G_s,
+// identifying the sequential operator whose outputs have no clean
+// mapping — the actionable output of §6.2.
+type RefinementError struct {
+	Op     *graph.Node   // operator v ∈ G_s where the search terminated
+	Tensor *graph.Tensor // the unmappable output tensor
+	// InputMappings renders the relations of v's inputs, which the
+	// paper's users inspect to localize the root cause.
+	InputMappings string
+}
+
+func (e *RefinementError) Error() string {
+	msg := fmt.Sprintf("refinement failed: could not map outputs for operator %q (op %s, output %q)",
+		e.Op.Label, e.Op.Op, e.Tensor.Name)
+	if e.InputMappings != "" {
+		msg += "\ninput relations at the failing operator:\n" + e.InputMappings
+	}
+	return msg
+}
+
+// Report is the result of a successful refinement check.
+type Report struct {
+	// OutputRelation is the complete clean relation R_o mapping every
+	// G_s output to expressions over G_d outputs.
+	OutputRelation *relation.Relation
+	// FullRelation additionally contains mappings of intermediate
+	// tensors accumulated during the walk (useful for inspection).
+	FullRelation *relation.Relation
+	// Stats aggregates saturation statistics; Stats.Applications feeds
+	// the Figure 6 lemma heatmap.
+	Stats egraph.Stats
+	// OpsProcessed counts the G_s operators checked.
+	OpsProcessed int
+	// Duration is wall-clock verification time (Figure 3/4).
+	Duration time.Duration
+}
+
+// Checker verifies model refinement between a sequential model and a
+// distributed implementation.
+type Checker struct {
+	opts Options
+}
+
+// NewChecker returns a checker with the given options.
+func NewChecker(opts Options) *Checker {
+	return &Checker{opts: opts.withDefaults()}
+}
+
+// Check solves the model refinement problem (§3.2): given G_s, G_d and
+// a clean input relation R_i, it either returns a complete clean
+// output relation R_o or a *RefinementError localizing the bug.
+func (c *Checker) Check(gs, gd *graph.Graph, ri *relation.Relation) (*Report, error) {
+	start := time.Now()
+	run := &runState{
+		opts: c.opts,
+		gs:   gs,
+		gd:   gd,
+		rel:  ri.Clone(),
+		ctx:  mergedContext(gs, gd),
+	}
+	for _, in := range gs.Inputs {
+		if !run.rel.Has(in) {
+			return nil, fmt.Errorf("core: input relation has no mapping for G_s input %q", gs.Tensor(in).Name)
+		}
+	}
+	order, err := gs.TopoSort()
+	if err != nil {
+		return nil, fmt.Errorf("core: G_s: %v", err)
+	}
+	if _, err := gd.TopoSort(); err != nil {
+		return nil, fmt.Errorf("core: G_d: %v", err)
+	}
+
+	report := &Report{FullRelation: run.rel, Stats: egraph.Stats{Applications: map[string]int{}, Saturated: true}}
+	for _, v := range order {
+		if err := run.processOp(v, report); err != nil {
+			return nil, err
+		}
+		report.OpsProcessed++
+	}
+
+	// Listing 1 line 9: filter to the output relation over O(G_d).
+	ro, err := run.resolveOutputs(report)
+	if err != nil {
+		return nil, err
+	}
+	report.OutputRelation = ro
+	report.Duration = time.Since(start)
+	return report, nil
+}
+
+// runState carries one Check invocation's working data.
+type runState struct {
+	opts Options
+	gs   *graph.Graph
+	gd   *graph.Graph
+	rel  *relation.Relation
+	ctx  *sym.Context
+}
+
+func mergedContext(gs, gd *graph.Graph) *sym.Context {
+	ctx := sym.NewContext()
+	for _, a := range gs.Ctx.Assumptions() {
+		ctx.AssumeGE(a, sym.Const(0))
+	}
+	for _, a := range gd.Ctx.Assumptions() {
+		ctx.AssumeGE(a, sym.Const(0))
+	}
+	return ctx
+}
+
+// newEGraph builds a per-operator e-graph wired to both graphs' tensor
+// shapes.
+func (r *runState) newEGraph() *egraph.EGraph {
+	eg := egraph.New(r.ctx)
+	eg.SetLeafShapeFn(func(tid int) (shape.Shape, bool) {
+		if relation.IsGd(tid) {
+			id := relation.GdTensorID(tid)
+			if int(id) < len(r.gd.Tensors) {
+				return r.gd.Tensor(id).Shape, true
+			}
+			return nil, false
+		}
+		if tid >= 0 && tid < len(r.gs.Tensors) {
+			return r.gs.Tensor(graph.TensorID(tid)).Shape, true
+		}
+		return nil, false
+	})
+	return eg
+}
+
+func allowGdLeaf(tid int) bool { return relation.IsGd(tid) }
+
+// processOp is compute_node_out_rel (Listing 2) with the Listing-3
+// frontier optimization: seed the e-graph with v's output expression
+// and its input mappings, fold in G_d operator definitions restricted
+// to the related-tensor frontier, saturate with the lemma library, and
+// extract the clean mappings of v's outputs.
+func (r *runState) processOp(v *graph.Node, report *Report) error {
+	if expr.Collective(v.Op) {
+		return fmt.Errorf("core: sequential model %s contains collective %q", r.gs.Name, v.Label)
+	}
+	eg := r.newEGraph()
+
+	// Step 1 (rewrite_t_to_expr): leaves for v's inputs, unioned with
+	// every known mapping. In e-graph form, substitution is union.
+	for _, in := range v.Inputs {
+		t := r.gs.Tensor(in)
+		cls := eg.AddTerm(relation.GsLeaf(t))
+		maps := r.rel.Get(in)
+		if len(maps) == 0 {
+			return &RefinementError{Op: v, Tensor: t,
+				InputMappings: fmt.Sprintf("  (no mapping recorded for input %q)", t.Name)}
+		}
+		for _, m := range maps {
+			eg.Union(cls, eg.AddTerm(m))
+		}
+	}
+	eg.Rebuild()
+
+	outClasses := make([]egraph.ClassID, len(v.Outputs))
+	for i := range v.Outputs {
+		base, err := r.gs.OutputExpr(v, i)
+		if err != nil {
+			return err
+		}
+		outClasses[i] = eg.AddTerm(base)
+	}
+
+	// Listing 3: the related-tensor frontier T_rel starts from the G_d
+	// tensors reachable through the mappings of v's inputs.
+	tRel := map[graph.TensorID]bool{}
+	for _, gdID := range r.rel.GdLeaves(v.Inputs) {
+		tRel[gdID] = true
+	}
+	if r.opts.DisableFrontier {
+		for _, t := range r.gd.Tensors {
+			tRel[t.ID] = true
+		}
+	}
+
+	gdOrder, _ := r.gd.TopoSort()
+	folded := make(map[graph.NodeID]bool, len(r.gd.Nodes))
+	maxIters := r.opts.MaxFrontierIters
+	if maxIters == 0 {
+		maxIters = len(r.gd.Nodes) + 1
+	}
+
+	for iter := 0; iter < maxIters; iter++ {
+		progress := false
+		for _, n := range gdOrder {
+			if folded[n.ID] {
+				continue
+			}
+			ready := true
+			for _, in := range n.Inputs {
+				if !tRel[in] {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			if err := r.foldGdNode(eg, n); err != nil {
+				return err
+			}
+			folded[n.ID] = true
+			progress = true
+		}
+		if !progress && iter > 0 {
+			break
+		}
+
+		stats := eg.Saturate(r.opts.Registry.Rules(), r.opts.Saturate)
+		report.Stats.Merge(stats)
+
+		// Grow T_rel with tensors appearing in newly derived clean
+		// expressions of v's outputs ("related to v's outputs").
+		grew := false
+		for _, oc := range outClasses {
+			for _, t := range eg.ExtractAllClean(oc, allowGdLeaf, r.opts.MaxMappings) {
+				for _, leaf := range t.Leaves() {
+					if relation.IsGd(leaf) {
+						id := relation.GdTensorID(leaf)
+						if !tRel[id] {
+							tRel[id] = true
+							grew = true
+						}
+					}
+				}
+			}
+		}
+		// Outputs of folded nodes whose class gained a clean
+		// representation are also related.
+		for id := range folded {
+			for _, out := range r.gd.Node(id).Outputs {
+				if tRel[out] {
+					continue
+				}
+				t := r.gd.Tensor(out)
+				if cls, ok := eg.LookupTerm(relation.GdLeaf(t)); ok {
+					if eg.HasCleanRepresentation(cls, allowGdLeaf) {
+						tRel[out] = true
+						grew = true
+					}
+				}
+			}
+		}
+		if !progress && !grew {
+			break
+		}
+	}
+
+	// Step 4: extract and record the clean output relation R_v.
+	for i, out := range v.Outputs {
+		mappings := eg.ExtractAllClean(outClasses[i], allowGdLeaf, r.opts.MaxMappings)
+		if len(mappings) == 0 {
+			return &RefinementError{Op: v, Tensor: r.gs.Tensor(out),
+				InputMappings: r.renderInputMappings(v)}
+		}
+		r.rel.AddAll(out, mappings)
+		// Opportunistically record output-restricted mappings too.
+		if r.gs.IsOutput(out) {
+			restricted := eg.ExtractAllClean(outClasses[i], r.allowGdOutput, r.opts.MaxMappings)
+			r.rel.AddAll(out, restricted)
+		}
+	}
+	return nil
+}
+
+// foldGdNode registers a G_d node's defining equations: for each
+// output tensor, the leaf is unioned with the operator's expression
+// over its input leaves (collectives expand to clean operators).
+func (r *runState) foldGdNode(eg *egraph.EGraph, n *graph.Node) error {
+	for i, out := range n.Outputs {
+		def, err := r.gd.OutputExpr(n, i)
+		if err != nil {
+			return err
+		}
+		// Rebase leaves into the G_d ID space.
+		def = def.Map(func(t *expr.Term) *expr.Term {
+			if t.IsLeaf() && !relation.IsGd(t.TID) {
+				return relation.GdLeaf(r.gd.Tensor(graph.TensorID(t.TID)))
+			}
+			return t
+		})
+		leafCls := eg.AddTerm(relation.GdLeaf(r.gd.Tensor(out)))
+		eg.Union(leafCls, eg.AddTerm(def))
+	}
+	eg.Rebuild()
+	return nil
+}
+
+func (r *runState) allowGdOutput(tid int) bool {
+	if !relation.IsGd(tid) {
+		return false
+	}
+	return r.gd.IsOutput(relation.GdTensorID(tid))
+}
+
+func (r *runState) renderInputMappings(v *graph.Node) string {
+	var b strings.Builder
+	for _, in := range v.Inputs {
+		t := r.gs.Tensor(in)
+		maps := r.rel.Get(in)
+		if len(maps) == 0 {
+			fmt.Fprintf(&b, "  %s: (unmapped)\n", t.Name)
+			continue
+		}
+		for _, m := range maps {
+			fmt.Fprintf(&b, "  %s = %s\n", t.Name, m)
+		}
+	}
+	return b.String()
+}
+
+// resolveOutputs builds R_o: mappings of every G_s output restricted
+// to expressions over O(G_d) (Listing 1 line 9). Outputs that did not
+// resolve during their producing operator's pass get one dedicated
+// resolution pass that folds G_d forward from their known mappings.
+func (r *runState) resolveOutputs(report *Report) (*relation.Relation, error) {
+	ro := relation.New()
+	for _, o := range r.gs.Outputs {
+		for _, m := range r.rel.Get(o) {
+			if r.leavesAreGdOutputs(m) {
+				ro.Add(o, m)
+			}
+		}
+		if ro.Has(o) {
+			continue
+		}
+		m, err := r.resolveOutput(o, report)
+		if err != nil {
+			return nil, err
+		}
+		ro.AddAll(o, m)
+	}
+	return ro, nil
+}
+
+func (r *runState) leavesAreGdOutputs(t *expr.Term) bool {
+	for _, leaf := range t.Leaves() {
+		if !relation.IsGd(leaf) || !r.gd.IsOutput(relation.GdTensorID(leaf)) {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *runState) resolveOutput(o graph.TensorID, report *Report) ([]*expr.Term, error) {
+	producer := r.gs.Tensor(o).Producer
+	fail := func() error {
+		var v *graph.Node
+		if producer != graph.NoProducer {
+			v = r.gs.Node(producer)
+		} else {
+			v = &graph.Node{Label: "(graph input)", Op: expr.OpIdentity}
+		}
+		return &RefinementError{Op: v, Tensor: r.gs.Tensor(o),
+			InputMappings: r.renderInputMappings(v)}
+	}
+
+	maps := r.rel.Get(o)
+	if len(maps) == 0 {
+		return nil, fail()
+	}
+	eg := r.newEGraph()
+	cls := eg.AddTerm(relation.GsLeaf(r.gs.Tensor(o)))
+	tRel := map[graph.TensorID]bool{}
+	for _, m := range maps {
+		eg.Union(cls, eg.AddTerm(m))
+		for _, leaf := range m.Leaves() {
+			if relation.IsGd(leaf) {
+				tRel[relation.GdTensorID(leaf)] = true
+			}
+		}
+	}
+	eg.Rebuild()
+
+	gdOrder, _ := r.gd.TopoSort()
+	folded := map[graph.NodeID]bool{}
+	for iter := 0; iter <= len(r.gd.Nodes); iter++ {
+		progress := false
+		for _, n := range gdOrder {
+			if folded[n.ID] {
+				continue
+			}
+			ready := true
+			for _, in := range n.Inputs {
+				if !tRel[in] {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			if err := r.foldGdNode(eg, n); err != nil {
+				return nil, err
+			}
+			for _, out := range n.Outputs {
+				tRel[out] = true
+			}
+			folded[n.ID] = true
+			progress = true
+		}
+		if !progress {
+			break
+		}
+	}
+	stats := eg.Saturate(r.opts.Registry.Rules(), r.opts.Saturate)
+	report.Stats.Merge(stats)
+
+	out := eg.ExtractAllClean(eg.Find(cls), r.allowGdOutput, r.opts.MaxMappings)
+	if len(out) == 0 {
+		return nil, fail()
+	}
+	return out, nil
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"entangle/internal/lemmas"
+	"entangle/internal/models"
+)
+
+// TestConcurrentChecks verifies that independent Check calls can share
+// one Checker and one lemma registry across goroutines (the bench
+// harness and CI pipelines verify many models at once). Run with
+// -race to catch sharing violations: per-operator e-graphs are
+// per-call, rules are stateless closures, and the registry is
+// read-only after construction.
+func TestConcurrentChecks(t *testing.T) {
+	reg := lemmas.Default()
+	checker := NewChecker(Options{Registry: reg})
+	builds := []func() (*models.Built, error){
+		func() (*models.Built, error) { return models.GPT(models.Options{TP: 2, SP: true}) },
+		func() (*models.Built, error) { return models.Llama(models.Options{TP: 2}) },
+		func() (*models.Built, error) { return models.Qwen2(models.Options{TP: 2}) },
+		func() (*models.Built, error) { return models.SeedMoE(models.Options{TP: 2}) },
+		func() (*models.Built, error) { return models.Regression(models.Options{GradAccum: 2}) },
+		func() (*models.Built, error) { return models.ContextParallel(2) },
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(builds)*2)
+	for round := 0; round < 2; round++ {
+		for i, build := range builds {
+			wg.Add(1)
+			go func(slot int, build func() (*models.Built, error)) {
+				defer wg.Done()
+				b, err := build()
+				if err != nil {
+					errs[slot] = err
+					return
+				}
+				if _, err := checker.Check(b.Gs, b.Gd, b.Ri); err != nil {
+					errs[slot] = err
+				}
+			}(round*len(builds)+i, build)
+		}
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", i, err)
+		}
+	}
+}

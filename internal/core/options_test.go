@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+
+	"entangle/internal/models"
+)
+
+// TestFrontierMatchesWholeGraphOnAllModels checks the paper's claim
+// that the §4.3.1 optimization affects performance only: every
+// evaluation model must verify identically with and without it, and
+// the output relations must contain the same simplest mappings.
+func TestFrontierMatchesWholeGraphOnAllModels(t *testing.T) {
+	builds := map[string]func() (*models.Built, error){
+		"gpt":        func() (*models.Built, error) { return models.GPT(models.Options{TP: 2, SP: true}) },
+		"llama":      func() (*models.Built, error) { return models.Llama(models.Options{TP: 2}) },
+		"qwen2":      func() (*models.Built, error) { return models.Qwen2(models.Options{TP: 2}) },
+		"seedmoe":    func() (*models.Built, error) { return models.SeedMoE(models.Options{TP: 2}) },
+		"regression": func() (*models.Built, error) { return models.Regression(models.Options{GradAccum: 2}) },
+	}
+	for name, build := range builds {
+		name, build := name, build
+		t.Run(name, func(t *testing.T) {
+			b, err := build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			fast, err := NewChecker(Options{}).Check(b.Gs, b.Gd, b.Ri)
+			if err != nil {
+				t.Fatalf("frontier: %v", err)
+			}
+			slow, err := NewChecker(Options{DisableFrontier: true}).Check(b.Gs, b.Gd, b.Ri)
+			if err != nil {
+				t.Fatalf("whole-graph: %v", err)
+			}
+			for _, o := range b.Gs.Outputs {
+				fm := fast.OutputRelation.Get(o)
+				sm := slow.OutputRelation.Get(o)
+				if len(fm) == 0 || len(sm) == 0 {
+					t.Fatalf("output %d unmapped (%d vs %d)", o, len(fm), len(sm))
+				}
+				if fm[0].Key() != sm[0].Key() {
+					t.Fatalf("simplest mappings differ:\n  frontier: %s\n  whole:    %s", fm[0], sm[0])
+				}
+			}
+		})
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.MaxMappings != 16 || o.Registry == nil || o.Saturate.MaxIters != 24 {
+		t.Fatalf("defaults wrong: %+v", o)
+	}
+	// Explicit values survive.
+	o2 := Options{MaxMappings: 3}.withDefaults()
+	if o2.MaxMappings != 3 {
+		t.Fatal("explicit MaxMappings overridden")
+	}
+}
+
+func TestMaxFrontierItersBounds(t *testing.T) {
+	// A pathologically small frontier budget loses completeness the
+	// sound way: a RefinementError (false alarm), never a wrong
+	// verification or a crash. A generous budget verifies.
+	b, err := models.Regression(models.Options{GradAccum: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = NewChecker(Options{MaxFrontierIters: 2}).Check(b.Gs, b.Gd, b.Ri)
+	if err != nil {
+		var re *RefinementError
+		if !errorsAs(err, &re) {
+			t.Fatalf("tiny budget must degrade to RefinementError, got %v", err)
+		}
+	}
+	if _, err := NewChecker(Options{MaxFrontierIters: 64}).Check(b.Gs, b.Gd, b.Ri); err != nil {
+		t.Fatalf("generous budget must verify: %v", err)
+	}
+}
+
+func errorsAs(err error, target **RefinementError) bool {
+	re, ok := err.(*RefinementError)
+	if ok {
+		*target = re
+	}
+	return ok
+}
+
+func TestReportFields(t *testing.T) {
+	b, err := models.Regression(models.Options{GradAccum: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := NewChecker(Options{}).Check(b.Gs, b.Gd, b.Ri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OpsProcessed != b.Gs.OperatorCount() {
+		t.Fatalf("ops processed %d want %d", rep.OpsProcessed, b.Gs.OperatorCount())
+	}
+	if rep.Duration <= 0 {
+		t.Fatal("duration not recorded")
+	}
+	if len(rep.Stats.Applications) == 0 {
+		t.Fatal("no lemma applications recorded")
+	}
+	if rep.FullRelation.Len() < rep.OutputRelation.Len() {
+		t.Fatal("full relation smaller than output relation")
+	}
+}

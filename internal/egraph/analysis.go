@@ -1,0 +1,112 @@
+package egraph
+
+import (
+	"entangle/internal/expr"
+	"entangle/internal/shape"
+)
+
+// Shape analysis: every equivalence class denotes one tensor value, so
+// all its members share a shape. Lemma side conditions (e.g. "the
+// concatenated chunks tile the sliced range exactly") consult it via
+// ShapeOf. Leaf shapes come from the LeafShape callback, which the
+// refinement checker wires to the graphs' tensor tables; interior
+// shapes are inferred with shape.Infer.
+
+// SetLeafShapeFn installs the tensor-leaf shape oracle.
+func (g *EGraph) SetLeafShapeFn(fn func(tid int) (shape.Shape, bool)) {
+	g.leafShape = fn
+	g.shapeMemo = map[ClassID]shape.Shape{}
+}
+
+// ShapeOf returns the shape of the tensor denoted by class c, if
+// derivable from leaf shapes. Results are memoized per canonical
+// class; memo entries stay valid across unions because members of a
+// class always denote the same tensor value.
+func (g *EGraph) ShapeOf(c ClassID) (shape.Shape, bool) {
+	if g.leafShape == nil {
+		return nil, false
+	}
+	if g.shapeVisiting == nil {
+		g.shapeVisiting = map[ClassID]bool{}
+	}
+	return g.shapeOf(c)
+}
+
+func (g *EGraph) shapeOf(c ClassID) (shape.Shape, bool) {
+	c = g.Find(c)
+	if s, ok := g.shapeMemo[c]; ok {
+		return s, true
+	}
+	if g.shapeVisiting[c] {
+		return nil, false // cycle: try other derivations
+	}
+	g.shapeVisiting[c] = true
+	defer delete(g.shapeVisiting, c)
+	cl := g.classes[c]
+	if cl == nil {
+		return nil, false
+	}
+	for _, n := range cl.nodes {
+		if n.isLeaf() {
+			if s, ok := g.leafShape(n.TID); ok {
+				g.shapeMemo[c] = s
+				return s, true
+			}
+			continue
+		}
+		kidShapes := make([]shape.Shape, len(n.Kids))
+		ok := true
+		for i, k := range n.Kids {
+			s, got := g.shapeOf(k)
+			if !got {
+				ok = false
+				break
+			}
+			kidShapes[i] = s
+		}
+		if !ok {
+			continue
+		}
+		outs, err := shape.Infer(n.Op, n.Str, n.Ints, kidShapes, g.Ctx)
+		if err != nil || len(outs) != 1 {
+			continue
+		}
+		g.shapeMemo[c] = outs[0]
+		return outs[0], true
+	}
+	return nil, false
+}
+
+// ParentRef is one consumer of a class: the consuming ENode and the
+// class that node belongs to.
+type ParentRef struct {
+	Node  ENode
+	Class ClassID
+}
+
+// ParentsOf returns the nodes that consume class c as a child, with
+// their owning classes; generative lemmas (slice tiling) enumerate
+// these to find existing sibling ENodes.
+func (g *EGraph) ParentsOf(c ClassID) []ParentRef {
+	cl := g.classes[g.Find(c)]
+	if cl == nil {
+		return nil
+	}
+	out := make([]ParentRef, 0, len(cl.parents))
+	for _, p := range cl.parents {
+		out = append(out, ParentRef{Node: g.canonNode(p.node), Class: g.Find(p.class)})
+	}
+	return out
+}
+
+// RankOf returns the rank of the tensor denoted by class c, if shape
+// analysis can derive it.
+func (g *EGraph) RankOf(c ClassID) (int, bool) {
+	s, ok := g.ShapeOf(c)
+	if !ok {
+		return 0, false
+	}
+	return len(s), true
+}
+
+var _ = expr.OpTensor // keep expr import for doc references

@@ -1,0 +1,326 @@
+// Package egraph implements the equality-saturation engine ENTANGLE
+// uses for expression rewriting (§4.2.2). It is a from-scratch Go
+// implementation of the e-graph data structure popularized by the egg
+// library (Willsey et al., POPL'21): hash-consed ENodes grouped into
+// equivalence classes by a union-find, congruence closure maintained by
+// worklist rebuilding, rewrite rules applied by e-matching, and
+// cost-based extraction of representative expressions.
+package egraph
+
+import (
+	"fmt"
+	"strings"
+
+	"entangle/internal/expr"
+	"entangle/internal/shape"
+	"entangle/internal/sym"
+)
+
+// ClassID identifies an equivalence class of expressions.
+type ClassID int
+
+// ENode is one operator application whose children are equivalence
+// classes rather than concrete subterms.
+type ENode struct {
+	Op   expr.Op
+	Str  string
+	Ints []sym.Expr
+	Kids []ClassID
+
+	// Leaf identity (Op == expr.OpTensor).
+	TID  int
+	Name string
+}
+
+// Leaf builds a tensor-leaf ENode.
+func Leaf(tid int, name string) ENode {
+	return ENode{Op: expr.OpTensor, TID: tid, Name: name}
+}
+
+func (n ENode) isLeaf() bool { return n.Op == expr.OpTensor }
+
+func (n ENode) key() string {
+	var b strings.Builder
+	if n.isLeaf() {
+		fmt.Fprintf(&b, "t%d", n.TID)
+		return b.String()
+	}
+	b.WriteString(string(n.Op))
+	if n.Str != "" {
+		b.WriteByte('.')
+		b.WriteString(n.Str)
+	}
+	b.WriteByte('[')
+	for i, e := range n.Ints {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(e.Key())
+	}
+	b.WriteString("](")
+	for i, k := range n.Kids {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", k)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+type parentEntry struct {
+	node  ENode
+	class ClassID
+}
+
+// Class is an equivalence class: the set of ENodes known equal.
+type Class struct {
+	id      ClassID
+	nodes   []ENode
+	parents []parentEntry
+}
+
+// Nodes returns the ENodes currently in the class.
+func (c *Class) Nodes() []ENode { return c.nodes }
+
+// EGraph is the equality-saturation engine.
+type EGraph struct {
+	parent  []ClassID
+	rank    []int
+	classes map[ClassID]*Class
+	memo    map[string]ClassID
+	work    []ClassID
+
+	// Ctx resolves symbolic-scalar comparisons in rule conditions.
+	Ctx *sym.Context
+
+	nodeCount int
+
+	// shape analysis (analysis.go)
+	leafShape     func(tid int) (shape.Shape, bool)
+	shapeMemo     map[ClassID]shape.Shape
+	shapeVisiting map[ClassID]bool
+}
+
+// New returns an empty e-graph using ctx for symbolic reasoning (nil
+// means an empty context).
+func New(ctx *sym.Context) *EGraph {
+	if ctx == nil {
+		ctx = sym.NewContext()
+	}
+	return &EGraph{classes: map[ClassID]*Class{}, memo: map[string]ClassID{}, Ctx: ctx}
+}
+
+// NodeCount returns the number of distinct ENodes added so far.
+func (g *EGraph) NodeCount() int { return nodeTotal(g) }
+
+func nodeTotal(g *EGraph) int {
+	n := 0
+	for _, c := range g.classes {
+		n += len(c.nodes)
+	}
+	return n
+}
+
+// ClassCount returns the number of live equivalence classes.
+func (g *EGraph) ClassCount() int { return len(g.classes) }
+
+// Find returns the canonical representative of a class.
+func (g *EGraph) Find(c ClassID) ClassID {
+	for g.parent[c] != c {
+		g.parent[c] = g.parent[g.parent[c]] // path halving
+		c = g.parent[c]
+	}
+	return c
+}
+
+func (g *EGraph) newClass() ClassID {
+	id := ClassID(len(g.parent))
+	g.parent = append(g.parent, id)
+	g.rank = append(g.rank, 0)
+	g.classes[id] = &Class{id: id}
+	return id
+}
+
+func (g *EGraph) canonNode(n ENode) ENode {
+	if len(n.Kids) == 0 {
+		return n
+	}
+	kids := make([]ClassID, len(n.Kids))
+	changed := false
+	for i, k := range n.Kids {
+		kids[i] = g.Find(k)
+		if kids[i] != n.Kids[i] {
+			changed = true
+		}
+	}
+	if !changed {
+		return n
+	}
+	n.Kids = kids
+	return n
+}
+
+// Lookup reports whether an ENode already exists, without inserting.
+// Used by constrained lemmas (§4.3.2) that may only target existing
+// ENodes.
+func (g *EGraph) Lookup(n ENode) (ClassID, bool) {
+	n = g.canonNode(n)
+	id, ok := g.memo[n.key()]
+	if !ok {
+		return 0, false
+	}
+	return g.Find(id), true
+}
+
+// AddNode inserts an ENode (hash-consed) and returns its class.
+func (g *EGraph) AddNode(n ENode) ClassID {
+	n = g.canonNode(n)
+	k := n.key()
+	if id, ok := g.memo[k]; ok {
+		return g.Find(id)
+	}
+	id := g.newClass()
+	g.classes[id].nodes = append(g.classes[id].nodes, n)
+	g.memo[k] = id
+	g.nodeCount++
+	for _, kid := range n.Kids {
+		kc := g.classes[g.Find(kid)]
+		kc.parents = append(kc.parents, parentEntry{node: n, class: id})
+	}
+	return id
+}
+
+// AddTerm inserts a whole expression tree, returning its class.
+func (g *EGraph) AddTerm(t *expr.Term) ClassID {
+	if t.IsLeaf() {
+		return g.AddNode(Leaf(t.TID, t.Name))
+	}
+	kids := make([]ClassID, len(t.Args))
+	for i, a := range t.Args {
+		kids[i] = g.AddTerm(a)
+	}
+	return g.AddNode(ENode{Op: t.Op, Str: t.Str, Ints: t.Ints, Kids: kids})
+}
+
+// LookupTerm reports the class of an expression tree if every node of
+// it already exists; it never inserts.
+func (g *EGraph) LookupTerm(t *expr.Term) (ClassID, bool) {
+	if t.IsLeaf() {
+		return g.Lookup(Leaf(t.TID, t.Name))
+	}
+	kids := make([]ClassID, len(t.Args))
+	for i, a := range t.Args {
+		k, ok := g.LookupTerm(a)
+		if !ok {
+			return 0, false
+		}
+		kids[i] = k
+	}
+	return g.Lookup(ENode{Op: t.Op, Str: t.Str, Ints: t.Ints, Kids: kids})
+}
+
+// Union merges two classes; it returns true when they were distinct.
+func (g *EGraph) Union(a, b ClassID) bool {
+	a, b = g.Find(a), g.Find(b)
+	if a == b {
+		return false
+	}
+	if g.rank[a] < g.rank[b] {
+		a, b = b, a
+	}
+	if g.rank[a] == g.rank[b] {
+		g.rank[a]++
+	}
+	// b is absorbed into a.
+	g.parent[b] = a
+	ca, cb := g.classes[a], g.classes[b]
+	ca.nodes = append(ca.nodes, cb.nodes...)
+	ca.parents = append(ca.parents, cb.parents...)
+	delete(g.classes, b)
+	g.work = append(g.work, a)
+	return true
+}
+
+// Rebuild restores the congruence invariant after unions: parents of
+// merged classes are re-canonicalized and congruent nodes unioned.
+func (g *EGraph) Rebuild() {
+	for len(g.work) > 0 {
+		todo := g.work
+		g.work = nil
+		seen := map[ClassID]bool{}
+		for _, c := range todo {
+			c = g.Find(c)
+			if seen[c] {
+				continue
+			}
+			seen[c] = true
+			g.repair(c)
+		}
+	}
+}
+
+func (g *EGraph) repair(c ClassID) {
+	cl := g.classes[c]
+	if cl == nil {
+		return
+	}
+	// Re-canonicalize and dedupe this class's own nodes.
+	dedup := map[string]bool{}
+	var nodes []ENode
+	for _, n := range cl.nodes {
+		cn := g.canonNode(n)
+		k := cn.key()
+		if dedup[k] {
+			continue
+		}
+		dedup[k] = true
+		nodes = append(nodes, cn)
+	}
+	cl.nodes = nodes
+
+	// Re-canonicalize parents; detect newly congruent parents.
+	type slot struct {
+		class ClassID
+	}
+	fresh := map[string]slot{}
+	var parents []parentEntry
+	for _, p := range cl.parents {
+		cn := g.canonNode(p.node)
+		oldKey := p.node.key()
+		newKey := cn.key()
+		if oldKey != newKey {
+			delete(g.memo, oldKey)
+		}
+		pc := g.Find(p.class)
+		if prev, ok := fresh[newKey]; ok {
+			if prev.class != pc {
+				g.Union(prev.class, pc)
+				pc = g.Find(pc)
+				fresh[newKey] = slot{class: pc}
+			}
+		} else {
+			fresh[newKey] = slot{class: pc}
+			parents = append(parents, parentEntry{node: cn, class: pc})
+		}
+		if memoC, ok := g.memo[newKey]; ok {
+			if g.Find(memoC) != pc {
+				g.Union(memoC, pc)
+			}
+		}
+		g.memo[newKey] = g.Find(pc)
+	}
+	cl.parents = parents
+}
+
+// Classes returns the live canonical class IDs.
+func (g *EGraph) Classes() []ClassID {
+	out := make([]ClassID, 0, len(g.classes))
+	for id := range g.classes {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Class returns the class record for a (possibly stale) ID.
+func (g *EGraph) Class(id ClassID) *Class { return g.classes[g.Find(id)] }

@@ -1,0 +1,431 @@
+package egraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"entangle/internal/expr"
+	"entangle/internal/sym"
+)
+
+func leafT(id int, name string) *expr.Term { return expr.Tensor(id, name) }
+
+func TestHashConsing(t *testing.T) {
+	g := New(nil)
+	a1 := g.AddTerm(leafT(1, "A"))
+	a2 := g.AddTerm(leafT(1, "A"))
+	if a1 != a2 {
+		t.Fatal("identical leaves must share a class")
+	}
+	m1 := g.AddTerm(expr.MatMul(leafT(1, "A"), leafT(2, "B")))
+	m2 := g.AddTerm(expr.MatMul(leafT(1, "A"), leafT(2, "B")))
+	if m1 != m2 {
+		t.Fatal("identical terms must share a class")
+	}
+	m3 := g.AddTerm(expr.MatMul(leafT(2, "B"), leafT(1, "A")))
+	if g.Find(m1) == g.Find(m3) {
+		t.Fatal("matmul(A,B) and matmul(B,A) must differ")
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	g := New(nil)
+	a := g.AddTerm(leafT(1, "A"))
+	b := g.AddTerm(leafT(2, "B"))
+	c := g.AddTerm(leafT(3, "C"))
+	if !g.Union(a, b) {
+		t.Fatal("first union should change")
+	}
+	if g.Union(a, b) {
+		t.Fatal("repeated union should be a no-op")
+	}
+	g.Union(b, c)
+	g.Rebuild()
+	if g.Find(a) != g.Find(c) {
+		t.Fatal("transitivity broken")
+	}
+}
+
+func TestCongruenceClosure(t *testing.T) {
+	g := New(nil)
+	a := g.AddTerm(leafT(1, "A"))
+	b := g.AddTerm(leafT(2, "B"))
+	fa := g.AddTerm(expr.Unary("gelu", leafT(1, "A")))
+	fb := g.AddTerm(expr.Unary("gelu", leafT(2, "B")))
+	if g.Find(fa) == g.Find(fb) {
+		t.Fatal("f(A) and f(B) must start distinct")
+	}
+	g.Union(a, b)
+	g.Rebuild()
+	if g.Find(fa) != g.Find(fb) {
+		t.Fatal("congruence: A=B must imply f(A)=f(B)")
+	}
+}
+
+func TestCongruenceClosureDeep(t *testing.T) {
+	g := New(nil)
+	a := g.AddTerm(leafT(1, "A"))
+	b := g.AddTerm(leafT(2, "B"))
+	ffa := g.AddTerm(expr.Unary("g", expr.Unary("f", leafT(1, "A"))))
+	ffb := g.AddTerm(expr.Unary("g", expr.Unary("f", leafT(2, "B"))))
+	g.Union(a, b)
+	g.Rebuild()
+	if g.Find(ffa) != g.Find(ffb) {
+		t.Fatal("congruence must propagate through nesting")
+	}
+}
+
+func TestLookupDoesNotInsert(t *testing.T) {
+	g := New(nil)
+	g.AddTerm(leafT(1, "A"))
+	before := g.NodeCount()
+	if _, ok := g.LookupTerm(expr.Unary("f", leafT(1, "A"))); ok {
+		t.Fatal("lookup of absent term must fail")
+	}
+	if g.NodeCount() != before {
+		t.Fatal("lookup must not insert")
+	}
+	g.AddTerm(expr.Unary("f", leafT(1, "A")))
+	if _, ok := g.LookupTerm(expr.Unary("f", leafT(1, "A"))); !ok {
+		t.Fatal("lookup of present term must succeed")
+	}
+}
+
+func TestMatchSimple(t *testing.T) {
+	g := New(nil)
+	g.AddTerm(expr.MatMul(expr.ConcatI(1, leafT(1, "A1"), leafT(2, "A2")), leafT(3, "B")))
+	p := POp(expr.OpMatMul, nil,
+		POp(expr.OpConcat, []AttrPat{AVar("d")}, PVar("x"), PVar("y")),
+		PVar("b"))
+	ms := g.MatchAll(p)
+	if len(ms) != 1 {
+		t.Fatalf("want 1 match, got %d", len(ms))
+	}
+	s := ms[0].Subst
+	if d := s.AttrOf("d"); !d.Equal(sym.Const(1)) {
+		t.Fatalf("attr d = %s", d)
+	}
+	if s.ClassOf("x") == s.ClassOf("y") {
+		t.Fatal("x and y should bind different classes")
+	}
+}
+
+func TestMatchAttrLiteral(t *testing.T) {
+	g := New(nil)
+	g.AddTerm(expr.ConcatI(0, leafT(1, "A"), leafT(2, "B")))
+	g.AddTerm(expr.ConcatI(1, leafT(1, "A"), leafT(2, "B")))
+	p0 := POp(expr.OpConcat, []AttrPat{AInt(0)}, PVar("x"), PVar("y"))
+	if n := len(g.MatchAll(p0)); n != 1 {
+		t.Fatalf("dim=0 literal should match once, got %d", n)
+	}
+}
+
+func TestMatchNonlinearVar(t *testing.T) {
+	g := New(nil)
+	g.AddTerm(expr.Add(leafT(1, "A"), leafT(1, "A")))
+	g.AddTerm(expr.Add(leafT(1, "A"), leafT(2, "B")))
+	p := POp(expr.OpAdd, nil, PVar("x"), PVar("x")) // same var twice
+	ms := g.MatchAll(p)
+	if len(ms) != 1 {
+		t.Fatalf("nonlinear pattern should match only add(A,A): %d", len(ms))
+	}
+}
+
+func TestMatchAcrossUnions(t *testing.T) {
+	g := New(nil)
+	// After union(A, concat(A1,A2)), a pattern for matmul(concat ...)
+	// must match matmul(A, B).
+	mm := g.AddTerm(expr.MatMul(leafT(1, "A"), leafT(3, "B")))
+	a := g.AddTerm(leafT(1, "A"))
+	cc := g.AddTerm(expr.ConcatI(1, leafT(11, "A1"), leafT(12, "A2")))
+	g.Union(a, cc)
+	g.Rebuild()
+	p := POp(expr.OpMatMul, nil,
+		POp(expr.OpConcat, []AttrPat{AVar("d")}, PVar("x"), PVar("y")),
+		PVar("b"))
+	ms := g.MatchAll(p)
+	if len(ms) != 1 {
+		t.Fatalf("match through union failed: %d", len(ms))
+	}
+	if g.Find(ms[0].Class) != g.Find(mm) {
+		t.Fatal("match must be rooted at the matmul class")
+	}
+}
+
+func TestSimpleRuleSaturation(t *testing.T) {
+	g := New(nil)
+	root := g.AddTerm(expr.MatMul(
+		expr.ConcatI(1, leafT(11, "A1"), leafT(12, "A2")),
+		expr.ConcatI(0, leafT(21, "B1"), leafT(22, "B2"))))
+	// Block-matmul lemma: matmul(concat(a0,a1,1), concat(b0,b1,0)) = add(matmul(a0,b0), matmul(a1,b1))
+	rule := Simple("mm-block",
+		POp(expr.OpMatMul, nil,
+			POp(expr.OpConcat, []AttrPat{AInt(1)}, PVar("a0"), PVar("a1")),
+			POp(expr.OpConcat, []AttrPat{AInt(0)}, PVar("b0"), PVar("b1"))),
+		ROp(expr.OpAdd, nil, "",
+			ROp(expr.OpMatMul, nil, "", RVar("a0"), RVar("b0")),
+			ROp(expr.OpMatMul, nil, "", RVar("a1"), RVar("b1"))))
+	stats := g.Saturate([]*Rule{rule}, SaturateOpts{})
+	if !stats.Saturated {
+		t.Fatal("tiny system must saturate")
+	}
+	if stats.Applications["mm-block"] != 1 {
+		t.Fatalf("application count %v", stats.Applications)
+	}
+	want := g.AddTerm(expr.Add(
+		expr.MatMul(leafT(11, "A1"), leafT(21, "B1")),
+		expr.MatMul(leafT(12, "A2"), leafT(22, "B2"))))
+	if g.Find(root) != g.Find(want) {
+		t.Fatal("rule did not union LHS with RHS")
+	}
+}
+
+func TestConstrainedRuleOnlyTargetsExisting(t *testing.T) {
+	// x → identity(x) unconstrained would always fire; constrained it
+	// must fire only when identity(x) already exists.
+	g := New(nil)
+	a := g.AddTerm(leafT(1, "A"))
+	b := g.AddTerm(leafT(2, "B"))
+	idb := g.AddTerm(expr.New(expr.OpIdentity, nil, "", leafT(2, "B")))
+	rule := Constrained("id-intro",
+		PVar("x"),
+		ROp(expr.OpIdentity, nil, "", RVar("x")))
+	g.Saturate([]*Rule{rule}, SaturateOpts{MaxIters: 2})
+	if g.Find(b) != g.Find(idb) {
+		t.Fatal("constrained rule should fire where target exists")
+	}
+	// No identity(A) node must have been created.
+	if _, ok := g.LookupTerm(expr.New(expr.OpIdentity, nil, "", leafT(1, "A"))); ok {
+		t.Fatal("constrained rule must not create identity(A)")
+	}
+	_ = a
+}
+
+func TestConditionedRule(t *testing.T) {
+	// slice(concat(x,y,d1), d2, …) commutes only when d1 ≠ d2.
+	ctx := sym.NewContext()
+	g := New(ctx)
+	good := g.AddTerm(expr.Slice(expr.ConcatI(0, leafT(1, "X"), leafT(2, "Y")), sym.Const(1), sym.Const(0), sym.Const(4)))
+	bad := g.AddTerm(expr.Slice(expr.ConcatI(1, leafT(1, "X"), leafT(2, "Y")), sym.Const(1), sym.Const(0), sym.Const(4)))
+	rule := &Rule{
+		Name: "slice-concat-commute",
+		LHS: POp(expr.OpSlice, []AttrPat{AVar("d2"), AVar("b"), AVar("e")},
+			POp(expr.OpConcat, []AttrPat{AVar("d1")}, PVar("x"), PVar("y"))),
+		Apply: func(g *EGraph, m Match) []UnionPair {
+			d1, d2 := m.Subst.AttrOf("d1"), m.Subst.AttrOf("d2")
+			if !g.Ctx.ProveNE(d1, d2) {
+				return nil
+			}
+			b, e := m.Subst.AttrOf("b"), m.Subst.AttrOf("e")
+			c, _ := g.Instantiate(ROp(expr.OpConcat, []sym.Expr{d1}, "",
+				ROp(expr.OpSlice, []sym.Expr{d2, b, e}, "", RVar("x")),
+				ROp(expr.OpSlice, []sym.Expr{d2, b, e}, "", RVar("y"))), m.Subst, false)
+			return m.With(c)
+		},
+	}
+	g.Saturate([]*Rule{rule}, SaturateOpts{})
+	wantGood := g.AddTerm(expr.ConcatI(0,
+		expr.Slice(leafT(1, "X"), sym.Const(1), sym.Const(0), sym.Const(4)),
+		expr.Slice(leafT(2, "Y"), sym.Const(1), sym.Const(0), sym.Const(4))))
+	if g.Find(good) != g.Find(wantGood) {
+		t.Fatal("conditioned rule should fire when d1≠d2")
+	}
+	cls := g.Class(bad)
+	if len(cls.nodes) != 1 {
+		t.Fatal("conditioned rule must not fire when d1=d2 branch missing")
+	}
+}
+
+func TestExtractClean(t *testing.T) {
+	g := New(nil)
+	// C is equal to both matmul(A,B) (unclean) and sum(C1,C2) (clean
+	// over G_d leaves 101, 102).
+	c := g.AddTerm(expr.MatMul(leafT(1, "A"), leafT(2, "B")))
+	sumT := g.AddTerm(expr.Sum(leafT(101, "C1"), leafT(102, "C2")))
+	g.Union(c, sumT)
+	g.Rebuild()
+	allowed := func(tid int) bool { return tid >= 100 }
+	got, ok := g.ExtractClean(c, allowed)
+	if !ok {
+		t.Fatal("clean representative must be found")
+	}
+	if got.String() != "sum(C1, C2)" {
+		t.Fatalf("extracted %q", got)
+	}
+	// With G_d leaves disallowed, there is no clean representative.
+	if _, ok := g.ExtractClean(c, func(int) bool { return false }); ok {
+		t.Fatal("no leaves allowed → no clean expr")
+	}
+}
+
+func TestExtractPrefersSimplest(t *testing.T) {
+	g := New(nil)
+	base := g.AddTerm(leafT(100, "D"))
+	split := g.AddTerm(expr.ConcatI(0,
+		expr.SliceI(leafT(100, "D"), 0, 0, 2),
+		expr.SliceI(leafT(100, "D"), 0, 2, 4)))
+	g.Union(base, split)
+	g.Rebuild()
+	got, ok := g.ExtractClean(base, func(tid int) bool { return tid >= 100 })
+	if !ok || got.Size() != 0 {
+		t.Fatalf("should extract the bare leaf, got %v", got)
+	}
+}
+
+func TestExtractAllClean(t *testing.T) {
+	g := New(nil)
+	// Paper running example: C = sum(C1,C2) = concat(D1,D2).
+	c := g.AddTerm(expr.MatMul(leafT(1, "A"), leafT(2, "B")))
+	s := g.AddTerm(expr.Sum(leafT(101, "C1"), leafT(102, "C2")))
+	cc := g.AddTerm(expr.ConcatI(0, leafT(103, "D1"), leafT(104, "D2")))
+	g.Union(c, s)
+	g.Union(c, cc)
+	g.Rebuild()
+	all := g.ExtractAllClean(c, func(tid int) bool { return tid >= 100 }, 0)
+	if len(all) != 2 {
+		t.Fatalf("want 2 clean mappings, got %d: %v", len(all), all)
+	}
+	keys := map[string]bool{}
+	for _, e := range all {
+		keys[e.String()] = true
+	}
+	if !keys["sum(C1, C2)"] || !keys["concat(D1, D2, dim=0)"] {
+		t.Fatalf("mappings %v", keys)
+	}
+}
+
+func TestSelfLoopSaturates(t *testing.T) {
+	// x → identity(x) collapses into a self-loop in an e-graph and
+	// genuinely saturates — the compact representation the paper
+	// relies on when lemmas like reshape∘reshape fire everywhere.
+	g := New(nil)
+	g.AddTerm(leafT(1, "A"))
+	rule := Simple("id-wrap", PVar("x"), ROp(expr.OpIdentity, nil, "", RVar("x")))
+	stats := g.Saturate([]*Rule{rule}, SaturateOpts{MaxIters: 8})
+	if !stats.Saturated {
+		t.Fatal("identity-wrapping must saturate via self-loop")
+	}
+	if stats.Iterations > 3 {
+		t.Fatalf("took %d iterations", stats.Iterations)
+	}
+}
+
+func TestSaturationLimits(t *testing.T) {
+	// A genuinely divergent rule: pad(x,d,0,k) → pad(x,d,0,k+1)
+	// mints a fresh attribute every firing. Limits must stop it.
+	g := New(nil)
+	g.AddTerm(expr.Pad(leafT(1, "A"), sym.Const(0), sym.Const(0), sym.Const(1)))
+	rule := &Rule{
+		Name: "pad-grow",
+		LHS:  POp(expr.OpPad, []AttrPat{AVar("d"), AVar("b"), AVar("k")}, PVar("x")),
+		Apply: func(g *EGraph, m Match) []UnionPair {
+			d, b, k := m.Subst.AttrOf("d"), m.Subst.AttrOf("b"), m.Subst.AttrOf("k")
+			c, _ := g.Instantiate(ROp(expr.OpPad, []sym.Expr{d, b, k.AddConst(1)}, "", RVar("x")), m.Subst, false)
+			return m.With(c)
+		},
+	}
+	stats := g.Saturate([]*Rule{rule}, SaturateOpts{MaxIters: 3})
+	if stats.Saturated {
+		t.Fatal("divergent system must not saturate in 3 iters")
+	}
+	if stats.Iterations != 3 {
+		t.Fatalf("iterations %d", stats.Iterations)
+	}
+	// And the node cap must halt it even with generous iterations.
+	g2 := New(nil)
+	g2.AddTerm(expr.Pad(leafT(1, "A"), sym.Const(0), sym.Const(0), sym.Const(1)))
+	stats2 := g2.Saturate([]*Rule{rule}, SaturateOpts{MaxIters: 1000, MaxNodes: 50})
+	if stats2.Saturated {
+		t.Fatal("node cap must stop divergence")
+	}
+}
+
+func TestStatsMerge(t *testing.T) {
+	a := Stats{Iterations: 2, Applications: map[string]int{"r": 1}, Saturated: true, Nodes: 5}
+	b := Stats{Iterations: 3, Applications: map[string]int{"r": 2, "s": 1}, Saturated: true, Nodes: 9}
+	a.Merge(b)
+	if a.Iterations != 5 || a.Applications["r"] != 3 || a.Applications["s"] != 1 || a.Nodes != 9 || !a.Saturated {
+		t.Fatalf("merge wrong: %+v", a)
+	}
+	if names := a.RuleNames(); len(names) != 2 || names[0] != "r" {
+		t.Fatalf("rule names %v", names)
+	}
+}
+
+// Property: after arbitrary unions and a rebuild, (1) find is
+// idempotent, (2) equal terms added twice land in the same class,
+// (3) congruence holds for unary wrappers of unioned leaves.
+func TestQuickUnionInvariants(t *testing.T) {
+	f := func(pairs []uint8) bool {
+		g := New(nil)
+		const n = 8
+		leaves := make([]ClassID, n)
+		wrapped := make([]ClassID, n)
+		for i := 0; i < n; i++ {
+			leaves[i] = g.AddTerm(leafT(i, ""))
+			wrapped[i] = g.AddTerm(expr.Unary("f", leafT(i, "")))
+		}
+		for _, p := range pairs {
+			a := int(p) % n
+			b := int(p>>4) % n
+			g.Union(leaves[a], leaves[b])
+		}
+		g.Rebuild()
+		for i := 0; i < n; i++ {
+			if g.Find(leaves[i]) != g.Find(g.Find(leaves[i])) {
+				return false
+			}
+			for j := 0; j < n; j++ {
+				if g.Find(leaves[i]) == g.Find(leaves[j]) &&
+					g.Find(wrapped[i]) != g.Find(wrapped[j]) {
+					return false // congruence violated
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: hashcons canonicality — adding any term twice (possibly
+// after random unions) yields the same class.
+func TestQuickHashconsCanonical(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	randTerm := func(depth int) *expr.Term {
+		var gen func(d int) *expr.Term
+		gen = func(d int) *expr.Term {
+			if d == 0 || rnd.Intn(3) == 0 {
+				return leafT(rnd.Intn(5), "")
+			}
+			switch rnd.Intn(3) {
+			case 0:
+				return expr.Add(gen(d-1), gen(d-1))
+			case 1:
+				return expr.ConcatI(int64(rnd.Intn(2)), gen(d-1), gen(d-1))
+			default:
+				return expr.Unary("f", gen(d-1))
+			}
+		}
+		return gen(depth)
+	}
+	for trial := 0; trial < 100; trial++ {
+		g := New(nil)
+		terms := make([]*expr.Term, 6)
+		ids := make([]ClassID, 6)
+		for i := range terms {
+			terms[i] = randTerm(3)
+			ids[i] = g.AddTerm(terms[i])
+		}
+		g.Union(ids[0], ids[1])
+		g.Union(ids[2], ids[3])
+		g.Rebuild()
+		for i, tm := range terms {
+			if g.Find(g.AddTerm(tm)) != g.Find(ids[i]) {
+				t.Fatalf("trial %d: re-adding term %d changed class", trial, i)
+			}
+		}
+	}
+}

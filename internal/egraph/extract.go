@@ -1,0 +1,162 @@
+package egraph
+
+import (
+	"sort"
+
+	"entangle/internal/expr"
+)
+
+// Extraction answers the checker's central question (§4.1 step iv):
+// does an equivalence class contain a *clean* expression — built only
+// from clean operators over an allowed set of leaf tensors — and if
+// so, what is the simplest one (the paper prunes to "the expression
+// with the smallest number of nested expressions", §4.3.2)?
+
+const inf = int(^uint(0) >> 2)
+
+// cleanCosts computes, for every class, the minimal size of a clean
+// expression over allowed leaves representing it (inf when none
+// exists). Fixpoint iteration handles cycles introduced by unions.
+func (g *EGraph) cleanCosts(allowed func(tid int) bool) map[ClassID]int {
+	cost := map[ClassID]int{}
+	for {
+		changed := false
+		for id, cl := range g.classes {
+			best, ok := cost[id]
+			if !ok {
+				best = inf
+			}
+			for _, n := range cl.nodes {
+				c := g.nodeCleanCost(n, cost, allowed)
+				if c < best {
+					best = c
+					changed = true
+				}
+			}
+			cost[id] = best
+		}
+		if !changed {
+			return cost
+		}
+	}
+}
+
+func (g *EGraph) nodeCleanCost(n ENode, cost map[ClassID]int, allowed func(tid int) bool) int {
+	if n.isLeaf() {
+		if allowed(n.TID) {
+			return 0
+		}
+		return inf
+	}
+	if !expr.CleanOp(n.Op) {
+		return inf
+	}
+	total := 1
+	for _, k := range n.Kids {
+		kc, ok := cost[g.Find(k)]
+		if !ok || kc >= inf {
+			return inf
+		}
+		total += kc
+		if total >= inf {
+			return inf
+		}
+	}
+	return total
+}
+
+// ExtractClean returns the minimal clean expression for class c over
+// the allowed leaves, or ok=false when the class has none.
+func (g *EGraph) ExtractClean(c ClassID, allowed func(tid int) bool) (*expr.Term, bool) {
+	cost := g.cleanCosts(allowed)
+	c = g.Find(c)
+	if cost[c] >= inf {
+		return nil, false
+	}
+	return g.buildMin(c, cost, allowed), true
+}
+
+func (g *EGraph) buildMin(c ClassID, cost map[ClassID]int, allowed func(tid int) bool) *expr.Term {
+	cl := g.classes[g.Find(c)]
+	var best *ENode
+	bestCost := inf
+	for i := range cl.nodes {
+		n := &cl.nodes[i]
+		nc := g.nodeCleanCost(*n, cost, allowed)
+		if nc < bestCost {
+			bestCost = nc
+			best = n
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	if best.isLeaf() {
+		return expr.Tensor(best.TID, best.Name)
+	}
+	args := make([]*expr.Term, len(best.Kids))
+	for i, k := range best.Kids {
+		args[i] = g.buildMin(k, cost, allowed)
+	}
+	return &expr.Term{Op: best.Op, Str: best.Str, Ints: best.Ints, Args: args}
+}
+
+// ExtractAllClean enumerates distinct clean expressions for class c:
+// one per clean top-level ENode, each completed with minimal clean
+// subterms (so the count stays bounded by the class width). The paper
+// collects *all* clean mappings for a tensor — e.g. both
+// sum(C1, C2) and concat(D1, D2) in the running example — because a
+// later operator may need any of them. Results are sorted smallest
+// first, capped at limit (0 = no cap).
+func (g *EGraph) ExtractAllClean(c ClassID, allowed func(tid int) bool, limit int) []*expr.Term {
+	cost := g.cleanCosts(allowed)
+	c = g.Find(c)
+	if cost[c] >= inf {
+		return nil
+	}
+	cl := g.classes[c]
+	seen := map[string]bool{}
+	var out []*expr.Term
+	for i := range cl.nodes {
+		n := &cl.nodes[i]
+		if g.nodeCleanCost(*n, cost, allowed) >= inf {
+			continue
+		}
+		var t *expr.Term
+		if n.isLeaf() {
+			t = expr.Tensor(n.TID, n.Name)
+		} else {
+			args := make([]*expr.Term, len(n.Kids))
+			ok := true
+			for j, k := range n.Kids {
+				args[j] = g.buildMin(k, cost, allowed)
+				if args[j] == nil {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			t = &expr.Term{Op: n.Op, Str: n.Str, Ints: n.Ints, Args: args}
+		}
+		k := t.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, t)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Size() < out[j].Size() })
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// HasCleanRepresentation reports whether class c contains any clean
+// expression over the allowed leaves.
+func (g *EGraph) HasCleanRepresentation(c ClassID, allowed func(tid int) bool) bool {
+	_, ok := g.ExtractClean(c, allowed)
+	return ok
+}

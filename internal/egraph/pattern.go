@@ -1,0 +1,440 @@
+package egraph
+
+import (
+	"fmt"
+	"strings"
+
+	"entangle/internal/expr"
+	"entangle/internal/sym"
+)
+
+// Pattern is an expression pattern for e-matching. A Pattern either
+// binds a whole class to a variable (Var != "") or matches an operator
+// application whose attributes may be literals or attribute variables.
+type Pattern struct {
+	Var string // non-empty: match any class, bind it
+
+	Op   expr.Op
+	Str  string // literal Str to require (when StrVar == "")
+	Kids []*Pattern
+
+	// VarKids, when non-empty, binds the node's entire child-class
+	// list (of any length) instead of matching Kids one by one. Used
+	// by n-ary lemmas over concat and sum, whose width equals the
+	// parallelism degree.
+	VarKids string
+
+	// Attrs match the ENode's Ints: each is either a literal
+	// expression (Lit) or a variable binding (Var).
+	Attrs []AttrPat
+
+	// LeafTID, when non-nil, requires a tensor leaf with this ID.
+	LeafTID *int
+}
+
+// AttrPat matches one symbolic attribute.
+type AttrPat struct {
+	Var string   // non-empty: bind the attribute
+	Lit sym.Expr // used when Var == ""
+}
+
+// AVar binds an attribute variable.
+func AVar(name string) AttrPat { return AttrPat{Var: name} }
+
+// ALit matches a literal attribute value.
+func ALit(e sym.Expr) AttrPat { return AttrPat{Lit: e} }
+
+// AInt matches a constant integer attribute.
+func AInt(v int64) AttrPat { return AttrPat{Lit: sym.Const(v)} }
+
+// PVar matches any class and binds it.
+func PVar(name string) *Pattern { return &Pattern{Var: name} }
+
+// POp matches an operator application.
+func POp(op expr.Op, attrs []AttrPat, kids ...*Pattern) *Pattern {
+	return &Pattern{Op: op, Attrs: attrs, Kids: kids}
+}
+
+// POpN matches an operator application of any arity, binding the whole
+// child list to kidsVar.
+func POpN(op expr.Op, attrs []AttrPat, kidsVar string) *Pattern {
+	return &Pattern{Op: op, Attrs: attrs, VarKids: kidsVar}
+}
+
+// Subst is a substitution produced by e-matching. Bindings are stored
+// in small slices (matches bind at most a handful of variables);
+// extension is copy-on-write so substitutions can be shared across
+// backtracking branches.
+type Subst struct {
+	classes []classBinding
+	attrs   []attrBinding
+	kids    []kidsBinding
+}
+
+type classBinding struct {
+	name string
+	c    ClassID
+}
+
+type attrBinding struct {
+	name string
+	e    sym.Expr
+}
+
+type kidsBinding struct {
+	name string
+	ks   []ClassID
+}
+
+// emptySubst is the shared starting substitution (read-only).
+var emptySubst = &Subst{}
+
+func (s *Subst) lookupClass(name string) (ClassID, bool) {
+	for i := range s.classes {
+		if s.classes[i].name == name {
+			return s.classes[i].c, true
+		}
+	}
+	return 0, false
+}
+
+func (s *Subst) lookupAttr(name string) (sym.Expr, bool) {
+	for i := range s.attrs {
+		if s.attrs[i].name == name {
+			return s.attrs[i].e, true
+		}
+	}
+	return sym.Expr{}, false
+}
+
+func (s *Subst) lookupKids(name string) ([]ClassID, bool) {
+	for i := range s.kids {
+		if s.kids[i].name == name {
+			return s.kids[i].ks, true
+		}
+	}
+	return nil, false
+}
+
+// withClass returns a new substitution extended by one class binding;
+// the receiver is unchanged (backing arrays are never appended in
+// place: capacities equal lengths by construction).
+func (s *Subst) withClass(name string, c ClassID) *Subst {
+	n := &Subst{attrs: s.attrs, kids: s.kids}
+	n.classes = make([]classBinding, len(s.classes)+1)
+	copy(n.classes, s.classes)
+	n.classes[len(s.classes)] = classBinding{name: name, c: c}
+	return n
+}
+
+func (s *Subst) withAttr(name string, e sym.Expr) *Subst {
+	n := &Subst{classes: s.classes, kids: s.kids}
+	n.attrs = make([]attrBinding, len(s.attrs)+1)
+	copy(n.attrs, s.attrs)
+	n.attrs[len(s.attrs)] = attrBinding{name: name, e: e}
+	return n
+}
+
+func (s *Subst) withKids(name string, ks []ClassID) *Subst {
+	n := &Subst{classes: s.classes, attrs: s.attrs}
+	n.kids = make([]kidsBinding, len(s.kids)+1)
+	copy(n.kids, s.kids)
+	n.kids[len(s.kids)] = kidsBinding{name: name, ks: ks}
+	return n
+}
+
+// KidsOf returns the child list bound to a variadic variable.
+func (s *Subst) KidsOf(name string) []ClassID {
+	k, ok := s.lookupKids(name)
+	if !ok {
+		panic(fmt.Sprintf("egraph: unbound kids variable ?%s", name))
+	}
+	return k
+}
+
+// ClassOf returns the class bound to var name, panicking on a missing
+// binding (a rule-programming error).
+func (s *Subst) ClassOf(name string) ClassID {
+	c, ok := s.lookupClass(name)
+	if !ok {
+		panic(fmt.Sprintf("egraph: unbound pattern variable ?%s", name))
+	}
+	return c
+}
+
+// AttrOf returns the attribute bound to name.
+func (s *Subst) AttrOf(name string) sym.Expr {
+	a, ok := s.lookupAttr(name)
+	if !ok {
+		panic(fmt.Sprintf("egraph: unbound attribute variable ?%s", name))
+	}
+	return a
+}
+
+// Match pairs a matched class with one substitution. Node is the ENode
+// that rooted the match (zero-valued for bare-variable patterns);
+// dynamic lemmas read attributes and children from it.
+type Match struct {
+	Class ClassID
+	Node  ENode
+	Subst *Subst
+}
+
+// MatchAll returns every match of p across all classes.
+func (g *EGraph) MatchAll(p *Pattern) []Match {
+	var out []Match
+	for id, cl := range g.classes {
+		if p.Var != "" {
+			for _, s := range g.matchClass(p, id, emptySubst) {
+				out = append(out, Match{Class: id, Subst: s})
+			}
+			continue
+		}
+		for _, n := range cl.nodes {
+			if n.Op != p.Op {
+				continue
+			}
+			for _, s := range g.matchNode(p, n, emptySubst) {
+				out = append(out, Match{Class: id, Node: g.canonNode(n), Subst: s})
+			}
+		}
+	}
+	return out
+}
+
+// matchRules matches a rule set in one pass over the e-graph, grouping
+// nodes by operator so each rule only visits candidate roots. It is
+// the saturation loop's batched form of MatchAll.
+func (g *EGraph) matchRules(rules []*Rule) []ruleMatch {
+	byOp := map[expr.Op][]*Rule{}
+	var varRules []*Rule
+	for _, r := range rules {
+		if r.LHS.Var != "" {
+			varRules = append(varRules, r)
+			continue
+		}
+		byOp[r.LHS.Op] = append(byOp[r.LHS.Op], r)
+	}
+	var out []ruleMatch
+	for id, cl := range g.classes {
+		for _, r := range varRules {
+			for _, s := range g.matchClass(r.LHS, id, emptySubst) {
+				out = append(out, ruleMatch{rule: r, m: Match{Class: id, Subst: s}})
+			}
+		}
+		for _, n := range cl.nodes {
+			cands := byOp[n.Op]
+			if len(cands) == 0 {
+				continue
+			}
+			var canon ENode
+			canonDone := false
+			for _, r := range cands {
+				for _, s := range g.matchNode(r.LHS, n, emptySubst) {
+					if !canonDone {
+						canon = g.canonNode(n)
+						canonDone = true
+					}
+					out = append(out, ruleMatch{rule: r, m: Match{Class: id, Node: canon, Subst: s}})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ruleMatch pairs a rule with one of its matches.
+type ruleMatch struct {
+	rule *Rule
+	m    Match
+}
+
+// matchClass matches pattern p against class c, extending base; it
+// returns all consistent substitutions.
+func (g *EGraph) matchClass(p *Pattern, c ClassID, base *Subst) []*Subst {
+	c = g.Find(c)
+	if p.Var != "" {
+		if bound, ok := base.lookupClass(p.Var); ok {
+			if g.Find(bound) != c {
+				return nil
+			}
+			return []*Subst{base}
+		}
+		return []*Subst{base.withClass(p.Var, c)}
+	}
+	cl := g.classes[c]
+	if cl == nil {
+		return nil
+	}
+	var out []*Subst
+	for _, n := range cl.nodes {
+		out = append(out, g.matchNode(p, n, base)...)
+	}
+	return out
+}
+
+func (g *EGraph) matchNode(p *Pattern, n ENode, base *Subst) []*Subst {
+	if n.Op != p.Op {
+		return nil
+	}
+	if p.LeafTID != nil {
+		if n.TID != *p.LeafTID {
+			return nil
+		}
+	}
+	if p.Str != "" && n.Str != p.Str {
+		return nil
+	}
+	if len(p.Attrs) > 0 && len(p.Attrs) != len(n.Ints) {
+		return nil
+	}
+	if p.VarKids == "" && len(p.Kids) != len(n.Kids) {
+		return nil
+	}
+	s := base
+	// Attributes first (cheap).
+	for i, ap := range p.Attrs {
+		got := n.Ints[i]
+		if ap.Var == "" {
+			if !got.Equal(ap.Lit) {
+				return nil
+			}
+			continue
+		}
+		if bound, ok := s.lookupAttr(ap.Var); ok {
+			if !bound.Equal(got) {
+				return nil
+			}
+			continue
+		}
+		s = s.withAttr(ap.Var, got)
+	}
+	if p.VarKids != "" {
+		kids := make([]ClassID, len(n.Kids))
+		for i, k := range n.Kids {
+			kids[i] = g.Find(k)
+		}
+		if bound, ok := s.lookupKids(p.VarKids); ok {
+			if len(bound) != len(kids) {
+				return nil
+			}
+			for i := range kids {
+				if g.Find(bound[i]) != kids[i] {
+					return nil
+				}
+			}
+			return []*Subst{s}
+		}
+		return []*Subst{s.withKids(p.VarKids, kids)}
+	}
+	// Children: cartesian backtracking.
+	subs := []*Subst{s}
+	for i, kp := range p.Kids {
+		var next []*Subst
+		for _, cur := range subs {
+			next = append(next, g.matchClass(kp, n.Kids[i], cur)...)
+		}
+		if len(next) == 0 {
+			return nil
+		}
+		subs = next
+	}
+	return subs
+}
+
+// RTerm is a term template used to build rewrite right-hand sides.
+// Exactly one of VarName (copy a bound class), Direct (use a concrete
+// class), or Op (build an ENode over Kids) is used.
+type RTerm struct {
+	VarName   string
+	Direct    ClassID
+	HasDirect bool
+
+	Op   expr.Op
+	Str  string
+	Ints []sym.Expr
+	Kids []*RTerm
+
+	LeafTID  int
+	LeafName string
+	IsLeaf   bool
+}
+
+// RVar references a class bound by the LHS.
+func RVar(name string) *RTerm { return &RTerm{VarName: name} }
+
+// RClass references a concrete class directly.
+func RClass(c ClassID) *RTerm { return &RTerm{Direct: c, HasDirect: true} }
+
+// ROp builds an operator application template.
+func ROp(op expr.Op, ints []sym.Expr, str string, kids ...*RTerm) *RTerm {
+	return &RTerm{Op: op, Str: str, Ints: ints, Kids: kids}
+}
+
+// RLeaf builds a tensor-leaf template.
+func RLeaf(tid int, name string) *RTerm { return &RTerm{IsLeaf: true, LeafTID: tid, LeafName: name} }
+
+// Instantiate adds the template to the e-graph under subst and returns
+// its class. When lookupOnly is set it never inserts: it fails (ok =
+// false) unless every node already exists — this implements the
+// paper's constrained lemmas (§4.3.2).
+func (g *EGraph) Instantiate(t *RTerm, s *Subst, lookupOnly bool) (ClassID, bool) {
+	switch {
+	case t.VarName != "":
+		c, ok := s.lookupClass(t.VarName)
+		if !ok {
+			panic(fmt.Sprintf("egraph: RHS references unbound ?%s", t.VarName))
+		}
+		return g.Find(c), true
+	case t.HasDirect:
+		return g.Find(t.Direct), true
+	case t.IsLeaf:
+		n := Leaf(t.LeafTID, t.LeafName)
+		if lookupOnly {
+			return g.Lookup(n)
+		}
+		return g.AddNode(n), true
+	}
+	kids := make([]ClassID, len(t.Kids))
+	for i, k := range t.Kids {
+		c, ok := g.Instantiate(k, s, lookupOnly)
+		if !ok {
+			return 0, false
+		}
+		kids[i] = c
+	}
+	n := ENode{Op: t.Op, Str: t.Str, Ints: t.Ints, Kids: kids}
+	if lookupOnly {
+		return g.Lookup(n)
+	}
+	return g.AddNode(n), true
+}
+
+// String renders a pattern for diagnostics, in the paper's notation:
+// "(matmul (concat ?A0 ?A1 0) ?B)".
+func (p *Pattern) String() string {
+	if p.Var != "" {
+		return "?" + p.Var
+	}
+	var b strings.Builder
+	b.WriteByte('(')
+	b.WriteString(string(p.Op))
+	if p.Str != "" {
+		b.WriteByte(':')
+		b.WriteString(p.Str)
+	}
+	for _, k := range p.Kids {
+		b.WriteByte(' ')
+		b.WriteString(k.String())
+	}
+	for _, a := range p.Attrs {
+		b.WriteByte(' ')
+		if a.Var != "" {
+			b.WriteString("?" + a.Var)
+		} else {
+			b.WriteString(a.Lit.String())
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}

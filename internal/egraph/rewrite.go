@@ -1,0 +1,184 @@
+package egraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Rule is a rewrite rule (a "lemma" in the paper's terms, §4.2.1).
+// LHS matches produce substitutions; Apply returns the classes that
+// should be unioned with the matched class. A nil result (or empty
+// slice) means the rule's condition did not hold for this match.
+type Rule struct {
+	Name string
+
+	LHS *Pattern
+
+	// Stateful marks rules whose Apply inspects e-graph state beyond
+	// the match bindings (scanning class members or parents). Pure
+	// rules are applied at most once per distinct match fingerprint;
+	// stateful rules re-run every iteration because the graph may have
+	// grown what they scan.
+	Stateful bool
+
+	// Apply builds the right-hand side(s) and returns the class pairs
+	// to union. Most rules union the matched class with one RHS class
+	// (use m.With); generative lemmas may union other pairs.
+	// Conditioned rules inspect g.Ctx and the substitution and decline
+	// by returning nil.
+	Apply func(g *EGraph, m Match) []UnionPair
+}
+
+// UnionPair is one equivalence a rule asserts.
+type UnionPair struct{ A, B ClassID }
+
+// With pairs the matched class with c — the common rule result.
+func (m Match) With(c ClassID) []UnionPair {
+	return []UnionPair{{m.Class, c}}
+}
+
+// Simple builds the common universal-lemma shape: LHS pattern →
+// RHS template, unconditionally.
+func Simple(name string, lhs *Pattern, rhs *RTerm) *Rule {
+	return &Rule{
+		Name: name,
+		LHS:  lhs,
+		Apply: func(g *EGraph, m Match) []UnionPair {
+			c, ok := g.Instantiate(rhs, m.Subst, false)
+			if !ok {
+				return nil
+			}
+			return m.With(c)
+		},
+	}
+}
+
+// Constrained builds a rule whose RHS is only added when its nodes
+// already exist in the e-graph (the paper's constrained lemmas,
+// §4.3.2, used for generative rules like slice splitting).
+func Constrained(name string, lhs *Pattern, rhs *RTerm) *Rule {
+	return &Rule{
+		Name: name,
+		LHS:  lhs,
+		Apply: func(g *EGraph, m Match) []UnionPair {
+			c, ok := g.Instantiate(rhs, m.Subst, true)
+			if !ok {
+				return nil
+			}
+			return m.With(c)
+		},
+	}
+}
+
+// SaturateOpts bound a saturation run. Zero values select defaults.
+type SaturateOpts struct {
+	MaxIters int // default 16
+	MaxNodes int // default 40_000
+}
+
+func (o SaturateOpts) withDefaults() SaturateOpts {
+	if o.MaxIters == 0 {
+		o.MaxIters = 16
+	}
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 40_000
+	}
+	return o
+}
+
+// Stats reports what a saturation run did. Applications counts, per
+// rule name, the number of matches whose union changed the e-graph —
+// the quantity plotted in the paper's Figure 6 heatmap.
+type Stats struct {
+	Iterations   int
+	Applications map[string]int
+	Saturated    bool // fixpoint reached (vs. limit hit)
+	Nodes        int
+}
+
+// RuleNames lists rules with non-zero applications, sorted.
+func (s Stats) RuleNames() []string {
+	var names []string
+	for n, c := range s.Applications {
+		if c > 0 {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Merge accumulates another run's stats into s.
+func (s *Stats) Merge(o Stats) {
+	s.Iterations += o.Iterations
+	if s.Applications == nil {
+		s.Applications = map[string]int{}
+	}
+	for k, v := range o.Applications {
+		s.Applications[k] += v
+	}
+	s.Saturated = s.Saturated && o.Saturated
+	if o.Nodes > s.Nodes {
+		s.Nodes = o.Nodes
+	}
+}
+
+// Saturate runs the rules to fixpoint or until limits are hit. Matches
+// are collected on a frozen view each iteration, then applied — the
+// standard egg iteration structure.
+func (g *EGraph) Saturate(rules []*Rule, opts SaturateOpts) Stats {
+	opts = opts.withDefaults()
+	stats := Stats{Applications: map[string]int{}}
+	applied := map[string]bool{}
+	var fp strings.Builder
+	for iter := 0; iter < opts.MaxIters; iter++ {
+		stats.Iterations = iter + 1
+		todo := g.matchRules(rules)
+		changed := false
+		for _, p := range todo {
+			if g.nodeCount > opts.MaxNodes {
+				stats.Nodes = g.nodeCount
+				return stats
+			}
+			if !p.rule.Stateful {
+				// Pure rules: one application per canonical match.
+				fp.Reset()
+				fp.WriteString(p.rule.Name)
+				fmt.Fprintf(&fp, "|%d", g.Find(p.m.Class))
+				for i := range p.m.Subst.classes {
+					fmt.Fprintf(&fp, "|c%d", g.Find(p.m.Subst.classes[i].c))
+				}
+				for i := range p.m.Subst.attrs {
+					fp.WriteString("|a")
+					fp.WriteString(p.m.Subst.attrs[i].e.Key())
+				}
+				for i := range p.m.Subst.kids {
+					fp.WriteString("|k")
+					for _, k := range p.m.Subst.kids[i].ks {
+						fmt.Fprintf(&fp, ",%d", g.Find(k))
+					}
+				}
+				key := fp.String()
+				if applied[key] {
+					continue
+				}
+				applied[key] = true
+			}
+			pairs := p.rule.Apply(g, p.m)
+			for _, up := range pairs {
+				if g.Union(up.A, up.B) {
+					changed = true
+					stats.Applications[p.rule.Name]++
+				}
+			}
+		}
+		g.Rebuild()
+		if !changed {
+			stats.Saturated = true
+			break
+		}
+	}
+	stats.Nodes = g.nodeCount
+	return stats
+}

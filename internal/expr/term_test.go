@@ -1,0 +1,227 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"entangle/internal/sym"
+)
+
+func leaf(id int, name string) *Term { return Tensor(id, name) }
+
+func TestCleanClassification(t *testing.T) {
+	a, b := leaf(1, "A"), leaf(2, "B")
+	cases := []struct {
+		term *Term
+		want bool
+	}{
+		{ConcatI(0, a, b), true},
+		{SliceI(a, 0, 0, 4), true},
+		{Sum(a, b), true},
+		{Add(a, b), true},
+		{Transpose(a, sym.Const(0), sym.Const(1)), true},
+		{Reshape(a, []sym.Expr{sym.Const(4), sym.Const(2)}), true},
+		{Pad(a, sym.Const(0), sym.Const(0), sym.Const(2)), true},
+		{New(OpIdentity, nil, "", a), true},
+		{MatMul(a, b), false},
+		{Div(a, b), false},
+		{Scale(a, 1, 2), false},
+		{Mul(a, b), false},
+		{Unary("gelu", a), false},
+		{ConcatI(0, a, MatMul(a, b)), false}, // unclean subterm
+		{Sum(SliceI(a, 0, 0, 2), SliceI(b, 0, 0, 2)), true},
+	}
+	for i, c := range cases {
+		if got := c.term.Clean(); got != c.want {
+			t.Errorf("case %d (%s): Clean()=%v want %v", i, c.term, got, c.want)
+		}
+	}
+}
+
+func TestArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("matmul with 1 arg must panic")
+		}
+	}()
+	New(OpMatMul, nil, "", leaf(1, "A"))
+}
+
+func TestVariadicNeedsArg(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("sum with 0 args must panic")
+		}
+	}()
+	New(OpSum, nil, "")
+}
+
+func TestSingletonCollapse(t *testing.T) {
+	a := leaf(1, "A")
+	if Sum(a) != a {
+		t.Fatal("Sum of one term should collapse")
+	}
+	if Concat(sym.Const(0), a) != a {
+		t.Fatal("Concat of one term should collapse")
+	}
+}
+
+func TestKeyDistinguishesAttrs(t *testing.T) {
+	a := leaf(1, "A")
+	s1 := SliceI(a, 0, 0, 4)
+	s2 := SliceI(a, 0, 0, 5)
+	s3 := SliceI(a, 1, 0, 4)
+	if s1.Key() == s2.Key() || s1.Key() == s3.Key() {
+		t.Fatal("slice keys must encode attributes")
+	}
+	u1, u2 := Unary("gelu", a), Unary("silu", a)
+	if u1.Key() == u2.Key() {
+		t.Fatal("unary keys must encode the function name")
+	}
+}
+
+func TestKeyEqualAgree(t *testing.T) {
+	a, b := leaf(1, "A"), leaf(2, "B")
+	x := Sum(MatMul(a, b), MatMul(b, a))
+	y := Sum(MatMul(a, b), MatMul(b, a))
+	if !x.Equal(y) || x.Key() != y.Key() {
+		t.Fatal("structurally equal terms must agree on Key")
+	}
+	z := Sum(MatMul(a, b), MatMul(a, b))
+	if x.Equal(z) {
+		t.Fatal("different terms must not be Equal")
+	}
+}
+
+func TestLeaves(t *testing.T) {
+	a, b, c := leaf(1, "A"), leaf(2, "B"), leaf(3, "C")
+	e := Sum(MatMul(a, b), MatMul(a, c))
+	got := e.Leaves()
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("leaves %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("leaves %v want %v", got, want)
+		}
+	}
+}
+
+func TestSize(t *testing.T) {
+	a, b := leaf(1, "A"), leaf(2, "B")
+	if a.Size() != 0 {
+		t.Fatal("leaf size 0")
+	}
+	if MatMul(a, b).Size() != 1 {
+		t.Fatal("matmul size 1")
+	}
+	if Sum(MatMul(a, b), MatMul(b, a)).Size() != 3 {
+		t.Fatal("sum of matmuls size 3")
+	}
+}
+
+func TestSubst(t *testing.T) {
+	a, b := leaf(1, "A"), leaf(2, "B")
+	e := MatMul(a, b)
+	r := e.Subst(1, ConcatI(1, leaf(11, "A1"), leaf(12, "A2")))
+	want := "matmul(concat(A1, A2, dim=1), B)"
+	if r.String() != want {
+		t.Fatalf("subst got %q want %q", r, want)
+	}
+	// original unchanged
+	if e.String() != "matmul(A, B)" {
+		t.Fatalf("original mutated: %s", e)
+	}
+	// no-op subst returns the same pointer
+	if e.Subst(99, a) != e {
+		t.Fatal("no-op subst should return the receiver")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	a, b := leaf(1, "A"), leaf(2, "B")
+	cases := map[string]*Term{
+		"sum(A, B)":                       Sum(a, b),
+		"concat(A, B, dim=0)":             ConcatI(0, a, b),
+		"A[0:4 @1]":                       SliceI(a, 1, 0, 4),
+		"gelu(A)":                         Unary("gelu", a),
+		"scale(A, 1/2)":                   Scale(a, 1, 2),
+		"transpose(A, 0, 1)":              Transpose(a, sym.Const(0), sym.Const(1)),
+		"softmax(A, dim=1)":               Softmax(a, sym.Const(1)),
+		"reducesum(A, dim=0)":             ReduceSum(a, sym.Const(0)),
+		"pad(A, dim=0,pad=(0,3))":         Pad(a, sym.Const(0), sym.Const(0), sym.Const(3)),
+		"reshape(A, shape=[2,3])":         Reshape(a, []sym.Expr{sym.Const(2), sym.Const(3)}),
+		"rope(A, B, B)":                   RoPE(a, b, b),
+		"embedding_shard(A, B, offset=0)": New(OpEmbeddingShard, []sym.Expr{sym.Const(0)}, "", a, b),
+	}
+	for want, term := range cases {
+		if got := term.String(); got != want {
+			t.Errorf("String() = %q want %q", got, want)
+		}
+	}
+}
+
+func TestMapRebuild(t *testing.T) {
+	a, b := leaf(1, "A"), leaf(2, "B")
+	e := Sum(MatMul(a, b), a)
+	// rename leaf 1 to X via Map
+	r := e.Map(func(n *Term) *Term {
+		if n.IsLeaf() && n.TID == 1 {
+			return Tensor(1, "X")
+		}
+		return n
+	})
+	if !strings.Contains(r.String(), "X") || strings.Contains(e.String(), "X") {
+		t.Fatalf("map rebuild wrong: %s / %s", r, e)
+	}
+}
+
+// Property: Key is injective w.r.t. random nested clean expressions.
+func TestQuickKeyInjective(t *testing.T) {
+	build := func(seed []byte) *Term {
+		t := leaf(int(seed[0]%4), "")
+		for _, s := range seed[1:] {
+			switch s % 4 {
+			case 0:
+				t = ConcatI(int64(s%3), t, leaf(int(s%4), ""))
+			case 1:
+				t = SliceI(t, int64(s%2), int64(s%5), int64(s%5+3))
+			case 2:
+				t = Sum(t, leaf(int(s%4), ""))
+			case 3:
+				t = Transpose(t, sym.Const(int64(s%2)), sym.Const(int64(s%2+1)))
+			}
+		}
+		return t
+	}
+	f := func(x, y []byte) bool {
+		if len(x) == 0 || len(y) == 0 || len(x) > 8 || len(y) > 8 {
+			return true
+		}
+		a, b := build(x), build(y)
+		return (a.Key() == b.Key()) == a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectiveClassification(t *testing.T) {
+	if !Collective(OpAllReduce) || !Collective(OpReduceScatter) || !Collective(OpAllGather) {
+		t.Fatal("collectives misclassified")
+	}
+	if Collective(OpMatMul) {
+		t.Fatal("matmul is not a collective")
+	}
+}
+
+func TestElementwiseAndCommutative(t *testing.T) {
+	if !Elementwise(OpAdd) || !Elementwise(OpUnary) || Elementwise(OpMatMul) || Elementwise(OpConcat) {
+		t.Fatal("elementwise classification wrong")
+	}
+	if !Commutative(OpAdd) || !Commutative(OpMul) || Commutative(OpSub) || Commutative(OpDiv) {
+		t.Fatal("commutative classification wrong")
+	}
+}

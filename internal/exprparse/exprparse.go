@@ -1,0 +1,192 @@
+// Package exprparse parses textual clean expressions — the form users
+// write input relations in (and the paper prints them in):
+//
+//	concat(A1, A2, dim=1)
+//	sum(P0, P1)
+//	slice(X, 0, 4, 8)        // dim, begin, end
+//	transpose(X, 0, 1)
+//	pad(X, 0, 0, 2)          // dim, before, after
+//	identity(X)
+//	A1                        // bare tensor reference
+//
+// Tensor names are resolved through a caller-supplied lookup, so the
+// same grammar serves both G_s- and G_d-space expressions. Symbolic
+// attribute values ("S", "2*Sh") are accepted wherever integers are.
+package exprparse
+
+import (
+	"fmt"
+	"strings"
+
+	"entangle/internal/expr"
+	"entangle/internal/sym"
+)
+
+// LeafFn resolves a tensor name to an expression leaf.
+type LeafFn func(name string) (*expr.Term, error)
+
+// Parse parses one clean expression.
+func Parse(src string, leaf LeafFn) (*expr.Term, error) {
+	p := &parser{src: src, leaf: leaf}
+	t, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("exprparse: trailing input at %d in %q", p.pos, src)
+	}
+	return t, nil
+}
+
+type parser struct {
+	src  string
+	pos  int
+	leaf LeafFn
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+// ident reads a name: letters, digits, and the punctuation tensor
+// names use (/ . _ -).
+func (p *parser) ident() string {
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '(' || c == ')' || c == ',' || c == ' ' || c == '\t' || c == '=' {
+			break
+		}
+		p.pos++
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *parser) parseExpr() (*expr.Term, error) {
+	p.skipSpace()
+	name := p.ident()
+	if name == "" {
+		return nil, fmt.Errorf("exprparse: expected expression at %d in %q", p.pos, p.src)
+	}
+	p.skipSpace()
+	if p.peek() != '(' {
+		return p.leaf(name)
+	}
+	p.pos++ // consume '('
+	args, attrs, err := p.parseArgs()
+	if err != nil {
+		return nil, err
+	}
+	return build(name, args, attrs)
+}
+
+// parseArgs reads a comma-separated list of sub-expressions and
+// attribute tokens (bare integers/symbols or dim=N) until ')'.
+func (p *parser) parseArgs() (args []*expr.Term, attrs []sym.Expr, err error) {
+	for {
+		p.skipSpace()
+		if p.peek() == ')' {
+			p.pos++
+			return args, attrs, nil
+		}
+		if p.peek() == 0 {
+			return nil, nil, fmt.Errorf("exprparse: unterminated call in %q", p.src)
+		}
+		start := p.pos
+		tok := p.ident()
+		p.skipSpace()
+		switch {
+		case strings.HasPrefix(tok, "dim") && p.peek() == '=':
+			p.pos++ // '='
+			p.skipSpace()
+			v := p.ident()
+			e, err := sym.Parse(v)
+			if err != nil {
+				return nil, nil, err
+			}
+			attrs = append(attrs, e)
+		case p.peek() == '(':
+			// nested call: rewind and parse as expression
+			p.pos = start
+			sub, err := p.parseExpr()
+			if err != nil {
+				return nil, nil, err
+			}
+			args = append(args, sub)
+		default:
+			// bare token: attribute if it parses as a symbolic scalar
+			// starting with a digit or sign; otherwise a tensor leaf.
+			if tok == "" {
+				return nil, nil, fmt.Errorf("exprparse: empty argument in %q", p.src)
+			}
+			if isScalarToken(tok) {
+				e, err := sym.Parse(tok)
+				if err != nil {
+					return nil, nil, err
+				}
+				attrs = append(attrs, e)
+			} else {
+				leaf, err := p.leaf(tok)
+				if err != nil {
+					return nil, nil, err
+				}
+				args = append(args, leaf)
+			}
+		}
+		p.skipSpace()
+		if p.peek() == ',' {
+			p.pos++
+		}
+	}
+}
+
+func isScalarToken(tok string) bool {
+	c := tok[0]
+	return c == '-' || c == '+' || (c >= '0' && c <= '9')
+}
+
+func build(name string, args []*expr.Term, attrs []sym.Expr) (*expr.Term, error) {
+	switch name {
+	case "concat":
+		if len(attrs) != 1 || len(args) < 1 {
+			return nil, fmt.Errorf("exprparse: concat needs args and dim=N")
+		}
+		return expr.Concat(attrs[0], args...), nil
+	case "sum":
+		if len(args) < 1 || len(attrs) != 0 {
+			return nil, fmt.Errorf("exprparse: sum takes tensor args only")
+		}
+		return expr.Sum(args...), nil
+	case "slice":
+		if len(args) != 1 || len(attrs) != 3 {
+			return nil, fmt.Errorf("exprparse: slice needs (x, dim, begin, end)")
+		}
+		return expr.Slice(args[0], attrs[0], attrs[1], attrs[2]), nil
+	case "transpose":
+		if len(args) != 1 || len(attrs) != 2 {
+			return nil, fmt.Errorf("exprparse: transpose needs (x, d0, d1)")
+		}
+		return expr.Transpose(args[0], attrs[0], attrs[1]), nil
+	case "pad":
+		if len(args) != 1 || len(attrs) != 3 {
+			return nil, fmt.Errorf("exprparse: pad needs (x, dim, before, after)")
+		}
+		return expr.Pad(args[0], attrs[0], attrs[1], attrs[2]), nil
+	case "identity":
+		if len(args) != 1 || len(attrs) != 0 {
+			return nil, fmt.Errorf("exprparse: identity needs one arg")
+		}
+		return expr.New(expr.OpIdentity, nil, "", args[0]), nil
+	}
+	return nil, fmt.Errorf("exprparse: %q is not a clean operator (clean: concat, sum, slice, transpose, pad, identity)", name)
+}

@@ -1,0 +1,73 @@
+package exprparse
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"entangle/internal/expr"
+)
+
+func testLeaf(name string) (*expr.Term, error) {
+	if strings.HasPrefix(name, "bad") {
+		return nil, fmt.Errorf("no tensor %q", name)
+	}
+	return expr.Tensor(int(name[len(name)-1]), name), nil
+}
+
+func TestParseForms(t *testing.T) {
+	cases := map[string]string{
+		"A1":                            "A1",
+		"concat(A1, A2, dim=1)":         "concat(A1, A2, dim=1)",
+		"concat(A1,A2,A3, dim=0)":       "concat(A1, A2, A3, dim=0)",
+		"sum(P1, P2)":                   "sum(P1, P2)",
+		"slice(X1, 0, 4, 8)":            "X1[4:8 @0]",
+		"transpose(X1, 0, 1)":           "transpose(X1, 0, 1)",
+		"pad(X1, 0, 0, 2)":              "pad(X1, dim=0,pad=(0,2))",
+		"identity(X1)":                  "identity(X1)",
+		"concat(sum(P1,P2), Q3, dim=0)": "concat(sum(P1, P2), Q3, dim=0)",
+		"slice(X1, 0, 2*S, 3*S)":        "X1[2*S:3*S @0]",
+	}
+	for src, want := range cases {
+		got, err := Parse(src, testLeaf)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		if got.String() != want {
+			t.Errorf("Parse(%q) = %q want %q", src, got, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"",
+		"matmul(A1, B2)",  // not clean
+		"concat(A1, A2)",  // missing dim
+		"slice(X1, 0, 4)", // missing end
+		"sum()",
+		"concat(A1, A2, dim=1) trailing",
+		"concat(A1, A2, dim=1",
+		"bad9",
+		"sum(bad1)",
+	} {
+		if _, err := Parse(src, testLeaf); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParsedExpressionsAreClean(t *testing.T) {
+	for _, src := range []string{
+		"concat(A1, A2, dim=1)", "sum(P1, P2)", "slice(X1, 0, 0, 4)",
+	} {
+		got, err := Parse(src, testLeaf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Clean() {
+			t.Errorf("%q parsed to unclean expression", src)
+		}
+	}
+}

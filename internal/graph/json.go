@@ -1,0 +1,188 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"entangle/internal/expr"
+	"entangle/internal/shape"
+	"entangle/internal/sym"
+)
+
+// The JSON format is the capture-interchange format: external
+// frontends (like the paper's TorchDynamo and XLA capture utilities)
+// emit it, and cmd/entangle consumes it. Symbolic scalars are encoded
+// in their textual linear form ("2*S+1").
+
+type jsonTensor struct {
+	Name  string   `json:"name"`
+	Shape []string `json:"shape"`
+}
+
+type jsonNode struct {
+	Op      string   `json:"op"`
+	Str     string   `json:"str,omitempty"`
+	Ints    []string `json:"ints,omitempty"`
+	Inputs  []string `json:"inputs"`
+	Outputs []string `json:"outputs"`
+	Label   string   `json:"label,omitempty"`
+}
+
+type jsonGraph struct {
+	Name        string       `json:"name"`
+	Inputs      []jsonTensor `json:"inputs"`
+	Nodes       []jsonNode   `json:"nodes"`
+	Outputs     []string     `json:"outputs"`
+	Assumptions []jsonIneq   `json:"assumptions,omitempty"`
+}
+
+type jsonIneq struct {
+	// GE means Lhs ≥ Rhs.
+	Lhs string `json:"lhs"`
+	Rhs string `json:"rhs"`
+}
+
+func encodeShape(s shape.Shape) []string {
+	out := make([]string, len(s))
+	for i, d := range s {
+		out[i] = d.String()
+	}
+	return out
+}
+
+func decodeShape(ss []string) (shape.Shape, error) {
+	out := make(shape.Shape, len(ss))
+	for i, s := range ss {
+		e, err := sym.Parse(s)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = e
+	}
+	return out, nil
+}
+
+// MarshalJSON encodes the graph in the interchange format.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	jg := jsonGraph{Name: g.Name}
+	for _, in := range g.Inputs {
+		t := g.Tensor(in)
+		jg.Inputs = append(jg.Inputs, jsonTensor{Name: t.Name, Shape: encodeShape(t.Shape)})
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range order {
+		jn := jsonNode{Op: string(n.Op), Str: n.Str, Label: n.Label}
+		for _, e := range n.Ints {
+			jn.Ints = append(jn.Ints, e.String())
+		}
+		for _, in := range n.Inputs {
+			jn.Inputs = append(jn.Inputs, g.Tensor(in).Name)
+		}
+		for _, out := range n.Outputs {
+			jn.Outputs = append(jn.Outputs, g.Tensor(out).Name)
+		}
+		jg.Nodes = append(jg.Nodes, jn)
+	}
+	for _, o := range g.Outputs {
+		jg.Outputs = append(jg.Outputs, g.Tensor(o).Name)
+	}
+	for _, a := range g.Ctx.Assumptions() {
+		jg.Assumptions = append(jg.Assumptions, jsonIneq{Lhs: a.String(), Rhs: "0"})
+	}
+	return json.MarshalIndent(jg, "", "  ")
+}
+
+// UnmarshalJSON decodes a graph from the interchange format and
+// validates it.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return err
+	}
+	ctx := sym.NewContext()
+	for _, a := range jg.Assumptions {
+		lhs, err := sym.Parse(a.Lhs)
+		if err != nil {
+			return fmt.Errorf("graph json: assumption lhs: %v", err)
+		}
+		rhs, err := sym.Parse(a.Rhs)
+		if err != nil {
+			return fmt.Errorf("graph json: assumption rhs: %v", err)
+		}
+		ctx.AssumeGE(lhs, rhs)
+	}
+	b := NewBuilder(jg.Name, ctx)
+	names := map[string]TensorID{}
+	for _, in := range jg.Inputs {
+		sh, err := decodeShape(in.Shape)
+		if err != nil {
+			return fmt.Errorf("graph json: input %q: %v", in.Name, err)
+		}
+		names[in.Name] = b.Input(in.Name, sh)
+	}
+	for _, jn := range jg.Nodes {
+		var ints []sym.Expr
+		for _, s := range jn.Ints {
+			e, err := sym.Parse(s)
+			if err != nil {
+				return fmt.Errorf("graph json: node %q attr: %v", jn.Label, err)
+			}
+			ints = append(ints, e)
+		}
+		inputs := make([]TensorID, len(jn.Inputs))
+		for i, name := range jn.Inputs {
+			id, ok := names[name]
+			if !ok {
+				return fmt.Errorf("graph json: node %q input %q undefined", jn.Label, name)
+			}
+			inputs[i] = id
+		}
+		outs := b.MultiOp(expr.Op(jn.Op), jn.Label, jn.Outputs, jn.Str, ints, inputs...)
+		if b.Err() != nil {
+			return b.Err()
+		}
+		for i, name := range jn.Outputs {
+			names[name] = outs[i]
+		}
+	}
+	for _, name := range jg.Outputs {
+		id, ok := names[name]
+		if !ok {
+			return fmt.Errorf("graph json: output %q undefined", name)
+		}
+		b.Output(id)
+	}
+	built, err := b.Build()
+	if err != nil {
+		return err
+	}
+	*g = *built
+	return nil
+}
+
+// Write encodes the graph to w.
+func (g *Graph) Write(w io.Writer) error {
+	data, err := g.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// Read decodes a graph from r.
+func Read(r io.Reader) (*Graph, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	g := &Graph{}
+	if err := g.UnmarshalJSON(data); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,408 @@
+// Package hlo implements a text front end for an HLO-flavoured IR —
+// the role of the paper's 377-line XLA-to-intermediate-format
+// translator used for the Transformers-NeuronX Llama-3 workload (§5).
+// The printer emits computation graphs in HLO-module syntax; the
+// parser reads them back into graph.Graph, mapping HLO operator names
+// (dot, concatenate, slice, broadcast-free subset) onto the shared
+// operator vocabulary so, as the paper observes, HLO models "reuse
+// many of the popular lemmas".
+package hlo
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"entangle/internal/expr"
+	"entangle/internal/graph"
+	"entangle/internal/shape"
+	"entangle/internal/sym"
+)
+
+// opToHLO maps internal operators to HLO-ish mnemonics.
+var opToHLO = map[expr.Op]string{
+	expr.OpMatMul:          "dot",
+	expr.OpAdd:             "add",
+	expr.OpSub:             "subtract",
+	expr.OpMul:             "multiply",
+	expr.OpDiv:             "divide",
+	expr.OpSum:             "add-many",
+	expr.OpScale:           "scale",
+	expr.OpUnary:           "map",
+	expr.OpIdentity:        "copy",
+	expr.OpConcat:          "concatenate",
+	expr.OpSlice:           "slice",
+	expr.OpPad:             "pad",
+	expr.OpTranspose:       "transpose",
+	expr.OpReshape:         "reshape",
+	expr.OpReduceSum:       "reduce-add",
+	expr.OpSoftmax:         "softmax",
+	expr.OpLayerNorm:       "layer-norm",
+	expr.OpRMSNorm:         "rms-norm",
+	expr.OpEmbedding:       "gather-rows",
+	expr.OpEmbeddingShard:  "gather-rows-shard",
+	expr.OpRoPE:            "rotary",
+	expr.OpAttention:       "sdpa",
+	expr.OpMSELoss:         "mse",
+	expr.OpSquaredError:    "squared-error",
+	expr.OpRouter:          "router",
+	expr.OpAuxLoss:         "aux-loss",
+	expr.OpFusedAddRMSNorm: "fused-add-rms-norm",
+	expr.OpFusedSiluMul:    "fused-silu-mul",
+	expr.OpAllReduce:       "all-reduce",
+	expr.OpReduceScatter:   "reduce-scatter",
+	expr.OpAllGather:       "all-gather",
+}
+
+var hloToOp = func() map[string]expr.Op {
+	m := make(map[string]expr.Op, len(opToHLO))
+	for k, v := range opToHLO {
+		m[v] = k
+	}
+	return m
+}()
+
+// Print writes g as an HLO-flavoured module:
+//
+//	HloModule gpt-seq
+//	%ids = f32[8] parameter(0)
+//	%embed.out = f32[8,16] gather-rows(%emb_w, %ids)
+//	%t = f32[4,4] slice(%x), ints={0,0,4}
+//	ROOT %tuple = (…) tuple(%logits)
+func Print(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "HloModule %s\n", g.Name)
+	for _, a := range g.Ctx.Assumptions() {
+		fmt.Fprintf(bw, "// assume %s >= 0\n", a)
+	}
+	for i, in := range g.Inputs {
+		t := g.Tensor(in)
+		fmt.Fprintf(bw, "%%%s = f32%s parameter(%d)\n", t.Name, shapeText(t.Shape), i)
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		return err
+	}
+	for _, n := range order {
+		mn, ok := opToHLO[n.Op]
+		if !ok {
+			return fmt.Errorf("hlo: no mnemonic for %q", n.Op)
+		}
+		args := make([]string, len(n.Inputs))
+		for i, in := range n.Inputs {
+			args[i] = "%" + g.Tensor(in).Name
+		}
+		for oi, out := range n.Outputs {
+			t := g.Tensor(out)
+			fmt.Fprintf(bw, "%%%s = f32%s %s(%s)", t.Name, shapeText(t.Shape), mn, strings.Join(args, ", "))
+			var attrs []string
+			if len(n.Ints) > 0 {
+				var ints []string
+				for _, e := range n.Ints {
+					ints = append(ints, e.String())
+				}
+				attrs = append(attrs, "ints={"+strings.Join(ints, ",")+"}")
+			}
+			if n.Str != "" {
+				attrs = append(attrs, fmt.Sprintf("fn=%q", n.Str))
+			}
+			if len(n.Outputs) > 1 {
+				attrs = append(attrs, fmt.Sprintf("out=%d", oi))
+			}
+			if n.Label != "" && oi == 0 {
+				attrs = append(attrs, fmt.Sprintf("label=%q", n.Label))
+			}
+			if len(attrs) > 0 {
+				fmt.Fprintf(bw, ", %s", strings.Join(attrs, ", "))
+			}
+			fmt.Fprintln(bw)
+		}
+	}
+	roots := make([]string, len(g.Outputs))
+	for i, o := range g.Outputs {
+		roots[i] = "%" + g.Tensor(o).Name
+	}
+	fmt.Fprintf(bw, "ROOT %%result = tuple(%s)\n", strings.Join(roots, ", "))
+	return bw.Flush()
+}
+
+func shapeText(s shape.Shape) string {
+	parts := make([]string, len(s))
+	for i, d := range s {
+		parts[i] = d.String()
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}
+
+// parsedLine is one instruction before graph assembly.
+type parsedLine struct {
+	name  string
+	shape shape.Shape
+	mn    string
+	args  []string
+	ints  []sym.Expr
+	fn    string
+	out   int
+	label string
+	param int // ≥0 for parameters
+}
+
+// Parse reads an HLO-flavoured module back into a graph.
+func Parse(r io.Reader) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var name string
+	ctx := sym.NewContext()
+	var lines []parsedLine
+	var roots []string
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "HloModule "):
+			name = strings.TrimSpace(strings.TrimPrefix(line, "HloModule "))
+		case strings.HasPrefix(line, "// assume "):
+			txt := strings.TrimSuffix(strings.TrimPrefix(line, "// assume "), " >= 0")
+			e, err := sym.Parse(txt)
+			if err != nil {
+				return nil, fmt.Errorf("hlo:%d: %v", lineNo, err)
+			}
+			ctx.AssumeGE(e, sym.Const(0))
+		case strings.HasPrefix(line, "//"):
+			continue
+		case strings.HasPrefix(line, "ROOT "):
+			open := strings.Index(line, "tuple(")
+			if open < 0 || !strings.HasSuffix(line, ")") {
+				return nil, fmt.Errorf("hlo:%d: malformed ROOT", lineNo)
+			}
+			inner := line[open+len("tuple(") : len(line)-1]
+			for _, p := range strings.Split(inner, ",") {
+				p = strings.TrimSpace(p)
+				roots = append(roots, strings.TrimPrefix(p, "%"))
+			}
+		case strings.HasPrefix(line, "%"):
+			pl, err := parseInstruction(line)
+			if err != nil {
+				return nil, fmt.Errorf("hlo:%d: %v", lineNo, err)
+			}
+			lines = append(lines, pl)
+		default:
+			return nil, fmt.Errorf("hlo:%d: unrecognized line %q", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return assemble(name, ctx, lines, roots)
+}
+
+func parseInstruction(line string) (parsedLine, error) {
+	var pl parsedLine
+	pl.param = -1
+	pl.out = -1
+	eq := strings.Index(line, " = ")
+	if eq < 0 {
+		return pl, fmt.Errorf("missing '='")
+	}
+	pl.name = strings.TrimPrefix(line[:eq], "%")
+	rest := line[eq+3:]
+	if !strings.HasPrefix(rest, "f32[") {
+		return pl, fmt.Errorf("missing shape")
+	}
+	close := strings.Index(rest, "]")
+	if close < 0 {
+		return pl, fmt.Errorf("unterminated shape")
+	}
+	shapeTxt := rest[len("f32["):close]
+	if shapeTxt != "" {
+		for _, d := range strings.Split(shapeTxt, ",") {
+			e, err := sym.Parse(strings.TrimSpace(d))
+			if err != nil {
+				return pl, err
+			}
+			pl.shape = append(pl.shape, e)
+		}
+	}
+	rest = strings.TrimSpace(rest[close+1:])
+	open := strings.Index(rest, "(")
+	if open < 0 {
+		return pl, fmt.Errorf("missing operand list")
+	}
+	pl.mn = strings.TrimSpace(rest[:open])
+	depth := 0
+	closeIdx := -1
+	for i := open; i < len(rest); i++ {
+		switch rest[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth == 0 {
+				closeIdx = i
+			}
+		}
+		if closeIdx >= 0 {
+			break
+		}
+	}
+	if closeIdx < 0 {
+		return pl, fmt.Errorf("unterminated operand list")
+	}
+	operands := strings.TrimSpace(rest[open+1 : closeIdx])
+	if pl.mn == "parameter" {
+		var idx int
+		if _, err := fmt.Sscanf(operands, "%d", &idx); err != nil {
+			return pl, fmt.Errorf("bad parameter index %q", operands)
+		}
+		pl.param = idx
+		return pl, nil
+	}
+	if operands != "" {
+		for _, a := range strings.Split(operands, ",") {
+			a = strings.TrimSpace(a)
+			if !strings.HasPrefix(a, "%") {
+				return pl, fmt.Errorf("operand %q not a reference", a)
+			}
+			pl.args = append(pl.args, strings.TrimPrefix(a, "%"))
+		}
+	}
+	attrs := strings.TrimSpace(rest[closeIdx+1:])
+	attrs = strings.TrimPrefix(attrs, ",")
+	for _, kv := range splitAttrs(attrs) {
+		switch {
+		case strings.HasPrefix(kv, "ints={"):
+			inner := strings.TrimSuffix(strings.TrimPrefix(kv, "ints={"), "}")
+			if inner != "" {
+				for _, t := range strings.Split(inner, ",") {
+					e, err := sym.Parse(strings.TrimSpace(t))
+					if err != nil {
+						return pl, err
+					}
+					pl.ints = append(pl.ints, e)
+				}
+			}
+		case strings.HasPrefix(kv, "fn="):
+			pl.fn = strings.Trim(strings.TrimPrefix(kv, "fn="), `"`)
+		case strings.HasPrefix(kv, "out="):
+			if _, err := fmt.Sscanf(strings.TrimPrefix(kv, "out="), "%d", &pl.out); err != nil {
+				return pl, err
+			}
+		case strings.HasPrefix(kv, "label="):
+			pl.label = strings.Trim(strings.TrimPrefix(kv, "label="), `"`)
+		case kv == "":
+		default:
+			return pl, fmt.Errorf("unknown attribute %q", kv)
+		}
+	}
+	return pl, nil
+}
+
+// splitAttrs splits "ints={1,2}, fn=\"x\"" on commas outside braces
+// and quotes.
+func splitAttrs(s string) []string {
+	var out []string
+	depth := 0
+	quoted := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '{':
+			depth++
+		case '}':
+			depth--
+		case '"':
+			quoted = !quoted
+		case ',':
+			if depth == 0 && !quoted {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if t := strings.TrimSpace(s[start:]); t != "" {
+		out = append(out, t)
+	}
+	return out
+}
+
+func assemble(name string, ctx *sym.Context, lines []parsedLine, roots []string) (*graph.Graph, error) {
+	b := graph.NewBuilder(name, ctx)
+	ids := map[string]graph.TensorID{}
+
+	// Parameters first, in declared order.
+	var params []parsedLine
+	for _, pl := range lines {
+		if pl.param >= 0 {
+			params = append(params, pl)
+		}
+	}
+	sort.SliceStable(params, func(i, j int) bool { return params[i].param < params[j].param })
+	for _, pl := range params {
+		ids[pl.name] = b.Input(pl.name, pl.shape)
+	}
+
+	// Multi-output instructions appear once per output with out=N;
+	// group consecutive lines with the same mnemonic and args.
+	for i := 0; i < len(lines); i++ {
+		pl := lines[i]
+		if pl.param >= 0 {
+			continue
+		}
+		op, ok := hloToOp[pl.mn]
+		if !ok {
+			return nil, fmt.Errorf("hlo: unknown mnemonic %q", pl.mn)
+		}
+		group := []parsedLine{pl}
+		if pl.out >= 0 {
+			for i+1 < len(lines) && lines[i+1].out >= 0 &&
+				lines[i+1].mn == pl.mn && sameArgs(lines[i+1].args, pl.args) {
+				i++
+				group = append(group, lines[i])
+			}
+		}
+		inputs := make([]graph.TensorID, len(pl.args))
+		for j, a := range pl.args {
+			id, ok := ids[a]
+			if !ok {
+				return nil, fmt.Errorf("hlo: %%%s references undefined %%%s", pl.name, a)
+			}
+			inputs[j] = id
+		}
+		outNames := make([]string, len(group))
+		for j, g := range group {
+			outNames[j] = g.name
+		}
+		outs := b.MultiOp(op, pl.label, outNames, pl.fn, pl.ints, inputs...)
+		if b.Err() != nil {
+			return nil, b.Err()
+		}
+		for j, g := range group {
+			ids[g.name] = outs[j]
+		}
+	}
+	for _, root := range roots {
+		id, ok := ids[root]
+		if !ok {
+			return nil, fmt.Errorf("hlo: ROOT references undefined %%%s", root)
+		}
+		b.Output(id)
+	}
+	return b.Build()
+}
+
+func sameArgs(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

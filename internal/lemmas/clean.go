@@ -1,0 +1,667 @@
+package lemmas
+
+import (
+	"sort"
+
+	"entangle/internal/egraph"
+	"entangle/internal/expr"
+	"entangle/internal/sym"
+)
+
+// registerClean registers the structural lemmas over clean operators
+// (Figure 6's "c"-marked lemmas): slice, concat, transpose, reshape,
+// pad, sum, identity. These dominate application counts in the paper's
+// heatmap because every distribution strategy manipulates shards.
+func registerClean(r *Registry) {
+	registerIdentity(r)
+	registerSumBasics(r)
+	registerSumOfConcats(r)
+	registerConcatFlatten(r)
+	registerConcatOfSlices(r)
+	registerSliceJoin(r)
+	registerSliceOfConcat(r)
+	registerSliceCompose(r)
+	registerSliceFull(r)
+	registerSliceOfSum(r)
+	registerSliceOfPad(r)
+	registerTranspose(r)
+	registerReshape(r)
+}
+
+func registerIdentity(r *Registry) {
+	r.Register(&Lemma{
+		Name: "identity-elim", Kind: KindClean, Complexity: 1, LOC: 4,
+		Rules: []*egraph.Rule{egraph.Simple("identity-elim",
+			egraph.POp(expr.OpIdentity, nil, egraph.PVar("x")),
+			egraph.RVar("x"))},
+	})
+}
+
+func registerSumBasics(r *Registry) {
+	// add(x,y) and sum(x,y) denote the same value; normalizing them
+	// into one class lets every sum lemma cover both spellings.
+	r.Register(&Lemma{
+		Name: "add-is-sum", Kind: KindClean, Complexity: 2, LOC: 6,
+		Rules: []*egraph.Rule{egraph.Simple("add-is-sum",
+			egraph.POp(expr.OpAdd, nil, egraph.PVar("x"), egraph.PVar("y")),
+			egraph.ROp(expr.OpSum, nil, "", egraph.RVar("x"), egraph.RVar("y")))},
+	})
+
+	// sum is commutative: union with the class-sorted spelling.
+	r.Register(&Lemma{
+		Name: "sum-commutative", Kind: KindClean, Complexity: 2, LOC: 16,
+		Rules: []*egraph.Rule{{
+			Name: "sum-commutative", Stateful: true,
+			LHS: egraph.POpN(expr.OpSum, nil, "xs"),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				kids := m.Subst.KidsOf("xs")
+				sorted := make([]egraph.ClassID, len(kids))
+				copy(sorted, kids)
+				sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+				for i := range kids {
+					if sorted[i] != kids[i] {
+						return m.With(addAll(g, expr.OpSum, nil, "", sorted))
+					}
+				}
+				return nil
+			},
+		}},
+	})
+
+	// sum(… sum(ys) …) flattens one level. Width-capped: a class can
+	// contain a sum of itself (x = sum(x/2, x/2) after other lemmas),
+	// and uncapped flattening would then grow sums without bound.
+	r.Register(&Lemma{
+		Name: "sum-flatten", Kind: KindClean, Complexity: 2, LOC: 22,
+		Rules: []*egraph.Rule{{
+			Name: "sum-flatten", Stateful: true,
+			LHS: egraph.POpN(expr.OpSum, nil, "xs"),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				kids := m.Subst.KidsOf("xs")
+				for i, k := range kids {
+					for _, n := range g.Class(k).Nodes() {
+						if n.Op != expr.OpSum || len(kids)+len(n.Kids)-1 > maxNaryWidth {
+							continue
+						}
+						flat := make([]egraph.ClassID, 0, len(kids)+len(n.Kids)-1)
+						flat = append(flat, kids[:i]...)
+						flat = append(flat, n.Kids...)
+						flat = append(flat, kids[i+1:]...)
+						return m.With(addAll(g, expr.OpSum, nil, "", flat))
+					}
+				}
+				return nil
+			},
+		}},
+	})
+
+	// sum of n identical tensors is a scaling by n: the shape of the
+	// replicated-computation bugs (§6.2 bugs 2 and 6) — the buggy
+	// implementation maps only to scale(x, n, 1), which is not clean.
+	r.Register(&Lemma{
+		Name: "sum-identical-scale", Kind: KindClean, Complexity: 2, LOC: 14,
+		Rules: []*egraph.Rule{{
+			Name: "sum-identical-scale",
+			LHS:  egraph.POpN(expr.OpSum, nil, "xs"),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				kids := m.Subst.KidsOf("xs")
+				if len(kids) < 2 || !allSameClass(g, kids) {
+					return nil
+				}
+				c, _ := g.Instantiate(egraph.ROp(expr.OpScale,
+					[]sym.Expr{sym.Const(int64(len(kids))), sym.Const(1)}, "",
+					egraph.RClass(kids[0])), nil, false)
+				return m.With(c)
+			},
+		}},
+	})
+}
+
+func registerSumOfConcats(r *Registry) {
+	// sum(concat(x00,x01,d), concat(x10,x11,d), …) =
+	// concat(sum(x00,x10,…), sum(x01,x11,…), d) when the chunk extents
+	// align pairwise. This is how per-rank partial shards combine.
+	r.Register(&Lemma{
+		Name: "sum-of-concats", Kind: KindClean, Complexity: 4, LOC: 38,
+		Rules: []*egraph.Rule{{
+			Name: "sum-of-concats", Stateful: true,
+			LHS: egraph.POpN(expr.OpSum, nil, "xs"),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				kids := m.Subst.KidsOf("xs")
+				var dim sym.Expr
+				var chunks [][]egraph.ClassID
+				for _, k := range kids {
+					found := false
+					for _, n := range g.Class(k).Nodes() {
+						if n.Op != expr.OpConcat {
+							continue
+						}
+						if chunks == nil {
+							dim = n.Ints[0]
+						} else if !n.Ints[0].Equal(dim) || len(n.Kids) != len(chunks[0]) {
+							continue
+						}
+						chunks = append(chunks, n.Kids)
+						found = true
+						break
+					}
+					if !found {
+						return nil
+					}
+				}
+				d, ok := dimConst(dim)
+				if !ok {
+					return nil
+				}
+				ext0, _, ok := kidExtents(g, chunks[0], d)
+				if !ok {
+					return nil
+				}
+				for _, row := range chunks[1:] {
+					exts, _, ok := kidExtents(g, row, d)
+					if !ok || !pairwiseAligned(g.Ctx, ext0, exts) {
+						return nil
+					}
+				}
+				cols := make([]egraph.ClassID, len(chunks[0]))
+				for j := range cols {
+					col := make([]egraph.ClassID, len(chunks))
+					for i := range chunks {
+						col[i] = chunks[i][j]
+					}
+					cols[j] = addAll(g, expr.OpSum, nil, "", col)
+				}
+				return m.With(addAll(g, expr.OpConcat, []sym.Expr{dim}, "", cols))
+			},
+		}},
+	})
+}
+
+func registerConcatFlatten(r *Registry) {
+	// concat(…, concat(ys, d), …, d) flattens one level (same dim).
+	r.Register(&Lemma{
+		Name: "concat-flatten", Kind: KindClean, Complexity: 2, LOC: 24,
+		Rules: []*egraph.Rule{{
+			Name: "concat-flatten", Stateful: true,
+			LHS: egraph.POpN(expr.OpConcat, []egraph.AttrPat{egraph.AVar("d")}, "xs"),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				d := m.Subst.AttrOf("d")
+				kids := m.Subst.KidsOf("xs")
+				for i, k := range kids {
+					for _, n := range g.Class(k).Nodes() {
+						if n.Op != expr.OpConcat || !n.Ints[0].Equal(d) ||
+							len(kids)+len(n.Kids)-1 > maxNaryWidth {
+							continue
+						}
+						flat := make([]egraph.ClassID, 0, len(kids)+len(n.Kids)-1)
+						flat = append(flat, kids[:i]...)
+						flat = append(flat, n.Kids...)
+						flat = append(flat, kids[i+1:]...)
+						return m.With(addAll(g, expr.OpConcat, []sym.Expr{d}, "", flat))
+					}
+				}
+				return nil
+			},
+		}},
+	})
+}
+
+func registerConcatOfSlices(r *Registry) {
+	// concat(x[b0:e0 @d], x[e0:e1 @d], …, d) collapses to a single
+	// slice of x — and to x itself when the tiles cover it exactly.
+	r.Register(&Lemma{
+		Name: "concat-of-slices", Kind: KindClean, Complexity: 3, LOC: 44,
+		Rules: []*egraph.Rule{{
+			Name: "concat-of-slices", Stateful: true,
+			LHS: egraph.POpN(expr.OpConcat, []egraph.AttrPat{egraph.AVar("d")}, "xs"),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				d := m.Subst.AttrOf("d")
+				kids := m.Subst.KidsOf("xs")
+				var base egraph.ClassID
+				var begin, end sym.Expr
+				for i, k := range kids {
+					matched := false
+					for _, n := range g.Class(k).Nodes() {
+						if n.Op != expr.OpSlice || !n.Ints[0].Equal(d) {
+							continue
+						}
+						if i == 0 {
+							base, begin, end = g.Find(n.Kids[0]), n.Ints[1], n.Ints[2]
+							matched = true
+							break
+						}
+						if g.Find(n.Kids[0]) == base && g.Ctx.ProveEQ(n.Ints[1], end) {
+							end = n.Ints[2]
+							matched = true
+							break
+						}
+					}
+					if !matched {
+						return nil
+					}
+				}
+				di, ok := dimConst(d)
+				if !ok {
+					return nil
+				}
+				pairs := m.With(addAll(g, expr.OpSlice, []sym.Expr{d, begin, end}, "", []egraph.ClassID{base}))
+				if s, got := g.ShapeOf(base); got && di < len(s) &&
+					g.Ctx.ProveEQ(begin, sym.Const(0)) && g.Ctx.ProveEQ(end, s[di]) {
+					pairs = append(pairs, egraph.UnionPair{A: m.Class, B: base})
+				}
+				return pairs
+			},
+		}},
+	})
+}
+
+func registerSliceJoin(r *Registry) {
+	// The generative tiling lemma, in the paper's constrained form
+	// (§4.3.2): when slice ENodes of x tile a target span exactly, the
+	// concatenation of the tiles equals the target — where a target is
+	// either x itself (span = full extent) or another slice ENode of x
+	// that already exists. Restricting targets to existing ENodes
+	// keeps the interval lattice linear in the number of real slices
+	// instead of quadratic in all spans.
+	r.Register(&Lemma{
+		Name: "slice-tiling", Kind: KindClean, Complexity: 3, LOC: 58,
+		Rules: []*egraph.Rule{{
+			Name: "slice-tiling", Stateful: true,
+			LHS: egraph.PVar("x"),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				byDim := map[int][]tileSlice{}
+				xc := g.Find(m.Class)
+				for _, p := range g.ParentsOf(xc) {
+					n := p.Node
+					if n.Op != expr.OpSlice || len(n.Kids) != 1 || g.Find(n.Kids[0]) != xc {
+						continue
+					}
+					d, ok := dimConst(n.Ints[0])
+					if !ok {
+						continue
+					}
+					b, okB := n.Ints[1].IsConst()
+					e, okE := n.Ints[2].IsConst()
+					if !okB || !okE {
+						continue
+					}
+					byDim[d] = append(byDim[d], tileSlice{begin: b, end: e, class: p.Class})
+				}
+				var out []egraph.UnionPair
+				for d, slices := range byDim {
+					sort.Slice(slices, func(i, j int) bool {
+						if slices[i].begin != slices[j].begin {
+							return slices[i].begin < slices[j].begin
+						}
+						return slices[i].end < slices[j].end
+					})
+					// Targets: the base tensor's full extent, plus every
+					// existing slice span.
+					type target struct {
+						begin, end int64
+						class      egraph.ClassID
+					}
+					var targets []target
+					if s, got := g.ShapeOf(xc); got && d < len(s) {
+						if ext, isC := s[d].IsConst(); isC {
+							targets = append(targets, target{0, ext, xc})
+						}
+					}
+					for _, t := range slices {
+						targets = append(targets, target{t.begin, t.end, t.class})
+					}
+					for _, t := range targets {
+						path := tilePath(slices, t.begin, t.end, t.class, g)
+						if len(path) < 2 {
+							continue
+						}
+						joined := addAll(g, expr.OpConcat,
+							[]sym.Expr{sym.Const(int64(d))}, "", path)
+						out = append(out, egraph.UnionPair{A: joined, B: t.class})
+					}
+				}
+				return out
+			},
+		}},
+	})
+}
+
+// tileSlice is one slice ENode of a base class: its constant span and
+// the class holding it.
+type tileSlice struct {
+	begin, end int64
+	class      egraph.ClassID
+}
+
+// tilePath finds slice classes that tile [b, e) exactly, by greedy
+// chaining with backtracking over ties; the target's own class is
+// excluded so a span never "tiles" itself.
+func tilePath(slices []tileSlice, b, e int64, exclude egraph.ClassID, g *egraph.EGraph) []egraph.ClassID {
+	var dfs func(cur int64, depth int) []egraph.ClassID
+	dfs = func(cur int64, depth int) []egraph.ClassID {
+		if cur == e {
+			return []egraph.ClassID{}
+		}
+		if cur > e || depth > 64 {
+			return nil
+		}
+		for _, s := range slices {
+			if s.begin != cur || s.end > e {
+				continue
+			}
+			if s.begin == b && s.end == e && g.Find(s.class) == g.Find(exclude) {
+				continue // the target itself
+			}
+			if rest := dfs(s.end, depth+1); rest != nil {
+				return append([]egraph.ClassID{s.class}, rest...)
+			}
+		}
+		return nil
+	}
+	return dfs(b, 0)
+}
+
+func registerSliceOfConcat(r *Registry) {
+	// The paper's Listing 4 conditioned lemma: slicing a concatenation
+	// commutes — trivially on a different dimension, and by locating
+	// the covered chunks on the same dimension.
+	r.Register(&Lemma{
+		Name: "slice-concat-commutative", Kind: KindClean, Complexity: 4, LOC: 60,
+		Rules: []*egraph.Rule{{
+			Name: "slice-concat-commutative",
+			LHS: egraph.POp(expr.OpSlice,
+				[]egraph.AttrPat{egraph.AVar("d2"), egraph.AVar("b"), egraph.AVar("e")},
+				egraph.POpN(expr.OpConcat, []egraph.AttrPat{egraph.AVar("d1")}, "xs")),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				d1 := m.Subst.AttrOf("d1")
+				d2 := m.Subst.AttrOf("d2")
+				b := m.Subst.AttrOf("b")
+				e := m.Subst.AttrOf("e")
+				kids := m.Subst.KidsOf("xs")
+				if g.Ctx.ProveNE(d1, d2) {
+					c := mapKids(g, expr.OpConcat, []sym.Expr{d1}, "", kids,
+						func(_ int, k egraph.ClassID) egraph.ClassID {
+							return addAll(g, expr.OpSlice, []sym.Expr{d2, b, e}, "", []egraph.ClassID{k})
+						})
+					return m.With(c)
+				}
+				if !g.Ctx.ProveEQ(d1, d2) {
+					return nil
+				}
+				di, ok := dimConst(d1)
+				if !ok {
+					return nil
+				}
+				exts, _, ok := kidExtents(g, kids, di)
+				if !ok {
+					return nil
+				}
+				offs := prefixOffsets(exts)
+				// Single-chunk containment: off[i] ≤ b ∧ e ≤ off[i+1].
+				for i := range kids {
+					if g.Ctx.ProveLE(offs[i], b) && g.Ctx.ProveLE(e, offs[i+1]) {
+						if g.Ctx.ProveEQ(b, offs[i]) && g.Ctx.ProveEQ(e, offs[i+1]) {
+							return m.With(kids[i])
+						}
+						c := addAll(g, expr.OpSlice,
+							[]sym.Expr{d1, b.Sub(offs[i]), e.Sub(offs[i])}, "",
+							[]egraph.ClassID{kids[i]})
+						return m.With(c)
+					}
+				}
+				// Exact multi-chunk span: b = off[i], e = off[j].
+				for i := 0; i < len(kids); i++ {
+					if !g.Ctx.ProveEQ(b, offs[i]) {
+						continue
+					}
+					for j := i + 2; j <= len(kids); j++ {
+						if g.Ctx.ProveEQ(e, offs[j]) {
+							return m.With(addAll(g, expr.OpConcat, []sym.Expr{d1}, "", kids[i:j]))
+						}
+					}
+				}
+				return nil
+			},
+		}},
+	})
+}
+
+func registerSliceCompose(r *Registry) {
+	// x[b1:e1 @d][b2:e2 @d] = x[b1+b2 : b1+e2 @d].
+	r.Register(&Lemma{
+		Name: "slice-compose", Kind: KindClean, Complexity: 3, LOC: 18,
+		Rules: []*egraph.Rule{{
+			Name: "slice-compose",
+			LHS: egraph.POp(expr.OpSlice,
+				[]egraph.AttrPat{egraph.AVar("d2"), egraph.AVar("b2"), egraph.AVar("e2")},
+				egraph.POp(expr.OpSlice,
+					[]egraph.AttrPat{egraph.AVar("d1"), egraph.AVar("b1"), egraph.AVar("e1")},
+					egraph.PVar("x"))),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				d1, d2 := m.Subst.AttrOf("d1"), m.Subst.AttrOf("d2")
+				if !g.Ctx.ProveEQ(d1, d2) {
+					return nil
+				}
+				b1 := m.Subst.AttrOf("b1")
+				b2, e2 := m.Subst.AttrOf("b2"), m.Subst.AttrOf("e2")
+				c := addAll(g, expr.OpSlice, []sym.Expr{d1, b1.Add(b2), b1.Add(e2)}, "",
+					[]egraph.ClassID{m.Subst.ClassOf("x")})
+				return m.With(c)
+			},
+		}},
+	})
+}
+
+func registerSliceFull(r *Registry) {
+	// x[0:extent @d] = x.
+	r.Register(&Lemma{
+		Name: "slice-full", Kind: KindClean, Complexity: 1, LOC: 20,
+		Rules: []*egraph.Rule{{
+			Name: "slice-full",
+			LHS:  egraph.POp(expr.OpSlice, []egraph.AttrPat{egraph.AVar("d"), egraph.AVar("b"), egraph.AVar("e")}, egraph.PVar("x")),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				if !g.Ctx.ProveEQ(m.Subst.AttrOf("b"), sym.Const(0)) {
+					return nil
+				}
+				di, ok := dimConst(m.Subst.AttrOf("d"))
+				if !ok {
+					return nil
+				}
+				xc := m.Subst.ClassOf("x")
+				s, got := g.ShapeOf(xc)
+				if !got || di >= len(s) || !g.Ctx.ProveEQ(m.Subst.AttrOf("e"), s[di]) {
+					return nil
+				}
+				return m.With(xc)
+			},
+		}},
+	})
+}
+
+func registerSliceOfSum(r *Registry) {
+	// slice(sum(xs), d, b, e) = sum(slice(x_i, d, b, e)).
+	r.Register(&Lemma{
+		Name: "slice-of-sum", Kind: KindClean, Complexity: 3, LOC: 18,
+		Rules: []*egraph.Rule{{
+			Name: "slice-of-sum",
+			LHS: egraph.POp(expr.OpSlice,
+				[]egraph.AttrPat{egraph.AVar("d"), egraph.AVar("b"), egraph.AVar("e")},
+				egraph.POpN(expr.OpSum, nil, "xs")),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				d, b, e := m.Subst.AttrOf("d"), m.Subst.AttrOf("b"), m.Subst.AttrOf("e")
+				c := mapKids(g, expr.OpSum, nil, "", m.Subst.KidsOf("xs"),
+					func(_ int, k egraph.ClassID) egraph.ClassID {
+						return addAll(g, expr.OpSlice, []sym.Expr{d, b, e}, "", []egraph.ClassID{k})
+					})
+				return m.With(c)
+			},
+		}},
+	})
+}
+
+func registerSliceOfPad(r *Registry) {
+	// Slicing back into the un-padded region inverts zero padding:
+	// pad(x, d, bf, af)[b:e @d] = x[b-bf : e-bf @d] when bf ≤ b ∧
+	// e ≤ bf+extent(x, d); equal to x when the range is exact. The
+	// lemma behind §6.2's bug 3 (mismatched padding and slicing).
+	r.Register(&Lemma{
+		Name: "pad-slice-inverse", Kind: KindClean, Complexity: 3, LOC: 34,
+		Rules: []*egraph.Rule{{
+			Name: "pad-slice-inverse",
+			LHS: egraph.POp(expr.OpSlice,
+				[]egraph.AttrPat{egraph.AVar("ds"), egraph.AVar("b"), egraph.AVar("e")},
+				egraph.POp(expr.OpPad,
+					[]egraph.AttrPat{egraph.AVar("dp"), egraph.AVar("bf"), egraph.AVar("af")},
+					egraph.PVar("x"))),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				ds, dp := m.Subst.AttrOf("ds"), m.Subst.AttrOf("dp")
+				if !g.Ctx.ProveEQ(ds, dp) {
+					return nil
+				}
+				di, ok := dimConst(dp)
+				if !ok {
+					return nil
+				}
+				b, e, bf := m.Subst.AttrOf("b"), m.Subst.AttrOf("e"), m.Subst.AttrOf("bf")
+				xc := m.Subst.ClassOf("x")
+				s, got := g.ShapeOf(xc)
+				if !got || di >= len(s) {
+					return nil
+				}
+				hi := bf.Add(s[di])
+				if !g.Ctx.ProveLE(bf, b) || !g.Ctx.ProveLE(e, hi) {
+					return nil
+				}
+				if g.Ctx.ProveEQ(b, bf) && g.Ctx.ProveEQ(e, hi) {
+					return m.With(xc)
+				}
+				c := addAll(g, expr.OpSlice, []sym.Expr{ds, b.Sub(bf), e.Sub(bf)}, "",
+					[]egraph.ClassID{xc})
+				return m.With(c)
+			},
+		}},
+	})
+}
+
+func registerTranspose(r *Registry) {
+	r.Register(&Lemma{
+		Name: "transpose-involution", Kind: KindClean, Complexity: 2, LOC: 12,
+		Rules: []*egraph.Rule{
+			egraph.Simple("transpose-involution",
+				egraph.POp(expr.OpTranspose, []egraph.AttrPat{egraph.AVar("a"), egraph.AVar("b")},
+					egraph.POp(expr.OpTranspose, []egraph.AttrPat{egraph.AVar("a"), egraph.AVar("b")},
+						egraph.PVar("x"))),
+				egraph.RVar("x")),
+		},
+	})
+
+	r.Register(&Lemma{
+		Name: "transpose-dim-symmetry", Kind: KindClean, Complexity: 2, LOC: 12,
+		Rules: []*egraph.Rule{{
+			Name: "transpose-dim-symmetry",
+			LHS:  egraph.POp(expr.OpTranspose, []egraph.AttrPat{egraph.AVar("a"), egraph.AVar("b")}, egraph.PVar("x")),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				a, b := m.Subst.AttrOf("a"), m.Subst.AttrOf("b")
+				if a.Equal(b) {
+					return m.With(m.Subst.ClassOf("x"))
+				}
+				c := addAll(g, expr.OpTranspose, []sym.Expr{b, a}, "",
+					[]egraph.ClassID{m.Subst.ClassOf("x")})
+				return m.With(c)
+			},
+		}},
+	})
+
+	// transpose(concat(xs, d), a, b) = concat(transpose(x_i, a, b), σ(d))
+	// where σ swaps a and b.
+	r.Register(&Lemma{
+		Name: "transpose-concat-commutative", Kind: KindClean, Complexity: 4, LOC: 28,
+		Rules: []*egraph.Rule{{
+			Name: "transpose-concat-commutative",
+			LHS: egraph.POp(expr.OpTranspose, []egraph.AttrPat{egraph.AVar("a"), egraph.AVar("b")},
+				egraph.POpN(expr.OpConcat, []egraph.AttrPat{egraph.AVar("d")}, "xs")),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				a, b, d := m.Subst.AttrOf("a"), m.Subst.AttrOf("b"), m.Subst.AttrOf("d")
+				dOut := d
+				switch {
+				case d.Equal(a):
+					dOut = b
+				case d.Equal(b):
+					dOut = a
+				}
+				c := mapKids(g, expr.OpConcat, []sym.Expr{dOut}, "", m.Subst.KidsOf("xs"),
+					func(_ int, k egraph.ClassID) egraph.ClassID {
+						return addAll(g, expr.OpTranspose, []sym.Expr{a, b}, "", []egraph.ClassID{k})
+					})
+				return m.With(c)
+			},
+		}},
+	})
+
+	// transpose(slice(x, d, b, e), p, q) = slice(transpose(x, p, q), σ(d), b, e).
+	r.Register(&Lemma{
+		Name: "transpose-slice-commutative", Kind: KindClean, Complexity: 4, LOC: 26,
+		Rules: []*egraph.Rule{{
+			Name: "transpose-slice-commutative",
+			LHS: egraph.POp(expr.OpTranspose, []egraph.AttrPat{egraph.AVar("p"), egraph.AVar("q")},
+				egraph.POp(expr.OpSlice, []egraph.AttrPat{egraph.AVar("d"), egraph.AVar("b"), egraph.AVar("e")},
+					egraph.PVar("x"))),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				p, q, d := m.Subst.AttrOf("p"), m.Subst.AttrOf("q"), m.Subst.AttrOf("d")
+				dOut := d
+				switch {
+				case d.Equal(p):
+					dOut = q
+				case d.Equal(q):
+					dOut = p
+				}
+				tr := addAll(g, expr.OpTranspose, []sym.Expr{p, q}, "",
+					[]egraph.ClassID{m.Subst.ClassOf("x")})
+				c := addAll(g, expr.OpSlice,
+					[]sym.Expr{dOut, m.Subst.AttrOf("b"), m.Subst.AttrOf("e")}, "",
+					[]egraph.ClassID{tr})
+				return m.With(c)
+			},
+		}},
+	})
+}
+
+func registerReshape(r *Registry) {
+	// reshape(reshape(x, s1), s2) = reshape(x, s2); the constrained
+	// form of the x = reshape(reshape(x)) lemma the paper discusses.
+	r.Register(&Lemma{
+		Name: "reshape-compose", Kind: KindClean, Complexity: 3, LOC: 16,
+		Rules: []*egraph.Rule{{
+			Name: "reshape-compose",
+			LHS: egraph.POp(expr.OpReshape, nil,
+				egraph.POp(expr.OpReshape, nil, egraph.PVar("x"))),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				c := addAll(g, expr.OpReshape, m.Node.Ints, "",
+					[]egraph.ClassID{m.Subst.ClassOf("x")})
+				return m.With(c)
+			},
+		}},
+	})
+
+	// reshape(x, shape(x)) = x.
+	r.Register(&Lemma{
+		Name: "reshape-self", Kind: KindClean, Complexity: 1, LOC: 20,
+		Rules: []*egraph.Rule{{
+			Name: "reshape-self",
+			LHS:  egraph.POp(expr.OpReshape, nil, egraph.PVar("x")),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				xc := m.Subst.ClassOf("x")
+				s, got := g.ShapeOf(xc)
+				if !got || len(s) != len(m.Node.Ints) {
+					return nil
+				}
+				for i := range s {
+					if !g.Ctx.ProveEQ(s[i], m.Node.Ints[i]) {
+						return nil
+					}
+				}
+				return m.With(xc)
+			},
+		}},
+	})
+}

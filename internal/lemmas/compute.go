@@ -1,0 +1,992 @@
+package lemmas
+
+import (
+	"fmt"
+
+	"entangle/internal/egraph"
+	"entangle/internal/expr"
+	"entangle/internal/sym"
+)
+
+// registerCompute registers lemmas about ATen compute operators: how
+// matmul, elementwise ops, softmax, normalization layers, embeddings,
+// attention, and losses distribute over sharded operands. These are
+// the lemmas that let ENTANGLE push the clean shard structure of a
+// distributed implementation through each sequential operator.
+func registerCompute(r *Registry) {
+	registerMatMul(r)
+	registerElementwise(r)
+	registerScale(r)
+	registerSoftmaxNorms(r)
+	registerReduceSum(r)
+	registerEmbedding(r)
+	registerRoPE(r)
+	registerRoPEHidden(r)
+	registerAttention(r)
+	registerMoE(r)
+	registerLosses(r)
+}
+
+func registerMatMul(r *Registry) {
+	// Column-parallel: matmul(x, concat(w_i, last)) =
+	// concat(matmul(x, w_i), last). Megatron's ColumnParallelLinear.
+	r.Register(&Lemma{
+		Name: "matmul-col-parallel", Kind: KindGeneral, Complexity: 4, LOC: 30,
+		Rules: []*egraph.Rule{{
+			Name: "matmul-col-parallel",
+			LHS: egraph.POp(expr.OpMatMul, nil, egraph.PVar("x"),
+				egraph.POpN(expr.OpConcat, []egraph.AttrPat{egraph.AVar("d")}, "ws")),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				d, ok := dimConst(m.Subst.AttrOf("d"))
+				if !ok {
+					return nil
+				}
+				ws := m.Subst.KidsOf("ws")
+				wRank, got := g.RankOf(ws[0])
+				if !got || d != wRank-1 {
+					return nil
+				}
+				xc := m.Subst.ClassOf("x")
+				xRank, got := g.RankOf(xc)
+				if !got {
+					return nil
+				}
+				outDim := sym.Const(int64(xRank - 1))
+				if wRank > 2 {
+					outDim = sym.Const(int64(max(xRank, wRank) - 1))
+				}
+				c := mapKids(g, expr.OpConcat, []sym.Expr{outDim}, "", ws,
+					func(_ int, w egraph.ClassID) egraph.ClassID {
+						return addAll(g, expr.OpMatMul, nil, "", []egraph.ClassID{xc, w})
+					})
+				return m.With(c)
+			},
+		}},
+	})
+
+	// Row-parallel (the block matmul lemma of §4.1's running example):
+	// matmul(concat(x_i, last), concat(w_i, 0)) = sum(matmul(x_i, w_i))
+	// when the per-block inner extents agree.
+	r.Register(&Lemma{
+		Name: "matmul-row-parallel", Kind: KindGeneral, Complexity: 5, LOC: 40,
+		Rules: []*egraph.Rule{{
+			Name: "matmul-row-parallel",
+			LHS: egraph.POp(expr.OpMatMul, nil,
+				egraph.POpN(expr.OpConcat, []egraph.AttrPat{egraph.AVar("dx")}, "xs"),
+				egraph.POpN(expr.OpConcat, []egraph.AttrPat{egraph.AInt(0)}, "ws")),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				xs, ws := m.Subst.KidsOf("xs"), m.Subst.KidsOf("ws")
+				if len(xs) != len(ws) {
+					return nil
+				}
+				dx, ok := dimConst(m.Subst.AttrOf("dx"))
+				if !ok {
+					return nil
+				}
+				xRank, got := g.RankOf(xs[0])
+				if !got || dx != xRank-1 {
+					return nil
+				}
+				xExts, _, ok := kidExtents(g, xs, dx)
+				if !ok {
+					return nil
+				}
+				wExts, wRank, ok := kidExtents(g, ws, 0)
+				if !ok || wRank != 2 || !pairwiseAligned(g.Ctx, xExts, wExts) {
+					return nil
+				}
+				c := mapKids(g, expr.OpSum, nil, "", xs,
+					func(i int, x egraph.ClassID) egraph.ClassID {
+						return addAll(g, expr.OpMatMul, nil, "", []egraph.ClassID{x, ws[i]})
+					})
+				return m.With(c)
+			},
+		}},
+	})
+
+	// Batch/row split of the left operand: matmul(concat(x_i, d), w) =
+	// concat(matmul(x_i, w), d) for d below the contraction dim.
+	// Sequence parallelism's workhorse.
+	r.Register(&Lemma{
+		Name: "matmul-row-split-lhs", Kind: KindGeneral, Complexity: 4, LOC: 28,
+		Rules: []*egraph.Rule{{
+			Name: "matmul-row-split-lhs",
+			LHS: egraph.POp(expr.OpMatMul, nil,
+				egraph.POpN(expr.OpConcat, []egraph.AttrPat{egraph.AVar("d")}, "xs"),
+				egraph.PVar("w")),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				d, ok := dimConst(m.Subst.AttrOf("d"))
+				if !ok {
+					return nil
+				}
+				xs := m.Subst.KidsOf("xs")
+				xRank, got := g.RankOf(xs[0])
+				if !got || d >= xRank-1 {
+					return nil
+				}
+				wc := m.Subst.ClassOf("w")
+				wRank, got := g.RankOf(wc)
+				if !got || wRank != 2 {
+					return nil
+				}
+				c := mapKids(g, expr.OpConcat, []sym.Expr{sym.Const(int64(d))}, "", xs,
+					func(_ int, x egraph.ClassID) egraph.ClassID {
+						return addAll(g, expr.OpMatMul, nil, "", []egraph.ClassID{x, wc})
+					})
+				return m.With(c)
+			},
+		}},
+	})
+
+	// Bilinearity over sums, both operands.
+	r.Register(&Lemma{
+		Name: "matmul-sum-lhs", Kind: KindGeneral, Complexity: 3, LOC: 14,
+		Rules: []*egraph.Rule{{
+			Name: "matmul-sum-lhs",
+			LHS: egraph.POp(expr.OpMatMul, nil,
+				egraph.POpN(expr.OpSum, nil, "xs"), egraph.PVar("w")),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				wc := m.Subst.ClassOf("w")
+				c := mapKids(g, expr.OpSum, nil, "", m.Subst.KidsOf("xs"),
+					func(_ int, x egraph.ClassID) egraph.ClassID {
+						return addAll(g, expr.OpMatMul, nil, "", []egraph.ClassID{x, wc})
+					})
+				return m.With(c)
+			},
+		}},
+	})
+	r.Register(&Lemma{
+		Name: "matmul-sum-rhs", Kind: KindGeneral, Complexity: 3, LOC: 14,
+		Rules: []*egraph.Rule{{
+			Name: "matmul-sum-rhs",
+			LHS: egraph.POp(expr.OpMatMul, nil,
+				egraph.PVar("x"), egraph.POpN(expr.OpSum, nil, "ws")),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				xc := m.Subst.ClassOf("x")
+				c := mapKids(g, expr.OpSum, nil, "", m.Subst.KidsOf("ws"),
+					func(_ int, w egraph.ClassID) egraph.ClassID {
+						return addAll(g, expr.OpMatMul, nil, "", []egraph.ClassID{xc, w})
+					})
+				return m.With(c)
+			},
+		}},
+	})
+
+	// Scaling factors float out of matmul.
+	r.Register(&Lemma{
+		Name: "matmul-scale-lhs", Kind: KindGeneral, Complexity: 3, LOC: 12,
+		Rules: []*egraph.Rule{{
+			Name: "matmul-scale-lhs",
+			LHS: egraph.POp(expr.OpMatMul, nil,
+				egraph.POp(expr.OpScale, []egraph.AttrPat{egraph.AVar("n"), egraph.AVar("dn")}, egraph.PVar("x")),
+				egraph.PVar("w")),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				mm := addAll(g, expr.OpMatMul, nil, "",
+					[]egraph.ClassID{m.Subst.ClassOf("x"), m.Subst.ClassOf("w")})
+				c := addAll(g, expr.OpScale,
+					[]sym.Expr{m.Subst.AttrOf("n"), m.Subst.AttrOf("dn")}, "",
+					[]egraph.ClassID{mm})
+				return m.With(c)
+			},
+		}},
+	})
+}
+
+// elementwiseConcat builds the shared shape of the per-op lemma
+// "f(concat(xs,d), concat(ys,d)) = concat(f(x_i,y_i), d)" for binary
+// elementwise operators, conditioned on pairwise chunk alignment.
+func elementwiseConcat(op expr.Op) *egraph.Rule {
+	return &egraph.Rule{
+		Name: fmt.Sprintf("%s-concat-distribute", op),
+		LHS: egraph.POp(op, nil,
+			egraph.POpN(expr.OpConcat, []egraph.AttrPat{egraph.AVar("d")}, "xs"),
+			egraph.POpN(expr.OpConcat, []egraph.AttrPat{egraph.AVar("d")}, "ys")),
+		Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+			xs, ys := m.Subst.KidsOf("xs"), m.Subst.KidsOf("ys")
+			if len(xs) != len(ys) {
+				return nil
+			}
+			d, ok := dimConst(m.Subst.AttrOf("d"))
+			if !ok {
+				return nil
+			}
+			xe, _, ok := kidExtents(g, xs, d)
+			if !ok {
+				return nil
+			}
+			ye, _, ok := kidExtents(g, ys, d)
+			if !ok || !pairwiseAligned(g.Ctx, xe, ye) {
+				return nil
+			}
+			c := mapKids(g, expr.OpConcat, []sym.Expr{sym.Const(int64(d))}, "", xs,
+				func(i int, x egraph.ClassID) egraph.ClassID {
+					return addAll(g, op, nil, "", []egraph.ClassID{x, ys[i]})
+				})
+			return m.With(c)
+		},
+	}
+}
+
+func registerElementwise(r *Registry) {
+	for _, op := range []expr.Op{expr.OpAdd, expr.OpSub, expr.OpMul, expr.OpDiv} {
+		r.Register(&Lemma{
+			Name:       fmt.Sprintf("%s-concat-distribute", op),
+			Kind:       KindGeneral,
+			Complexity: 4, LOC: 30,
+			Rules: []*egraph.Rule{elementwiseConcat(op)},
+		})
+	}
+
+	// Broadcast forms: f(y, concat(xs, d)) = concat(f(y, x_i), d) when
+	// y has extent 1 along d (so every chunk sees the same broadcast
+	// operand) — e.g. a [1,H] norm weight against sequence shards, or
+	// a scalar loss seed against anything. Registered per operator and
+	// operand side.
+	for _, op := range []expr.Op{expr.OpAdd, expr.OpSub, expr.OpMul, expr.OpDiv} {
+		op := op
+		mkRule := func(name string, concatLeft bool) *egraph.Rule {
+			var lhs *egraph.Pattern
+			if concatLeft {
+				lhs = egraph.POp(op, nil,
+					egraph.POpN(expr.OpConcat, []egraph.AttrPat{egraph.AVar("d")}, "xs"),
+					egraph.PVar("y"))
+			} else {
+				lhs = egraph.POp(op, nil,
+					egraph.PVar("y"),
+					egraph.POpN(expr.OpConcat, []egraph.AttrPat{egraph.AVar("d")}, "xs"))
+			}
+			return &egraph.Rule{
+				Name: name,
+				LHS:  lhs,
+				Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+					d, ok := dimConst(m.Subst.AttrOf("d"))
+					if !ok {
+						return nil
+					}
+					yc := m.Subst.ClassOf("y")
+					ys, got := g.ShapeOf(yc)
+					if !got || d >= len(ys) || !g.Ctx.ProveEQ(ys[d], sym.Const(1)) {
+						return nil
+					}
+					c := mapKids(g, expr.OpConcat, []sym.Expr{sym.Const(int64(d))}, "",
+						m.Subst.KidsOf("xs"),
+						func(_ int, x egraph.ClassID) egraph.ClassID {
+							if concatLeft {
+								return addAll(g, op, nil, "", []egraph.ClassID{x, yc})
+							}
+							return addAll(g, op, nil, "", []egraph.ClassID{yc, x})
+						})
+					return m.With(c)
+				},
+			}
+		}
+		r.Register(&Lemma{
+			Name:       fmt.Sprintf("%s-broadcast-concat", op),
+			Kind:       KindGeneral,
+			Complexity: 4, LOC: 34,
+			Rules: []*egraph.Rule{
+				mkRule(fmt.Sprintf("%s-broadcast-concat/lhs", op), true),
+				mkRule(fmt.Sprintf("%s-broadcast-concat/rhs", op), false),
+			},
+		})
+	}
+
+	// Unary elementwise functions distribute over concat on any dim.
+	r.Register(&Lemma{
+		Name: "unary-concat-distribute", Kind: KindGeneral, Complexity: 3, LOC: 16,
+		Rules: []*egraph.Rule{{
+			Name: "unary-concat-distribute",
+			LHS: egraph.POp(expr.OpUnary, nil,
+				egraph.POpN(expr.OpConcat, []egraph.AttrPat{egraph.AVar("d")}, "xs")),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				fn := m.Node.Str
+				d := m.Subst.AttrOf("d")
+				c := mapKids(g, expr.OpConcat, []sym.Expr{d}, "", m.Subst.KidsOf("xs"),
+					func(_ int, x egraph.ClassID) egraph.ClassID {
+						return addAll(g, expr.OpUnary, nil, fn, []egraph.ClassID{x})
+					})
+				return m.With(c)
+			},
+		}},
+	})
+}
+
+func registerScale(r *Registry) {
+	r.Register(&Lemma{
+		Name: "scale-concat-distribute", Kind: KindGeneral, Complexity: 3, LOC: 16,
+		Rules: []*egraph.Rule{{
+			Name: "scale-concat-distribute",
+			LHS: egraph.POp(expr.OpScale, []egraph.AttrPat{egraph.AVar("n"), egraph.AVar("dn")},
+				egraph.POpN(expr.OpConcat, []egraph.AttrPat{egraph.AVar("d")}, "xs")),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				n, dn, d := m.Subst.AttrOf("n"), m.Subst.AttrOf("dn"), m.Subst.AttrOf("d")
+				c := mapKids(g, expr.OpConcat, []sym.Expr{d}, "", m.Subst.KidsOf("xs"),
+					func(_ int, x egraph.ClassID) egraph.ClassID {
+						return addAll(g, expr.OpScale, []sym.Expr{n, dn}, "", []egraph.ClassID{x})
+					})
+				return m.With(c)
+			},
+		}},
+	})
+
+	// Pull a common scaling factor out of a sum:
+	// sum(scale(x_i, n, d)) = scale(sum(x_i), n, d). This direction is
+	// contractive; the push-in direction would mint ever-finer
+	// fractions through classes that contain sums of themselves.
+	r.Register(&Lemma{
+		Name: "sum-of-equal-scales", Kind: KindGeneral, Complexity: 3, LOC: 30,
+		Rules: []*egraph.Rule{{
+			Name: "sum-of-equal-scales", Stateful: true,
+			LHS: egraph.POpN(expr.OpSum, nil, "xs"),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				kids := m.Subst.KidsOf("xs")
+				var n, dn sym.Expr
+				inner := make([]egraph.ClassID, len(kids))
+				for i, k := range kids {
+					found := false
+					for _, nd := range g.Class(k).Nodes() {
+						if nd.Op != expr.OpScale {
+							continue
+						}
+						if i == 0 {
+							n, dn = nd.Ints[0], nd.Ints[1]
+						} else if !nd.Ints[0].Equal(n) || !nd.Ints[1].Equal(dn) {
+							continue
+						}
+						inner[i] = nd.Kids[0]
+						found = true
+						break
+					}
+					if !found {
+						return nil
+					}
+				}
+				sumC := addAll(g, expr.OpSum, nil, "", inner)
+				c := addAll(g, expr.OpScale, []sym.Expr{n, dn}, "", []egraph.ClassID{sumC})
+				return m.With(c)
+			},
+		}},
+	})
+
+	// Scaling commutes with reshape: reshape(scale(x,n,d), s) =
+	// scale(reshape(x,s), n, d). Backward graphs reshape scaled loss
+	// seeds, so this lemma lets the factor float out.
+	r.Register(&Lemma{
+		Name: "scale-reshape-commute", Kind: KindGeneral, Complexity: 3, LOC: 16,
+		Rules: []*egraph.Rule{{
+			Name: "scale-reshape-commute",
+			LHS: egraph.POp(expr.OpReshape, nil,
+				egraph.POp(expr.OpScale, []egraph.AttrPat{egraph.AVar("n"), egraph.AVar("dn")},
+					egraph.PVar("x"))),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				rs := addAll(g, expr.OpReshape, m.Node.Ints, "",
+					[]egraph.ClassID{m.Subst.ClassOf("x")})
+				c := addAll(g, expr.OpScale,
+					[]sym.Expr{m.Subst.AttrOf("n"), m.Subst.AttrOf("dn")}, "",
+					[]egraph.ClassID{rs})
+				return m.With(c)
+			},
+		}},
+	})
+
+	// A scale on either multiplicand floats out of the product:
+	// mul(scale(a,n,d), b) = scale(mul(a,b), n, d).
+	mulScale := func(name string, scaleLeft bool) *egraph.Rule {
+		var lhs *egraph.Pattern
+		sc := egraph.POp(expr.OpScale,
+			[]egraph.AttrPat{egraph.AVar("n"), egraph.AVar("dn")}, egraph.PVar("a"))
+		if scaleLeft {
+			lhs = egraph.POp(expr.OpMul, nil, sc, egraph.PVar("b"))
+		} else {
+			lhs = egraph.POp(expr.OpMul, nil, egraph.PVar("b"), sc)
+		}
+		return &egraph.Rule{
+			Name: name,
+			LHS:  lhs,
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				a, b := m.Subst.ClassOf("a"), m.Subst.ClassOf("b")
+				var mm egraph.ClassID
+				if scaleLeft {
+					mm = addAll(g, expr.OpMul, nil, "", []egraph.ClassID{a, b})
+				} else {
+					mm = addAll(g, expr.OpMul, nil, "", []egraph.ClassID{b, a})
+				}
+				c := addAll(g, expr.OpScale,
+					[]sym.Expr{m.Subst.AttrOf("n"), m.Subst.AttrOf("dn")}, "",
+					[]egraph.ClassID{mm})
+				return m.With(c)
+			},
+		}
+	}
+	r.Register(&Lemma{
+		Name: "mul-scale-assoc", Kind: KindGeneral, Complexity: 3, LOC: 26,
+		Rules: []*egraph.Rule{
+			mulScale("mul-scale-assoc/lhs", true),
+			mulScale("mul-scale-assoc/rhs", false),
+		},
+	})
+
+	// scale(scale(x, a, b), c, d) = scale(x, ac, bd); scale(x, k, k) = x.
+	r.Register(&Lemma{
+		Name: "scale-compose", Kind: KindGeneral, Complexity: 3, LOC: 26,
+		Rules: []*egraph.Rule{{
+			Name: "scale-compose",
+			LHS: egraph.POp(expr.OpScale, []egraph.AttrPat{egraph.AVar("n2"), egraph.AVar("d2")},
+				egraph.POp(expr.OpScale, []egraph.AttrPat{egraph.AVar("n1"), egraph.AVar("d1")},
+					egraph.PVar("x"))),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				n1, _ := m.Subst.AttrOf("n1").IsConst()
+				d1, _ := m.Subst.AttrOf("d1").IsConst()
+				n2, _ := m.Subst.AttrOf("n2").IsConst()
+				d2, _ := m.Subst.AttrOf("d2").IsConst()
+				if n1 == 0 || d1 == 0 || n2 == 0 || d2 == 0 {
+					return nil
+				}
+				n, d := n1*n2, d1*d2
+				if n == d {
+					return m.With(m.Subst.ClassOf("x"))
+				}
+				if g := gcd(n, d); g > 1 {
+					n, d = n/g, d/g
+				}
+				c := addAll(g, expr.OpScale, []sym.Expr{sym.Const(n), sym.Const(d)}, "",
+					[]egraph.ClassID{m.Subst.ClassOf("x")})
+				return m.With(c)
+			},
+		}, {
+			Name: "scale-one",
+			LHS: egraph.POp(expr.OpScale, []egraph.AttrPat{egraph.AVar("n"), egraph.AVar("d")},
+				egraph.PVar("x")),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				if !m.Subst.AttrOf("n").Equal(m.Subst.AttrOf("d")) {
+					return nil
+				}
+				return m.With(m.Subst.ClassOf("x"))
+			},
+		}},
+	})
+}
+
+func registerSoftmaxNorms(r *Registry) {
+	// softmax over dim ds distributes over concat on a different dim.
+	r.Register(&Lemma{
+		Name: "softmax-concat-commutative", Kind: KindGeneral, Complexity: 4, LOC: 26,
+		Rules: []*egraph.Rule{{
+			Name: "softmax-concat-commutative",
+			LHS: egraph.POp(expr.OpSoftmax, []egraph.AttrPat{egraph.AVar("ds")},
+				egraph.POpN(expr.OpConcat, []egraph.AttrPat{egraph.AVar("dc")}, "xs")),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				ds, dc := m.Subst.AttrOf("ds"), m.Subst.AttrOf("dc")
+				if !g.Ctx.ProveNE(ds, dc) {
+					return nil
+				}
+				c := mapKids(g, expr.OpConcat, []sym.Expr{dc}, "", m.Subst.KidsOf("xs"),
+					func(_ int, x egraph.ClassID) egraph.ClassID {
+						return addAll(g, expr.OpSoftmax, []sym.Expr{ds}, "", []egraph.ClassID{x})
+					})
+				return m.With(c)
+			},
+		}},
+	})
+
+	// layernorm normalizes the last dim: it distributes over concat on
+	// any earlier dim, sharing weight and bias.
+	r.Register(&Lemma{
+		Name: "layernorm-concat-commutative", Kind: KindGeneral, Complexity: 4, LOC: 30,
+		Rules: []*egraph.Rule{{
+			Name: "layernorm-concat-commutative",
+			LHS: egraph.POp(expr.OpLayerNorm, nil,
+				egraph.POpN(expr.OpConcat, []egraph.AttrPat{egraph.AVar("d")}, "xs"),
+				egraph.PVar("w"), egraph.PVar("b")),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				d, ok := dimConst(m.Subst.AttrOf("d"))
+				if !ok {
+					return nil
+				}
+				xs := m.Subst.KidsOf("xs")
+				rank, got := g.RankOf(xs[0])
+				if !got || d == rank-1 {
+					return nil
+				}
+				wc, bc := m.Subst.ClassOf("w"), m.Subst.ClassOf("b")
+				c := mapKids(g, expr.OpConcat, []sym.Expr{sym.Const(int64(d))}, "", xs,
+					func(_ int, x egraph.ClassID) egraph.ClassID {
+						return addAll(g, expr.OpLayerNorm, nil, "", []egraph.ClassID{x, wc, bc})
+					})
+				return m.With(c)
+			},
+		}},
+	})
+
+	// The paper's worked example (§6.5): RMSNorm(concat(X1,X2,0), W) =
+	// concat(RMSNorm(X1,W), RMSNorm(X2,W), 0) — complexity 5.
+	r.Register(&Lemma{
+		Name: "rmsnorm-concat-commutative", Kind: KindGeneral, Complexity: 5, LOC: 28,
+		Rules: []*egraph.Rule{{
+			Name: "rmsnorm-concat-commutative",
+			LHS: egraph.POp(expr.OpRMSNorm, nil,
+				egraph.POpN(expr.OpConcat, []egraph.AttrPat{egraph.AVar("d")}, "xs"),
+				egraph.PVar("w")),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				d, ok := dimConst(m.Subst.AttrOf("d"))
+				if !ok {
+					return nil
+				}
+				xs := m.Subst.KidsOf("xs")
+				rank, got := g.RankOf(xs[0])
+				if !got || d == rank-1 {
+					return nil
+				}
+				wc := m.Subst.ClassOf("w")
+				c := mapKids(g, expr.OpConcat, []sym.Expr{sym.Const(int64(d))}, "", xs,
+					func(_ int, x egraph.ClassID) egraph.ClassID {
+						return addAll(g, expr.OpRMSNorm, nil, "", []egraph.ClassID{x, wc})
+					})
+				return m.With(c)
+			},
+		}},
+	})
+}
+
+func registerReduceSum(r *Registry) {
+	// reducesum over the concat dim sums the per-chunk reductions.
+	r.Register(&Lemma{
+		Name: "reducesum-concat-same-dim", Kind: KindGeneral, Complexity: 4, LOC: 22,
+		Rules: []*egraph.Rule{{
+			Name: "reducesum-concat-same-dim",
+			LHS: egraph.POp(expr.OpReduceSum, []egraph.AttrPat{egraph.AVar("dr")},
+				egraph.POpN(expr.OpConcat, []egraph.AttrPat{egraph.AVar("dc")}, "xs")),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				dr, dc := m.Subst.AttrOf("dr"), m.Subst.AttrOf("dc")
+				if !g.Ctx.ProveEQ(dr, dc) {
+					return nil
+				}
+				c := mapKids(g, expr.OpSum, nil, "", m.Subst.KidsOf("xs"),
+					func(_ int, x egraph.ClassID) egraph.ClassID {
+						return addAll(g, expr.OpReduceSum, []sym.Expr{dr}, "", []egraph.ClassID{x})
+					})
+				return m.With(c)
+			},
+		}},
+	})
+
+	// reducesum over another dim keeps the concat structure.
+	r.Register(&Lemma{
+		Name: "reducesum-concat-other-dim", Kind: KindGeneral, Complexity: 4, LOC: 22,
+		Rules: []*egraph.Rule{{
+			Name: "reducesum-concat-other-dim",
+			LHS: egraph.POp(expr.OpReduceSum, []egraph.AttrPat{egraph.AVar("dr")},
+				egraph.POpN(expr.OpConcat, []egraph.AttrPat{egraph.AVar("dc")}, "xs")),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				dr, dc := m.Subst.AttrOf("dr"), m.Subst.AttrOf("dc")
+				if !g.Ctx.ProveNE(dr, dc) {
+					return nil
+				}
+				c := mapKids(g, expr.OpConcat, []sym.Expr{dc}, "", m.Subst.KidsOf("xs"),
+					func(_ int, x egraph.ClassID) egraph.ClassID {
+						return addAll(g, expr.OpReduceSum, []sym.Expr{dr}, "", []egraph.ClassID{x})
+					})
+				return m.With(c)
+			},
+		}},
+	})
+}
+
+func registerEmbedding(r *Registry) {
+	// Vocabulary parallelism: a lookup in a row-partitioned table is
+	// the sum of masked per-shard lookups (out-of-shard ids yield 0).
+	r.Register(&Lemma{
+		Name: "embedding-vocab-parallel", Kind: KindGeneral, Complexity: 4, LOC: 30,
+		Rules: []*egraph.Rule{{
+			Name: "embedding-vocab-parallel",
+			LHS: egraph.POp(expr.OpEmbedding, nil,
+				egraph.POpN(expr.OpConcat, []egraph.AttrPat{egraph.AInt(0)}, "ws"),
+				egraph.PVar("ids")),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				ws := m.Subst.KidsOf("ws")
+				exts, rank, ok := kidExtents(g, ws, 0)
+				if !ok || rank != 2 {
+					return nil
+				}
+				offs := prefixOffsets(exts)
+				idsC := m.Subst.ClassOf("ids")
+				c := mapKids(g, expr.OpSum, nil, "", ws,
+					func(i int, w egraph.ClassID) egraph.ClassID {
+						return addAll(g, expr.OpEmbeddingShard, []sym.Expr{offs[i]}, "",
+							[]egraph.ClassID{w, idsC})
+					})
+				return m.With(c)
+			},
+		}},
+	})
+
+	// Hidden-dim parallelism: a column-partitioned table concatenates
+	// per-shard lookups along the output's last dim.
+	r.Register(&Lemma{
+		Name: "embedding-hidden-parallel", Kind: KindGeneral, Complexity: 4, LOC: 26,
+		Rules: []*egraph.Rule{{
+			Name: "embedding-hidden-parallel",
+			LHS: egraph.POp(expr.OpEmbedding, nil,
+				egraph.POpN(expr.OpConcat, []egraph.AttrPat{egraph.AInt(1)}, "ws"),
+				egraph.PVar("ids")),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				idsC := m.Subst.ClassOf("ids")
+				idsRank, got := g.RankOf(idsC)
+				if !got {
+					return nil
+				}
+				outDim := sym.Const(int64(idsRank)) // ids-rank + 1 dims, last
+				c := mapKids(g, expr.OpConcat, []sym.Expr{outDim}, "", m.Subst.KidsOf("ws"),
+					func(_ int, w egraph.ClassID) egraph.ClassID {
+						return addAll(g, expr.OpEmbedding, nil, "", []egraph.ClassID{w, idsC})
+					})
+				return m.With(c)
+			},
+		}},
+	})
+
+	// Sequence split of the ids: lookups are per-token independent.
+	r.Register(&Lemma{
+		Name: "embedding-seq-split", Kind: KindGeneral, Complexity: 4, LOC: 18,
+		Rules: []*egraph.Rule{{
+			Name: "embedding-seq-split",
+			LHS: egraph.POp(expr.OpEmbedding, nil,
+				egraph.PVar("w"),
+				egraph.POpN(expr.OpConcat, []egraph.AttrPat{egraph.AVar("d")}, "ids")),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				wc := m.Subst.ClassOf("w")
+				d := m.Subst.AttrOf("d")
+				c := mapKids(g, expr.OpConcat, []sym.Expr{d}, "", m.Subst.KidsOf("ids"),
+					func(_ int, ids egraph.ClassID) egraph.ClassID {
+						return addAll(g, expr.OpEmbedding, nil, "", []egraph.ClassID{wc, ids})
+					})
+				return m.With(c)
+			},
+		}},
+	})
+}
+
+func registerRoPE(r *Registry) {
+	// Sequence parallelism for rotary embeddings: each sequence shard
+	// must use the matching slice of the precomputed cos/sin tables —
+	// the lemma whose violation is §6.2's bug 1.
+	r.Register(&Lemma{
+		Name: "rope-seq-split", Kind: KindGeneral, Complexity: 6, LOC: 38,
+		Rules: []*egraph.Rule{{
+			Name: "rope-seq-split",
+			LHS: egraph.POp(expr.OpRoPE, nil,
+				egraph.POpN(expr.OpConcat, []egraph.AttrPat{egraph.AInt(0)}, "xs"),
+				egraph.PVar("cos"), egraph.PVar("sin")),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				xs := m.Subst.KidsOf("xs")
+				exts, _, ok := kidExtents(g, xs, 0)
+				if !ok {
+					return nil
+				}
+				offs := prefixOffsets(exts)
+				cosC, sinC := m.Subst.ClassOf("cos"), m.Subst.ClassOf("sin")
+				zero := sym.Const(0)
+				c := mapKids(g, expr.OpConcat, []sym.Expr{zero}, "", xs,
+					func(i int, x egraph.ClassID) egraph.ClassID {
+						cosI := addAll(g, expr.OpSlice, []sym.Expr{zero, offs[i], offs[i+1]}, "", []egraph.ClassID{cosC})
+						sinI := addAll(g, expr.OpSlice, []sym.Expr{zero, offs[i], offs[i+1]}, "", []egraph.ClassID{sinC})
+						return addAll(g, expr.OpRoPE, nil, "", []egraph.ClassID{x, cosI, sinI})
+					})
+				return m.With(c)
+			},
+		}},
+	})
+}
+
+func registerRoPEHidden(r *Registry) {
+	// Tensor parallelism for rotary embeddings: under the
+	// adjacent-pair convention, splitting the hidden dim on even
+	// boundaries commutes with rotation when cos/sin are split the
+	// same way.
+	r.Register(&Lemma{
+		Name: "rope-hidden-split", Kind: KindGeneral, Complexity: 6, LOC: 34,
+		Rules: []*egraph.Rule{{
+			Name: "rope-hidden-split",
+			LHS: egraph.POp(expr.OpRoPE, nil,
+				egraph.POpN(expr.OpConcat, []egraph.AttrPat{egraph.AInt(1)}, "xs"),
+				egraph.POpN(expr.OpConcat, []egraph.AttrPat{egraph.AInt(1)}, "cs"),
+				egraph.POpN(expr.OpConcat, []egraph.AttrPat{egraph.AInt(1)}, "ss")),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				xs, cs, ss := m.Subst.KidsOf("xs"), m.Subst.KidsOf("cs"), m.Subst.KidsOf("ss")
+				if len(xs) != len(cs) || len(xs) != len(ss) {
+					return nil
+				}
+				xe, _, ok := kidExtents(g, xs, 1)
+				if !ok {
+					return nil
+				}
+				for _, e := range xe {
+					v, isC := e.IsConst()
+					if !isC || v%2 != 0 {
+						return nil // chunks must respect rotation pairs
+					}
+				}
+				ce, _, ok := kidExtents(g, cs, 1)
+				if !ok || !pairwiseAligned(g.Ctx, xe, ce) {
+					return nil
+				}
+				se, _, ok := kidExtents(g, ss, 1)
+				if !ok || !pairwiseAligned(g.Ctx, xe, se) {
+					return nil
+				}
+				c := mapKids(g, expr.OpConcat, []sym.Expr{sym.Const(1)}, "", xs,
+					func(i int, x egraph.ClassID) egraph.ClassID {
+						return addAll(g, expr.OpRoPE, nil, "", []egraph.ClassID{x, cs[i], ss[i]})
+					})
+				return m.With(c)
+			},
+		}},
+	})
+}
+
+func registerAttention(r *Registry) {
+	// Head parallelism: attention over hidden-concatenated head groups
+	// equals the concatenation of per-group attention with
+	// proportionally fewer heads. The FlashAttention-style fused
+	// kernel assumption (§3.3) makes this a single lemma.
+	r.Register(&Lemma{
+		Name: "attention-head-parallel", Kind: KindGeneral, Complexity: 8, LOC: 44,
+		Rules: []*egraph.Rule{{
+			Name: "attention-head-parallel",
+			LHS: egraph.POp(expr.OpAttention, []egraph.AttrPat{egraph.AVar("h")},
+				egraph.POpN(expr.OpConcat, []egraph.AttrPat{egraph.AVar("d")}, "qs"),
+				egraph.POpN(expr.OpConcat, []egraph.AttrPat{egraph.AVar("d")}, "ks"),
+				egraph.POpN(expr.OpConcat, []egraph.AttrPat{egraph.AVar("d")}, "vs")),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				qs, ks, vs := m.Subst.KidsOf("qs"), m.Subst.KidsOf("ks"), m.Subst.KidsOf("vs")
+				if len(qs) != len(ks) || len(qs) != len(vs) {
+					return nil
+				}
+				d, ok := dimConst(m.Subst.AttrOf("d"))
+				if !ok {
+					return nil
+				}
+				rank, got := g.RankOf(qs[0])
+				if !got || d != rank-1 {
+					return nil
+				}
+				h, isC := m.Subst.AttrOf("h").IsConst()
+				if !isC || h%int64(len(qs)) != 0 {
+					return nil
+				}
+				qe, _, ok := kidExtents(g, qs, d)
+				if !ok || !allEqual(g.Ctx, qe) {
+					return nil
+				}
+				ke, _, ok := kidExtents(g, ks, d)
+				if !ok || !pairwiseAligned(g.Ctx, qe, ke) {
+					return nil
+				}
+				ve, _, ok := kidExtents(g, vs, d)
+				if !ok || !pairwiseAligned(g.Ctx, qe, ve) {
+					return nil
+				}
+				hSub := sym.Const(h / int64(len(qs)))
+				c := mapKids(g, expr.OpConcat, []sym.Expr{sym.Const(int64(d))}, "", qs,
+					func(i int, q egraph.ClassID) egraph.ClassID {
+						return addAll(g, expr.OpAttention, []sym.Expr{hSub}, "",
+							[]egraph.ClassID{q, ks[i], vs[i]})
+					})
+				return m.With(c)
+			},
+		}},
+	})
+
+	// Attention is per-row independent in q: a sequence split of q
+	// (with full k, v) concatenates. Used by sequence parallelism.
+	r.Register(&Lemma{
+		Name: "attention-query-seq-split", Kind: KindGeneral, Complexity: 5, LOC: 26,
+		Rules: []*egraph.Rule{{
+			Name: "attention-query-seq-split",
+			LHS: egraph.POp(expr.OpAttention, []egraph.AttrPat{egraph.AVar("h")},
+				egraph.POpN(expr.OpConcat, []egraph.AttrPat{egraph.AInt(0)}, "qs"),
+				egraph.PVar("k"), egraph.PVar("v")),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				h := m.Subst.AttrOf("h")
+				kc, vc := m.Subst.ClassOf("k"), m.Subst.ClassOf("v")
+				c := mapKids(g, expr.OpConcat, []sym.Expr{sym.Const(0)}, "", m.Subst.KidsOf("qs"),
+					func(_ int, q egraph.ClassID) egraph.ClassID {
+						return addAll(g, expr.OpAttention, []sym.Expr{h}, "", []egraph.ClassID{q, kc, vc})
+					})
+				return m.With(c)
+			},
+		}},
+	})
+}
+
+func registerMoE(r *Registry) {
+	// Router probabilities are per-token: sequence splits commute.
+	r.Register(&Lemma{
+		Name: "router-seq-split", Kind: KindGeneral, Complexity: 4, LOC: 18,
+		Rules: []*egraph.Rule{{
+			Name: "router-seq-split",
+			LHS: egraph.POp(expr.OpRouter, nil,
+				egraph.POpN(expr.OpConcat, []egraph.AttrPat{egraph.AInt(0)}, "xs"),
+				egraph.PVar("w")),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				wc := m.Subst.ClassOf("w")
+				c := mapKids(g, expr.OpConcat, []sym.Expr{sym.Const(0)}, "", m.Subst.KidsOf("xs"),
+					func(_ int, x egraph.ClassID) egraph.ClassID {
+						return addAll(g, expr.OpRouter, nil, "", []egraph.ClassID{x, wc})
+					})
+				return m.With(c)
+			},
+		}},
+	})
+
+	// The auxiliary load-balancing loss over a token split is the mean
+	// of per-shard losses: scale(sum(auxloss_i), 1, k) for k equal
+	// shards. Omitting the 1/k scaling is §6.2's bug 2 shape.
+	r.Register(&Lemma{
+		Name: "auxloss-token-split", Kind: KindGeneral, Complexity: 4, LOC: 26,
+		Rules: []*egraph.Rule{{
+			Name: "auxloss-token-split",
+			LHS: egraph.POp(expr.OpAuxLoss, nil,
+				egraph.POpN(expr.OpConcat, []egraph.AttrPat{egraph.AInt(0)}, "ps")),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				ps := m.Subst.KidsOf("ps")
+				exts, _, ok := kidExtents(g, ps, 0)
+				if !ok || !allEqual(g.Ctx, exts) {
+					return nil
+				}
+				sumC := mapKids(g, expr.OpSum, nil, "", ps,
+					func(_ int, p egraph.ClassID) egraph.ClassID {
+						return addAll(g, expr.OpAuxLoss, nil, "", []egraph.ClassID{p})
+					})
+				c := addAll(g, expr.OpScale,
+					[]sym.Expr{sym.Const(1), sym.Const(int64(len(ps)))}, "",
+					[]egraph.ClassID{sumC})
+				return m.With(c)
+			},
+		}},
+	})
+}
+
+func registerLosses(r *Registry) {
+	// Sum-of-squares error is additive over aligned batch splits.
+	r.Register(&Lemma{
+		Name: "sqerr-batch-split", Kind: KindGeneral, Complexity: 4, LOC: 30,
+		Rules: []*egraph.Rule{{
+			Name: "sqerr-batch-split",
+			LHS: egraph.POp(expr.OpSquaredError, nil,
+				egraph.POpN(expr.OpConcat, []egraph.AttrPat{egraph.AInt(0)}, "xs"),
+				egraph.POpN(expr.OpConcat, []egraph.AttrPat{egraph.AInt(0)}, "ts")),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				xs, ts := m.Subst.KidsOf("xs"), m.Subst.KidsOf("ts")
+				if len(xs) != len(ts) {
+					return nil
+				}
+				xe, _, ok := kidExtents(g, xs, 0)
+				if !ok {
+					return nil
+				}
+				te, _, ok := kidExtents(g, ts, 0)
+				if !ok || !pairwiseAligned(g.Ctx, xe, te) {
+					return nil
+				}
+				c := mapKids(g, expr.OpSum, nil, "", xs,
+					func(i int, x egraph.ClassID) egraph.ClassID {
+						return addAll(g, expr.OpSquaredError, nil, "", []egraph.ClassID{x, ts[i]})
+					})
+				return m.With(c)
+			},
+		}},
+	})
+
+	// MSE is the sum of squares scaled by 1/numel (when the element
+	// count is concrete); lets mean-based and sum-based loss spellings
+	// meet in one class.
+	r.Register(&Lemma{
+		Name: "mse-as-scaled-sqerr", Kind: KindGeneral, Complexity: 3, LOC: 24,
+		Rules: []*egraph.Rule{{
+			Name: "mse-as-scaled-sqerr",
+			LHS:  egraph.POp(expr.OpMSELoss, nil, egraph.PVar("x"), egraph.PVar("t")),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				xc := m.Subst.ClassOf("x")
+				s, got := g.ShapeOf(xc)
+				if !got {
+					return nil
+				}
+				numel := int64(1)
+				for _, d := range s {
+					v, isC := d.IsConst()
+					if !isC {
+						return nil
+					}
+					numel *= v
+				}
+				if numel == 0 {
+					return nil
+				}
+				se := addAll(g, expr.OpSquaredError, nil, "",
+					[]egraph.ClassID{xc, m.Subst.ClassOf("t")})
+				c := addAll(g, expr.OpScale, []sym.Expr{sym.Const(1), sym.Const(numel)}, "",
+					[]egraph.ClassID{se})
+				return m.With(c)
+			},
+		}},
+	})
+
+	// Mean-squared error over k equal batch shards is the scaled sum
+	// of per-shard means — gradient accumulation's loss-scaling lemma
+	// (§6.2's bug 6 omits the 1/k).
+	r.Register(&Lemma{
+		Name: "mse-batch-split", Kind: KindGeneral, Complexity: 5, LOC: 36,
+		Rules: []*egraph.Rule{{
+			Name: "mse-batch-split",
+			LHS: egraph.POp(expr.OpMSELoss, nil,
+				egraph.POpN(expr.OpConcat, []egraph.AttrPat{egraph.AInt(0)}, "xs"),
+				egraph.POpN(expr.OpConcat, []egraph.AttrPat{egraph.AInt(0)}, "ts")),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				xs, ts := m.Subst.KidsOf("xs"), m.Subst.KidsOf("ts")
+				if len(xs) != len(ts) {
+					return nil
+				}
+				xe, _, ok := kidExtents(g, xs, 0)
+				if !ok || !allEqual(g.Ctx, xe) {
+					return nil
+				}
+				te, _, ok := kidExtents(g, ts, 0)
+				if !ok || !pairwiseAligned(g.Ctx, xe, te) {
+					return nil
+				}
+				sumC := mapKids(g, expr.OpSum, nil, "", xs,
+					func(i int, x egraph.ClassID) egraph.ClassID {
+						return addAll(g, expr.OpMSELoss, nil, "", []egraph.ClassID{x, ts[i]})
+					})
+				c := addAll(g, expr.OpScale,
+					[]sym.Expr{sym.Const(1), sym.Const(int64(len(xs)))}, "",
+					[]egraph.ClassID{sumC})
+				return m.With(c)
+			},
+		}},
+	})
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func gcd(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}

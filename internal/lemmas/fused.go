@@ -1,0 +1,210 @@
+package lemmas
+
+import (
+	"entangle/internal/egraph"
+	"entangle/internal/expr"
+	"entangle/internal/sym"
+)
+
+// registerVLLM registers lemmas for fused kernels used by serving
+// frameworks (Figure 6's "v"-marked lemmas). The paper adds these when
+// verifying Qwen2 under vLLM, whose kernels fuse residual-add with
+// RMSNorm and SiLU with the gated multiply.
+func registerVLLM(r *Registry) {
+	// fused_add_rmsnorm(x, res, w) = rmsnorm(add(x, res), w): relate
+	// the fused kernel to its unfused semantics, both directions.
+	r.Register(&Lemma{
+		Name: "fused-add-rmsnorm-unfuse", Kind: KindVLLM, Complexity: 4, LOC: 14,
+		Rules: []*egraph.Rule{
+			egraph.Simple("fused-add-rmsnorm-unfuse",
+				egraph.POp(expr.OpFusedAddRMSNorm, nil,
+					egraph.PVar("x"), egraph.PVar("r"), egraph.PVar("w")),
+				egraph.ROp(expr.OpRMSNorm, nil, "",
+					egraph.ROp(expr.OpAdd, nil, "", egraph.RVar("x"), egraph.RVar("r")),
+					egraph.RVar("w"))),
+			egraph.Simple("fused-add-rmsnorm-fuse",
+				egraph.POp(expr.OpRMSNorm, nil,
+					egraph.POp(expr.OpAdd, nil, egraph.PVar("x"), egraph.PVar("r")),
+					egraph.PVar("w")),
+				egraph.ROp(expr.OpFusedAddRMSNorm, nil, "",
+					egraph.RVar("x"), egraph.RVar("r"), egraph.RVar("w"))),
+		},
+	})
+
+	// fused_silu_mul(gate, up) = mul(silu(gate), up), both directions.
+	r.Register(&Lemma{
+		Name: "fused-silu-mul-unfuse", Kind: KindVLLM, Complexity: 3, LOC: 14,
+		Rules: []*egraph.Rule{
+			egraph.Simple("fused-silu-mul-unfuse",
+				egraph.POp(expr.OpFusedSiluMul, nil, egraph.PVar("g"), egraph.PVar("u")),
+				egraph.ROp(expr.OpMul, nil, "",
+					egraph.ROp(expr.OpUnary, nil, "silu", egraph.RVar("g")),
+					egraph.RVar("u"))),
+			egraph.Simple("fused-silu-mul-fuse",
+				egraph.POp(expr.OpMul, nil,
+					&egraph.Pattern{Op: expr.OpUnary, Str: "silu", Kids: []*egraph.Pattern{egraph.PVar("g")}},
+					egraph.PVar("u")),
+				egraph.ROp(expr.OpFusedSiluMul, nil, "", egraph.RVar("g"), egraph.RVar("u"))),
+		},
+	})
+
+	// Direct shard distribution for the fused kernels: derivable from
+	// the unfused lemmas but registered directly, as the paper does,
+	// to keep saturation short on serving graphs.
+	r.Register(&Lemma{
+		Name: "fused-add-rmsnorm-concat", Kind: KindVLLM, Complexity: 5, LOC: 36,
+		Rules: []*egraph.Rule{{
+			Name: "fused-add-rmsnorm-concat",
+			LHS: egraph.POp(expr.OpFusedAddRMSNorm, nil,
+				egraph.POpN(expr.OpConcat, []egraph.AttrPat{egraph.AVar("d")}, "xs"),
+				egraph.POpN(expr.OpConcat, []egraph.AttrPat{egraph.AVar("d")}, "rs"),
+				egraph.PVar("w")),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				xs, rs := m.Subst.KidsOf("xs"), m.Subst.KidsOf("rs")
+				if len(xs) != len(rs) {
+					return nil
+				}
+				d, ok := dimConst(m.Subst.AttrOf("d"))
+				if !ok {
+					return nil
+				}
+				rank, got := g.RankOf(xs[0])
+				if !got || d == rank-1 {
+					return nil
+				}
+				xe, _, ok := kidExtents(g, xs, d)
+				if !ok {
+					return nil
+				}
+				re, _, ok := kidExtents(g, rs, d)
+				if !ok || !pairwiseAligned(g.Ctx, xe, re) {
+					return nil
+				}
+				wc := m.Subst.ClassOf("w")
+				c := mapKids(g, expr.OpConcat, []sym.Expr{sym.Const(int64(d))}, "", xs,
+					func(i int, x egraph.ClassID) egraph.ClassID {
+						return addAll(g, expr.OpFusedAddRMSNorm, nil, "",
+							[]egraph.ClassID{x, rs[i], wc})
+					})
+				return m.With(c)
+			},
+		}},
+	})
+
+	r.Register(&Lemma{
+		Name: "fused-silu-mul-concat", Kind: KindVLLM, Complexity: 4, LOC: 30,
+		Rules: []*egraph.Rule{{
+			Name: "fused-silu-mul-concat",
+			LHS: egraph.POp(expr.OpFusedSiluMul, nil,
+				egraph.POpN(expr.OpConcat, []egraph.AttrPat{egraph.AVar("d")}, "gs"),
+				egraph.POpN(expr.OpConcat, []egraph.AttrPat{egraph.AVar("d")}, "us")),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				gs, us := m.Subst.KidsOf("gs"), m.Subst.KidsOf("us")
+				if len(gs) != len(us) {
+					return nil
+				}
+				d, ok := dimConst(m.Subst.AttrOf("d"))
+				if !ok {
+					return nil
+				}
+				ge, _, ok := kidExtents(g, gs, d)
+				if !ok {
+					return nil
+				}
+				ue, _, ok := kidExtents(g, us, d)
+				if !ok || !pairwiseAligned(g.Ctx, ge, ue) {
+					return nil
+				}
+				c := mapKids(g, expr.OpConcat, []sym.Expr{sym.Const(int64(d))}, "", gs,
+					func(i int, gc egraph.ClassID) egraph.ClassID {
+						return addAll(g, expr.OpFusedSiluMul, nil, "",
+							[]egraph.ClassID{gc, us[i]})
+					})
+				return m.With(c)
+			},
+		}},
+	})
+}
+
+// registerHLO registers lemmas for HLO-flavoured operator spellings
+// (Figure 6's "h"-marked lemmas). The HLO front end maps most HLO ops
+// onto the shared vocabulary — which is why, as the paper observes,
+// HLO models "reuse many of the popular lemmas" — but a few HLO idioms
+// need their own rules.
+func registerHLO(r *Registry) {
+	// HLO's dot with a transposed rhs: matmul(x, transpose(w, 0, 1)) =
+	// transpose(matmul(w, transpose(x, 0, 1)), 0, 1) for rank-2
+	// operands (AᐧBᵀ = (BᐧAᵀ)ᵀ).
+	r.Register(&Lemma{
+		Name: "hlo-dot-transpose", Kind: KindHLO, Complexity: 5, LOC: 30,
+		Rules: []*egraph.Rule{{
+			Name: "hlo-dot-transpose",
+			LHS: egraph.POp(expr.OpMatMul, nil,
+				egraph.PVar("x"),
+				egraph.POp(expr.OpTranspose, []egraph.AttrPat{egraph.AInt(0), egraph.AInt(1)}, egraph.PVar("w"))),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				xc, wc := m.Subst.ClassOf("x"), m.Subst.ClassOf("w")
+				if rk, ok := g.RankOf(xc); !ok || rk != 2 {
+					return nil
+				}
+				if rk, ok := g.RankOf(wc); !ok || rk != 2 {
+					return nil
+				}
+				z, o := sym.Const(0), sym.Const(1)
+				xt := addAll(g, expr.OpTranspose, []sym.Expr{z, o}, "", []egraph.ClassID{xc})
+				mm := addAll(g, expr.OpMatMul, nil, "", []egraph.ClassID{wc, xt})
+				c := addAll(g, expr.OpTranspose, []sym.Expr{z, o}, "", []egraph.ClassID{mm})
+				return m.With(c)
+			},
+		}},
+	})
+
+	// HLO spells row-splits of a transposed weight as transposed
+	// column-splits: transpose(concat(ws, 0), 0, 1) =
+	// concat(transpose(w_i, 0, 1), 1).
+	r.Register(&Lemma{
+		Name: "hlo-transpose-row-concat", Kind: KindHLO, Complexity: 4, LOC: 20,
+		Rules: []*egraph.Rule{{
+			Name: "hlo-transpose-row-concat",
+			LHS: egraph.POp(expr.OpTranspose, []egraph.AttrPat{egraph.AInt(0), egraph.AInt(1)},
+				egraph.POpN(expr.OpConcat, []egraph.AttrPat{egraph.AInt(0)}, "ws")),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				z, o := sym.Const(0), sym.Const(1)
+				c := mapKids(g, expr.OpConcat, []sym.Expr{o}, "", m.Subst.KidsOf("ws"),
+					func(_ int, w egraph.ClassID) egraph.ClassID {
+						return addAll(g, expr.OpTranspose, []sym.Expr{z, o}, "", []egraph.ClassID{w})
+					})
+				return m.With(c)
+			},
+		}},
+	})
+
+	// HLO reduce over the token dim of a concat (used by collective
+	// epilogues emitted by XLA): reduce(concat(xs, d), d) spelled as a
+	// reducesum is covered by the general lemmas; the h-variant here
+	// covers the scaled mean-reduce HLO emits for loss epilogues:
+	// scale(reducesum(concat(xs, d), d), 1, k) over k equal chunks =
+	// scale(sum(reducesum(x_i, d)), 1, k).
+	r.Register(&Lemma{
+		Name: "hlo-mean-reduce-split", Kind: KindHLO, Complexity: 6, LOC: 28,
+		Rules: []*egraph.Rule{{
+			Name: "hlo-mean-reduce-split",
+			LHS: egraph.POp(expr.OpScale, []egraph.AttrPat{egraph.AVar("n"), egraph.AVar("dn")},
+				egraph.POp(expr.OpReduceSum, []egraph.AttrPat{egraph.AVar("dr")},
+					egraph.POpN(expr.OpConcat, []egraph.AttrPat{egraph.AVar("dc")}, "xs"))),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
+				dr, dc := m.Subst.AttrOf("dr"), m.Subst.AttrOf("dc")
+				if !g.Ctx.ProveEQ(dr, dc) {
+					return nil
+				}
+				n, dn := m.Subst.AttrOf("n"), m.Subst.AttrOf("dn")
+				sumC := mapKids(g, expr.OpSum, nil, "", m.Subst.KidsOf("xs"),
+					func(_ int, x egraph.ClassID) egraph.ClassID {
+						return addAll(g, expr.OpReduceSum, []sym.Expr{dr}, "", []egraph.ClassID{x})
+					})
+				c := addAll(g, expr.OpScale, []sym.Expr{n, dn}, "", []egraph.ClassID{sumC})
+				return m.With(c)
+			},
+		}},
+	})
+}

@@ -1,0 +1,118 @@
+package lemmas
+
+import (
+	"entangle/internal/egraph"
+	"entangle/internal/expr"
+	"entangle/internal/sym"
+)
+
+// maxNaryWidth caps the arity that flattening lemmas may create. The
+// evaluation's largest parallelism degree is 8; classes that contain a
+// sum/concat of themselves would otherwise flatten without bound.
+const maxNaryWidth = 12
+
+// Shared helpers for dynamic lemmas. All of them fail soft: when the
+// shape analysis cannot derive what a side condition needs, the lemma
+// simply does not fire (costing completeness, never soundness — §4.3.1
+// makes the same trade).
+
+// dimConst extracts a constant, non-negative dimension index.
+func dimConst(e sym.Expr) (int, bool) {
+	v, ok := e.IsConst()
+	if !ok || v < 0 {
+		return 0, false
+	}
+	return int(v), true
+}
+
+// kidExtents returns each class's extent along dimension d, plus the
+// common rank. All kids must have derivable shapes of the same rank
+// with d in range.
+func kidExtents(g *egraph.EGraph, kids []egraph.ClassID, d int) (exts []sym.Expr, rank int, ok bool) {
+	for i, k := range kids {
+		s, got := g.ShapeOf(k)
+		if !got || d >= len(s) {
+			return nil, 0, false
+		}
+		if i == 0 {
+			rank = len(s)
+		} else if len(s) != rank {
+			return nil, 0, false
+		}
+		exts = append(exts, s[d])
+	}
+	return exts, rank, true
+}
+
+// prefixOffsets returns the running start offsets of chunks with the
+// given extents: [0, e0, e0+e1, …, Σe].
+func prefixOffsets(exts []sym.Expr) []sym.Expr {
+	out := make([]sym.Expr, len(exts)+1)
+	out[0] = sym.Const(0)
+	for i, e := range exts {
+		out[i+1] = out[i].Add(e)
+	}
+	return out
+}
+
+// pairwiseAligned reports whether two chunk lists have provably equal
+// extents position by position.
+func pairwiseAligned(ctx *sym.Context, a, b []sym.Expr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !ctx.ProveEQ(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// allEqual reports whether every extent is provably equal to the first.
+func allEqual(ctx *sym.Context, exts []sym.Expr) bool {
+	for _, e := range exts[1:] {
+		if !ctx.ProveEQ(exts[0], e) {
+			return false
+		}
+	}
+	return true
+}
+
+// allSameClass reports whether every class is the same one.
+func allSameClass(g *egraph.EGraph, kids []egraph.ClassID) bool {
+	for _, k := range kids[1:] {
+		if g.Find(k) != g.Find(kids[0]) {
+			return false
+		}
+	}
+	return true
+}
+
+// rkids wraps concrete classes as RTerm children.
+func rkids(kids []egraph.ClassID) []*egraph.RTerm {
+	out := make([]*egraph.RTerm, len(kids))
+	for i, k := range kids {
+		out[i] = egraph.RClass(k)
+	}
+	return out
+}
+
+// addAll inserts an n-ary node over concrete kid classes.
+func addAll(g *egraph.EGraph, op expr.Op, ints []sym.Expr, str string, kids []egraph.ClassID) egraph.ClassID {
+	c, _ := g.Instantiate(egraph.ROp(op, ints, str, rkids(kids)...), nil, false)
+	return c
+}
+
+// mapKids applies f to each kid class and inserts op over the results.
+func mapKids(g *egraph.EGraph, op expr.Op, ints []sym.Expr, str string,
+	kids []egraph.ClassID, f func(i int, k egraph.ClassID) egraph.ClassID) egraph.ClassID {
+	mapped := make([]egraph.ClassID, len(kids))
+	for i, k := range kids {
+		mapped[i] = f(i, k)
+	}
+	if len(mapped) == 1 {
+		return mapped[0]
+	}
+	return addAll(g, op, ints, str, mapped)
+}

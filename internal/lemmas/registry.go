@@ -1,0 +1,137 @@
+// Package lemmas is ENTANGLE's rewrite-rule library (§4.2.1, §5): the
+// Go analogue of the ~4,100 lines of Rust lemma definitions the paper
+// ships for PyTorch's ATen operators, plus the vLLM- and HLO-specific
+// lemmas its evaluation adds (Figure 6's c/v/h families). Every lemma
+// carries the metadata the paper reports: a kind, a complexity (the
+// number of operators appearing in the lemma, Figure 5a) and a
+// definition size in lines of code (Figure 5b's CDF).
+package lemmas
+
+import (
+	"fmt"
+	"sort"
+
+	"entangle/internal/egraph"
+)
+
+// Kind classifies a lemma the way Figure 6's x-axis does.
+type Kind byte
+
+const (
+	// KindClean lemmas concern operators that can appear in clean
+	// expressions (slice, concat, transpose, …) — marked "c".
+	KindClean Kind = 'c'
+	// KindGeneral lemmas concern ATen compute operators — unmarked in
+	// the paper's heatmap; we print them as "g".
+	KindGeneral Kind = 'g'
+	// KindVLLM lemmas concern fused operators from serving frameworks
+	// — marked "v".
+	KindVLLM Kind = 'v'
+	// KindHLO lemmas concern HLO operators — marked "h".
+	KindHLO Kind = 'h'
+)
+
+// Lemma is one rewrite lemma, possibly realized by several e-graph
+// rules (forward and reverse directions, conditioned branches).
+type Lemma struct {
+	ID         int
+	Name       string
+	Kind       Kind
+	Complexity int // operators appearing on both sides (Figure 5a)
+	LOC        int // lines of definition code (Figure 5b)
+	Rules      []*egraph.Rule
+}
+
+// Registry holds an ordered lemma collection.
+type Registry struct {
+	lemmas []*Lemma
+	byName map[string]*Lemma
+	byRule map[string]*Lemma // rule name → owning lemma
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*Lemma{}, byRule: map[string]*Lemma{}}
+}
+
+// Register appends a lemma, assigning its ID. Rule names are
+// namespaced under the lemma name and must be unique.
+func (r *Registry) Register(l *Lemma) *Lemma {
+	if _, dup := r.byName[l.Name]; dup {
+		panic(fmt.Sprintf("lemmas: duplicate lemma %q", l.Name))
+	}
+	l.ID = len(r.lemmas)
+	r.lemmas = append(r.lemmas, l)
+	r.byName[l.Name] = l
+	for _, rule := range l.Rules {
+		if _, dup := r.byRule[rule.Name]; dup {
+			panic(fmt.Sprintf("lemmas: duplicate rule %q", rule.Name))
+		}
+		r.byRule[rule.Name] = l
+	}
+	return l
+}
+
+// All returns the lemmas in ID order.
+func (r *Registry) All() []*Lemma { return r.lemmas }
+
+// Len returns the number of registered lemmas.
+func (r *Registry) Len() int { return len(r.lemmas) }
+
+// ByName looks a lemma up.
+func (r *Registry) ByName(name string) (*Lemma, bool) {
+	l, ok := r.byName[name]
+	return l, ok
+}
+
+// Rules returns every e-graph rule across all lemmas, in lemma order.
+func (r *Registry) Rules() []*egraph.Rule {
+	var out []*egraph.Rule
+	for _, l := range r.lemmas {
+		out = append(out, l.Rules...)
+	}
+	return out
+}
+
+// LemmaCounts folds per-rule application counts (from egraph.Stats)
+// into per-lemma counts keyed by lemma ID — the quantity the paper's
+// Figure 6 heatmap plots.
+func (r *Registry) LemmaCounts(apps map[string]int) map[int]int {
+	out := map[int]int{}
+	for ruleName, n := range apps {
+		if l, ok := r.byRule[ruleName]; ok {
+			out[l.ID] += n
+		}
+	}
+	return out
+}
+
+// UsedLemmas returns the distinct lemmas with non-zero applications,
+// in ID order (Figure 5a's per-model lemma counts).
+func (r *Registry) UsedLemmas(apps map[string]int) []*Lemma {
+	counts := r.LemmaCounts(apps)
+	var ids []int
+	for id, n := range counts {
+		if n > 0 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	out := make([]*Lemma, len(ids))
+	for i, id := range ids {
+		out[i] = r.lemmas[id]
+	}
+	return out
+}
+
+// Default builds the full lemma library. The registration order fixes
+// lemma IDs: clean/structural first, then general compute, then vLLM
+// fused, then HLO — mirroring the c…v…h layout of Figure 6's x-axis.
+func Default() *Registry {
+	r := NewRegistry()
+	registerClean(r)
+	registerCompute(r)
+	registerVLLM(r)
+	registerHLO(r)
+	return r
+}

@@ -1,0 +1,248 @@
+package models
+
+import (
+	"fmt"
+
+	"entangle/internal/autodiff"
+	"entangle/internal/expr"
+	"entangle/internal/graph"
+	"entangle/internal/relation"
+	"entangle/internal/shape"
+	"entangle/internal/strategy"
+)
+
+// SeedMoEBwd builds the forward+backward ByteDance workload (the
+// paper checks "both the forward and the backward pass" for the
+// internal model, §6.1). The forward pass is a gated MoE MLP with a
+// squared-error training loss; the backward graphs are produced
+// mechanically by internal/autodiff — applied to the sequential graph
+// for G_s and to the hand-distributed EP implementation for G_d, the
+// way torch.autograd differentiates through collectives. Gradients of
+// the expert weights and the input become additional graph outputs.
+func SeedMoEBwd(opt Options) (*Built, error) {
+	opt, err := opt.validated("seedmoe-bwd")
+	if err != nil {
+		return nil, err
+	}
+	c := opt.Cfg
+	if c.Seq == 0 {
+		c = SeedMoEConfig()
+	}
+	if c.Experts%opt.TP != 0 {
+		return nil, fmt.Errorf("models: seedmoe-bwd: experts=%d not divisible by %d", c.Experts, opt.TP)
+	}
+
+	// Sequential forward: x → gated experts → sum → squared error.
+	bs := graph.NewBuilder("seedmoe-bwd-seq", nil)
+	S, H, F := int64(c.Seq), int64(c.Hidden), int64(c.FFN)
+	x := bs.Input("x", shape.Of(S, H))
+	target := bs.Input("target", shape.Of(S, H))
+	var w1s, w2s, gates []graph.TensorID
+	weighted := make([]graph.TensorID, c.Experts)
+	for e := 0; e < c.Experts; e++ {
+		p := func(s string) string { return fmt.Sprintf("expert%d/%s", e, s) }
+		w1 := bs.Input(p("w1"), shape.Of(H, F))
+		w2 := bs.Input(p("w2"), shape.Of(F, H))
+		gate := bs.Input(p("gate"), shape.Of(S, 1))
+		w1s, w2s, gates = append(w1s, w1), append(w2s, w2), append(gates, gate)
+		h := bs.MatMul(p("fc1"), x, w1)
+		act := bs.Unary(p("silu"), "silu", h)
+		o := bs.MatMul(p("fc2"), act, w2)
+		weighted[e] = bs.Mul(p("weighted"), gate, o)
+	}
+	moe := bs.Op("sum", "combine", "combine.out", "", nil, weighted...)
+	loss := bs.SquaredError("loss", moe, target)
+	bs.Output(loss)
+	gsFwd, err := bs.Build()
+	if err != nil {
+		return nil, err
+	}
+	wrt := append(append([]graph.TensorID{}, w1s...), w2s...)
+	wrt = append(wrt, x)
+	gs, gsGrads, err := autodiff.Gradient(gsFwd, loss, wrt)
+	if err != nil {
+		return nil, err
+	}
+	_ = gsGrads
+
+	// Distributed forward (EP over opt.TP ranks), then autodiff.
+	env := strategy.NewEnv(gs, "seedmoe-bwd-dist", opt.TP)
+	R := opt.TP
+	localExperts := c.Experts / R
+	b := env.B
+	xs := env.Shard("x", 0)
+	ts := env.Shard("target", 0)
+	xg := b.AllGather("gather_x", 0, xs...)
+	partials := make([]graph.TensorID, R)
+	var gdW1, gdW2 []graph.TensorID
+	for r := 0; r < R; r++ {
+		var acc graph.TensorID
+		for le := 0; le < localExperts; le++ {
+			e := r*localExperts + le
+			p := func(s string) string { return fmt.Sprintf("expert%d/%s", e, s) }
+			w1 := env.Shared(p("w1"))
+			w2 := env.Shared(p("w2"))
+			gdW1, gdW2 = append(gdW1, w1), append(gdW2, w2)
+			gate := env.Shared(p("gate"))
+			h := b.MatMul(fmt.Sprintf("r%d/%s", r, p("fc1")), xg[r], w1)
+			act := b.Unary(fmt.Sprintf("r%d/%s", r, p("silu")), "silu", h)
+			o := b.MatMul(fmt.Sprintf("r%d/%s", r, p("fc2")), act, w2)
+			wt := b.Mul(fmt.Sprintf("r%d/%s", r, p("weighted")), gate, o)
+			if le == 0 {
+				acc = wt
+			} else {
+				acc = b.Add(fmt.Sprintf("r%d/acc%d", r, le), acc, wt)
+			}
+		}
+		partials[r] = acc
+	}
+	moeShards := b.ReduceScatter("moe/reducescatter", 0, partials...)
+	lossParts := make([]graph.TensorID, R)
+	for r := 0; r < R; r++ {
+		lossParts[r] = b.SquaredError(fmt.Sprintf("r%d/loss", r), moeShards[r], ts[r])
+	}
+	lossAll := b.AllReduce("loss/allreduce", lossParts...)
+	b.Output(lossAll[0])
+	gdFwd, err := env.Build()
+	if err != nil {
+		return nil, err
+	}
+	gdWrt := append(append([]graph.TensorID{}, gdW1...), gdW2...)
+	for r := 0; r < R; r++ {
+		t, _ := gdFwd.TensorByName(fmt.Sprintf("r%d/x", r))
+		gdWrt = append(gdWrt, t.ID)
+	}
+	gd, gdGrads, err := autodiff.Gradient(gdFwd, gdFwd.Outputs[0], gdWrt)
+	if err != nil {
+		return nil, err
+	}
+	_ = gdGrads
+
+	// The backward seed of G_s maps to the backward seed of G_d.
+	seedGs, _ := gs.TensorByName("loss.out.grad")
+	seedGd, ok := gd.TensorByName("loss/allreduce.out0.grad")
+	if !ok || seedGs == nil {
+		return nil, fmt.Errorf("models: seedmoe-bwd: missing backward seeds")
+	}
+	env.Ri.Add(seedGs.ID, relation.GdLeaf(seedGd))
+	env.Derivs[seedGd.Name] = strategy.Derivation{GsInput: seedGs.Name, Kind: strategy.DeriveReplicate}
+
+	// The G_s gradient of a sequence-sharded input concatenates the
+	// per-rank shard gradients: that mapping is what the checker must
+	// discover, so R_i only relates the forward inputs and the seed.
+	return &Built{Name: "SeedMoE-Bwd", Gs: gs, Gd: gd, Ri: env.Ri, Env: env}, nil
+}
+
+// GradSyncModule names the module whose weight gradient needs a
+// synchronizing all-reduce — the three "missing all-reduce in the
+// optimizer" bugs of §6.2 differ only in which module they hit.
+type GradSyncModule string
+
+const (
+	// ModuleLayerNorm is bug 5: a layernorm weight not registered with
+	// the SP-group optimizer (ByteDance).
+	ModuleLayerNorm GradSyncModule = "layernorm_w"
+	// ModuleMoERouter is bug 8: the MoE router weight under TP+SP
+	// (Megatron-LM #599).
+	ModuleMoERouter GradSyncModule = "router_w"
+	// ModuleTELayerNorm is bug 9: TransformerEngine's LayerNorm/RMSNorm
+	// rewrite dropping the SP gradient all-reduce (TE #1528).
+	ModuleTELayerNorm GradSyncModule = "te_layernorm_w"
+)
+
+// GradSync builds the optimizer gradient-synchronization workload used
+// by bugs 5, 8 and 9: a shared elementwise weight (the role a
+// layernorm or router weight plays) applied to sequence-sharded
+// activations, replicated across ranks as distributed optimizers store
+// it. Each rank's backward pass computes only its shard's partial
+// weight gradient; a correct optimizer sums them before stepping.
+// With synced=false that synchronization is omitted.
+//
+// Refinement alone holds either way — the partial gradients still sum
+// cleanly — which is exactly why the paper checks these three bugs
+// against user expectations (§4.4): the user expects each rank's
+// gradient output to already equal the full gradient. The returned
+// Built carries that expectation in ExpectFs/ExpectFd.
+func GradSync(module GradSyncModule, tp int, synced bool) (*Built, error) {
+	if tp <= 0 {
+		tp = 2
+	}
+	c := Config{Seq: 8, Hidden: 4}
+	S, H := int64(c.Seq), int64(c.Hidden)
+	if int(S)%tp != 0 {
+		return nil, fmt.Errorf("models: gradsync: seq %d not divisible by %d", S, tp)
+	}
+
+	bs := graph.NewBuilder("gradsync-seq", nil)
+	x := bs.Input("x", shape.Of(S, H))
+	w := bs.Input(string(module), shape.Of(1, H))
+	target := bs.Input("target", shape.Of(S, H))
+	y := bs.Mul("apply_weight", w, x)
+	loss := bs.SquaredError("loss", y, target)
+	bs.Output(loss)
+	gsFwd, err := bs.Build()
+	if err != nil {
+		return nil, err
+	}
+	gs, gsGrads, err := autodiff.Gradient(gsFwd, loss, []graph.TensorID{w})
+	if err != nil {
+		return nil, err
+	}
+
+	env := strategy.NewEnv(gs, "gradsync-dist", tp)
+	b := env.B
+	xs := env.Shard("x", 0)
+	ts := env.Shard("target", 0)
+	ws := env.Replicate(string(module))
+	lossParts := make([]graph.TensorID, tp)
+	for r := 0; r < tp; r++ {
+		yr := b.Mul(fmt.Sprintf("r%d/apply_weight", r), ws[r], xs[r])
+		lossParts[r] = b.SquaredError(fmt.Sprintf("r%d/loss", r), yr, ts[r])
+	}
+	lossAll := b.AllReduce("loss/allreduce", lossParts...)
+	b.Output(lossAll[0])
+	gdFwd, err := env.Build()
+	if err != nil {
+		return nil, err
+	}
+	gd, gdGrads, err := autodiff.Gradient(gdFwd, gdFwd.Outputs[0], ws)
+	if err != nil {
+		return nil, err
+	}
+
+	// The optimizer's gradient step: with synchronization, the summed
+	// gradient replaces each rank's raw partial in the outputs.
+	gradOuts := make([]graph.TensorID, tp)
+	for r := 0; r < tp; r++ {
+		gradOuts[r] = gdGrads[ws[r]]
+	}
+	// Gradient() appended the raw per-rank grads as outputs; keep only
+	// the loss, then re-append the optimizer-visible gradients.
+	gd.Outputs = gd.Outputs[:1]
+	if synced {
+		total, err := gd.Append(expr.OpSum, "optimizer/grad_sync",
+			"optimizer/grad_sync.out", "", nil, gradOuts...)
+		if err != nil {
+			return nil, err
+		}
+		gd.Outputs = append(gd.Outputs, total)
+		gradOuts = []graph.TensorID{total}
+	} else {
+		gd.Outputs = append(gd.Outputs, gradOuts...)
+	}
+	if err := gd.Validate(); err != nil {
+		return nil, err
+	}
+
+	seedGs, _ := gs.TensorByName("loss.out.grad")
+	seedGd, _ := gd.TensorByName("loss/allreduce.out0.grad")
+	env.Ri.Add(seedGs.ID, relation.GdLeaf(seedGd))
+	env.Derivs[seedGd.Name] = strategy.Derivation{GsInput: seedGs.Name, Kind: strategy.DeriveReplicate}
+
+	// User expectation: the sequential weight gradient equals rank 0's
+	// optimizer-visible gradient output, with no extra combination.
+	built := &Built{Name: "GradSync/" + string(module), Gs: gs, Gd: gd, Ri: env.Ri, Env: env}
+	built.ExpectFs = relation.GsLeaf(gs.Tensor(gsGrads[w]))
+	built.ExpectFd = relation.GdLeaf(gd.Tensor(gradOuts[0]))
+	return built, nil
+}

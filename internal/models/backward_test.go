@@ -1,0 +1,85 @@
+package models
+
+import (
+	"errors"
+	"testing"
+
+	"entangle/internal/core"
+)
+
+func TestRegressionRefines(t *testing.T) {
+	b, err := Regression(Options{GradAccum: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := verify(t, b)
+	diffTest(t, b, report, 31)
+}
+
+func TestRegressionFourMicrobatches(t *testing.T) {
+	b, err := Regression(Options{GradAccum: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := verify(t, b)
+	diffTest(t, b, report, 32)
+}
+
+func TestRegressionBug6Detected(t *testing.T) {
+	b, err := Regression(Options{GradAccum: 2, Bug: Bug6GradAccumScale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = core.NewChecker(core.Options{}).Check(b.Gs, b.Gd, b.Ri)
+	var re *core.RefinementError
+	if !errors.As(err, &re) {
+		t.Fatalf("bug 6 must be detected, got %v", err)
+	}
+	if re.Op.Label != "mse" {
+		t.Fatalf("bug 6 localized to %q, want mse (the unscaled accumulated loss)", re.Op.Label)
+	}
+}
+
+func TestSeedMoEBwdRefines(t *testing.T) {
+	b, err := SeedMoEBwd(Options{TP: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := verify(t, b)
+	diffTest(t, b, report, 33)
+}
+
+func TestGradSyncSyncedMeetsExpectation(t *testing.T) {
+	for _, mod := range []GradSyncModule{ModuleLayerNorm, ModuleMoERouter, ModuleTELayerNorm} {
+		b, err := GradSync(mod, 2, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Plain refinement holds.
+		verify(t, b)
+		// And the §4.4 expectation holds too.
+		err = core.NewChecker(core.Options{}).CheckExpectation(b.Gs, b.Gd, b.Ri,
+			core.Expectation{Fs: b.ExpectFs, Fd: b.ExpectFd})
+		if err != nil {
+			t.Fatalf("%s synced: expectation should hold: %v", mod, err)
+		}
+	}
+}
+
+func TestGradSyncUnsyncedViolatesExpectation(t *testing.T) {
+	// Bugs 5, 8, 9: plain refinement still holds (partial gradients
+	// sum cleanly), but the user expectation is violated.
+	for _, mod := range []GradSyncModule{ModuleLayerNorm, ModuleMoERouter, ModuleTELayerNorm} {
+		b, err := GradSync(mod, 2, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		verify(t, b)
+		err = core.NewChecker(core.Options{}).CheckExpectation(b.Gs, b.Gd, b.Ri,
+			core.Expectation{Fs: b.ExpectFs, Fd: b.ExpectFd})
+		var ee *core.ExpectationError
+		if !errors.As(err, &ee) {
+			t.Fatalf("%s unsynced: expectation must be violated, got %v", mod, err)
+		}
+	}
+}

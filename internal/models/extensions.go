@@ -1,0 +1,231 @@
+package models
+
+import (
+	"fmt"
+
+	"entangle/internal/autodiff"
+	"entangle/internal/expr"
+	"entangle/internal/graph"
+	"entangle/internal/relation"
+	"entangle/internal/shape"
+	"entangle/internal/strategy"
+	"entangle/internal/sym"
+)
+
+// The paper's §6.1 notes that data parallelism and pipeline
+// parallelism could not be evaluated "because of limitations of the
+// graph capturing tool" (TorchDynamo's contiguous buffers and
+// intermediate leaf tensors). Our capture substrate has no such
+// limitation, so this file implements all three remaining §2.1
+// strategies — DP, PP, and CP — as checkable workloads.
+
+// DataParallel builds the data-parallelism workload: R replicas each
+// train on a batch shard with a replicated weight; the loss is the
+// batch mean and the weight gradients are all-reduced (DDP). The
+// forward+backward graphs come from internal/autodiff on both sides.
+// With synced=false the gradient all-reduce is omitted; as with the
+// optimizer bugs, plain refinement still holds and the defect is
+// caught by the ExpectFs/ExpectFd user expectation.
+func DataParallel(replicas int, synced bool) (*Built, error) {
+	if replicas <= 0 {
+		replicas = 2
+	}
+	c := Config{Seq: 8, Hidden: 4, FFN: 2}
+	if c.Seq%replicas != 0 {
+		return nil, fmt.Errorf("models: dp: batch %d not divisible by %d replicas", c.Seq, replicas)
+	}
+
+	// Sequential: full-batch training step.
+	bs := graph.NewBuilder("dp-seq", nil)
+	B, D, O := int64(c.Seq), int64(c.Hidden), int64(c.FFN)
+	x := bs.Input("x", shape.Of(B, D))
+	w := bs.Input("w", shape.Of(D, O))
+	target := bs.Input("target", shape.Of(B, O))
+	pred := bs.MatMul("linear", x, w)
+	// Sum-reduction loss: with a mean loss, the 1/R factor would sit
+	// at different positions in the two backward graphs, violating the
+	// paper's same-operation-order assumption (§3.3) and producing the
+	// documented false-alarm class. Summed losses keep both backward
+	// graphs aligned — the choice frameworks make for the same reason.
+	loss := bs.SquaredError("loss", pred, target)
+	bs.Output(loss)
+	gsFwd, err := bs.Build()
+	if err != nil {
+		return nil, err
+	}
+	gs, gsGrads, err := autodiff.Gradient(gsFwd, loss, []graph.TensorID{w})
+	if err != nil {
+		return nil, err
+	}
+
+	// Distributed: per-replica shards, replicated weight, scaled
+	// per-replica losses all-reduced into the batch mean.
+	env := strategy.NewEnv(gs, "dp-dist", replicas)
+	b := env.B
+	xs := env.Shard("x", 0)
+	ts := env.Shard("target", 0)
+	ws := env.Replicate("w")
+	lossParts := make([]graph.TensorID, replicas)
+	for r := 0; r < replicas; r++ {
+		p := b.MatMul(fmt.Sprintf("r%d/linear", r), xs[r], ws[r])
+		lossParts[r] = b.SquaredError(fmt.Sprintf("r%d/loss", r), p, ts[r])
+	}
+	lossAll := b.AllReduce("loss/allreduce", lossParts...)
+	b.Output(lossAll[0])
+	gdFwd, err := env.Build()
+	if err != nil {
+		return nil, err
+	}
+	gd, gdGrads, err := autodiff.Gradient(gdFwd, gdFwd.Outputs[0], ws)
+	if err != nil {
+		return nil, err
+	}
+
+	gradOuts := make([]graph.TensorID, replicas)
+	for r := 0; r < replicas; r++ {
+		gradOuts[r] = gdGrads[ws[r]]
+	}
+	gd.Outputs = gd.Outputs[:1]
+	if synced {
+		total, err := gd.Append(expr.OpSum, "ddp/grad_allreduce",
+			"ddp/grad_allreduce.out", "", nil, gradOuts...)
+		if err != nil {
+			return nil, err
+		}
+		gd.Outputs = append(gd.Outputs, total)
+		gradOuts = []graph.TensorID{total}
+	} else {
+		gd.Outputs = append(gd.Outputs, gradOuts...)
+	}
+	if err := gd.Validate(); err != nil {
+		return nil, err
+	}
+
+	seedGs, _ := gs.TensorByName("loss.out.grad")
+	seedGd, _ := gd.TensorByName("loss/allreduce.out0.grad")
+	env.Ri.Add(seedGs.ID, relation.GdLeaf(seedGd))
+	env.Derivs[seedGd.Name] = strategy.Derivation{GsInput: seedGs.Name, Kind: strategy.DeriveReplicate}
+
+	built := &Built{Name: "DataParallel", Gs: gs, Gd: gd, Ri: env.Ri, Env: env}
+	built.ExpectFs = relation.GsLeaf(gs.Tensor(gsGrads[w]))
+	built.ExpectFd = relation.GdLeaf(gd.Tensor(gradOuts[0]))
+	return built, nil
+}
+
+// Pipeline builds the pipeline-parallelism workload: a two-stage MLP
+// whose layers live on different pipeline stages, with the batch split
+// into microbatches whose losses are accumulated (1F1B's numerical
+// effect). Stage boundaries are ordinary tensors in the captured
+// graph, so the checker sees the whole pipeline at once.
+func Pipeline(microbatches int, buggyScaling bool) (*Built, error) {
+	if microbatches <= 0 {
+		microbatches = 2
+	}
+	c := Config{Seq: 8, Hidden: 4, FFN: 6}
+	if c.Seq%microbatches != 0 {
+		return nil, fmt.Errorf("models: pp: batch %d not divisible by %d microbatches", c.Seq, microbatches)
+	}
+	B, D, F := int64(c.Seq), int64(c.Hidden), int64(c.FFN)
+
+	bs := graph.NewBuilder("pp-seq", nil)
+	x := bs.Input("x", shape.Of(B, D))
+	w1 := bs.Input("stage0/w", shape.Of(D, F))
+	w2 := bs.Input("stage1/w", shape.Of(F, D))
+	target := bs.Input("target", shape.Of(B, D))
+	h := bs.MatMul("stage0/fc", x, w1)
+	a := bs.Unary("stage0/act", "gelu", h)
+	y := bs.MatMul("stage1/fc", a, w2)
+	loss := bs.MSELoss("stage1/loss", y, target)
+	bs.Output(loss)
+	gs, err := bs.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	env := strategy.NewEnv(gs, "pp-dist", microbatches)
+	b := env.B
+	xs := env.Shard("x", 0)
+	ts := env.Shard("target", 0)
+	w1d := env.Shared("stage0/w")
+	w2d := env.Shared("stage1/w")
+	losses := make([]graph.TensorID, microbatches)
+	for m := 0; m < microbatches; m++ {
+		// Stage 0 on pipeline rank 0, stage 1 on rank 1; the
+		// activation crossing is the stage boundary tensor.
+		hm := b.MatMul(fmt.Sprintf("mb%d/stage0/fc", m), xs[m], w1d)
+		am := b.Unary(fmt.Sprintf("mb%d/stage0/act", m), "gelu", hm)
+		ym := b.MatMul(fmt.Sprintf("mb%d/stage1/fc", m), am, w2d)
+		lm := b.MSELoss(fmt.Sprintf("mb%d/stage1/loss", m), ym, ts[m])
+		if !buggyScaling {
+			lm = b.Scale(fmt.Sprintf("mb%d/stage1/loss_scale", m), lm, 1, int64(microbatches))
+		}
+		losses[m] = lm
+	}
+	total := b.Op("sum", "accumulate", "accumulate.out", "", nil, losses...)
+	b.Output(total)
+	gd, err := env.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Built{Name: "Pipeline", Gs: gs, Gd: gd, Ri: env.Ri, Env: env}, nil
+}
+
+// ContextParallel builds the context-parallelism workload (blockwise /
+// ring attention's numerical contract): queries are sequence-sharded
+// per rank while keys and values stay whole, so each rank attends its
+// context block against the full sequence.
+func ContextParallel(ranks int) (*Built, error) {
+	if ranks <= 0 {
+		ranks = 2
+	}
+	c := Config{Seq: 8, Hidden: 16, Heads: 4}
+	if c.Seq%ranks != 0 {
+		return nil, fmt.Errorf("models: cp: seq %d not divisible by %d", c.Seq, ranks)
+	}
+	S, H := int64(c.Seq), int64(c.Hidden)
+
+	bs := graph.NewBuilder("cp-seq", nil)
+	x := bs.Input("x", shape.Of(S, H))
+	qw := bs.Input("q_w", shape.Of(H, H))
+	kw := bs.Input("k_w", shape.Of(H, H))
+	vw := bs.Input("v_w", shape.Of(H, H))
+	q := bs.MatMul("q", x, qw)
+	k := bs.MatMul("k", x, kw)
+	v := bs.MatMul("v", x, vw)
+	attn := bs.Attention("attn", q, k, v, int64(c.Heads))
+	bs.Output(attn)
+	gs, err := bs.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	env := strategy.NewEnv(gs, "cp-dist", ranks)
+	b := env.B
+	xs := env.Shard("x", 0)
+	qwD := env.Shared("q_w")
+	kwD := env.Shared("k_w")
+	vwD := env.Shared("v_w")
+	// Each rank projects its context block; k/v are gathered to the
+	// full sequence (the ring exchange's fixed point).
+	qLocal := make([]graph.TensorID, ranks)
+	kLocal := make([]graph.TensorID, ranks)
+	vLocal := make([]graph.TensorID, ranks)
+	for r := 0; r < ranks; r++ {
+		qLocal[r] = b.MatMul(fmt.Sprintf("r%d/q", r), xs[r], qwD)
+		kLocal[r] = b.MatMul(fmt.Sprintf("r%d/k", r), xs[r], kwD)
+		vLocal[r] = b.MatMul(fmt.Sprintf("r%d/v", r), xs[r], vwD)
+	}
+	kFull := b.AllGather("k/allgather", 0, kLocal...)
+	vFull := b.AllGather("v/allgather", 0, vLocal...)
+	outs := make([]graph.TensorID, ranks)
+	for r := 0; r < ranks; r++ {
+		outs[r] = b.Attention(fmt.Sprintf("r%d/attn", r), qLocal[r], kFull[r], vFull[r], int64(c.Heads))
+	}
+	b.Output(outs...)
+	gd, err := env.Build()
+	if err != nil {
+		return nil, err
+	}
+	_ = sym.Const
+	return &Built{Name: "ContextParallel", Gs: gs, Gd: gd, Ri: env.Ri, Env: env}, nil
+}

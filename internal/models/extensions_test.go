@@ -1,0 +1,97 @@
+package models
+
+import (
+	"errors"
+	"testing"
+
+	"entangle/internal/core"
+)
+
+func TestDataParallelSynced(t *testing.T) {
+	b, err := DataParallel(2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := verify(t, b)
+	diffTest(t, b, report, 41)
+	// DDP-synced grads also meet the §4.4 expectation.
+	err = core.NewChecker(core.Options{}).CheckExpectation(b.Gs, b.Gd, b.Ri,
+		core.Expectation{Fs: b.ExpectFs, Fd: b.ExpectFd})
+	if err != nil {
+		t.Fatalf("synced DP expectation should hold: %v", err)
+	}
+}
+
+func TestDataParallelUnsyncedViolatesExpectation(t *testing.T) {
+	b, err := DataParallel(2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify(t, b) // plain refinement still holds
+	err = core.NewChecker(core.Options{}).CheckExpectation(b.Gs, b.Gd, b.Ri,
+		core.Expectation{Fs: b.ExpectFs, Fd: b.ExpectFd})
+	var ee *core.ExpectationError
+	if !errors.As(err, &ee) {
+		t.Fatalf("unsynced DP must violate the expectation, got %v", err)
+	}
+}
+
+func TestDataParallelFourReplicas(t *testing.T) {
+	b, err := DataParallel(4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := verify(t, b)
+	diffTest(t, b, report, 42)
+}
+
+func TestPipelineRefines(t *testing.T) {
+	b, err := Pipeline(2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := verify(t, b)
+	diffTest(t, b, report, 43)
+}
+
+func TestPipelineFourMicrobatches(t *testing.T) {
+	b, err := Pipeline(4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := verify(t, b)
+	diffTest(t, b, report, 44)
+}
+
+func TestPipelineBuggyScalingDetected(t *testing.T) {
+	b, err := Pipeline(2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = core.NewChecker(core.Options{}).Check(b.Gs, b.Gd, b.Ri)
+	var re *core.RefinementError
+	if !errors.As(err, &re) {
+		t.Fatalf("unscaled pipeline losses must fail refinement, got %v", err)
+	}
+	if re.Op.Label != "stage1/loss" {
+		t.Fatalf("localized to %q, want stage1/loss", re.Op.Label)
+	}
+}
+
+func TestContextParallelRefines(t *testing.T) {
+	b, err := ContextParallel(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := verify(t, b)
+	diffTest(t, b, report, 45)
+}
+
+func TestContextParallelFourRanks(t *testing.T) {
+	b, err := ContextParallel(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := verify(t, b)
+	diffTest(t, b, report, 46)
+}

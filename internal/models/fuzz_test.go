@@ -1,0 +1,223 @@
+package models
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"entangle/internal/core"
+	"entangle/internal/graph"
+	"entangle/internal/numeric"
+	"entangle/internal/relation"
+	"entangle/internal/shape"
+	"entangle/internal/strategy"
+	"entangle/internal/sym"
+)
+
+// End-to-end checker fuzzing: generate random sequential chains
+// (linear layers, activations, norms, residuals), distribute them with
+// randomly chosen strategies per layer (column-parallel, row-parallel
+// with all-reduce or reduce-scatter, sequence-sharded elementwise),
+// verify refinement, and numerically validate every emitted mapping —
+// outputs AND intermediates. Any unsound lemma, checker bug, or
+// strategy-relation mismatch fails here.
+
+type fuzzModel struct {
+	gs  *graph.Graph
+	env *strategy.Env
+}
+
+// buildFuzzModel creates a random depth-layer chain over [S, H]
+// activations and its distributed twin with degree R.
+func buildFuzzModel(rng *rand.Rand, depth, R int) (*fuzzModel, error) {
+	const S, H = 8, 16
+	bs := graph.NewBuilder("fuzz-seq", nil)
+	x := bs.Input("x", shape.Of(S, H))
+
+	type layer struct {
+		kind int // 0 unary, 1 col+row linear pair, 2 rmsnorm, 3 residual-unary
+	}
+	layers := make([]layer, depth)
+	for i := range layers {
+		layers[i] = layer{kind: rng.Intn(4)}
+	}
+
+	cur := x
+	for i, l := range layers {
+		p := func(s string) string { return fmt.Sprintf("L%d/%s", i, s) }
+		switch l.kind {
+		case 0:
+			names := []string{"gelu", "silu", "relu", "tanh"}
+			cur = bs.Unary(p("act"), names[rng.Intn(len(names))], cur)
+		case 1:
+			w1 := bs.Input(p("w1"), shape.Of(H, 2*H))
+			w2 := bs.Input(p("w2"), shape.Of(2*H, H))
+			h := bs.MatMul(p("fc1"), cur, w1)
+			a := bs.Unary(p("mid"), "gelu", h)
+			cur = bs.MatMul(p("fc2"), a, w2)
+		case 2:
+			w := bs.Input(p("norm_w"), shape.Of(H))
+			cur = bs.RMSNorm(p("norm"), cur, w)
+		case 3:
+			u := bs.Unary(p("res_act"), "silu", cur)
+			cur = bs.Add(p("res"), cur, u)
+		}
+	}
+	bs.Output(cur)
+	gs, err := bs.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	// Distributed twin: sequence-sharded activations throughout; the
+	// linear pair is col-parallel then row-parallel with a randomly
+	// chosen reduction style.
+	env := strategy.NewEnv(gs, "fuzz-dist", R)
+	b := env.B
+	xs := env.Shard("x", 0)
+	curD := xs
+	seqSharded := true
+	for i, l := range layers {
+		p := func(s string) string { return fmt.Sprintf("L%d/%s", i, s) }
+		switch l.kind {
+		case 0:
+			name := gs.Nodes[0].Str // placeholder; resolved below
+			_ = name
+			// find the unary name from the sequential graph by label
+			fn := unaryName(gs, p("act"))
+			for r := 0; r < R; r++ {
+				curD[r] = b.Unary(fmt.Sprintf("r%d/%s", r, p("act")), fn, curD[r])
+			}
+		case 1:
+			in := curD
+			if seqSharded {
+				in = env.AllGatherSeq(p("gather"), curD)
+			}
+			h := env.ColumnParallelLinear(p("fc1"), in, p("w1"))
+			a := make([]graph.TensorID, R)
+			for r := 0; r < R; r++ {
+				a[r] = b.Unary(fmt.Sprintf("r%d/%s", r, p("mid")), "gelu", h[r])
+			}
+			mode := strategy.ReduceScatterSeq
+			seqSharded = true
+			if rng.Intn(2) == 0 {
+				mode = strategy.ReduceAllReduce
+				seqSharded = false
+				// re-scatter to keep the chain sequence-sharded
+			}
+			out := env.RowParallelLinear(p("fc2"), a, p("w2"), mode)
+			if !seqSharded {
+				chunk := int64(8 / R)
+				for r := 0; r < R; r++ {
+					out[r] = b.Slice(fmt.Sprintf("r%d/%s", r, p("scatter")), out[r],
+						sym.Const(0), sym.Const(int64(r)*chunk), sym.Const(int64(r+1)*chunk))
+				}
+				seqSharded = true
+			}
+			curD = out
+		case 2:
+			w := env.Shared(p("norm_w"))
+			for r := 0; r < R; r++ {
+				curD[r] = b.RMSNorm(fmt.Sprintf("r%d/%s", r, p("norm")), curD[r], w)
+			}
+		case 3:
+			for r := 0; r < R; r++ {
+				u := b.Unary(fmt.Sprintf("r%d/%s", r, p("res_act")), "silu", curD[r])
+				curD[r] = b.Add(fmt.Sprintf("r%d/%s", r, p("res")), curD[r], u)
+			}
+		}
+	}
+	b.Output(curD...)
+	if _, err := env.Build(); err != nil {
+		return nil, err
+	}
+	return &fuzzModel{gs: gs, env: env}, nil
+}
+
+func unaryName(g *graph.Graph, label string) string {
+	for _, n := range g.Nodes {
+		if n.Label == label {
+			return n.Str
+		}
+	}
+	return "gelu"
+}
+
+func TestFuzzCheckerEndToEnd(t *testing.T) {
+	trials := 40
+	if testing.Short() {
+		trials = 8
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(5000 + trial)))
+		depth := 1 + rng.Intn(4)
+		fm, err := buildFuzzModel(rng, depth, 2)
+		if err != nil {
+			t.Fatalf("trial %d: build: %v", trial, err)
+		}
+		gd := fm.env.B.Graph()
+		report, err := core.NewChecker(core.Options{}).Check(fm.gs, gd, fm.env.Ri)
+		if err != nil {
+			t.Fatalf("trial %d (depth %d): refinement failed: %v", trial, depth, err)
+		}
+
+		// Numeric validation of EVERY mapping, intermediates included.
+		gsIn := map[string]*numeric.Dense{}
+		for _, in := range fm.gs.Inputs {
+			tt := fm.gs.Tensor(in)
+			dims, _ := tt.Shape.Concrete(nil)
+			gsIn[tt.Name] = numeric.Rand(rng, dims...)
+		}
+		gsVals, err := numeric.EvalGraph(fm.gs, gsIn, nil)
+		if err != nil {
+			t.Fatalf("trial %d: eval G_s: %v", trial, err)
+		}
+		gdIn, err := fm.env.SplitInputs(gsIn)
+		if err != nil {
+			t.Fatalf("trial %d: split: %v", trial, err)
+		}
+		gdVals, err := numeric.EvalGraph(gd, gdIn, nil)
+		if err != nil {
+			t.Fatalf("trial %d: eval G_d: %v", trial, err)
+		}
+		lookup := func(tid int) (*numeric.Dense, error) {
+			if !relation.IsGd(tid) {
+				return nil, errors.New("G_s leaf in mapping")
+			}
+			v, ok := gdVals[relation.GdTensorID(tid)]
+			if !ok {
+				return nil, errors.New("missing value")
+			}
+			return v, nil
+		}
+		for _, id := range report.FullRelation.Tensors() {
+			for _, m := range report.FullRelation.Get(id) {
+				got, err := numeric.EvalTerm(m, nil, lookup)
+				if err != nil {
+					t.Fatalf("trial %d: eval mapping %s = %s: %v",
+						trial, fm.gs.Tensor(id).Name, m, err)
+				}
+				if !numeric.AllClose(gsVals[id], got, 1e-9) {
+					t.Fatalf("trial %d: UNSOUND mapping %s = %s (max diff %g)",
+						trial, fm.gs.Tensor(id).Name, m,
+						numeric.MaxAbsDiff(gsVals[id], got))
+				}
+			}
+		}
+	}
+}
+
+func TestFuzzCheckerDegree4(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		rng := rand.New(rand.NewSource(int64(7000 + trial)))
+		fm, err := buildFuzzModel(rng, 1+rng.Intn(3), 4)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		gd := fm.env.B.Graph()
+		if _, err := core.NewChecker(core.Options{}).Check(fm.gs, gd, fm.env.Ri); err != nil {
+			t.Fatalf("trial %d: degree-4 refinement failed: %v", trial, err)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package models
+
+import (
+	"fmt"
+
+	"entangle/internal/graph"
+	"entangle/internal/shape"
+	"entangle/internal/strategy"
+)
+
+// LlamaConfig sizes the Llama-3 workload. Heads = 8 is deliberately
+// not divisible by 6: Figure 4 notes "there is no data for parallelism
+// size 6, because some component cannot be evenly partitioned by 6",
+// and this config reproduces that gap.
+func LlamaConfig() Config {
+	return Config{Seq: 16, Hidden: 32, Heads: 8, FFN: 64, Vocab: 32, Layers: 1}
+}
+
+// Llama builds the Llama-3 workload (Transformers-NeuronX in Table 2):
+// RMSNorm, rotary attention, SwiGLU MLP, distributed with tensor
+// parallelism. The HLO front end (internal/hlo) round-trips these
+// graphs to exercise the paper's XLA capture path.
+func Llama(opt Options) (*Built, error) {
+	opt, err := opt.validated("llama")
+	if err != nil {
+		return nil, err
+	}
+	c := opt.Cfg
+	if c.Seq == 0 {
+		c = LlamaConfig()
+		if opt.Cfg.Layers > 0 {
+			c.Layers = opt.Cfg.Layers
+		}
+	}
+	if c.Heads%opt.TP != 0 {
+		return nil, fmt.Errorf("models: llama: heads=%d not divisible by parallelism %d", c.Heads, opt.TP)
+	}
+	gs, err := llamaSequential(c, false)
+	if err != nil {
+		return nil, err
+	}
+	env := strategy.NewEnv(gs, "llama-dist", opt.TP)
+	if err := llamaDistributed(env, c, opt, false); err != nil {
+		return nil, err
+	}
+	gd, err := env.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Built{Name: "Llama-3", Gs: gs, Gd: gd, Ri: env.Ri, Env: env}, nil
+}
+
+// Qwen2 builds the vLLM Qwen2 workload: the same architecture family
+// as Llama but spelled with vLLM's fused kernels (fused_add_rmsnorm,
+// fused_silu_mul), exercising the v-lemma family of Figure 6.
+func Qwen2(opt Options) (*Built, error) {
+	opt, err := opt.validated("qwen2")
+	if err != nil {
+		return nil, err
+	}
+	c := opt.Cfg
+	if c.Seq == 0 {
+		c = LlamaConfig()
+		if opt.Cfg.Layers > 0 {
+			c.Layers = opt.Cfg.Layers
+		}
+	}
+	gs, err := llamaSequential(c, true)
+	if err != nil {
+		return nil, err
+	}
+	env := strategy.NewEnv(gs, "qwen2-dist", opt.TP)
+	if err := llamaDistributed(env, c, opt, true); err != nil {
+		return nil, err
+	}
+	gd, err := env.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Built{Name: "Qwen2", Gs: gs, Gd: gd, Ri: env.Ri, Env: env}, nil
+}
+
+// llamaSequential builds the sequential Llama/Qwen2 graph; fused
+// selects the vLLM kernel spelling (§3.3's assumption 1 requires the
+// same spelling in both graphs, so the flag applies to G_s and G_d
+// alike).
+func llamaSequential(c Config, fused bool) (*graph.Graph, error) {
+	name := "llama-seq"
+	if fused {
+		name = "qwen2-seq"
+	}
+	b := graph.NewBuilder(name, nil)
+	S, H, F, V := int64(c.Seq), int64(c.Hidden), int64(c.FFN), int64(c.Vocab)
+	ids := b.Input("ids", shape.Of(S))
+	emb := b.Input("emb_w", shape.Of(V, H))
+	cos := b.Input("rope_cos", shape.Of(S, H))
+	sin := b.Input("rope_sin", shape.Of(S, H))
+	x := b.Embedding("embed", emb, ids)
+	for l := 0; l < c.Layers; l++ {
+		p := func(s string) string { return fmt.Sprintf("L%d/%s", l, s) }
+		rms1 := b.Input(p("rms1_w"), shape.Of(H))
+		qw := b.Input(p("q_w"), shape.Of(H, H))
+		kw := b.Input(p("k_w"), shape.Of(H, H))
+		vw := b.Input(p("v_w"), shape.Of(H, H))
+		ow := b.Input(p("o_w"), shape.Of(H, H))
+		rms2 := b.Input(p("rms2_w"), shape.Of(H))
+		gatew := b.Input(p("gate_w"), shape.Of(H, F))
+		upw := b.Input(p("up_w"), shape.Of(H, F))
+		downw := b.Input(p("down_w"), shape.Of(F, H))
+
+		a := b.RMSNorm(p("rms1"), x, rms1)
+		q := b.MatMul(p("q"), a, qw)
+		k := b.MatMul(p("k"), a, kw)
+		v := b.MatMul(p("v"), a, vw)
+		qr := b.RoPE(p("rope_q"), q, cos, sin)
+		kr := b.RoPE(p("rope_k"), k, cos, sin)
+		attn := b.Attention(p("attn"), qr, kr, v, int64(c.Heads))
+		proj := b.MatMul(p("o"), attn, ow)
+		res1 := b.Add(p("res1"), x, proj)
+
+		var m graph.TensorID
+		if fused {
+			m = b.Op("fused_add_rmsnorm", p("rms2"), p("rms2")+".out", "", nil, proj, x, rms2)
+		} else {
+			m = b.RMSNorm(p("rms2"), res1, rms2)
+		}
+		gate := b.MatMul(p("gate"), m, gatew)
+		up := b.MatMul(p("up"), m, upw)
+		var h graph.TensorID
+		if fused {
+			h = b.Op("fused_silu_mul", p("swiglu"), p("swiglu")+".out", "", nil, gate, up)
+		} else {
+			act := b.Unary(p("silu"), "silu", gate)
+			h = b.Mul(p("swiglu"), act, up)
+		}
+		down := b.MatMul(p("down"), h, downw)
+		x = b.Add(p("res2"), res1, down)
+	}
+	frms := b.Input("final_rms_w", shape.Of(H))
+	lm := b.Input("lm_w", shape.Of(H, V))
+	f := b.RMSNorm("final_rms", x, frms)
+	logits := b.MatMul("lm_head", f, lm)
+	b.Output(logits)
+	return b.Build()
+}
+
+func llamaDistributed(e *strategy.Env, c Config, opt Options, fused bool) error {
+	R := e.R
+	b := e.B
+	ids := e.Replicate("ids")
+	emb := e.Shared("emb_w")
+	cosShards := e.Shard("rope_cos", 1)
+	sinShards := e.Shard("rope_sin", 1)
+
+	x := make([]graph.TensorID, R)
+	for r := 0; r < R; r++ {
+		x[r] = b.Embedding(fmt.Sprintf("r%d/embed", r), emb, ids[r])
+	}
+
+	for l := 0; l < c.Layers; l++ {
+		p := func(s string) string { return fmt.Sprintf("L%d/%s", l, s) }
+		rms1 := e.Shared(p("rms1_w"))
+		rms2 := e.Shared(p("rms2_w"))
+
+		a := make([]graph.TensorID, R)
+		for r := 0; r < R; r++ {
+			a[r] = b.RMSNorm(fmt.Sprintf("r%d/%s", r, p("rms1")), x[r], rms1)
+		}
+		q := e.ColumnParallelLinear(p("q"), a, p("q_w"))
+		k := e.ColumnParallelLinear(p("k"), a, p("k_w"))
+		v := e.ColumnParallelLinear(p("v"), a, p("v_w"))
+		qr := make([]graph.TensorID, R)
+		kr := make([]graph.TensorID, R)
+		for r := 0; r < R; r++ {
+			qr[r] = b.RoPE(fmt.Sprintf("r%d/%s", r, p("rope_q")), q[r], cosShards[r], sinShards[r])
+			kr[r] = b.RoPE(fmt.Sprintf("r%d/%s", r, p("rope_k")), k[r], cosShards[r], sinShards[r])
+		}
+		attn := make([]graph.TensorID, R)
+		for r := 0; r < R; r++ {
+			attn[r] = b.Attention(fmt.Sprintf("r%d/%s", r, p("attn")),
+				qr[r], kr[r], v[r], int64(c.Heads/R))
+		}
+		proj := e.RowParallelLinear(p("o"), attn, p("o_w"), strategy.ReduceAllReduce)
+		res1 := make([]graph.TensorID, R)
+		m := make([]graph.TensorID, R)
+		for r := 0; r < R; r++ {
+			res1[r] = b.Add(fmt.Sprintf("r%d/%s", r, p("res1")), x[r], proj[r])
+			if fused {
+				m[r] = b.Op("fused_add_rmsnorm", fmt.Sprintf("r%d/%s", r, p("rms2")),
+					fmt.Sprintf("r%d/%s.out", r, p("rms2")), "", nil, proj[r], x[r], rms2)
+			} else {
+				m[r] = b.RMSNorm(fmt.Sprintf("r%d/%s", r, p("rms2")), res1[r], rms2)
+			}
+		}
+		gate := e.ColumnParallelLinear(p("gate"), m, p("gate_w"))
+		up := e.ColumnParallelLinear(p("up"), m, p("up_w"))
+		h := make([]graph.TensorID, R)
+		for r := 0; r < R; r++ {
+			if fused {
+				h[r] = b.Op("fused_silu_mul", fmt.Sprintf("r%d/%s", r, p("swiglu")),
+					fmt.Sprintf("r%d/%s.out", r, p("swiglu")), "", nil, gate[r], up[r])
+			} else {
+				act := b.Unary(fmt.Sprintf("r%d/%s", r, p("silu")), "silu", gate[r])
+				h[r] = b.Mul(fmt.Sprintf("r%d/%s", r, p("swiglu")), act, up[r])
+			}
+		}
+		down := e.RowParallelLinear(p("down"), h, p("down_w"), strategy.ReduceAllReduce)
+		for r := 0; r < R; r++ {
+			x[r] = b.Add(fmt.Sprintf("r%d/%s", r, p("res2")), res1[r], down[r])
+		}
+	}
+
+	frms := e.Shared("final_rms_w")
+	f := make([]graph.TensorID, R)
+	for r := 0; r < R; r++ {
+		f[r] = b.RMSNorm(fmt.Sprintf("r%d/final_rms", r), x[r], frms)
+	}
+	logits := e.ColumnParallelLinear("lm_head", f, "lm_w")
+	b.Output(logits...)
+	return b.Err()
+}

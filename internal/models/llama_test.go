@@ -1,0 +1,56 @@
+package models
+
+import (
+	"testing"
+)
+
+func TestLlamaTP2Refines(t *testing.T) {
+	b, err := Llama(Options{TP: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := verify(t, b)
+	diffTest(t, b, report, 11)
+}
+
+func TestLlamaTP4Refines(t *testing.T) {
+	b, err := Llama(Options{TP: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := verify(t, b)
+	diffTest(t, b, report, 12)
+}
+
+func TestLlamaTP6Rejected(t *testing.T) {
+	// Figure 4: "there is no data for parallelism size 6, because some
+	// component cannot be evenly partitioned by 6."
+	if _, err := Llama(Options{TP: 6}); err == nil {
+		t.Fatal("llama at degree 6 must be rejected (heads=8)")
+	}
+}
+
+func TestQwen2TP2Refines(t *testing.T) {
+	b, err := Qwen2(Options{TP: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := verify(t, b)
+	diffTest(t, b, report, 13)
+}
+
+func TestQwen2UsesFusedOps(t *testing.T) {
+	b, err := Qwen2(Options{TP: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, n := range b.Gs.Nodes {
+		if n.Op == "fused_add_rmsnorm" || n.Op == "fused_silu_mul" {
+			found++
+		}
+	}
+	if found < 2 {
+		t.Fatalf("qwen2 sequential graph should use fused kernels, found %d", found)
+	}
+}

@@ -1,0 +1,157 @@
+// Package models builds the evaluation workloads of the paper's
+// Table 2 as pairs of computation graphs: a sequential specification
+// G_s and a hand-distributed implementation G_d with its clean input
+// relation R_i. The distributed builders are written the way
+// Megatron-LM / vLLM / NeuronX engineers write parallel modules —
+// using the layer library in internal/strategy — and accept bug
+// injections reproducing the nine defects of §6.2 / Table 3.
+package models
+
+import (
+	"fmt"
+
+	"entangle/internal/expr"
+	"entangle/internal/graph"
+	"entangle/internal/relation"
+	"entangle/internal/strategy"
+)
+
+// Config sizes a model. Extents are kept small: the checker is static,
+// so verification cost depends on graph structure, not tensor sizes,
+// and small extents keep the differential tests fast.
+type Config struct {
+	Seq     int // sequence length
+	Hidden  int // model width
+	Heads   int // attention heads
+	FFN     int // MLP intermediate width
+	Vocab   int // vocabulary size
+	Experts int // MoE experts
+	Layers  int // transformer layers
+}
+
+// Bug selects one of the §6.2 defects to inject into the distributed
+// implementation.
+type Bug int
+
+const (
+	BugNone Bug = iota
+	// Bug1RoPEOffset: wrong cos/sin slice offsets under SP (ByteDance).
+	Bug1RoPEOffset
+	// Bug2AuxLossScale: auxiliary loss not divided by the TP size.
+	Bug2AuxLossScale
+	// Bug3PadSlice: mismatched padding and slicing around all-gather.
+	Bug3PadSlice
+	// Bug4ShardedExperts: expert weights sharded instead of replicated
+	// under SP.
+	Bug4ShardedExperts
+	// Bug6GradAccumScale: microbatch losses accumulated without the
+	// 1/k scaling (HuggingFace transformers).
+	Bug6GradAccumScale
+	// Bug7MissingAllReduce: row-parallel linear missing its all-reduce
+	// (Megatron-LM misconfiguration).
+	Bug7MissingAllReduce
+)
+
+func (b Bug) String() string {
+	switch b {
+	case BugNone:
+		return "none"
+	case Bug1RoPEOffset:
+		return "bug1-rope-offset"
+	case Bug2AuxLossScale:
+		return "bug2-auxloss-scale"
+	case Bug3PadSlice:
+		return "bug3-pad-slice"
+	case Bug4ShardedExperts:
+		return "bug4-sharded-experts"
+	case Bug6GradAccumScale:
+		return "bug6-grad-accum-scale"
+	case Bug7MissingAllReduce:
+		return "bug7-missing-allreduce"
+	}
+	return fmt.Sprintf("bug(%d)", int(b))
+}
+
+// Options select a model instantiation.
+type Options struct {
+	Cfg Config
+	// TP is the tensor-parallel degree (also the SP/EP group size).
+	TP int
+	// SP enables sequence parallelism on top of TP.
+	SP bool
+	// VP enables vocabulary parallelism for the embedding.
+	VP bool
+	// GradAccum is the microbatch count for gradient accumulation
+	// (regression model only).
+	GradAccum int
+	// Bug injects a defect into the distributed implementation.
+	Bug Bug
+}
+
+// Built is a ready-to-verify model pair.
+type Built struct {
+	Name string
+	Gs   *graph.Graph
+	Gd   *graph.Graph
+	Ri   *relation.Relation
+	// Env retains the strategy environment for numeric input
+	// splitting in differential tests.
+	Env *strategy.Env
+	// ExpectFs/ExpectFd, when non-nil, carry a §4.4 user expectation
+	// to check with core.CheckExpectation (the GradSync workloads).
+	ExpectFs *expr.Term
+	ExpectFd *expr.Term
+}
+
+// OperatorTotal returns |G_s| + |G_d|, the quantity annotated on the
+// paper's Figure 3.
+func (b *Built) OperatorTotal() int {
+	return b.Gs.OperatorCount() + b.Gd.OperatorCount()
+}
+
+func (o Options) validated(name string) (Options, error) {
+	if o.TP <= 0 {
+		o.TP = 2
+	}
+	c := &o.Cfg
+	if c.Layers <= 0 {
+		c.Layers = 1
+	}
+	div := func(what string, v int) error {
+		if v%o.TP != 0 {
+			return fmt.Errorf("models: %s: %s=%d not divisible by parallelism %d", name, what, v, o.TP)
+		}
+		return nil
+	}
+	if c.Hidden > 0 {
+		if err := div("hidden", c.Hidden); err != nil {
+			return o, err
+		}
+	}
+	if c.Heads > 0 {
+		if err := div("heads", c.Heads); err != nil {
+			return o, err
+		}
+	}
+	if c.FFN > 0 {
+		if err := div("ffn", c.FFN); err != nil {
+			return o, err
+		}
+	}
+	if c.Vocab > 0 {
+		if err := div("vocab", c.Vocab); err != nil {
+			return o, err
+		}
+	}
+	if o.SP && c.Seq > 0 {
+		if err := div("seq", c.Seq); err != nil {
+			return o, err
+		}
+	}
+	if c.Experts > 0 {
+		if err := div("experts", c.Experts); err != nil {
+			return o, err
+		}
+	}
+	return o, nil
+}

@@ -1,0 +1,87 @@
+package models
+
+import (
+	"fmt"
+
+	"entangle/internal/graph"
+	"entangle/internal/shape"
+	"entangle/internal/strategy"
+)
+
+// RegressionConfig sizes the HuggingFace-transformers regression test
+// case (Table 2): a linear model trained with MSE loss.
+func RegressionConfig() Config {
+	return Config{Seq: 8, Hidden: 4, FFN: 2, Layers: 1}
+}
+
+// Regression builds the gradient-accumulation workload of §6.2's
+// bug 6. The sequential model computes the MSE loss over the full
+// batch; the "distributed" implementation splits the batch into
+// GradAccum microbatches and accumulates per-microbatch losses —
+// which must each be scaled by 1/k. Bug6GradAccumScale omits the
+// scaling, reproducing huggingface/transformers#14638.
+//
+// Gradient accumulation runs on one device, so the implementation
+// graph has a single rank whose inputs are microbatch shards; the
+// strategy machinery treats microbatches exactly like ranks (the paper
+// makes the same identification: "This approach is similar to the
+// distribution strategies considered above").
+func Regression(opt Options) (*Built, error) {
+	k := opt.GradAccum
+	if k <= 0 {
+		k = 2
+	}
+	c := opt.Cfg
+	if c.Seq == 0 {
+		c = RegressionConfig()
+	}
+	if c.Seq%k != 0 {
+		return nil, fmt.Errorf("models: regression: batch %d not divisible by %d microbatches", c.Seq, k)
+	}
+
+	gs, err := regressionSequential(c)
+	if err != nil {
+		return nil, err
+	}
+	env := strategy.NewEnv(gs, "regression-accum", k)
+	if err := regressionAccumulated(env, c, opt); err != nil {
+		return nil, err
+	}
+	gd, err := env.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Built{Name: "Regression", Gs: gs, Gd: gd, Ri: env.Ri, Env: env}, nil
+}
+
+func regressionSequential(c Config) (*graph.Graph, error) {
+	b := graph.NewBuilder("regression-seq", nil)
+	B, D, O := int64(c.Seq), int64(c.Hidden), int64(c.FFN)
+	x := b.Input("x", shape.Of(B, D))
+	w := b.Input("w", shape.Of(D, O))
+	target := b.Input("target", shape.Of(B, O))
+	pred := b.MatMul("linear", x, w)
+	loss := b.MSELoss("mse", pred, target)
+	b.Output(loss)
+	return b.Build()
+}
+
+func regressionAccumulated(e *strategy.Env, c Config, opt Options) error {
+	k := e.R
+	b := e.B
+	xs := e.Shard("x", 0)
+	ts := e.Shard("target", 0)
+	w := e.Shared("w")
+	losses := make([]graph.TensorID, k)
+	for i := 0; i < k; i++ {
+		pred := b.MatMul(fmt.Sprintf("mb%d/linear", i), xs[i], w)
+		l := b.MSELoss(fmt.Sprintf("mb%d/mse", i), pred, ts[i])
+		if opt.Bug != Bug6GradAccumScale {
+			l = b.Scale(fmt.Sprintf("mb%d/mse_scale", i), l, 1, int64(k))
+		}
+		losses[i] = l
+	}
+	total := b.Op("sum", "accumulate", "accumulate.out", "", nil, losses...)
+	b.Output(total)
+	return b.Err()
+}

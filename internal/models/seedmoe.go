@@ -1,0 +1,263 @@
+package models
+
+import (
+	"fmt"
+
+	"entangle/internal/graph"
+	"entangle/internal/shape"
+	"entangle/internal/strategy"
+	"entangle/internal/sym"
+)
+
+// SeedMoEConfig sizes the stand-in for ByteDance's proprietary MoE
+// model (the paper's internal workload, whose graphs are not
+// published): rotary attention with TP+SP plus a mixture-of-experts
+// block with expert parallelism and an auxiliary load-balancing loss.
+func SeedMoEConfig() Config {
+	return Config{Seq: 8, Hidden: 16, Heads: 4, FFN: 32, Experts: 2, Layers: 1}
+}
+
+// padGatherExtra is the defensive padding each rank applies before the
+// all-gather in the SeedMoE attention block (the bug-3 site).
+const padGatherExtra = 2
+
+// SeedMoE builds the ByteDance-internal workload stand-in: one
+// transformer layer with RoPE attention (TP+SP) and a gated
+// mixture-of-experts MLP (EP), emitting the model output and the
+// auxiliary loss. Bugs 1–4 of §6.2 inject here.
+func SeedMoE(opt Options) (*Built, error) {
+	opt, err := opt.validated("seedmoe")
+	if err != nil {
+		return nil, err
+	}
+	c := opt.Cfg
+	if c.Seq == 0 {
+		c = SeedMoEConfig()
+		if opt.Cfg.Layers > 0 {
+			c.Layers = opt.Cfg.Layers
+		}
+	}
+	if c.Experts%opt.TP != 0 {
+		return nil, fmt.Errorf("models: seedmoe: experts=%d not divisible by parallelism %d", c.Experts, opt.TP)
+	}
+	gs, err := seedMoESequential(c)
+	if err != nil {
+		return nil, err
+	}
+	env := strategy.NewEnv(gs, "seedmoe-dist", opt.TP)
+	if err := seedMoEDistributed(env, c, opt); err != nil {
+		return nil, err
+	}
+	gd, err := env.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Built{Name: "SeedMoE", Gs: gs, Gd: gd, Ri: env.Ri, Env: env}, nil
+}
+
+func seedMoESequential(c Config) (*graph.Graph, error) {
+	b := graph.NewBuilder("seedmoe-seq", nil)
+	S, H, F, E := int64(c.Seq), int64(c.Hidden), int64(c.FFN), int64(c.Experts)
+	x := b.Input("x", shape.Of(S, H))
+	cos := b.Input("rope_cos", shape.Of(S, H))
+	sin := b.Input("rope_sin", shape.Of(S, H))
+
+	var out graph.TensorID = x
+	for l := 0; l < c.Layers; l++ {
+		p := func(s string) string { return fmt.Sprintf("L%d/%s", l, s) }
+		rms1 := b.Input(p("rms1_w"), shape.Of(H))
+		qw := b.Input(p("q_w"), shape.Of(H, H))
+		kw := b.Input(p("k_w"), shape.Of(H, H))
+		vw := b.Input(p("v_w"), shape.Of(H, H))
+		ow := b.Input(p("o_w"), shape.Of(H, H))
+		rms2 := b.Input(p("rms2_w"), shape.Of(H))
+		routerW := b.Input(p("router_w"), shape.Of(H, E))
+
+		xr := b.RoPE(p("rope"), out, cos, sin)
+		a := b.RMSNorm(p("rms1"), xr, rms1)
+		q := b.MatMul(p("q"), a, qw)
+		k := b.MatMul(p("k"), a, kw)
+		v := b.MatMul(p("v"), a, vw)
+		attn := b.Attention(p("attn"), q, k, v, int64(c.Heads))
+		proj := b.MatMul(p("o"), attn, ow)
+		res := b.Add(p("res1"), xr, proj)
+
+		m := b.RMSNorm(p("rms2"), res, rms2)
+		probs := b.Router(p("router"), m, routerW)
+		aux := b.AuxLoss(p("auxloss"), probs)
+		b.Output(aux)
+
+		weighted := make([]graph.TensorID, c.Experts)
+		for e := 0; e < c.Experts; e++ {
+			ep := func(s string) string { return fmt.Sprintf("%s/expert%d/%s", p("moe"), e, s) }
+			w1 := b.Input(ep("w1"), shape.Of(H, F))
+			w2 := b.Input(ep("w2"), shape.Of(F, H))
+			h := b.MatMul(ep("fc1"), m, w1)
+			act := b.Unary(ep("silu"), "silu", h)
+			o := b.MatMul(ep("fc2"), act, w2)
+			gate := b.Slice(ep("gate"), probs, sym.Const(1), sym.Const(int64(e)), sym.Const(int64(e+1)))
+			weighted[e] = b.Mul(ep("weighted"), gate, o)
+		}
+		moe := b.Op("sum", p("moe/combine"), p("moe/combine")+".out", "", nil, weighted...)
+		out = b.Add(p("res2"), res, moe)
+	}
+	b.Output(out)
+	return b.Build()
+}
+
+func seedMoEDistributed(e *strategy.Env, c Config, opt Options) error {
+	R := e.R
+	b := e.B
+	S := int64(c.Seq)
+	Sh := S / int64(R)
+	localExperts := c.Experts / R
+
+	xs := e.Shard("x", 0)
+	cos := e.Shared("rope_cos")
+	sin := e.Shared("rope_sin")
+
+	out := xs
+	for l := 0; l < c.Layers; l++ {
+		p := func(s string) string { return fmt.Sprintf("L%d/%s", l, s) }
+		rms1 := e.Shared(p("rms1_w"))
+		rms2 := e.Shared(p("rms2_w"))
+		routerW := e.Shared(p("router_w"))
+
+		// RoPE on sequence shards: each rank slices its rows of the
+		// precomputed tables. Bug 1 forgets the per-rank offset.
+		xr := make([]graph.TensorID, R)
+		for r := 0; r < R; r++ {
+			begin := int64(r) * Sh
+			if opt.Bug == Bug1RoPEOffset {
+				begin = 0
+			}
+			cosR := b.Slice(fmt.Sprintf("r%d/%s/cos_slice", r, p("rope")), cos,
+				sym.Const(0), sym.Const(begin), sym.Const(begin+Sh))
+			sinR := b.Slice(fmt.Sprintf("r%d/%s/sin_slice", r, p("rope")), sin,
+				sym.Const(0), sym.Const(begin), sym.Const(begin+Sh))
+			xr[r] = b.RoPE(fmt.Sprintf("r%d/%s", r, p("rope")), out[r], cosR, sinR)
+		}
+
+		a := make([]graph.TensorID, R)
+		for r := 0; r < R; r++ {
+			a[r] = b.RMSNorm(fmt.Sprintf("r%d/%s", r, p("rms1")), xr[r], rms1)
+		}
+
+		// Gather the sequence for attention. The production kernel
+		// pads each shard before the all-gather and drops the padding
+		// after (the bug-3 site: mismatched offsets keep padding and
+		// drop data).
+		gathered := make([]graph.TensorID, R)
+		{
+			padded := make([]graph.TensorID, R)
+			for r := 0; r < R; r++ {
+				padded[r] = b.Pad(fmt.Sprintf("r%d/%s/pad", r, p("gather")), a[r],
+					sym.Const(0), sym.Const(0), sym.Const(padGatherExtra))
+			}
+			gg := b.AllGather(p("gather/allgather"), 0, padded...)
+			stride := Sh + padGatherExtra
+			for r := 0; r < R; r++ {
+				pieces := make([]graph.TensorID, R)
+				for i := 0; i < R; i++ {
+					begin := int64(i) * stride
+					if opt.Bug == Bug3PadSlice {
+						begin = int64(i) * Sh // forgot the pad stride
+					}
+					pieces[i] = b.Slice(fmt.Sprintf("r%d/%s/unpad%d", r, p("gather"), i), gg[r],
+						sym.Const(0), sym.Const(begin), sym.Const(begin+Sh))
+				}
+				gathered[r] = b.Concat(fmt.Sprintf("r%d/%s/rebuild", r, p("gather")), sym.Const(0), pieces...)
+			}
+		}
+
+		q := e.ColumnParallelLinear(p("q"), gathered, p("q_w"))
+		k := e.ColumnParallelLinear(p("k"), gathered, p("k_w"))
+		v := e.ColumnParallelLinear(p("v"), gathered, p("v_w"))
+		attn := make([]graph.TensorID, R)
+		for r := 0; r < R; r++ {
+			attn[r] = b.Attention(fmt.Sprintf("r%d/%s", r, p("attn")),
+				q[r], k[r], v[r], int64(c.Heads/R))
+		}
+		proj := e.RowParallelLinear(p("o"), attn, p("o_w"), strategy.ReduceScatterSeq)
+		res := make([]graph.TensorID, R)
+		m := make([]graph.TensorID, R)
+		for r := 0; r < R; r++ {
+			res[r] = b.Add(fmt.Sprintf("r%d/%s", r, p("res1")), xr[r], proj[r])
+			m[r] = b.RMSNorm(fmt.Sprintf("r%d/%s", r, p("rms2")), res[r], rms2)
+		}
+
+		// Router + auxiliary loss per sequence shard. With TP the loss
+		// must be scaled by 1/R before the all-reduce; bug 2 omits it.
+		probs := make([]graph.TensorID, R)
+		auxParts := make([]graph.TensorID, R)
+		for r := 0; r < R; r++ {
+			probs[r] = b.Router(fmt.Sprintf("r%d/%s", r, p("router")), m[r], routerW)
+			aux := b.AuxLoss(fmt.Sprintf("r%d/%s", r, p("auxloss")), probs[r])
+			if opt.Bug != Bug2AuxLossScale {
+				aux = b.Scale(fmt.Sprintf("r%d/%s/scale", r, p("auxloss")), aux, 1, int64(R))
+			}
+			auxParts[r] = aux
+		}
+		auxOut := b.AllReduce(p("auxloss/allreduce"), auxParts...)
+		b.Output(auxOut[0])
+
+		// Expert parallelism: gather tokens and router probabilities,
+		// each rank runs its local experts on the full sequence, and a
+		// reduce-scatter returns to sequence shards. Bug 4 instead
+		// shards the expert weights (as if still under TP) and skips
+		// the gather — the off-diagonal blocks are never computed.
+		moe := make([]graph.TensorID, R)
+		if opt.Bug == Bug4ShardedExperts {
+			for eIdx := 0; eIdx < c.Experts; eIdx++ {
+				ep := func(s string) string { return fmt.Sprintf("%s/expert%d/%s", p("moe"), eIdx, s) }
+				w1 := e.ShardNamed(ep("w1"), ep("w1"), 1)
+				w2 := e.ShardNamed(ep("w2"), ep("w2"), 0)
+				for r := 0; r < R; r++ {
+					h := b.MatMul(fmt.Sprintf("r%d/%s", r, ep("fc1")), m[r], w1[r])
+					act := b.Unary(fmt.Sprintf("r%d/%s", r, ep("silu")), "silu", h)
+					o := b.MatMul(fmt.Sprintf("r%d/%s", r, ep("fc2")), act, w2[r])
+					gate := b.Slice(fmt.Sprintf("r%d/%s", r, ep("gate")), probs[r],
+						sym.Const(1), sym.Const(int64(eIdx)), sym.Const(int64(eIdx+1)))
+					w := b.Mul(fmt.Sprintf("r%d/%s", r, ep("weighted")), gate, o)
+					if eIdx == 0 {
+						moe[r] = w
+					} else {
+						moe[r] = b.Add(fmt.Sprintf("r%d/%s/acc%d", r, p("moe"), eIdx), moe[r], w)
+					}
+				}
+			}
+		} else {
+			mg := b.AllGather(p("moe/gather_m"), 0, m...)
+			pg := b.AllGather(p("moe/gather_probs"), 0, probs...)
+			partials := make([]graph.TensorID, R)
+			for r := 0; r < R; r++ {
+				var acc graph.TensorID
+				for le := 0; le < localExperts; le++ {
+					eIdx := r*localExperts + le
+					ep := func(s string) string { return fmt.Sprintf("%s/expert%d/%s", p("moe"), eIdx, s) }
+					w1 := e.Shared(ep("w1"))
+					w2 := e.Shared(ep("w2"))
+					h := b.MatMul(fmt.Sprintf("r%d/%s", r, ep("fc1")), mg[r], w1)
+					act := b.Unary(fmt.Sprintf("r%d/%s", r, ep("silu")), "silu", h)
+					o := b.MatMul(fmt.Sprintf("r%d/%s", r, ep("fc2")), act, w2)
+					gate := b.Slice(fmt.Sprintf("r%d/%s", r, ep("gate")), pg[r],
+						sym.Const(1), sym.Const(int64(eIdx)), sym.Const(int64(eIdx+1)))
+					w := b.Mul(fmt.Sprintf("r%d/%s", r, ep("weighted")), gate, o)
+					if le == 0 {
+						acc = w
+					} else {
+						acc = b.Add(fmt.Sprintf("r%d/%s/acc%d", r, p("moe"), le), acc, w)
+					}
+				}
+				partials[r] = acc
+			}
+			moe = b.ReduceScatter(p("moe/reducescatter"), 0, partials...)
+		}
+
+		for r := 0; r < R; r++ {
+			out[r] = b.Add(fmt.Sprintf("r%d/%s", r, p("res2")), res[r], moe[r])
+		}
+	}
+	b.Output(out...)
+	return b.Err()
+}

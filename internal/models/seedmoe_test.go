@@ -1,0 +1,67 @@
+package models
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"entangle/internal/core"
+)
+
+func TestSeedMoERefines(t *testing.T) {
+	b, err := SeedMoE(Options{TP: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := verify(t, b)
+	diffTest(t, b, report, 21)
+}
+
+func mustFailAt(t *testing.T, b *Built, wantLabelSub string) *core.RefinementError {
+	t.Helper()
+	_, err := core.NewChecker(core.Options{}).Check(b.Gs, b.Gd, b.Ri)
+	var re *core.RefinementError
+	if !errors.As(err, &re) {
+		t.Fatalf("%s: expected RefinementError, got %v", b.Name, err)
+	}
+	if wantLabelSub != "" && !strings.Contains(re.Op.Label, wantLabelSub) {
+		t.Fatalf("%s: localized to %q, want label containing %q", b.Name, re.Op.Label, wantLabelSub)
+	}
+	t.Logf("%s localized to %q", b.Name, re.Op.Label)
+	return re
+}
+
+func TestSeedMoEBug1RoPEOffset(t *testing.T) {
+	b, err := SeedMoE(Options{TP: 2, Bug: Bug1RoPEOffset})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustFailAt(t, b, "rope")
+}
+
+func TestSeedMoEBug2AuxLossScale(t *testing.T) {
+	b, err := SeedMoE(Options{TP: 2, Bug: Bug2AuxLossScale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustFailAt(t, b, "auxloss")
+}
+
+func TestSeedMoEBug3PadSlice(t *testing.T) {
+	b, err := SeedMoE(Options{TP: 2, Bug: Bug3PadSlice})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustFailAt(t, b, "")
+}
+
+func TestSeedMoEBug4ShardedExperts(t *testing.T) {
+	b, err := SeedMoE(Options{TP: 2, Bug: Bug4ShardedExperts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := mustFailAt(t, b, "moe")
+	if !strings.Contains(re.Op.Label, "fc1") {
+		t.Fatalf("paper localizes bug 4 to the first expert matmul, got %q", re.Op.Label)
+	}
+}

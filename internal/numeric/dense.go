@@ -1,0 +1,155 @@
+// Package numeric implements a dense float64 tensor engine with one
+// kernel per operator in the expression language, plus interpreters
+// for computation graphs and relation expressions. It plays the role
+// of the paper's lemma-validation machinery (§5): differential tests
+// run G_s and G_d on concrete inputs and check that the relations
+// ENTANGLE emits really reconstruct G_s's outputs.
+package numeric
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dense is a dense row-major float64 tensor.
+type Dense struct {
+	Shape []int
+	Data  []float64
+}
+
+// NewDense allocates a zero tensor.
+func NewDense(shape ...int) *Dense {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("numeric: negative dim %d", d))
+		}
+		n *= d
+	}
+	return &Dense{Shape: append([]int(nil), shape...), Data: make([]float64, n)}
+}
+
+// FromData wraps existing data (length must match the shape product).
+func FromData(shape []int, data []float64) *Dense {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("numeric: data length %d != shape product %d", len(data), n))
+	}
+	return &Dense{Shape: append([]int(nil), shape...), Data: data}
+}
+
+// Rand fills a new tensor with uniform values in [-1, 1).
+func Rand(rng *rand.Rand, shape ...int) *Dense {
+	t := NewDense(shape...)
+	for i := range t.Data {
+		t.Data[i] = rng.Float64()*2 - 1
+	}
+	return t
+}
+
+// RandInts fills a new tensor with integer values in [0, hi).
+func RandInts(rng *rand.Rand, hi int, shape ...int) *Dense {
+	t := NewDense(shape...)
+	for i := range t.Data {
+		t.Data[i] = float64(rng.Intn(hi))
+	}
+	return t
+}
+
+// Numel returns the element count.
+func (t *Dense) Numel() int { return len(t.Data) }
+
+// Rank returns the number of dimensions.
+func (t *Dense) Rank() int { return len(t.Shape) }
+
+// Clone deep-copies the tensor.
+func (t *Dense) Clone() *Dense {
+	c := NewDense(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// strides returns row-major strides.
+func (t *Dense) strides() []int {
+	s := make([]int, len(t.Shape))
+	acc := 1
+	for i := len(t.Shape) - 1; i >= 0; i-- {
+		s[i] = acc
+		acc *= t.Shape[i]
+	}
+	return s
+}
+
+// At reads by multi-index.
+func (t *Dense) At(idx ...int) float64 {
+	return t.Data[t.offset(idx)]
+}
+
+// Set writes by multi-index.
+func (t *Dense) Set(v float64, idx ...int) {
+	t.Data[t.offset(idx)] = v
+}
+
+func (t *Dense) offset(idx []int) int {
+	if len(idx) != len(t.Shape) {
+		panic(fmt.Sprintf("numeric: index rank %d != tensor rank %d", len(idx), len(t.Shape)))
+	}
+	off := 0
+	for i, s := range t.strides() {
+		if idx[i] < 0 || idx[i] >= t.Shape[i] {
+			panic(fmt.Sprintf("numeric: index %v out of range for %v", idx, t.Shape))
+		}
+		off += idx[i] * s
+	}
+	return off
+}
+
+// SameShape reports shape equality.
+func SameShape(a, b *Dense) bool {
+	if len(a.Shape) != len(b.Shape) {
+		return false
+	}
+	for i := range a.Shape {
+		if a.Shape[i] != b.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AllClose reports element-wise closeness within tol.
+func AllClose(a, b *Dense, tol float64) bool {
+	if !SameShape(a, b) || len(a.Data) != len(b.Data) {
+		return false
+	}
+	for i := range a.Data {
+		d := math.Abs(a.Data[i] - b.Data[i])
+		scale := math.Max(math.Abs(a.Data[i]), math.Abs(b.Data[i]))
+		if d > tol*(1+scale) {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the maximum absolute elementwise difference.
+func MaxAbsDiff(a, b *Dense) float64 {
+	if !SameShape(a, b) {
+		return math.Inf(1)
+	}
+	m := 0.0
+	for i := range a.Data {
+		if d := math.Abs(a.Data[i] - b.Data[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func (t *Dense) String() string {
+	return fmt.Sprintf("Dense%v(%d elems)", t.Shape, len(t.Data))
+}

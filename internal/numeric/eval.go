@@ -1,0 +1,223 @@
+package numeric
+
+import (
+	"fmt"
+
+	"entangle/internal/expr"
+	"entangle/internal/graph"
+	"entangle/internal/sym"
+)
+
+// Env binds the symbolic scalars of a graph to concrete integers for
+// numeric evaluation.
+type Env map[sym.Symbol]int64
+
+func (e Env) eval(x sym.Expr) (int, error) {
+	v, err := x.Eval(e)
+	if err != nil {
+		return 0, err
+	}
+	return int(v), nil
+}
+
+// applyOp dispatches one operator application to its kernel. ints are
+// the already-resolved integer attributes. It returns one output per
+// declared output (collectives return several).
+func applyOp(op expr.Op, str string, ints []int, in []*Dense) ([]*Dense, error) {
+	one := func(t *Dense, err error) ([]*Dense, error) {
+		if err != nil {
+			return nil, err
+		}
+		return []*Dense{t}, nil
+	}
+	switch op {
+	case expr.OpMatMul:
+		return one(MatMul(in[0], in[1]))
+	case expr.OpAdd:
+		return one(Add(in[0], in[1]))
+	case expr.OpSub:
+		return one(Sub(in[0], in[1]))
+	case expr.OpMul:
+		return one(Mul(in[0], in[1]))
+	case expr.OpDiv:
+		return one(Div(in[0], in[1]))
+	case expr.OpSum:
+		return one(SumN(in...))
+	case expr.OpScale:
+		return one(ScaleRat(in[0], int64(ints[0]), int64(ints[1])))
+	case expr.OpUnary:
+		return one(Unary(str, in[0]))
+	case expr.OpIdentity:
+		return one(in[0].Clone(), nil)
+	case expr.OpConcat:
+		return one(Concat(ints[0], in...))
+	case expr.OpSlice:
+		return one(Slice(in[0], ints[0], ints[1], ints[2]))
+	case expr.OpPad:
+		return one(Pad(in[0], ints[0], ints[1], ints[2]))
+	case expr.OpTranspose:
+		return one(Transpose(in[0], ints[0], ints[1]))
+	case expr.OpReshape:
+		return one(Reshape(in[0], ints))
+	case expr.OpReduceSum:
+		return one(ReduceSum(in[0], ints[0]))
+	case expr.OpSoftmax:
+		return one(Softmax(in[0], ints[0]))
+	case expr.OpLayerNorm:
+		return one(LayerNorm(in[0], in[1], in[2]))
+	case expr.OpRMSNorm:
+		return one(RMSNorm(in[0], in[1]))
+	case expr.OpEmbedding:
+		return one(Embedding(in[0], in[1]))
+	case expr.OpEmbeddingShard:
+		return one(EmbeddingShard(in[0], in[1], ints[0]))
+	case expr.OpRoPE:
+		return one(RoPE(in[0], in[1], in[2]))
+	case expr.OpAttention:
+		return one(Attention(in[0], in[1], in[2], ints[0]))
+	case expr.OpMSELoss:
+		return one(MSELoss(in[0], in[1]))
+	case expr.OpSquaredError:
+		return one(SquaredError(in[0], in[1]))
+	case expr.OpRouter:
+		return one(Router(in[0], in[1]))
+	case expr.OpAuxLoss:
+		return one(AuxLoss(in[0]))
+	case expr.OpFusedAddRMSNorm:
+		return one(FusedAddRMSNorm(in[0], in[1], in[2]))
+	case expr.OpFusedSiluMul:
+		return one(FusedSiluMul(in[0], in[1]))
+	case expr.OpAllReduce:
+		s, err := SumN(in...)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]*Dense, len(in))
+		for i := range in {
+			out[i] = s.Clone()
+		}
+		return out, nil
+	case expr.OpReduceScatter:
+		s, err := SumN(in...)
+		if err != nil {
+			return nil, err
+		}
+		d := ints[0]
+		if s.Shape[d]%len(in) != 0 {
+			return nil, fmt.Errorf("numeric: reducescatter extent %d ranks %d", s.Shape[d], len(in))
+		}
+		chunk := s.Shape[d] / len(in)
+		out := make([]*Dense, len(in))
+		for i := range in {
+			sl, err := Slice(s, d, i*chunk, (i+1)*chunk)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = sl
+		}
+		return out, nil
+	case expr.OpAllGather:
+		cat, err := Concat(ints[0], in...)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]*Dense, len(in))
+		for i := range in {
+			out[i] = cat.Clone()
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("numeric: no kernel for %q", op)
+}
+
+// EvalGraph runs a computation graph on concrete inputs (keyed by
+// input tensor name) and returns every tensor's value.
+func EvalGraph(g *graph.Graph, inputs map[string]*Dense, env Env) (map[graph.TensorID]*Dense, error) {
+	vals := make(map[graph.TensorID]*Dense, len(g.Tensors))
+	for _, in := range g.Inputs {
+		t := g.Tensor(in)
+		v, ok := inputs[t.Name]
+		if !ok {
+			return nil, fmt.Errorf("numeric: missing input %q", t.Name)
+		}
+		want, err := t.Shape.Concrete(env)
+		if err != nil {
+			return nil, fmt.Errorf("numeric: input %q: %v", t.Name, err)
+		}
+		if len(want) != v.Rank() {
+			return nil, fmt.Errorf("numeric: input %q rank %d, declared %d", t.Name, v.Rank(), len(want))
+		}
+		for i := range want {
+			if want[i] != v.Shape[i] {
+				return nil, fmt.Errorf("numeric: input %q shape %v, declared %v", t.Name, v.Shape, want)
+			}
+		}
+		vals[in] = v
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range order {
+		in := make([]*Dense, len(n.Inputs))
+		for i, id := range n.Inputs {
+			v, ok := vals[id]
+			if !ok {
+				return nil, fmt.Errorf("numeric: node %q input %d unavailable", n.Label, id)
+			}
+			in[i] = v
+		}
+		ints := make([]int, len(n.Ints))
+		for i, e := range n.Ints {
+			v, err := env.eval(e)
+			if err != nil {
+				return nil, fmt.Errorf("numeric: node %q attr %d: %v", n.Label, i, err)
+			}
+			ints[i] = v
+		}
+		outs, err := applyOp(n.Op, n.Str, ints, in)
+		if err != nil {
+			return nil, fmt.Errorf("numeric: node %q: %v", n.Label, err)
+		}
+		if len(outs) != len(n.Outputs) {
+			return nil, fmt.Errorf("numeric: node %q produced %d outputs, declared %d", n.Label, len(outs), len(n.Outputs))
+		}
+		for i, id := range n.Outputs {
+			vals[id] = outs[i]
+		}
+	}
+	return vals, nil
+}
+
+// EvalTerm evaluates a relation expression; leaves are resolved by the
+// lookup callback (typically G_d tensor values keyed by the offset
+// leaf-ID convention).
+func EvalTerm(t *expr.Term, env Env, lookup func(tid int) (*Dense, error)) (*Dense, error) {
+	if t.IsLeaf() {
+		return lookup(t.TID)
+	}
+	in := make([]*Dense, len(t.Args))
+	for i, a := range t.Args {
+		v, err := EvalTerm(a, env, lookup)
+		if err != nil {
+			return nil, err
+		}
+		in[i] = v
+	}
+	ints := make([]int, len(t.Ints))
+	for i, e := range t.Ints {
+		v, err := env.eval(e)
+		if err != nil {
+			return nil, err
+		}
+		ints[i] = v
+	}
+	outs, err := applyOp(t.Op, t.Str, ints, in)
+	if err != nil {
+		return nil, fmt.Errorf("numeric: term %s: %v", t, err)
+	}
+	if len(outs) != 1 {
+		return nil, fmt.Errorf("numeric: term %s has %d outputs", t, len(outs))
+	}
+	return outs[0], nil
+}

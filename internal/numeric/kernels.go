@@ -1,0 +1,708 @@
+package numeric
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kernels: one concrete implementation per operator. These definitions
+// are the numeric ground truth the lemma library must agree with.
+
+const normEps = 1e-6
+
+// MatMul multiplies [.., m, k] × [k, n] or [.., m, k] × [.., k, n]
+// (leading dims must match when both are batched).
+func MatMul(a, b *Dense) (*Dense, error) {
+	if a.Rank() < 2 || b.Rank() < 2 {
+		return nil, fmt.Errorf("numeric: matmul ranks %d,%d", a.Rank(), b.Rank())
+	}
+	if a.Rank() == 2 && b.Rank() == 2 {
+		m, k := a.Shape[0], a.Shape[1]
+		k2, n := b.Shape[0], b.Shape[1]
+		if k != k2 {
+			return nil, fmt.Errorf("numeric: matmul inner %d vs %d", k, k2)
+		}
+		out := NewDense(m, n)
+		for i := 0; i < m; i++ {
+			for l := 0; l < k; l++ {
+				av := a.Data[i*k+l]
+				if av == 0 {
+					continue
+				}
+				for j := 0; j < n; j++ {
+					out.Data[i*n+j] += av * b.Data[l*n+j]
+				}
+			}
+		}
+		return out, nil
+	}
+	// Batched: flatten leading dims of a; b rank 2 broadcasts, or
+	// matching batch.
+	if b.Rank() == 2 {
+		lead := 1
+		for _, d := range a.Shape[:a.Rank()-2] {
+			lead *= d
+		}
+		m, k := a.Shape[a.Rank()-2], a.Shape[a.Rank()-1]
+		if k != b.Shape[0] {
+			return nil, fmt.Errorf("numeric: matmul inner %d vs %d", k, b.Shape[0])
+		}
+		n := b.Shape[1]
+		outShape := append(append([]int(nil), a.Shape[:a.Rank()-2]...), m, n)
+		out := NewDense(outShape...)
+		for bi := 0; bi < lead; bi++ {
+			sub := FromData([]int{m, k}, a.Data[bi*m*k:(bi+1)*m*k])
+			r, err := MatMul(sub, b)
+			if err != nil {
+				return nil, err
+			}
+			copy(out.Data[bi*m*n:(bi+1)*m*n], r.Data)
+		}
+		return out, nil
+	}
+	if a.Rank() != b.Rank() {
+		return nil, fmt.Errorf("numeric: batched matmul rank mismatch %d vs %d", a.Rank(), b.Rank())
+	}
+	lead := 1
+	for i := 0; i < a.Rank()-2; i++ {
+		if a.Shape[i] != b.Shape[i] {
+			return nil, fmt.Errorf("numeric: batch dims differ")
+		}
+		lead *= a.Shape[i]
+	}
+	m, k := a.Shape[a.Rank()-2], a.Shape[a.Rank()-1]
+	k2, n := b.Shape[b.Rank()-2], b.Shape[b.Rank()-1]
+	if k != k2 {
+		return nil, fmt.Errorf("numeric: matmul inner %d vs %d", k, k2)
+	}
+	outShape := append(append([]int(nil), a.Shape[:a.Rank()-2]...), m, n)
+	out := NewDense(outShape...)
+	for bi := 0; bi < lead; bi++ {
+		sa := FromData([]int{m, k}, a.Data[bi*m*k:(bi+1)*m*k])
+		sb := FromData([]int{k, n}, b.Data[bi*k*n:(bi+1)*k*n])
+		r, err := MatMul(sa, sb)
+		if err != nil {
+			return nil, err
+		}
+		copy(out.Data[bi*m*n:(bi+1)*m*n], r.Data)
+	}
+	return out, nil
+}
+
+// zipSameShape applies f elementwise; same-rank operands may
+// broadcast along dimensions where one side has extent 1 (the PyTorch
+// subset the models need, e.g. gating [S,1] ⊙ [S,H]).
+func zipSameShape(name string, a, b *Dense, f func(x, y float64) float64) (*Dense, error) {
+	if SameShape(a, b) {
+		out := NewDense(a.Shape...)
+		for i := range a.Data {
+			out.Data[i] = f(a.Data[i], b.Data[i])
+		}
+		return out, nil
+	}
+	if len(a.Shape) != len(b.Shape) {
+		return nil, fmt.Errorf("numeric: %s shape %v vs %v", name, a.Shape, b.Shape)
+	}
+	outShape := make([]int, len(a.Shape))
+	for i := range a.Shape {
+		switch {
+		case a.Shape[i] == b.Shape[i]:
+			outShape[i] = a.Shape[i]
+		case a.Shape[i] == 1:
+			outShape[i] = b.Shape[i]
+		case b.Shape[i] == 1:
+			outShape[i] = a.Shape[i]
+		default:
+			return nil, fmt.Errorf("numeric: %s shape %v vs %v", name, a.Shape, b.Shape)
+		}
+	}
+	out := NewDense(outShape...)
+	as, bs, os := a.strides(), b.strides(), out.strides()
+	idx := make([]int, len(outShape))
+	for flat := 0; flat < len(out.Data); flat++ {
+		rem := flat
+		for i, st := range os {
+			idx[i] = rem / st
+			rem %= st
+		}
+		ao, bo := 0, 0
+		for i := range idx {
+			ai, bi := idx[i], idx[i]
+			if a.Shape[i] == 1 {
+				ai = 0
+			}
+			if b.Shape[i] == 1 {
+				bi = 0
+			}
+			ao += ai * as[i]
+			bo += bi * bs[i]
+		}
+		out.Data[flat] = f(a.Data[ao], b.Data[bo])
+	}
+	return out, nil
+}
+
+// Add, Sub, Mul, Div are strict same-shape elementwise ops.
+func Add(a, b *Dense) (*Dense, error) {
+	return zipSameShape("add", a, b, func(x, y float64) float64 { return x + y })
+}
+func Sub(a, b *Dense) (*Dense, error) {
+	return zipSameShape("sub", a, b, func(x, y float64) float64 { return x - y })
+}
+func Mul(a, b *Dense) (*Dense, error) {
+	return zipSameShape("mul", a, b, func(x, y float64) float64 { return x * y })
+}
+func Div(a, b *Dense) (*Dense, error) {
+	return zipSameShape("div", a, b, func(x, y float64) float64 { return x / y })
+}
+
+// SumN sums any number of same-shaped tensors.
+func SumN(ts ...*Dense) (*Dense, error) {
+	if len(ts) == 0 {
+		return nil, fmt.Errorf("numeric: empty sum")
+	}
+	out := ts[0].Clone()
+	for _, t := range ts[1:] {
+		if !SameShape(out, t) {
+			return nil, fmt.Errorf("numeric: sum shape %v vs %v", out.Shape, t.Shape)
+		}
+		for i := range out.Data {
+			out.Data[i] += t.Data[i]
+		}
+	}
+	return out, nil
+}
+
+// ScaleRat multiplies by the rational num/den.
+func ScaleRat(a *Dense, num, den int64) (*Dense, error) {
+	if den == 0 {
+		return nil, fmt.Errorf("numeric: scale by %d/0", num)
+	}
+	f := float64(num) / float64(den)
+	out := NewDense(a.Shape...)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] * f
+	}
+	return out, nil
+}
+
+// Unary applies a named elementwise function.
+func Unary(name string, a *Dense) (*Dense, error) {
+	var f func(float64) float64
+	switch name {
+	case "gelu":
+		f = func(x float64) float64 {
+			return 0.5 * x * (1 + math.Tanh(math.Sqrt(2/math.Pi)*(x+0.044715*x*x*x)))
+		}
+	case "silu":
+		f = func(x float64) float64 { return x / (1 + math.Exp(-x)) }
+	case "relu":
+		f = func(x float64) float64 { return math.Max(0, x) }
+	case "exp":
+		f = math.Exp
+	case "tanh":
+		f = math.Tanh
+	case "sqrt":
+		f = math.Sqrt
+	case "neg":
+		f = func(x float64) float64 { return -x }
+	case "dsilu":
+		f = func(x float64) float64 {
+			sig := 1 / (1 + math.Exp(-x))
+			return sig + x*sig*(1-sig)
+		}
+	case "dgelu":
+		f = func(x float64) float64 {
+			const c = 0.7978845608028654 // sqrt(2/pi)
+			t := math.Tanh(c * (x + 0.044715*x*x*x))
+			dt := (1 - t*t) * c * (1 + 3*0.044715*x*x)
+			return 0.5*(1+t) + 0.5*x*dt
+		}
+	case "drelu":
+		f = func(x float64) float64 {
+			if x > 0 {
+				return 1
+			}
+			return 0
+		}
+	case "dtanh":
+		f = func(x float64) float64 {
+			t := math.Tanh(x)
+			return 1 - t*t
+		}
+	case "square":
+		f = func(x float64) float64 { return x * x }
+	default:
+		return nil, fmt.Errorf("numeric: unknown unary %q", name)
+	}
+	out := NewDense(a.Shape...)
+	for i := range a.Data {
+		out.Data[i] = f(a.Data[i])
+	}
+	return out, nil
+}
+
+// Concat concatenates along dim.
+func Concat(dim int, ts ...*Dense) (*Dense, error) {
+	if len(ts) == 0 {
+		return nil, fmt.Errorf("numeric: empty concat")
+	}
+	r := ts[0].Rank()
+	if dim < 0 {
+		dim += r
+	}
+	if dim < 0 || dim >= r {
+		return nil, fmt.Errorf("numeric: concat dim %d rank %d", dim, r)
+	}
+	outShape := append([]int(nil), ts[0].Shape...)
+	total := 0
+	for _, t := range ts {
+		if t.Rank() != r {
+			return nil, fmt.Errorf("numeric: concat rank mismatch")
+		}
+		for i := range t.Shape {
+			if i != dim && t.Shape[i] != ts[0].Shape[i] {
+				return nil, fmt.Errorf("numeric: concat dim %d mismatch", i)
+			}
+		}
+		total += t.Shape[dim]
+	}
+	outShape[dim] = total
+	out := NewDense(outShape...)
+	// iterate blocks: outer = prod(shape[:dim]), inner = prod(shape[dim+1:])
+	outer := 1
+	for _, d := range outShape[:dim] {
+		outer *= d
+	}
+	inner := 1
+	for _, d := range outShape[dim+1:] {
+		inner *= d
+	}
+	outRow := total * inner
+	for o := 0; o < outer; o++ {
+		off := 0
+		for _, t := range ts {
+			rows := t.Shape[dim] * inner
+			copy(out.Data[o*outRow+off:o*outRow+off+rows], t.Data[o*rows:(o+1)*rows])
+			off += rows
+		}
+	}
+	return out, nil
+}
+
+// Slice takes [begin, end) along dim.
+func Slice(a *Dense, dim, begin, end int) (*Dense, error) {
+	r := a.Rank()
+	if dim < 0 {
+		dim += r
+	}
+	if dim < 0 || dim >= r || begin < 0 || end < begin || end > a.Shape[dim] {
+		return nil, fmt.Errorf("numeric: slice [%d:%d @%d] of %v", begin, end, dim, a.Shape)
+	}
+	outShape := append([]int(nil), a.Shape...)
+	outShape[dim] = end - begin
+	out := NewDense(outShape...)
+	outer := 1
+	for _, d := range a.Shape[:dim] {
+		outer *= d
+	}
+	inner := 1
+	for _, d := range a.Shape[dim+1:] {
+		inner *= d
+	}
+	inRow := a.Shape[dim] * inner
+	outRow := (end - begin) * inner
+	for o := 0; o < outer; o++ {
+		copy(out.Data[o*outRow:(o+1)*outRow],
+			a.Data[o*inRow+begin*inner:o*inRow+end*inner])
+	}
+	return out, nil
+}
+
+// Pad zero-pads along dim.
+func Pad(a *Dense, dim, before, after int) (*Dense, error) {
+	r := a.Rank()
+	if dim < 0 {
+		dim += r
+	}
+	if dim < 0 || dim >= r || before < 0 || after < 0 {
+		return nil, fmt.Errorf("numeric: pad (%d,%d @%d) of %v", before, after, dim, a.Shape)
+	}
+	outShape := append([]int(nil), a.Shape...)
+	outShape[dim] += before + after
+	out := NewDense(outShape...)
+	outer := 1
+	for _, d := range a.Shape[:dim] {
+		outer *= d
+	}
+	inner := 1
+	for _, d := range a.Shape[dim+1:] {
+		inner *= d
+	}
+	inRow := a.Shape[dim] * inner
+	outRow := outShape[dim] * inner
+	for o := 0; o < outer; o++ {
+		copy(out.Data[o*outRow+before*inner:o*outRow+before*inner+inRow],
+			a.Data[o*inRow:(o+1)*inRow])
+	}
+	return out, nil
+}
+
+// Transpose swaps two dims.
+func Transpose(a *Dense, d0, d1 int) (*Dense, error) {
+	r := a.Rank()
+	if d0 < 0 {
+		d0 += r
+	}
+	if d1 < 0 {
+		d1 += r
+	}
+	if d0 < 0 || d0 >= r || d1 < 0 || d1 >= r {
+		return nil, fmt.Errorf("numeric: transpose dims %d,%d of rank %d", d0, d1, r)
+	}
+	if d0 == d1 {
+		return a.Clone(), nil
+	}
+	outShape := append([]int(nil), a.Shape...)
+	outShape[d0], outShape[d1] = outShape[d1], outShape[d0]
+	out := NewDense(outShape...)
+	inStr := a.strides()
+	idx := make([]int, r)
+	for flat := 0; flat < len(out.Data); flat++ {
+		// decode flat into out idx
+		rem := flat
+		for i, st := range out.strides() {
+			idx[i] = rem / st
+			rem %= st
+		}
+		idx[d0], idx[d1] = idx[d1], idx[d0]
+		src := 0
+		for i := range idx {
+			src += idx[i] * inStr[i]
+		}
+		out.Data[flat] = a.Data[src]
+		idx[d0], idx[d1] = idx[d1], idx[d0]
+	}
+	return out, nil
+}
+
+// Reshape reinterprets the data with a new shape.
+func Reshape(a *Dense, shape []int) (*Dense, error) {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(a.Data) {
+		return nil, fmt.Errorf("numeric: reshape %v to %v", a.Shape, shape)
+	}
+	return FromData(append([]int(nil), shape...), append([]float64(nil), a.Data...)), nil
+}
+
+// ReduceSum sums along dim, keeping it with extent 1.
+func ReduceSum(a *Dense, dim int) (*Dense, error) {
+	r := a.Rank()
+	if dim < 0 {
+		dim += r
+	}
+	if dim < 0 || dim >= r {
+		return nil, fmt.Errorf("numeric: reducesum dim %d rank %d", dim, r)
+	}
+	outShape := append([]int(nil), a.Shape...)
+	outShape[dim] = 1
+	out := NewDense(outShape...)
+	outer := 1
+	for _, d := range a.Shape[:dim] {
+		outer *= d
+	}
+	inner := 1
+	for _, d := range a.Shape[dim+1:] {
+		inner *= d
+	}
+	for o := 0; o < outer; o++ {
+		for k := 0; k < a.Shape[dim]; k++ {
+			for i := 0; i < inner; i++ {
+				out.Data[o*inner+i] += a.Data[o*a.Shape[dim]*inner+k*inner+i]
+			}
+		}
+	}
+	return out, nil
+}
+
+// Softmax normalizes along dim.
+func Softmax(a *Dense, dim int) (*Dense, error) {
+	r := a.Rank()
+	if dim < 0 {
+		dim += r
+	}
+	if dim < 0 || dim >= r {
+		return nil, fmt.Errorf("numeric: softmax dim %d rank %d", dim, r)
+	}
+	out := a.Clone()
+	outer := 1
+	for _, d := range a.Shape[:dim] {
+		outer *= d
+	}
+	inner := 1
+	for _, d := range a.Shape[dim+1:] {
+		inner *= d
+	}
+	n := a.Shape[dim]
+	for o := 0; o < outer; o++ {
+		for i := 0; i < inner; i++ {
+			maxv := math.Inf(-1)
+			for k := 0; k < n; k++ {
+				v := out.Data[o*n*inner+k*inner+i]
+				if v > maxv {
+					maxv = v
+				}
+			}
+			sum := 0.0
+			for k := 0; k < n; k++ {
+				e := math.Exp(out.Data[o*n*inner+k*inner+i] - maxv)
+				out.Data[o*n*inner+k*inner+i] = e
+				sum += e
+			}
+			for k := 0; k < n; k++ {
+				out.Data[o*n*inner+k*inner+i] /= sum
+			}
+		}
+	}
+	return out, nil
+}
+
+// LayerNorm normalizes the last dim: (x-μ)/σ · w + b.
+func LayerNorm(x, w, b *Dense) (*Dense, error) {
+	h := x.Shape[x.Rank()-1]
+	if w.Numel() != h || b.Numel() != h {
+		return nil, fmt.Errorf("numeric: layernorm weight %v bias %v for hidden %d", w.Shape, b.Shape, h)
+	}
+	out := x.Clone()
+	rows := x.Numel() / h
+	for r := 0; r < rows; r++ {
+		seg := out.Data[r*h : (r+1)*h]
+		mean := 0.0
+		for _, v := range seg {
+			mean += v
+		}
+		mean /= float64(h)
+		varv := 0.0
+		for _, v := range seg {
+			varv += (v - mean) * (v - mean)
+		}
+		varv /= float64(h)
+		inv := 1 / math.Sqrt(varv+normEps)
+		for i := range seg {
+			seg[i] = (seg[i]-mean)*inv*w.Data[i] + b.Data[i]
+		}
+	}
+	return out, nil
+}
+
+// RMSNorm normalizes the last dim: x/rms(x) · w.
+func RMSNorm(x, w *Dense) (*Dense, error) {
+	h := x.Shape[x.Rank()-1]
+	if w.Numel() != h {
+		return nil, fmt.Errorf("numeric: rmsnorm weight %v for hidden %d", w.Shape, h)
+	}
+	out := x.Clone()
+	rows := x.Numel() / h
+	for r := 0; r < rows; r++ {
+		seg := out.Data[r*h : (r+1)*h]
+		ms := 0.0
+		for _, v := range seg {
+			ms += v * v
+		}
+		ms /= float64(h)
+		inv := 1 / math.Sqrt(ms+normEps)
+		for i := range seg {
+			seg[i] = seg[i] * inv * w.Data[i]
+		}
+	}
+	return out, nil
+}
+
+// Embedding looks up rows of table by the integer values in ids.
+func Embedding(table, ids *Dense) (*Dense, error) {
+	if table.Rank() != 2 {
+		return nil, fmt.Errorf("numeric: embedding table rank %d", table.Rank())
+	}
+	v, h := table.Shape[0], table.Shape[1]
+	outShape := append(append([]int(nil), ids.Shape...), h)
+	out := NewDense(outShape...)
+	for i, idf := range ids.Data {
+		id := int(idf)
+		if id < 0 || id >= v {
+			return nil, fmt.Errorf("numeric: embedding id %d out of [0,%d)", id, v)
+		}
+		copy(out.Data[i*h:(i+1)*h], table.Data[id*h:(id+1)*h])
+	}
+	return out, nil
+}
+
+// EmbeddingShard looks ids up in a vocabulary shard starting at
+// offset; out-of-shard ids contribute zeros.
+func EmbeddingShard(table, ids *Dense, offset int) (*Dense, error) {
+	if table.Rank() != 2 {
+		return nil, fmt.Errorf("numeric: embedding_shard table rank %d", table.Rank())
+	}
+	rows, h := table.Shape[0], table.Shape[1]
+	outShape := append(append([]int(nil), ids.Shape...), h)
+	out := NewDense(outShape...)
+	for i, idf := range ids.Data {
+		id := int(idf) - offset
+		if id < 0 || id >= rows {
+			continue // masked to zero
+		}
+		copy(out.Data[i*h:(i+1)*h], table.Data[id*h:(id+1)*h])
+	}
+	return out, nil
+}
+
+// RoPE applies rotary position embedding in the adjacent-pair
+// (GPT-NeoX interleaved) convention: x, cos, sin all [S, H] with even
+// H; each pair (x[2i], x[2i+1]) is rotated by the matching cos/sin
+// entries. This convention is both sequence-local (split S with
+// matching cos/sin row slices) and hidden-chunk-local (split H on even
+// boundaries with matching column slices) — the two localities the
+// SP and TP RoPE lemmas encode.
+func RoPE(x, cos, sin *Dense) (*Dense, error) {
+	if x.Rank() != 2 || !SameShape(x, cos) || !SameShape(x, sin) {
+		return nil, fmt.Errorf("numeric: rope shapes %v %v %v", x.Shape, cos.Shape, sin.Shape)
+	}
+	s, h := x.Shape[0], x.Shape[1]
+	if h%2 != 0 {
+		return nil, fmt.Errorf("numeric: rope hidden %d must be even", h)
+	}
+	out := NewDense(s, h)
+	for i := 0; i < s; i++ {
+		for j := 0; j < h; j += 2 {
+			a, b := x.Data[i*h+j], x.Data[i*h+j+1]
+			out.Data[i*h+j] = a*cos.Data[i*h+j] - b*sin.Data[i*h+j]
+			out.Data[i*h+j+1] = a*sin.Data[i*h+j+1] + b*cos.Data[i*h+j+1]
+		}
+	}
+	return out, nil
+}
+
+// Attention is non-causal multi-head scaled dot-product attention:
+// q is [Sq, heads·dh]; k and v share [Skv, heads·dh] (Skv may differ
+// from Sq — context parallelism attends query blocks against the full
+// sequence).
+func Attention(q, k, v *Dense, heads int) (*Dense, error) {
+	if q.Rank() != 2 || k.Rank() != 2 || !SameShape(k, v) || q.Shape[1] != k.Shape[1] {
+		return nil, fmt.Errorf("numeric: attention shapes %v %v %v", q.Shape, k.Shape, v.Shape)
+	}
+	sq, hd := q.Shape[0], q.Shape[1]
+	skv := k.Shape[0]
+	if heads <= 0 || hd%heads != 0 {
+		return nil, fmt.Errorf("numeric: attention hidden %d heads %d", hd, heads)
+	}
+	dh := hd / heads
+	out := NewDense(sq, hd)
+	scale := 1 / math.Sqrt(float64(dh))
+	for h := 0; h < heads; h++ {
+		off := h * dh
+		// scores[i][j] = q_i · k_j * scale
+		for i := 0; i < sq; i++ {
+			scores := make([]float64, skv)
+			maxv := math.Inf(-1)
+			for j := 0; j < skv; j++ {
+				dot := 0.0
+				for d := 0; d < dh; d++ {
+					dot += q.Data[i*hd+off+d] * k.Data[j*hd+off+d]
+				}
+				scores[j] = dot * scale
+				if scores[j] > maxv {
+					maxv = scores[j]
+				}
+			}
+			sum := 0.0
+			for j := range scores {
+				scores[j] = math.Exp(scores[j] - maxv)
+				sum += scores[j]
+			}
+			for j := range scores {
+				scores[j] /= sum
+			}
+			for d := 0; d < dh; d++ {
+				acc := 0.0
+				for j := 0; j < skv; j++ {
+					acc += scores[j] * v.Data[j*hd+off+d]
+				}
+				out.Data[i*hd+off+d] = acc
+			}
+		}
+	}
+	return out, nil
+}
+
+// MSELoss is the mean over all elements of (pred-target)².
+func MSELoss(pred, target *Dense) (*Dense, error) {
+	se, err := SquaredError(pred, target)
+	if err != nil {
+		return nil, err
+	}
+	se.Data[0] /= float64(pred.Numel())
+	return se, nil
+}
+
+// SquaredError is the sum over all elements of (pred-target)².
+func SquaredError(pred, target *Dense) (*Dense, error) {
+	if !SameShape(pred, target) {
+		return nil, fmt.Errorf("numeric: sqerr shapes %v vs %v", pred.Shape, target.Shape)
+	}
+	out := NewDense(1)
+	for i := range pred.Data {
+		d := pred.Data[i] - target.Data[i]
+		out.Data[0] += d * d
+	}
+	return out, nil
+}
+
+// Router computes softmax(x·w) over the expert dim (last).
+func Router(x, w *Dense) (*Dense, error) {
+	logits, err := MatMul(x, w)
+	if err != nil {
+		return nil, err
+	}
+	return Softmax(logits, logits.Rank()-1)
+}
+
+// AuxLoss is the mean over tokens of E·Σ_e p[s,e]² — a per-token
+// load-balance penalty, additive over token shards (the property the
+// auxloss-token-split lemma encodes).
+func AuxLoss(probs *Dense) (*Dense, error) {
+	if probs.Rank() != 2 {
+		return nil, fmt.Errorf("numeric: auxloss rank %d", probs.Rank())
+	}
+	s, e := probs.Shape[0], probs.Shape[1]
+	out := NewDense(1)
+	for i := 0; i < s; i++ {
+		tok := 0.0
+		for j := 0; j < e; j++ {
+			p := probs.Data[i*e+j]
+			tok += p * p
+		}
+		out.Data[0] += float64(e) * tok
+	}
+	out.Data[0] /= float64(s)
+	return out, nil
+}
+
+// FusedAddRMSNorm is rmsnorm(add(x, residual), w).
+func FusedAddRMSNorm(x, res, w *Dense) (*Dense, error) {
+	s, err := Add(x, res)
+	if err != nil {
+		return nil, err
+	}
+	return RMSNorm(s, w)
+}
+
+// FusedSiluMul is silu(gate) ⊙ up.
+func FusedSiluMul(gate, up *Dense) (*Dense, error) {
+	s, err := Unary("silu", gate)
+	if err != nil {
+		return nil, err
+	}
+	return Mul(s, up)
+}

@@ -1,0 +1,500 @@
+package numeric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"entangle/internal/expr"
+	"entangle/internal/graph"
+	"entangle/internal/shape"
+	"entangle/internal/sym"
+)
+
+func rng() *rand.Rand { return rand.New(rand.NewSource(42)) }
+
+func TestMatMul2D(t *testing.T) {
+	a := FromData([]int{2, 3}, []float64{1, 2, 3, 4, 5, 6})
+	b := FromData([]int{3, 2}, []float64{7, 8, 9, 10, 11, 12})
+	c, err := MatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{58, 64, 139, 154}
+	for i, v := range want {
+		if math.Abs(c.Data[i]-v) > 1e-12 {
+			t.Fatalf("matmul[%d] = %g want %g", i, c.Data[i], v)
+		}
+	}
+	if _, err := MatMul(a, a); err == nil {
+		t.Fatal("inner mismatch must fail")
+	}
+}
+
+func TestMatMulBatched(t *testing.T) {
+	r := rng()
+	a := Rand(r, 2, 3, 4)
+	b := Rand(r, 4, 5)
+	c, err := MatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Shape[0] != 2 || c.Shape[1] != 3 || c.Shape[2] != 5 {
+		t.Fatalf("batched shape %v", c.Shape)
+	}
+	// slice 0 equals plain matmul of slice 0
+	a0 := FromData([]int{3, 4}, a.Data[:12])
+	c0, _ := MatMul(a0, b)
+	if MaxAbsDiff(FromData([]int{3, 5}, c.Data[:15]), c0) > 1e-12 {
+		t.Fatal("batched result wrong")
+	}
+}
+
+func TestConcatSliceRoundTrip(t *testing.T) {
+	r := rng()
+	for dim := 0; dim < 2; dim++ {
+		x := Rand(r, 4, 6)
+		lo, hi := 1, 3
+		s1, err := Slice(x, dim, 0, lo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, _ := Slice(x, dim, lo, hi)
+		s3, _ := Slice(x, dim, hi, x.Shape[dim])
+		back, err := Concat(dim, s1, s2, s3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if MaxAbsDiff(x, back) != 0 {
+			t.Fatalf("round trip failed on dim %d", dim)
+		}
+	}
+}
+
+func TestPadSlice(t *testing.T) {
+	r := rng()
+	x := Rand(r, 3, 4)
+	p, err := Pad(x, 0, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Shape[0] != 6 {
+		t.Fatalf("pad shape %v", p.Shape)
+	}
+	if p.Data[0] != 0 || p.Data[4] != 0 {
+		t.Fatal("padding must be zero")
+	}
+	back, _ := Slice(p, 0, 2, 5)
+	if MaxAbsDiff(x, back) != 0 {
+		t.Fatal("pad-slice inverse failed")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	r := rng()
+	x := Rand(r, 3, 4, 5)
+	y, err := Transpose(x, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Shape[0] != 5 || y.Shape[2] != 3 {
+		t.Fatalf("transpose shape %v", y.Shape)
+	}
+	z, _ := Transpose(y, 0, 2)
+	if MaxAbsDiff(x, z) != 0 {
+		t.Fatal("double transpose must be identity")
+	}
+	if y.At(1, 2, 0) != x.At(0, 2, 1) {
+		t.Fatal("transpose element mapping wrong")
+	}
+}
+
+func TestSoftmaxRows(t *testing.T) {
+	x := FromData([]int{2, 3}, []float64{1, 2, 3, 0, 0, 0})
+	s, err := Softmax(x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 2; r++ {
+		sum := s.Data[r*3] + s.Data[r*3+1] + s.Data[r*3+2]
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("row %d sums to %g", r, sum)
+		}
+	}
+	if math.Abs(s.Data[3]-1.0/3) > 1e-12 {
+		t.Fatal("uniform row should be 1/3")
+	}
+}
+
+func TestNormsRowLocal(t *testing.T) {
+	// Row locality is what the concat lemmas rely on: norm of the
+	// concatenation equals concatenation of norms.
+	r := rng()
+	x1, x2 := Rand(r, 2, 8), Rand(r, 3, 8)
+	w, b := Rand(r, 8), Rand(r, 8)
+	full, _ := Concat(0, x1, x2)
+
+	lnFull, err := LayerNorm(full, w, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln1, _ := LayerNorm(x1, w, b)
+	ln2, _ := LayerNorm(x2, w, b)
+	lnCat, _ := Concat(0, ln1, ln2)
+	if MaxAbsDiff(lnFull, lnCat) > 1e-12 {
+		t.Fatal("layernorm is not row-local")
+	}
+
+	rmsFull, _ := RMSNorm(full, w)
+	rms1, _ := RMSNorm(x1, w)
+	rms2, _ := RMSNorm(x2, w)
+	rmsCat, _ := Concat(0, rms1, rms2)
+	if MaxAbsDiff(rmsFull, rmsCat) > 1e-12 {
+		t.Fatal("rmsnorm is not row-local")
+	}
+}
+
+func TestEmbeddingAndShards(t *testing.T) {
+	r := rng()
+	table := Rand(r, 10, 4)
+	ids := FromData([]int{3}, []float64{0, 7, 3})
+	e, err := Embedding(table, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Shape[0] != 3 || e.Shape[1] != 4 {
+		t.Fatalf("embedding shape %v", e.Shape)
+	}
+	// vocab-parallel identity: emb(table, ids) = Σ shard lookups
+	t1, _ := Slice(table, 0, 0, 5)
+	t2, _ := Slice(table, 0, 5, 10)
+	e1, _ := EmbeddingShard(t1, ids, 0)
+	e2, _ := EmbeddingShard(t2, ids, 5)
+	sum, _ := Add(e1, e2)
+	if MaxAbsDiff(e, sum) != 0 {
+		t.Fatal("vocab-parallel embedding identity failed")
+	}
+	bad := FromData([]int{1}, []float64{99})
+	if _, err := Embedding(table, bad); err == nil {
+		t.Fatal("out-of-range id must fail")
+	}
+}
+
+func TestRoPESeqLocal(t *testing.T) {
+	r := rng()
+	x := Rand(r, 4, 8)
+	cos := Rand(r, 4, 8)
+	sin := Rand(r, 4, 8)
+	full, err := RoPE(x, cos, sin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1, _ := Slice(x, 0, 0, 2)
+	x2, _ := Slice(x, 0, 2, 4)
+	c1, _ := Slice(cos, 0, 0, 2)
+	c2, _ := Slice(cos, 0, 2, 4)
+	s1, _ := Slice(sin, 0, 0, 2)
+	s2, _ := Slice(sin, 0, 2, 4)
+	r1, _ := RoPE(x1, c1, s1)
+	r2, _ := RoPE(x2, c2, s2)
+	cat, _ := Concat(0, r1, r2)
+	if MaxAbsDiff(full, cat) > 1e-12 {
+		t.Fatal("rope is not sequence-local with matching cos/sin slices")
+	}
+	// wrong offsets really change the value (bug 1 is observable)
+	r2bad, _ := RoPE(x2, c1, s1)
+	catBad, _ := Concat(0, r1, r2bad)
+	if MaxAbsDiff(full, catBad) < 1e-9 {
+		t.Fatal("wrong cos/sin offsets should change the output")
+	}
+}
+
+func TestRoPEHiddenLocal(t *testing.T) {
+	// Adjacent-pair convention: even hidden splits commute with RoPE.
+	r := rng()
+	x, cos, sin := Rand(r, 4, 8), Rand(r, 4, 8), Rand(r, 4, 8)
+	full, err := RoPE(x, cos, sin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := func(d *Dense) (*Dense, *Dense) {
+		a, _ := Slice(d, 1, 0, 4)
+		b, _ := Slice(d, 1, 4, 8)
+		return a, b
+	}
+	x1, x2 := split(x)
+	c1, c2 := split(cos)
+	s1, s2 := split(sin)
+	r1, _ := RoPE(x1, c1, s1)
+	r2, _ := RoPE(x2, c2, s2)
+	cat, _ := Concat(1, r1, r2)
+	if MaxAbsDiff(full, cat) > 1e-12 {
+		t.Fatal("rope is not hidden-chunk-local under adjacent-pair rotation")
+	}
+}
+
+func TestBroadcastMul(t *testing.T) {
+	r := rng()
+	gate := Rand(r, 3, 1)
+	x := Rand(r, 3, 4)
+	out, err := Mul(gate, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Shape[0] != 3 || out.Shape[1] != 4 {
+		t.Fatalf("broadcast shape %v", out.Shape)
+	}
+	if math.Abs(out.At(1, 2)-gate.At(1, 0)*x.At(1, 2)) > 1e-12 {
+		t.Fatal("broadcast value wrong")
+	}
+	bad := Rand(r, 2, 4)
+	if _, err := Mul(bad, x); err == nil {
+		t.Fatal("incompatible broadcast must fail")
+	}
+}
+
+func TestAttentionHeadLocal(t *testing.T) {
+	r := rng()
+	q, k, v := Rand(r, 4, 8), Rand(r, 4, 8), Rand(r, 4, 8)
+	full, err := Attention(q, k, v, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := func(x *Dense) (*Dense, *Dense) {
+		a, _ := Slice(x, 1, 0, 4)
+		b, _ := Slice(x, 1, 4, 8)
+		return a, b
+	}
+	q1, q2 := split(q)
+	k1, k2 := split(k)
+	v1, v2 := split(v)
+	a1, _ := Attention(q1, k1, v1, 2)
+	a2, _ := Attention(q2, k2, v2, 2)
+	cat, _ := Concat(1, a1, a2)
+	if MaxAbsDiff(full, cat) > 1e-12 {
+		t.Fatal("attention is not head-local")
+	}
+}
+
+func TestLossIdentities(t *testing.T) {
+	r := rng()
+	p1, p2 := Rand(r, 2, 3), Rand(r, 2, 3)
+	t1, t2 := Rand(r, 2, 3), Rand(r, 2, 3)
+	pFull, _ := Concat(0, p1, p2)
+	tFull, _ := Concat(0, t1, t2)
+	mseFull, _ := MSELoss(pFull, tFull)
+	m1, _ := MSELoss(p1, t1)
+	m2, _ := MSELoss(p2, t2)
+	sum, _ := Add(m1, m2)
+	scaled, _ := ScaleRat(sum, 1, 2)
+	if MaxAbsDiff(mseFull, scaled) > 1e-12 {
+		t.Fatal("mse-batch-split identity failed")
+	}
+	seFull, _ := SquaredError(pFull, tFull)
+	s1, _ := SquaredError(p1, t1)
+	s2, _ := SquaredError(p2, t2)
+	seSum, _ := Add(s1, s2)
+	if MaxAbsDiff(seFull, seSum) > 1e-10 {
+		t.Fatal("sqerr additivity failed")
+	}
+}
+
+func TestAuxLossTokenSplitIdentity(t *testing.T) {
+	r := rng()
+	p1, p2 := Rand(r, 3, 4), Rand(r, 3, 4)
+	full, _ := Concat(0, p1, p2)
+	aFull, err := AuxLoss(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, _ := AuxLoss(p1)
+	a2, _ := AuxLoss(p2)
+	sum, _ := Add(a1, a2)
+	scaled, _ := ScaleRat(sum, 1, 2)
+	if MaxAbsDiff(aFull, scaled) > 1e-12 {
+		t.Fatal("auxloss token-split identity failed")
+	}
+}
+
+func TestFusedKernels(t *testing.T) {
+	r := rng()
+	x, res, w := Rand(r, 3, 8), Rand(r, 3, 8), Rand(r, 8)
+	fused, err := FusedAddRMSNorm(x, res, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, _ := Add(x, res)
+	unfused, _ := RMSNorm(sum, w)
+	if MaxAbsDiff(fused, unfused) != 0 {
+		t.Fatal("fused add-rmsnorm mismatch")
+	}
+	g, u := Rand(r, 3, 8), Rand(r, 3, 8)
+	fsm, _ := FusedSiluMul(g, u)
+	sg, _ := Unary("silu", g)
+	mu, _ := Mul(sg, u)
+	if MaxAbsDiff(fsm, mu) != 0 {
+		t.Fatal("fused silu-mul mismatch")
+	}
+}
+
+// Property: block matmul identity — the soundness of the row-parallel
+// lemma, validated numerically on random shapes.
+func TestQuickBlockMatMul(t *testing.T) {
+	r := rng()
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		m, k1, k2, n := 1+rr.Intn(4), 1+rr.Intn(4), 1+rr.Intn(4), 1+rr.Intn(4)
+		x1, x2 := Rand(rr, m, k1), Rand(rr, m, k2)
+		w1, w2 := Rand(rr, k1, n), Rand(rr, k2, n)
+		xf, _ := Concat(1, x1, x2)
+		wf, _ := Concat(0, w1, w2)
+		full, _ := MatMul(xf, wf)
+		p1, _ := MatMul(x1, w1)
+		p2, _ := MatMul(x2, w2)
+		sum, _ := Add(p1, p2)
+		return AllClose(full, sum, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+	_ = r
+}
+
+// Property: column-parallel matmul identity.
+func TestQuickColMatMul(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		m, k, n1, n2 := 1+rr.Intn(4), 1+rr.Intn(4), 1+rr.Intn(4), 1+rr.Intn(4)
+		x := Rand(rr, m, k)
+		w1, w2 := Rand(rr, k, n1), Rand(rr, k, n2)
+		wf, _ := Concat(1, w1, w2)
+		full, _ := MatMul(x, wf)
+		c1, _ := MatMul(x, w1)
+		c2, _ := MatMul(x, w2)
+		cat, _ := Concat(1, c1, c2)
+		return AllClose(full, cat, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvalGraphFigure1(t *testing.T) {
+	// Evaluate both Figure-1 graphs and check the relation manually:
+	// F = concat(F1, F2, 0).
+	bs := graph.NewBuilder("Gs", nil)
+	A := bs.Input("A", shape.Of(4, 8))
+	B := bs.Input("B", shape.Of(8, 6))
+	E := bs.Input("E", shape.Of(4, 6))
+	C := bs.MatMul("matmul", A, B)
+	F := bs.Sub("matsub", C, E)
+	bs.Output(F)
+	gs := bs.MustBuild()
+
+	bd := graph.NewBuilder("Gd", nil)
+	A1 := bd.Input("A1", shape.Of(4, 4))
+	A2 := bd.Input("A2", shape.Of(4, 4))
+	B1 := bd.Input("B1", shape.Of(4, 6))
+	B2 := bd.Input("B2", shape.Of(4, 6))
+	E0 := bd.Input("E0", shape.Of(2, 6))
+	E1 := bd.Input("E1", shape.Of(2, 6))
+	C1 := bd.MatMul("r0/matmul", A1, B1)
+	C2 := bd.MatMul("r1/matmul", A2, B2)
+	D := bd.ReduceScatter("rs", 0, C1, C2)
+	F1 := bd.Sub("r0/matsub", D[0], E0)
+	F2 := bd.Sub("r1/matsub", D[1], E1)
+	bd.Output(F1, F2)
+	gd := bd.MustBuild()
+
+	r := rng()
+	a := Rand(r, 4, 8)
+	b := Rand(r, 8, 6)
+	e := Rand(r, 4, 6)
+	sv, err := EvalGraph(gs, map[string]*Dense{"A": a, "B": b, "E": e}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, _ := Slice(a, 1, 0, 4)
+	a2, _ := Slice(a, 1, 4, 8)
+	b1, _ := Slice(b, 0, 0, 4)
+	b2, _ := Slice(b, 0, 4, 8)
+	e0, _ := Slice(e, 0, 0, 2)
+	e1, _ := Slice(e, 0, 2, 4)
+	dv, err := EvalGraph(gd, map[string]*Dense{
+		"A1": a1, "A2": a2, "B1": b1, "B2": b2, "E0": e0, "E1": e1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fT, _ := gs.TensorByName("matsub.out")
+	f1T, _ := gd.TensorByName("r0/matsub.out")
+	f2T, _ := gd.TensorByName("r1/matsub.out")
+	rebuilt, _ := Concat(0, dv[f1T.ID], dv[f2T.ID])
+	if !AllClose(sv[fT.ID], rebuilt, 1e-10) {
+		t.Fatalf("distributed result differs: max diff %g", MaxAbsDiff(sv[fT.ID], rebuilt))
+	}
+}
+
+func TestEvalTerm(t *testing.T) {
+	r := rng()
+	x1, x2 := Rand(r, 2, 3), Rand(r, 2, 3)
+	lookup := func(tid int) (*Dense, error) {
+		switch tid {
+		case 1:
+			return x1, nil
+		case 2:
+			return x2, nil
+		}
+		return nil, errMissing
+	}
+	term := expr.ConcatI(0, expr.Tensor(1, "x1"), expr.Tensor(2, "x2"))
+	got, err := EvalTerm(term, nil, lookup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := Concat(0, x1, x2)
+	if MaxAbsDiff(got, want) != 0 {
+		t.Fatal("term eval mismatch")
+	}
+	sumT := expr.Sum(expr.Tensor(1, ""), expr.Tensor(2, ""))
+	got, _ = EvalTerm(sumT, nil, lookup)
+	want, _ = Add(x1, x2)
+	if MaxAbsDiff(got, want) != 0 {
+		t.Fatal("sum term eval mismatch")
+	}
+	scaleT := expr.Scale(expr.Tensor(1, ""), 1, 2)
+	got, _ = EvalTerm(scaleT, Env{}, lookup)
+	want, _ = ScaleRat(x1, 1, 2)
+	if MaxAbsDiff(got, want) != 0 {
+		t.Fatal("scale term eval mismatch")
+	}
+}
+
+var errMissing = fmtErr("missing tensor")
+
+type fmtErr string
+
+func (e fmtErr) Error() string { return string(e) }
+
+func TestEnvSymbolic(t *testing.T) {
+	ctx := sym.NewContext()
+	S := sym.Var("S")
+	b := graph.NewBuilder("g", ctx)
+	x := b.Input("x", shape.Shape{S, sym.Const(2)})
+	y := b.Unary("act", "relu", x)
+	b.Output(y)
+	g := b.MustBuild()
+	r := rng()
+	in := Rand(r, 3, 2)
+	vals, err := EvalGraph(g, map[string]*Dense{"x": in}, Env{"S": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	yT, _ := g.TensorByName("act.out")
+	if vals[yT.ID].Shape[0] != 3 {
+		t.Fatal("symbolic eval failed")
+	}
+	if _, err := EvalGraph(g, map[string]*Dense{"x": in}, Env{"S": 5}); err == nil {
+		t.Fatal("wrong env binding must fail shape check")
+	}
+}

@@ -1,0 +1,166 @@
+// Package relation implements ENTANGLE's relations (§3.2): sets of
+// tensor-expression pairs mapping tensors of a sequential model G_s to
+// clean expressions over tensors of a distributed implementation G_d.
+// The user-provided input relation R_i, the per-operator relations R_v,
+// and the final output relation R_o are all values of this type.
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"entangle/internal/expr"
+	"entangle/internal/graph"
+)
+
+// GdOffset separates the two graphs' tensor-leaf ID spaces inside
+// expressions: a leaf with TID ≥ GdOffset refers to G_d tensor
+// (TID - GdOffset); smaller TIDs refer to G_s tensors.
+const GdOffset = 1 << 20
+
+// GdLeaf builds an expression leaf referencing a G_d tensor.
+func GdLeaf(t *graph.Tensor) *expr.Term {
+	return expr.Tensor(int(t.ID)+GdOffset, t.Name)
+}
+
+// GsLeaf builds an expression leaf referencing a G_s tensor.
+func GsLeaf(t *graph.Tensor) *expr.Term {
+	return expr.Tensor(int(t.ID), t.Name)
+}
+
+// IsGd reports whether a leaf TID refers to the G_d space.
+func IsGd(tid int) bool { return tid >= GdOffset }
+
+// GdTensorID converts a G_d-space leaf TID back to a graph.TensorID.
+func GdTensorID(tid int) graph.TensorID { return graph.TensorID(tid - GdOffset) }
+
+// Relation maps G_s tensor IDs to one or more clean expressions over
+// G_d tensors. A tensor may have several mappings (replication, or the
+// multiple reconstructions of §4.1's running example); they are kept
+// sorted simplest-first, mirroring the paper's pruning rule (§4.3.2).
+type Relation struct {
+	m    map[graph.TensorID][]*expr.Term
+	keys map[graph.TensorID]map[string]bool
+}
+
+// New returns an empty relation.
+func New() *Relation {
+	return &Relation{m: map[graph.TensorID][]*expr.Term{}, keys: map[graph.TensorID]map[string]bool{}}
+}
+
+// Add records a mapping for tensor id; duplicates (by structural key)
+// are ignored. It reports whether the mapping was new.
+func (r *Relation) Add(id graph.TensorID, t *expr.Term) bool {
+	if t == nil {
+		return false
+	}
+	k := t.Key()
+	if r.keys[id] == nil {
+		r.keys[id] = map[string]bool{}
+	}
+	if r.keys[id][k] {
+		return false
+	}
+	r.keys[id][k] = true
+	lst := append(r.m[id], t)
+	sort.SliceStable(lst, func(i, j int) bool { return lst[i].Size() < lst[j].Size() })
+	r.m[id] = lst
+	return true
+}
+
+// AddAll records several mappings.
+func (r *Relation) AddAll(id graph.TensorID, ts []*expr.Term) {
+	for _, t := range ts {
+		r.Add(id, t)
+	}
+}
+
+// Get returns the mappings for tensor id, simplest first.
+func (r *Relation) Get(id graph.TensorID) []*expr.Term { return r.m[id] }
+
+// Has reports whether tensor id has at least one mapping.
+func (r *Relation) Has(id graph.TensorID) bool { return len(r.m[id]) > 0 }
+
+// Len returns the number of mapped tensors.
+func (r *Relation) Len() int { return len(r.m) }
+
+// Tensors returns the mapped tensor IDs in ascending order.
+func (r *Relation) Tensors() []graph.TensorID {
+	out := make([]graph.TensorID, 0, len(r.m))
+	for id := range r.m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Complete reports whether every one of the given tensors is mapped —
+// the paper's completeness condition on R_o (§3.2).
+func (r *Relation) Complete(outputs []graph.TensorID) bool {
+	for _, o := range outputs {
+		if !r.Has(o) {
+			return false
+		}
+	}
+	return true
+}
+
+// GdLeaves returns the distinct G_d tensor IDs referenced by any
+// mapping of the given G_s tensors (all mapped tensors when ids is
+// nil). This is the T_rel seed of the paper's Listing 3.
+func (r *Relation) GdLeaves(ids []graph.TensorID) []graph.TensorID {
+	seen := map[graph.TensorID]bool{}
+	var out []graph.TensorID
+	collect := func(id graph.TensorID) {
+		for _, t := range r.m[id] {
+			for _, leaf := range t.Leaves() {
+				if IsGd(leaf) {
+					gd := GdTensorID(leaf)
+					if !seen[gd] {
+						seen[gd] = true
+						out = append(out, gd)
+					}
+				}
+			}
+		}
+	}
+	if ids == nil {
+		for id := range r.m {
+			collect(id)
+		}
+	} else {
+		for _, id := range ids {
+			collect(id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Clone returns a deep-enough copy (terms are immutable and shared).
+func (r *Relation) Clone() *Relation {
+	n := New()
+	for id, ts := range r.m {
+		for _, t := range ts {
+			n.Add(id, t)
+		}
+	}
+	return n
+}
+
+// Render formats the relation for humans, resolving G_s tensor names
+// through the graph.
+func (r *Relation) Render(gs *graph.Graph) string {
+	var b strings.Builder
+	for _, id := range r.Tensors() {
+		name := fmt.Sprintf("t%d", id)
+		if int(id) < len(gs.Tensors) {
+			name = gs.Tensor(id).Name
+		}
+		for _, t := range r.m[id] {
+			fmt.Fprintf(&b, "  %s = %s\n", name, t)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,112 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+
+	"entangle/internal/expr"
+	"entangle/internal/graph"
+	"entangle/internal/shape"
+)
+
+func twoGraphs(t *testing.T) (*graph.Graph, *graph.Graph) {
+	t.Helper()
+	bs := graph.NewBuilder("gs", nil)
+	a := bs.Input("A", shape.Of(4, 4))
+	y := bs.Unary("act", "gelu", a)
+	bs.Output(y)
+	gs := bs.MustBuild()
+
+	bd := graph.NewBuilder("gd", nil)
+	a0 := bd.Input("A0", shape.Of(2, 4))
+	a1 := bd.Input("A1", shape.Of(2, 4))
+	y0 := bd.Unary("r0/act", "gelu", a0)
+	y1 := bd.Unary("r1/act", "gelu", a1)
+	bd.Output(y0, y1)
+	return gs, bd.MustBuild()
+}
+
+func TestLeafSpaces(t *testing.T) {
+	_, gd := twoGraphs(t)
+	a0, _ := gd.TensorByName("A0")
+	leaf := GdLeaf(a0)
+	if !IsGd(leaf.TID) {
+		t.Fatal("GdLeaf must land in the G_d space")
+	}
+	if GdTensorID(leaf.TID) != a0.ID {
+		t.Fatal("round trip broken")
+	}
+	if IsGd(3) {
+		t.Fatal("small ids are G_s space")
+	}
+}
+
+func TestAddDedupAndOrder(t *testing.T) {
+	gs, gd := twoGraphs(t)
+	aT, _ := gs.TensorByName("A")
+	a0, _ := gd.TensorByName("A0")
+	a1, _ := gd.TensorByName("A1")
+	r := New()
+	big := expr.ConcatI(0, GdLeaf(a0), GdLeaf(a1))
+	if !r.Add(aT.ID, big) {
+		t.Fatal("first add should succeed")
+	}
+	if r.Add(aT.ID, big) {
+		t.Fatal("duplicate must be ignored")
+	}
+	small := GdLeaf(a0)
+	r.Add(aT.ID, small)
+	got := r.Get(aT.ID)
+	if len(got) != 2 || got[0].Size() > got[1].Size() {
+		t.Fatalf("mappings must be sorted simplest-first: %v", got)
+	}
+	if r.Len() != 1 || !r.Has(aT.ID) {
+		t.Fatal("bookkeeping wrong")
+	}
+}
+
+func TestCompleteAndGdLeaves(t *testing.T) {
+	gs, gd := twoGraphs(t)
+	aT, _ := gs.TensorByName("A")
+	yT, _ := gs.TensorByName("act.out")
+	a0, _ := gd.TensorByName("A0")
+	a1, _ := gd.TensorByName("A1")
+	r := New()
+	r.Add(aT.ID, expr.ConcatI(0, GdLeaf(a0), GdLeaf(a1)))
+	if r.Complete([]graph.TensorID{aT.ID, yT.ID}) {
+		t.Fatal("missing output must make relation incomplete")
+	}
+	leaves := r.GdLeaves([]graph.TensorID{aT.ID})
+	if len(leaves) != 2 || leaves[0] != a0.ID || leaves[1] != a1.ID {
+		t.Fatalf("gd leaves %v", leaves)
+	}
+	if len(r.GdLeaves(nil)) != 2 {
+		t.Fatal("nil ids should cover all mapped tensors")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	gs, gd := twoGraphs(t)
+	aT, _ := gs.TensorByName("A")
+	a0, _ := gd.TensorByName("A0")
+	r := New()
+	r.Add(aT.ID, GdLeaf(a0))
+	c := r.Clone()
+	a1, _ := gd.TensorByName("A1")
+	c.Add(aT.ID, GdLeaf(a1))
+	if len(r.Get(aT.ID)) != 1 || len(c.Get(aT.ID)) != 2 {
+		t.Fatal("clone not independent")
+	}
+}
+
+func TestRender(t *testing.T) {
+	gs, gd := twoGraphs(t)
+	aT, _ := gs.TensorByName("A")
+	a0, _ := gd.TensorByName("A0")
+	r := New()
+	r.Add(aT.ID, GdLeaf(a0))
+	out := r.Render(gs)
+	if !strings.Contains(out, "A = A0") {
+		t.Fatalf("render output %q", out)
+	}
+}

@@ -1,0 +1,188 @@
+package shape
+
+import (
+	"testing"
+
+	"entangle/internal/expr"
+	"entangle/internal/sym"
+)
+
+func ctx() *sym.Context { return sym.NewContext() }
+
+func infer1(t *testing.T, op expr.Op, ints []sym.Expr, in ...Shape) Shape {
+	t.Helper()
+	out, err := Infer(op, "", ints, in, ctx())
+	if err != nil {
+		t.Fatalf("Infer(%s): %v", op, err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("Infer(%s): %d outputs", op, len(out))
+	}
+	return out[0]
+}
+
+func wantShape(t *testing.T, got Shape, want Shape) {
+	t.Helper()
+	if !got.Equal(want, ctx()) {
+		t.Fatalf("shape %s want %s", got, want)
+	}
+}
+
+func TestMatMul(t *testing.T) {
+	out := infer1(t, expr.OpMatMul, nil, Of(4, 8), Of(8, 16))
+	wantShape(t, out, Of(4, 16))
+	// batched with broadcast
+	out = infer1(t, expr.OpMatMul, nil, Of(2, 4, 8), Of(8, 16))
+	wantShape(t, out, Of(2, 4, 16))
+	// provably-mismatched inner dims rejected
+	if _, err := Infer(expr.OpMatMul, "", nil, []Shape{Of(4, 8), Of(9, 16)}, ctx()); err == nil {
+		t.Fatal("matmul 8 vs 9 must fail")
+	}
+}
+
+func TestMatMulSymbolicInner(t *testing.T) {
+	c := sym.NewContext()
+	h := sym.Var("H")
+	// Unknown equality is accepted; provable inequality rejected.
+	in := []Shape{{sym.Const(4), h}, {h.AddConst(0), sym.Const(3)}}
+	if _, err := Infer(expr.OpMatMul, "", nil, in, c); err != nil {
+		t.Fatalf("symbolic equal inner dims should pass: %v", err)
+	}
+	c2 := sym.NewContext()
+	c2.AssumePositive("H")
+	bad := []Shape{{sym.Const(4), h}, {h.AddConst(1), sym.Const(3)}}
+	if _, err := Infer(expr.OpMatMul, "", nil, bad, c2); err == nil {
+		t.Fatal("H vs H+1 must fail when H+1≠H provable")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	out := infer1(t, expr.OpConcat, []sym.Expr{sym.Const(0)}, Of(2, 8), Of(3, 8))
+	wantShape(t, out, Of(5, 8))
+	out = infer1(t, expr.OpConcat, []sym.Expr{sym.Const(1)}, Of(2, 8), Of(2, 8), Of(2, 8))
+	wantShape(t, out, Of(2, 24))
+	// negative dim
+	out = infer1(t, expr.OpConcat, []sym.Expr{sym.Const(-1)}, Of(2, 8), Of(2, 8))
+	wantShape(t, out, Of(2, 16))
+	if _, err := Infer(expr.OpConcat, "", []sym.Expr{sym.Const(0)}, []Shape{Of(2, 8), Of(3, 9)}, ctx()); err == nil {
+		t.Fatal("concat with mismatched non-concat dims must fail")
+	}
+}
+
+func TestSlice(t *testing.T) {
+	out := infer1(t, expr.OpSlice, []sym.Expr{sym.Const(1), sym.Const(2), sym.Const(6)}, Of(4, 8))
+	wantShape(t, out, Of(4, 4))
+	if _, err := Infer(expr.OpSlice, "", []sym.Expr{sym.Const(0), sym.Const(3), sym.Const(2)}, []Shape{Of(4, 8)}, ctx()); err == nil {
+		t.Fatal("begin>end must fail")
+	}
+	if _, err := Infer(expr.OpSlice, "", []sym.Expr{sym.Const(0), sym.Const(0), sym.Const(9)}, []Shape{Of(4, 8)}, ctx()); err == nil {
+		t.Fatal("end beyond extent must fail")
+	}
+}
+
+func TestSliceSymbolic(t *testing.T) {
+	c := sym.NewContext()
+	s := sym.Var("S")
+	c.AssumeGE(s, sym.Const(2))
+	half, _ := s.MulConst(1).DivConst(1)
+	_ = half
+	shard := sym.Var("Sh")
+	c.AssumeEQ(s, shard.MulConst(2))
+	c.AssumePositive("Sh")
+	out, err := Infer(expr.OpSlice, "", []sym.Expr{sym.Const(0), sym.Const(0), shard}, []Shape{{s, sym.Const(8)}}, c)
+	if err != nil {
+		t.Fatalf("symbolic slice: %v", err)
+	}
+	if !out[0][0].Equal(shard) {
+		t.Fatalf("slice extent %s want Sh", out[0][0])
+	}
+}
+
+func TestTransposePadReshapeReduce(t *testing.T) {
+	out := infer1(t, expr.OpTranspose, []sym.Expr{sym.Const(0), sym.Const(1)}, Of(2, 8))
+	wantShape(t, out, Of(8, 2))
+	out = infer1(t, expr.OpPad, []sym.Expr{sym.Const(1), sym.Const(1), sym.Const(3)}, Of(2, 8))
+	wantShape(t, out, Of(2, 12))
+	out = infer1(t, expr.OpReshape, []sym.Expr{sym.Const(4), sym.Const(4)}, Of(2, 8))
+	wantShape(t, out, Of(4, 4))
+	if _, err := Infer(expr.OpReshape, "", []sym.Expr{sym.Const(5), sym.Const(5)}, []Shape{Of(2, 8)}, ctx()); err == nil {
+		t.Fatal("reshape changing element count must fail")
+	}
+	out = infer1(t, expr.OpReduceSum, []sym.Expr{sym.Const(0)}, Of(4, 8))
+	wantShape(t, out, Of(1, 8))
+}
+
+func TestElementwiseMismatch(t *testing.T) {
+	if _, err := Infer(expr.OpAdd, "", nil, []Shape{Of(2, 8), Of(2, 9)}, ctx()); err == nil {
+		t.Fatal("add with mismatched shapes must fail")
+	}
+	out := infer1(t, expr.OpSum, nil, Of(2, 8), Of(2, 8), Of(2, 8))
+	wantShape(t, out, Of(2, 8))
+}
+
+func TestNNOps(t *testing.T) {
+	out := infer1(t, expr.OpLayerNorm, nil, Of(4, 8), Of(8), Of(8))
+	wantShape(t, out, Of(4, 8))
+	out = infer1(t, expr.OpRMSNorm, nil, Of(4, 8), Of(8))
+	wantShape(t, out, Of(4, 8))
+	out = infer1(t, expr.OpEmbedding, nil, Of(100, 16), Of(4))
+	wantShape(t, out, Of(4, 16))
+	out = infer1(t, expr.OpSoftmax, []sym.Expr{sym.Const(1)}, Of(4, 8))
+	wantShape(t, out, Of(4, 8))
+	out = infer1(t, expr.OpMSELoss, nil, Of(4, 8), Of(4, 8))
+	wantShape(t, out, Of(1))
+	out = infer1(t, expr.OpRouter, nil, Of(4, 8), Of(8, 2))
+	wantShape(t, out, Of(4, 2))
+	out = infer1(t, expr.OpAuxLoss, nil, Of(4, 2))
+	wantShape(t, out, Of(1))
+	out = infer1(t, expr.OpAttention, nil, Of(4, 16), Of(4, 16), Of(4, 16))
+	wantShape(t, out, Of(4, 16))
+	out = infer1(t, expr.OpRoPE, nil, Of(4, 16), Of(4, 16), Of(4, 16))
+	wantShape(t, out, Of(4, 16))
+}
+
+func TestCollectives(t *testing.T) {
+	outs, err := Infer(expr.OpAllReduce, "", nil, []Shape{Of(4, 8), Of(4, 8)}, ctx())
+	if err != nil || len(outs) != 2 {
+		t.Fatalf("allreduce: %v %d", err, len(outs))
+	}
+	wantShape(t, outs[0], Of(4, 8))
+
+	outs, err = Infer(expr.OpReduceScatter, "", []sym.Expr{sym.Const(0)}, []Shape{Of(4, 8), Of(4, 8)}, ctx())
+	if err != nil {
+		t.Fatalf("reducescatter: %v", err)
+	}
+	wantShape(t, outs[0], Of(2, 8))
+	wantShape(t, outs[1], Of(2, 8))
+
+	if _, err := Infer(expr.OpReduceScatter, "", []sym.Expr{sym.Const(0)}, []Shape{Of(5, 8), Of(5, 8)}, ctx()); err == nil {
+		t.Fatal("reducescatter of 5 over 2 ranks must fail")
+	}
+
+	outs, err = Infer(expr.OpAllGather, "", []sym.Expr{sym.Const(1)}, []Shape{Of(4, 8), Of(4, 8)}, ctx())
+	if err != nil {
+		t.Fatalf("allgather: %v", err)
+	}
+	wantShape(t, outs[0], Of(4, 16))
+}
+
+func TestUnknownOp(t *testing.T) {
+	if _, err := Infer(expr.Op("bogus"), "", nil, []Shape{Of(1)}, ctx()); err == nil {
+		t.Fatal("unknown op must fail")
+	}
+}
+
+func TestConcrete(t *testing.T) {
+	s := Shape{sym.Var("S"), sym.Const(8)}
+	dims, err := s.Concrete(map[sym.Symbol]int64{"S": 4})
+	if err != nil || dims[0] != 4 || dims[1] != 8 {
+		t.Fatalf("concrete: %v %v", dims, err)
+	}
+	if _, err := s.Concrete(nil); err == nil {
+		t.Fatal("unbound symbol must fail")
+	}
+	neg := Shape{sym.Const(-1)}
+	if _, err := neg.Concrete(nil); err == nil {
+		t.Fatal("negative extent must fail")
+	}
+}

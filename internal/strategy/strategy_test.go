@@ -1,0 +1,167 @@
+package strategy
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"entangle/internal/graph"
+	"entangle/internal/numeric"
+	"entangle/internal/shape"
+)
+
+func seqLinear(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder("gs", nil)
+	x := b.Input("x", shape.Of(4, 8))
+	w := b.Input("w", shape.Of(8, 6))
+	y := b.MatMul("linear", x, w)
+	b.Output(y)
+	return b.MustBuild()
+}
+
+func TestShardBuildsInputsAndRelation(t *testing.T) {
+	gs := seqLinear(t)
+	e := NewEnv(gs, "gd", 2)
+	ids := e.Shard("w", 1)
+	if len(ids) != 2 {
+		t.Fatalf("want 2 shards")
+	}
+	g := e.B.Graph()
+	w0, ok := g.TensorByName("r0/w")
+	if !ok {
+		t.Fatal("missing shard input")
+	}
+	if v, _ := w0.Shape[1].IsConst(); v != 3 {
+		t.Fatalf("shard extent %v", w0.Shape)
+	}
+	wT, _ := gs.TensorByName("w")
+	maps := e.Ri.Get(wT.ID)
+	if len(maps) != 1 || !strings.Contains(maps[0].String(), "concat(r0/w, r1/w, dim=1)") {
+		t.Fatalf("relation %v", maps)
+	}
+}
+
+func TestShardIndivisibleFails(t *testing.T) {
+	gs := seqLinear(t)
+	e := NewEnv(gs, "gd", 3) // 8 not divisible by 3
+	e.Shard("w", 0)
+	if _, err := e.Build(); err == nil {
+		t.Fatal("indivisible shard must fail")
+	}
+}
+
+func TestShardUnknownInputFails(t *testing.T) {
+	gs := seqLinear(t)
+	e := NewEnv(gs, "gd", 2)
+	e.Shard("nope", 0)
+	if _, err := e.Build(); err == nil {
+		t.Fatal("unknown input must fail")
+	}
+}
+
+func TestShardNonInputFails(t *testing.T) {
+	gs := seqLinear(t)
+	e := NewEnv(gs, "gd", 2)
+	e.Shard("linear.out", 0)
+	if _, err := e.Build(); err == nil {
+		t.Fatal("non-input tensor must fail")
+	}
+}
+
+func TestReplicateRelationHasOneMappingPerRank(t *testing.T) {
+	gs := seqLinear(t)
+	e := NewEnv(gs, "gd", 3)
+	b := graph.NewBuilder("gs3", nil)
+	_ = b
+	// x: [4,8] not shardable by 3 but replication is fine.
+	e.Replicate("x")
+	xT, _ := gs.TensorByName("x")
+	if len(e.Ri.Get(xT.ID)) != 3 {
+		t.Fatalf("want 3 replica mappings, got %d", len(e.Ri.Get(xT.ID)))
+	}
+}
+
+func TestColumnRowParallelComposition(t *testing.T) {
+	gs := seqLinear(t)
+	e := NewEnv(gs, "gd", 2)
+	xs := e.Replicate("x")
+	cols := e.ColumnParallelLinear("linear", xs, "w")
+	e.B.Output(cols...)
+	gd, err := e.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gd.OperatorCount() != 2 {
+		t.Fatalf("want 2 matmuls, got %d", gd.OperatorCount())
+	}
+}
+
+func TestSplitInputsNumeric(t *testing.T) {
+	gs := seqLinear(t)
+	e := NewEnv(gs, "gd", 2)
+	e.Shard("x", 0)
+	e.Replicate("w")
+	rng := rand.New(rand.NewSource(3))
+	full := map[string]*numeric.Dense{
+		"x": numeric.Rand(rng, 4, 8),
+		"w": numeric.Rand(rng, 8, 6),
+	}
+	split, err := e.SplitInputs(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if split["r0/x"].Shape[0] != 2 || split["r1/x"].Shape[0] != 2 {
+		t.Fatal("shard shapes wrong")
+	}
+	// r1/x must equal rows 2..4 of x
+	want, _ := numeric.Slice(full["x"], 0, 2, 4)
+	if numeric.MaxAbsDiff(split["r1/x"], want) != 0 {
+		t.Fatal("shard content wrong")
+	}
+	if numeric.MaxAbsDiff(split["r0/w"], full["w"]) != 0 {
+		t.Fatal("replica content wrong")
+	}
+	if _, err := e.SplitInputs(map[string]*numeric.Dense{}); err == nil {
+		t.Fatal("missing sequential value must fail")
+	}
+}
+
+func TestRowParallelModes(t *testing.T) {
+	// Build a two-rank row-parallel linear under each reduce mode and
+	// check the node structure.
+	for _, mode := range []ReduceMode{ReduceAllReduce, ReduceScatterSeq, ReduceNone} {
+		gs := seqLinear(t)
+		e := NewEnv(gs, "gd", 2)
+		xs := e.Shard("x", 1)
+		outs := e.RowParallelLinear("linear", xs, "w", mode)
+		e.B.Output(outs...)
+		gd, err := e.Build()
+		if err != nil {
+			t.Fatalf("mode %d: %v", mode, err)
+		}
+		var hasAR, hasRS bool
+		for _, n := range gd.Nodes {
+			switch string(n.Op) {
+			case "allreduce":
+				hasAR = true
+			case "reducescatter":
+				hasRS = true
+			}
+		}
+		switch mode {
+		case ReduceAllReduce:
+			if !hasAR {
+				t.Fatal("allreduce missing")
+			}
+		case ReduceScatterSeq:
+			if !hasRS {
+				t.Fatal("reducescatter missing")
+			}
+		case ReduceNone:
+			if hasAR || hasRS {
+				t.Fatal("ReduceNone must omit collectives")
+			}
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package sym
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Context holds assumptions about symbolic scalars and answers
+// entailment queries. Assumptions are linear inequalities of the form
+// expr ≥ 0 over integer symbols. Queries are decided by refutation:
+// "ctx ⊨ e ≥ 0" holds when ctx ∧ (e ≤ -1) is unsatisfiable, checked
+// with Fourier–Motzkin elimination over the rationals (sound for
+// entailment; incomplete only for integer-specific cuts, which the
+// paper's workloads do not need).
+type Context struct {
+	// assumptions, each meaning expr ≥ 0.
+	geqZero []Expr
+}
+
+// NewContext returns an empty assumption context.
+func NewContext() *Context { return &Context{} }
+
+// Clone returns an independent copy of the context.
+func (c *Context) Clone() *Context {
+	n := &Context{geqZero: make([]Expr, len(c.geqZero))}
+	copy(n.geqZero, c.geqZero)
+	return n
+}
+
+// AssumeGE records the assumption a ≥ b.
+func (c *Context) AssumeGE(a, b Expr) { c.geqZero = append(c.geqZero, a.Sub(b)) }
+
+// AssumeGT records the assumption a > b (a ≥ b+1 over integers).
+func (c *Context) AssumeGT(a, b Expr) { c.AssumeGE(a, b.AddConst(1)) }
+
+// AssumeEQ records the assumption a = b.
+func (c *Context) AssumeEQ(a, b Expr) {
+	c.AssumeGE(a, b)
+	c.AssumeGE(b, a)
+}
+
+// AssumePositive records s ≥ 1 for a symbol.
+func (c *Context) AssumePositive(s Symbol) { c.AssumeGT(Var(s), Const(0)) }
+
+// Assumptions returns a copy of the recorded assumptions (each ≥ 0).
+func (c *Context) Assumptions() []Expr {
+	out := make([]Expr, len(c.geqZero))
+	copy(out, c.geqZero)
+	return out
+}
+
+// ProveEQ reports whether the context entails a = b. Purely syntactic
+// equality succeeds without consulting assumptions.
+func (c *Context) ProveEQ(a, b Expr) bool {
+	if a.Equal(b) {
+		return true
+	}
+	return c.ProveGE(a, b) && c.ProveGE(b, a)
+}
+
+// ProveNE reports whether the context entails a ≠ b.
+func (c *Context) ProveNE(a, b Expr) bool {
+	return c.ProveGT(a, b) || c.ProveGT(b, a)
+}
+
+// ProveGE reports whether the context entails a ≥ b.
+func (c *Context) ProveGE(a, b Expr) bool {
+	d := a.Sub(b)
+	if v, ok := d.IsConst(); ok {
+		return v >= 0
+	}
+	// Refute: assumptions ∧ (d ≤ -1)  i.e.  (-d - 1 ≥ 0).
+	sys := make([]Expr, 0, len(c.geqZero)+1)
+	sys = append(sys, c.geqZero...)
+	sys = append(sys, d.Neg().AddConst(-1))
+	return !satisfiable(sys)
+}
+
+// ProveGT reports whether the context entails a > b.
+func (c *Context) ProveGT(a, b Expr) bool { return c.ProveGE(a, b.AddConst(1)) }
+
+// ProveLE reports whether the context entails a ≤ b.
+func (c *Context) ProveLE(a, b Expr) bool { return c.ProveGE(b, a) }
+
+// ProveLT reports whether the context entails a < b.
+func (c *Context) ProveLT(a, b Expr) bool { return c.ProveGT(b, a) }
+
+// rat is an exact rational with int64 parts; the systems here are tiny
+// so overflow is not a practical concern, but we normalize by gcd to
+// keep magnitudes small.
+type rat struct{ num, den int64 }
+
+func gcd64(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}
+
+// ineq is Σ coeff·sym + konst ≥ 0 with rational scaling absorbed into
+// integer coefficients.
+type ineq struct {
+	coeffs map[Symbol]int64
+	konst  int64
+}
+
+func toIneq(e Expr) ineq {
+	m := make(map[Symbol]int64, len(e.coeffs))
+	for s, v := range e.coeffs {
+		m[s] = v
+	}
+	return ineq{coeffs: m, konst: e.konst}
+}
+
+func (q ineq) normalize() ineq {
+	g := q.konst
+	for _, v := range q.coeffs {
+		g = gcd64(g, v)
+	}
+	if g > 1 {
+		nm := make(map[Symbol]int64, len(q.coeffs))
+		for s, v := range q.coeffs {
+			nm[s] = v / g
+		}
+		return ineq{coeffs: nm, konst: q.konst / g}
+	}
+	return q
+}
+
+func (q ineq) key() string {
+	syms := make([]Symbol, 0, len(q.coeffs))
+	for s := range q.coeffs {
+		syms = append(syms, s)
+	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d", q.konst)
+	for _, s := range syms {
+		fmt.Fprintf(&b, "|%s:%d", s, q.coeffs[s])
+	}
+	return b.String()
+}
+
+const fmMaxIneqs = 4096 // guard against pathological blowup
+
+// satisfiable decides whether the system {e ≥ 0 : e ∈ sys} has a
+// rational solution, by Fourier–Motzkin elimination.
+func satisfiable(sys []Expr) bool {
+	work := make([]ineq, 0, len(sys))
+	seen := map[string]bool{}
+	for _, e := range sys {
+		q := toIneq(e).normalize()
+		k := q.key()
+		if !seen[k] {
+			seen[k] = true
+			work = append(work, q)
+		}
+	}
+	for {
+		// Find a symbol still present.
+		var sym Symbol
+		found := false
+		for _, q := range work {
+			for s := range q.coeffs {
+				sym, found = s, true
+				break
+			}
+			if found {
+				break
+			}
+		}
+		if !found {
+			// Only constants remain: satisfiable iff all ≥ 0.
+			for _, q := range work {
+				if q.konst < 0 {
+					return false
+				}
+			}
+			return true
+		}
+		var lower, upper, rest []ineq // lower: +coeff (x ≥ …), upper: -coeff (x ≤ …)
+		for _, q := range work {
+			c := q.coeffs[sym]
+			switch {
+			case c > 0:
+				lower = append(lower, q)
+			case c < 0:
+				upper = append(upper, q)
+			default:
+				rest = append(rest, q)
+			}
+		}
+		next := rest
+		seen = map[string]bool{}
+		for _, q := range next {
+			seen[q.key()] = true
+		}
+		for _, lo := range lower {
+			for _, up := range upper {
+				// lo: a·x + L ≥ 0 (a>0) → x ≥ -L/a
+				// up: -b·x + U ≥ 0 (b>0) → x ≤ U/b
+				// combine: b·L + a·U ≥ 0
+				a := lo.coeffs[sym]
+				b := -up.coeffs[sym]
+				comb := ineq{coeffs: map[Symbol]int64{}}
+				for s, v := range lo.coeffs {
+					if s != sym {
+						comb.coeffs[s] += v * b
+					}
+				}
+				for s, v := range up.coeffs {
+					if s != sym {
+						comb.coeffs[s] += v * a
+					}
+				}
+				for s, v := range comb.coeffs {
+					if v == 0 {
+						delete(comb.coeffs, s)
+					}
+				}
+				comb.konst = lo.konst*b + up.konst*a
+				comb = comb.normalize()
+				k := comb.key()
+				if !seen[k] {
+					seen[k] = true
+					next = append(next, comb)
+				}
+				if len(next) > fmMaxIneqs {
+					// Give up conservatively: report satisfiable, so the
+					// caller's Prove* returns false ("unknown").
+					return true
+				}
+			}
+		}
+		work = next
+	}
+}

@@ -1,0 +1,121 @@
+package sym
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse parses a linear integer expression from its textual form:
+// terms separated by + or -, each term either an integer literal, a
+// symbol, or coeff*symbol. Examples: "4096", "S", "2*S+1", "-H+3".
+// It accepts exactly the language produced by Expr.String.
+func Parse(s string) (Expr, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Expr{}, fmt.Errorf("sym: empty expression")
+	}
+	out := Expr{}
+	i := 0
+	sign := int64(1)
+	pendingOp := false // an operator was read without a following term
+	nterms := 0
+	for i < len(s) {
+		switch s[i] {
+		case '+':
+			if pendingOp {
+				return Expr{}, fmt.Errorf("sym: doubled operator in %q", s)
+			}
+			sign = 1
+			pendingOp = true
+			i++
+			continue
+		case '-':
+			if pendingOp {
+				return Expr{}, fmt.Errorf("sym: doubled operator in %q", s)
+			}
+			sign = -1
+			pendingOp = true
+			i++
+			continue
+		case ' ':
+			i++
+			continue
+		}
+		if nterms > 0 && !pendingOp {
+			return Expr{}, fmt.Errorf("sym: missing operator in %q", s)
+		}
+		term, n, err := parseTerm(s[i:])
+		if err != nil {
+			return Expr{}, fmt.Errorf("sym: %v in %q", err, s)
+		}
+		out = out.Add(term.MulConst(sign))
+		i += n
+		sign = 1
+		pendingOp = false
+		nterms++
+	}
+	if pendingOp || nterms == 0 {
+		return Expr{}, fmt.Errorf("sym: incomplete expression %q", s)
+	}
+	return out, nil
+}
+
+// MustParse is Parse that panics on error; for literals in tests and
+// builders.
+func MustParse(s string) Expr {
+	e, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func parseTerm(s string) (Expr, int, error) {
+	i := 0
+	// optional integer
+	j := i
+	for j < len(s) && s[j] >= '0' && s[j] <= '9' {
+		j++
+	}
+	var coeff int64 = 1
+	haveNum := j > i
+	if haveNum {
+		v, err := strconv.ParseInt(s[i:j], 10, 64)
+		if err != nil {
+			return Expr{}, 0, err
+		}
+		coeff = v
+		i = j
+	}
+	// optional '*symbol' or bare symbol
+	sawStar := false
+	if i < len(s) && s[i] == '*' {
+		if !haveNum {
+			return Expr{}, 0, fmt.Errorf("dangling '*'")
+		}
+		sawStar = true
+		i++
+	}
+	if sawStar && (i >= len(s) || !isSymStart(rune(s[i]))) {
+		return Expr{}, 0, fmt.Errorf("'*' without symbol")
+	}
+	if i < len(s) && isSymStart(rune(s[i])) {
+		k := i
+		for k < len(s) && isSymRune(rune(s[k])) {
+			k++
+		}
+		name := Symbol(s[i:k])
+		return Var(name).MulConst(coeff), k, nil
+	}
+	if !haveNum {
+		return Expr{}, 0, fmt.Errorf("expected term at %q", s)
+	}
+	return Const(coeff), i, nil
+}
+
+func isSymStart(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+func isSymRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '.'
+}

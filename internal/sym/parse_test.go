@@ -1,0 +1,61 @@
+package sym
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseBasics(t *testing.T) {
+	cases := map[string]Expr{
+		"0":       Const(0),
+		"42":      Const(42),
+		"-7":      Const(-7),
+		"S":       Var("S"),
+		"-S":      Var("S").MulConst(-1),
+		"2*S":     Var("S").MulConst(2),
+		"2*S+1":   Var("S").MulConst(2).AddConst(1),
+		"S+H":     Var("S").Add(Var("H")),
+		"S-H+3":   Var("S").Sub(Var("H")).AddConst(3),
+		" 3 + S ": Var("S").AddConst(3),
+		"a_b.c":   Var("a_b.c"),
+	}
+	for in, want := range cases {
+		got, err := Parse(in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", in, err)
+			continue
+		}
+		if !got.Equal(want) {
+			t.Errorf("Parse(%q) = %s want %s", in, got, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{"", "+", "*S", "2*", "S S", "3..", "!"} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) should fail", in)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse on garbage must panic")
+		}
+	}()
+	MustParse("@@")
+}
+
+// Property: Parse(e.String()) round-trips.
+func TestQuickParseRoundTrip(t *testing.T) {
+	f := func(c1, c2, k int64) bool {
+		e := Var("x").MulConst(c1 % 9).Add(Var("y").MulConst(c2 % 9)).AddConst(k % 1000)
+		got, err := Parse(e.String())
+		return err == nil && got.Equal(e)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

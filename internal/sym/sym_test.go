@@ -1,0 +1,250 @@
+package sym
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConstArithmetic(t *testing.T) {
+	a := Const(3)
+	b := Const(4)
+	if v, ok := a.Add(b).IsConst(); !ok || v != 7 {
+		t.Fatalf("3+4 = %v,%v", v, ok)
+	}
+	if v, ok := a.Sub(b).IsConst(); !ok || v != -1 {
+		t.Fatalf("3-4 = %v,%v", v, ok)
+	}
+	if v, ok := a.MulConst(5).IsConst(); !ok || v != 15 {
+		t.Fatalf("3*5 = %v,%v", v, ok)
+	}
+}
+
+func TestVarNormalization(t *testing.T) {
+	x := Var("x")
+	y := Var("y")
+	e := x.Add(y).Sub(x) // should be exactly y
+	if !e.Equal(y) {
+		t.Fatalf("x+y-x = %s, want y", e)
+	}
+	if e.Key() != y.Key() {
+		t.Fatalf("keys differ: %q vs %q", e.Key(), y.Key())
+	}
+	zero := x.Sub(x)
+	if !zero.Zero() {
+		t.Fatalf("x-x not zero: %s", zero)
+	}
+}
+
+func TestDivConst(t *testing.T) {
+	x := Var("x")
+	e := x.MulConst(4).AddConst(8)
+	h, ok := e.DivConst(4)
+	if !ok {
+		t.Fatal("4x+8 should divide by 4")
+	}
+	want := x.AddConst(2)
+	if !h.Equal(want) {
+		t.Fatalf("got %s want %s", h, want)
+	}
+	if _, ok := e.DivConst(3); ok {
+		t.Fatal("4x+8 must not divide by 3")
+	}
+	if _, ok := e.DivConst(0); ok {
+		t.Fatal("division by zero must fail")
+	}
+}
+
+func TestMulLinearOnly(t *testing.T) {
+	x, y := Var("x"), Var("y")
+	if _, ok := x.Mul(y); ok {
+		t.Fatal("x*y is non-linear and must be rejected")
+	}
+	p, ok := x.Mul(Const(3))
+	if !ok || !p.Equal(x.MulConst(3)) {
+		t.Fatalf("x*3 got %s ok=%v", p, ok)
+	}
+	p, ok = Const(3).Mul(x)
+	if !ok || !p.Equal(x.MulConst(3)) {
+		t.Fatalf("3*x got %s ok=%v", p, ok)
+	}
+}
+
+func TestEval(t *testing.T) {
+	e := Var("a").MulConst(2).Add(Var("b")).AddConst(-1)
+	v, err := e.Eval(map[Symbol]int64{"a": 10, "b": 5})
+	if err != nil || v != 24 {
+		t.Fatalf("eval got %d err %v", v, err)
+	}
+	if _, err := e.Eval(map[Symbol]int64{"a": 10}); err == nil {
+		t.Fatal("missing binding must error")
+	}
+}
+
+func TestSubst(t *testing.T) {
+	e := Var("a").MulConst(2).Add(Var("b"))
+	r := e.Subst("a", Var("c").AddConst(1)) // 2c+2+b
+	want := Var("c").MulConst(2).Add(Var("b")).AddConst(2)
+	if !r.Equal(want) {
+		t.Fatalf("subst got %s want %s", r, want)
+	}
+	// substituting an absent symbol is identity
+	if !e.Subst("zz", Const(5)).Equal(e) {
+		t.Fatal("subst of absent symbol changed expression")
+	}
+}
+
+func TestContextConstFacts(t *testing.T) {
+	c := NewContext()
+	if !c.ProveGE(Const(5), Const(3)) {
+		t.Fatal("5 ≥ 3")
+	}
+	if c.ProveGE(Const(2), Const(3)) {
+		t.Fatal("2 ≥ 3 must fail")
+	}
+	if !c.ProveEQ(Const(4), Const(4)) {
+		t.Fatal("4 = 4")
+	}
+	if !c.ProveNE(Const(4), Const(5)) {
+		t.Fatal("4 ≠ 5")
+	}
+}
+
+func TestContextEntailment(t *testing.T) {
+	c := NewContext()
+	s := Var("S")
+	h := Var("H")
+	c.AssumePositive("S")
+	c.AssumeGE(h, s.MulConst(2)) // H ≥ 2S
+
+	if !c.ProveGE(h, s) {
+		t.Fatal("H ≥ 2S ∧ S ≥ 1 ⊨ H ≥ S")
+	}
+	if !c.ProveGT(h, Const(0)) {
+		t.Fatal("H > 0 should follow")
+	}
+	if c.ProveGE(s, h) {
+		t.Fatal("S ≥ H must not be provable")
+	}
+	if c.ProveEQ(s, h) {
+		t.Fatal("S = H must not be provable")
+	}
+}
+
+func TestContextEquality(t *testing.T) {
+	c := NewContext()
+	a, b := Var("a"), Var("b")
+	c.AssumeEQ(a, b.MulConst(2))
+	if !c.ProveEQ(a.MulConst(3), b.MulConst(6)) {
+		t.Fatal("3a = 6b should follow from a = 2b")
+	}
+	if !c.ProveNE(a.AddConst(1), b.MulConst(2)) {
+		t.Fatal("a+1 ≠ 2b should follow")
+	}
+}
+
+func TestContextShardSizes(t *testing.T) {
+	// Typical use: hidden H split over T ranks with per-shard size Hs,
+	// constraint H = T*Hs with T = 2 concrete.
+	c := NewContext()
+	h, hs := Var("H"), Var("Hs")
+	c.AssumePositive("Hs")
+	c.AssumeEQ(h, hs.MulConst(2))
+	if !c.ProveEQ(hs.Add(hs), h) {
+		t.Fatal("Hs+Hs = H")
+	}
+	if !c.ProveLT(hs, h) {
+		t.Fatal("Hs < H since Hs ≥ 1")
+	}
+}
+
+func TestContextClone(t *testing.T) {
+	c := NewContext()
+	c.AssumePositive("x")
+	c2 := c.Clone()
+	c2.AssumeGE(Var("x"), Const(10))
+	if c.ProveGE(Var("x"), Const(10)) {
+		t.Fatal("mutating clone leaked into original")
+	}
+	if !c2.ProveGE(Var("x"), Const(10)) {
+		t.Fatal("clone lost the added assumption")
+	}
+	if len(c.Assumptions()) != 1 || len(c2.Assumptions()) != 2 {
+		t.Fatalf("assumption counts %d/%d", len(c.Assumptions()), len(c2.Assumptions()))
+	}
+}
+
+// Property: Add is commutative and associative; Sub(a,a) is zero.
+func TestQuickAlgebraLaws(t *testing.T) {
+	mk := func(c1, c2, c3, k int64) Expr {
+		return Var("x").MulConst(c1 % 7).Add(Var("y").MulConst(c2 % 7)).Add(Var("z").MulConst(c3 % 7)).AddConst(k % 100)
+	}
+	comm := func(a1, a2, a3, ak, b1, b2, b3, bk int64) bool {
+		a, b := mk(a1, a2, a3, ak), mk(b1, b2, b3, bk)
+		return a.Add(b).Equal(b.Add(a))
+	}
+	if err := quick.Check(comm, nil); err != nil {
+		t.Fatal(err)
+	}
+	selfSub := func(a1, a2, a3, ak int64) bool {
+		a := mk(a1, a2, a3, ak)
+		return a.Sub(a).Zero()
+	}
+	if err := quick.Check(selfSub, nil); err != nil {
+		t.Fatal(err)
+	}
+	keyAgrees := func(a1, a2, a3, ak, b1, b2, b3, bk int64) bool {
+		a, b := mk(a1, a2, a3, ak), mk(b1, b2, b3, bk)
+		return (a.Key() == b.Key()) == a.Equal(b)
+	}
+	if err := quick.Check(keyAgrees, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for random small linear systems, entailment answers agree
+// with brute-force search over a bounded integer grid: if FM proves
+// a ≥ b under assumptions, no grid point satisfying the assumptions may
+// violate it.
+func TestQuickEntailmentSoundOnGrid(t *testing.T) {
+	type tc struct {
+		A1, A2, AK int64 // assumption: A1·x + A2·y + AK ≥ 0
+		Q1, Q2, QK int64 // query: Q1·x + Q2·y + QK ≥ 0
+	}
+	check := func(c tc) bool {
+		a := Var("x").MulConst(c.A1 % 4).Add(Var("y").MulConst(c.A2 % 4)).AddConst(c.AK % 6)
+		q := Var("x").MulConst(c.Q1 % 4).Add(Var("y").MulConst(c.Q2 % 4)).AddConst(c.QK % 6)
+		ctx := NewContext()
+		ctx.AssumeGE(a, Const(0))
+		if !ctx.ProveGE(q, Const(0)) {
+			return true // "unknown" is always sound
+		}
+		for x := int64(-5); x <= 5; x++ {
+			for y := int64(-5); y <= 5; y++ {
+				env := map[Symbol]int64{"x": x, "y": y}
+				av, _ := a.Eval(env)
+				if av < 0 {
+					continue
+				}
+				qv, _ := q.Eval(env)
+				if qv < 0 {
+					return false // proved but falsified on grid
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringAndKeyStability(t *testing.T) {
+	e := Var("b").Add(Var("a")).AddConst(-3)
+	e2 := Var("a").Add(Var("b")).AddConst(-3)
+	if e.Key() != e2.Key() {
+		t.Fatalf("key not order-independent: %q vs %q", e.Key(), e2.Key())
+	}
+	if e.String() == "" || Const(0).String() != "0" {
+		t.Fatal("string rendering broken")
+	}
+}
