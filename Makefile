@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test bench verify fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# The full gate: gofmt, vet, build, tests, and the race detector over
+# the concurrent packages. See scripts/verify.sh.
+verify:
+	sh scripts/verify.sh
+
+fmt:
+	gofmt -w .

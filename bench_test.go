@@ -115,6 +115,39 @@ func BenchmarkTable3_Bugs(b *testing.B) {
 	}
 }
 
+// Wavefront scheduler: sequential walk vs a 4-worker pool on the
+// models with wide anti-chains (attention heads, MoE experts). The
+// `workers1` variants are the baseline; `workers4` exercises
+// internal/core/scheduler.go.
+
+func runWorkloadWorkers(b *testing.B, w bench.Workload, parallel, layers, workers int) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunWorkers(w, parallel, layers, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWavefront_GPT(b *testing.B) {
+	w := findWorkload(b, "GPT")
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			runWorkloadWorkers(b, w, 4, 3, workers)
+		})
+	}
+}
+
+func BenchmarkWavefront_MoE(b *testing.B) {
+	w := findWorkload(b, "ByteDance-Fwd")
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			runWorkloadWorkers(b, w, 4, 3, workers)
+		})
+	}
+}
+
 // Ablation: the §4.3.1 frontier-restricted exploration against
 // whole-graph folding.
 

@@ -15,7 +15,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6, bugs, ablation, extensions, all")
+	exp := flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6, bugs, ablation, extensions, parallel, all")
 	flag.Parse()
 
 	steps := []struct {
@@ -29,6 +29,7 @@ func main() {
 		{"bugs", runBugs},
 		{"ablation", runAblation},
 		{"extensions", runExtensions},
+		{"parallel", runParallel},
 	}
 	ran := false
 	for _, s := range steps {

@@ -23,4 +23,6 @@ func runBugs() (string, error) {
 
 func runAblation() (string, error) { return bench.Ablation() }
 
+func runParallel() (string, error) { return bench.Parallel() }
+
 func runExtensions() (string, error) { return bench.Extensions() }

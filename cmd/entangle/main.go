@@ -36,6 +36,7 @@ func main() {
 		format  = flag.String("format", "json", "graph file format: json or hlo")
 		verbose = flag.Bool("v", false, "print the full relation, including intermediates")
 		expect  = flag.String("expect", "", "optional §4.4 expectation JSON: {\"fs\": <expr over G_s outputs>, \"fd\": <expr over G_d outputs>}")
+		workers = flag.Int("workers", 0, "checker worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 	if *gsPath == "" || *gdPath == "" || *relPath == "" {
@@ -56,7 +57,7 @@ func main() {
 		fatal(2, "loading relation: %v", err)
 	}
 
-	checker := entangle.NewChecker(entangle.CheckerOptions{})
+	checker := entangle.NewChecker(entangle.CheckerOptions{Workers: *workers})
 	if *expect != "" {
 		if err := checkExpectation(checker, gs, gd, ri, *expect); err != nil {
 			var ee *entangle.ExpectationError

@@ -93,8 +93,18 @@ type Result struct {
 	Registry    *lemmas.Registry
 }
 
-// Run verifies one workload configuration and returns measurements.
+// Run verifies one workload configuration sequentially (one checker
+// worker) and returns measurements. The figure experiments all use
+// this path so their timings stay comparable to the paper's
+// single-threaded Rust prototype; RunWorkers measures the wavefront
+// scheduler.
 func Run(w Workload, parallel, layers int) (*Result, error) {
+	return RunWorkers(w, parallel, layers, 1)
+}
+
+// RunWorkers is Run with an explicit checker worker count (the
+// wavefront scheduler's pool size; 1 = sequential walk).
+func RunWorkers(w Workload, parallel, layers, workers int) (*Result, error) {
 	b, err := w.Build(parallel, layers)
 	if err != nil {
 		return nil, err
@@ -107,7 +117,7 @@ func Run(w Workload, parallel, layers int) (*Result, error) {
 		}
 	}
 	reg := lemmas.Default()
-	checker := core.NewChecker(core.Options{Registry: reg})
+	checker := core.NewChecker(core.Options{Registry: reg, Workers: workers})
 	start := time.Now()
 	report, err := checker.Check(gs, gd, ri)
 	if err != nil {

@@ -10,6 +10,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -43,6 +44,20 @@ type Options struct {
 	DisableFrontier bool
 	// Registry supplies the lemma library; nil selects lemmas.Default().
 	Registry *lemmas.Registry
+	// Workers bounds the wavefront scheduler's pool: independent G_s
+	// operators (every input's producer already checked) run their
+	// per-operator e-graph saturations concurrently. 0 selects
+	// runtime.GOMAXPROCS(0); 1 preserves the strictly sequential
+	// topo-order walk. Any value produces byte-identical reports —
+	// stats merge in topo order and a RefinementError always names
+	// the earliest failing operator — so this is purely a wall-clock
+	// knob.
+	Workers int
+	// OpObserver, when non-nil, is called after each operator's check
+	// completes, with its wall-clock duration. With Workers > 1 it is
+	// invoked from pool goroutines and must be safe for concurrent
+	// use. The bench harness uses it for the wavefront speedup study.
+	OpObserver func(v *graph.Node, d time.Duration)
 }
 
 func (o Options) withDefaults() Options {
@@ -57,6 +72,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Saturate.MaxNodes == 0 {
 		o.Saturate.MaxNodes = 60_000
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
 	}
 	return o
 }
@@ -114,32 +135,46 @@ func NewChecker(opts Options) *Checker {
 // output relation R_o or a *RefinementError localizing the bug.
 func (c *Checker) Check(gs, gd *graph.Graph, ri *relation.Relation) (*Report, error) {
 	start := time.Now()
+	order, err := gs.TopoSort()
+	if err != nil {
+		return nil, fmt.Errorf("core: G_s: %v", err)
+	}
+	gdOrder, err := gd.TopoSort()
+	if err != nil {
+		return nil, fmt.Errorf("core: G_d: %v", err)
+	}
 	run := &runState{
-		opts: c.opts,
-		gs:   gs,
-		gd:   gd,
-		rel:  ri.Clone(),
-		ctx:  mergedContext(gs, gd),
+		opts:    c.opts,
+		gs:      gs,
+		gd:      gd,
+		rel:     ri.Clone(),
+		ctx:     mergedContext(gs, gd),
+		rules:   c.opts.Registry.Rules(), // materialized once per Check
+		gdOrder: gdOrder,
 	}
 	for _, in := range gs.Inputs {
 		if !run.rel.Has(in) {
 			return nil, fmt.Errorf("core: input relation has no mapping for G_s input %q", gs.Tensor(in).Name)
 		}
 	}
-	order, err := gs.TopoSort()
-	if err != nil {
-		return nil, fmt.Errorf("core: G_s: %v", err)
-	}
-	if _, err := gd.TopoSort(); err != nil {
-		return nil, fmt.Errorf("core: G_d: %v", err)
-	}
 
-	report := &Report{FullRelation: run.rel, Stats: egraph.Stats{Applications: map[string]int{}, Saturated: true}}
-	for _, v := range order {
-		if err := run.processOp(v, report); err != nil {
-			return nil, err
+	report := &Report{FullRelation: run.rel, Stats: egraph.Stats{Applications: map[string]int{}}}
+	workers := c.opts.Workers
+	if workers > len(order) {
+		workers = len(order)
+	}
+	if workers <= 1 {
+		// Sequential walk: the reference behaviour.
+		for _, v := range order {
+			stats, err := run.observedProcessOp(v)
+			if err != nil {
+				return nil, err
+			}
+			report.Stats.Merge(stats)
+			report.OpsProcessed++
 		}
-		report.OpsProcessed++
+	} else if err := run.runWavefront(order, workers, report); err != nil {
+		return nil, err
 	}
 
 	// Listing 1 line 9: filter to the output relation over O(G_d).
@@ -152,13 +187,18 @@ func (c *Checker) Check(gs, gd *graph.Graph, ri *relation.Relation) (*Report, er
 	return report, nil
 }
 
-// runState carries one Check invocation's working data.
+// runState carries one Check invocation's working data. During a
+// wavefront run it is shared across workers: gs, gd, ctx, rules and
+// gdOrder are read-only after construction, and rel is internally
+// synchronized (copy-on-read Get).
 type runState struct {
-	opts Options
-	gs   *graph.Graph
-	gd   *graph.Graph
-	rel  *relation.Relation
-	ctx  *sym.Context
+	opts    Options
+	gs      *graph.Graph
+	gd      *graph.Graph
+	rel     *relation.Relation
+	ctx     *sym.Context
+	rules   []*egraph.Rule
+	gdOrder []*graph.Node
 }
 
 func mergedContext(gs, gd *graph.Graph) *sym.Context {
@@ -194,14 +234,31 @@ func (r *runState) newEGraph() *egraph.EGraph {
 
 func allowGdLeaf(tid int) bool { return relation.IsGd(tid) }
 
+// observedProcessOp wraps processOp with the OpObserver timing hook.
+func (r *runState) observedProcessOp(v *graph.Node) (egraph.Stats, error) {
+	if r.opts.OpObserver == nil {
+		return r.processOp(v)
+	}
+	start := time.Now()
+	stats, err := r.processOp(v)
+	r.opts.OpObserver(v, time.Since(start))
+	return stats, err
+}
+
 // processOp is compute_node_out_rel (Listing 2) with the Listing-3
 // frontier optimization: seed the e-graph with v's output expression
 // and its input mappings, fold in G_d operator definitions restricted
 // to the related-tensor frontier, saturate with the lemma library, and
-// extract the clean mappings of v's outputs.
-func (r *runState) processOp(v *graph.Node, report *Report) error {
+// extract the clean mappings of v's outputs. It returns the operator's
+// saturation statistics; the caller merges them in topo order so the
+// aggregate is identical however ops were scheduled. processOp only
+// reads mappings of v's inputs (complete once their producers are
+// done) and only writes mappings of v's outputs, which is what makes
+// the wavefront schedule race-free and deterministic.
+func (r *runState) processOp(v *graph.Node) (egraph.Stats, error) {
+	var acc egraph.Stats
 	if expr.Collective(v.Op) {
-		return fmt.Errorf("core: sequential model %s contains collective %q", r.gs.Name, v.Label)
+		return acc, fmt.Errorf("core: sequential model %s contains collective %q", r.gs.Name, v.Label)
 	}
 	eg := r.newEGraph()
 
@@ -212,7 +269,7 @@ func (r *runState) processOp(v *graph.Node, report *Report) error {
 		cls := eg.AddTerm(relation.GsLeaf(t))
 		maps := r.rel.Get(in)
 		if len(maps) == 0 {
-			return &RefinementError{Op: v, Tensor: t,
+			return acc, &RefinementError{Op: v, Tensor: t,
 				InputMappings: fmt.Sprintf("  (no mapping recorded for input %q)", t.Name)}
 		}
 		for _, m := range maps {
@@ -225,7 +282,7 @@ func (r *runState) processOp(v *graph.Node, report *Report) error {
 	for i := range v.Outputs {
 		base, err := r.gs.OutputExpr(v, i)
 		if err != nil {
-			return err
+			return acc, err
 		}
 		outClasses[i] = eg.AddTerm(base)
 	}
@@ -242,7 +299,6 @@ func (r *runState) processOp(v *graph.Node, report *Report) error {
 		}
 	}
 
-	gdOrder, _ := r.gd.TopoSort()
 	folded := make(map[graph.NodeID]bool, len(r.gd.Nodes))
 	maxIters := r.opts.MaxFrontierIters
 	if maxIters == 0 {
@@ -251,7 +307,7 @@ func (r *runState) processOp(v *graph.Node, report *Report) error {
 
 	for iter := 0; iter < maxIters; iter++ {
 		progress := false
-		for _, n := range gdOrder {
+		for _, n := range r.gdOrder {
 			if folded[n.ID] {
 				continue
 			}
@@ -266,7 +322,7 @@ func (r *runState) processOp(v *graph.Node, report *Report) error {
 				continue
 			}
 			if err := r.foldGdNode(eg, n); err != nil {
-				return err
+				return acc, err
 			}
 			folded[n.ID] = true
 			progress = true
@@ -275,8 +331,7 @@ func (r *runState) processOp(v *graph.Node, report *Report) error {
 			break
 		}
 
-		stats := eg.Saturate(r.opts.Registry.Rules(), r.opts.Saturate)
-		report.Stats.Merge(stats)
+		acc.Merge(eg.Saturate(r.rules, r.opts.Saturate))
 
 		// Grow T_rel with tensors appearing in newly derived clean
 		// expressions of v's outputs ("related to v's outputs").
@@ -319,7 +374,7 @@ func (r *runState) processOp(v *graph.Node, report *Report) error {
 	for i, out := range v.Outputs {
 		mappings := eg.ExtractAllClean(outClasses[i], allowGdLeaf, r.opts.MaxMappings)
 		if len(mappings) == 0 {
-			return &RefinementError{Op: v, Tensor: r.gs.Tensor(out),
+			return acc, &RefinementError{Op: v, Tensor: r.gs.Tensor(out),
 				InputMappings: r.renderInputMappings(v)}
 		}
 		r.rel.AddAll(out, mappings)
@@ -329,7 +384,7 @@ func (r *runState) processOp(v *graph.Node, report *Report) error {
 			r.rel.AddAll(out, restricted)
 		}
 	}
-	return nil
+	return acc, nil
 }
 
 // foldGdNode registers a G_d node's defining equations: for each
@@ -441,11 +496,10 @@ func (r *runState) resolveOutput(o graph.TensorID, report *Report) ([]*expr.Term
 	}
 	eg.Rebuild()
 
-	gdOrder, _ := r.gd.TopoSort()
 	folded := map[graph.NodeID]bool{}
 	for iter := 0; iter <= len(r.gd.Nodes); iter++ {
 		progress := false
-		for _, n := range gdOrder {
+		for _, n := range r.gdOrder {
 			if folded[n.ID] {
 				continue
 			}
@@ -472,8 +526,7 @@ func (r *runState) resolveOutput(o graph.TensorID, report *Report) ([]*expr.Term
 			break
 		}
 	}
-	stats := eg.Saturate(r.opts.Registry.Rules(), r.opts.Saturate)
-	report.Stats.Merge(stats)
+	report.Stats.Merge(eg.Saturate(r.rules, r.opts.Saturate))
 
 	out := eg.ExtractAllClean(eg.Find(cls), r.allowGdOutput, r.opts.MaxMappings)
 	if len(out) == 0 {

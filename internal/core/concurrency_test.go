@@ -1,6 +1,10 @@
 package core
 
 import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
 	"sync"
 	"testing"
 
@@ -48,5 +52,140 @@ func TestConcurrentChecks(t *testing.T) {
 		if err != nil {
 			t.Fatalf("goroutine %d: %v", i, err)
 		}
+	}
+}
+
+// wavefrontSuite is the full example-model suite the wavefront
+// scheduler must reproduce byte-for-byte. It spans every structural
+// shape the scheduler sees: wide per-layer fan-out (GPT q/k/v heads),
+// MoE expert fan-out, backward graphs, data/pipeline/context
+// parallelism, and a near-linear chain (Regression) where the
+// wavefront degenerates to almost-sequential.
+func wavefrontSuite() map[string]func() (*models.Built, error) {
+	return map[string]func() (*models.Built, error){
+		"gpt":        func() (*models.Built, error) { return models.GPT(models.Options{TP: 2}) },
+		"gpt-sp":     func() (*models.Built, error) { return models.GPT(models.Options{TP: 2, SP: true}) },
+		"llama":      func() (*models.Built, error) { return models.Llama(models.Options{TP: 2}) },
+		"qwen2":      func() (*models.Built, error) { return models.Qwen2(models.Options{TP: 2}) },
+		"seedmoe":    func() (*models.Built, error) { return models.SeedMoE(models.Options{TP: 2}) },
+		"seedmoebwd": func() (*models.Built, error) { return models.SeedMoEBwd(models.Options{TP: 2}) },
+		"regression": func() (*models.Built, error) { return models.Regression(models.Options{GradAccum: 2}) },
+		"dp":         func() (*models.Built, error) { return models.DataParallel(2, true) },
+		"multitower": func() (*models.Built, error) { return models.MultiTower(8, 2) },
+		"pipeline":   func() (*models.Built, error) { return models.Pipeline(2, false) },
+		"cp":         func() (*models.Built, error) { return models.ContextParallel(2) },
+	}
+}
+
+// TestWavefrontMatchesSequential is the scheduler's determinism
+// contract: for every example model, a Workers: 4 check must produce a
+// report byte-identical to Workers: 1 — same relation renderings, same
+// operator count, same per-rule application counts. Run with -race.
+func TestWavefrontMatchesSequential(t *testing.T) {
+	reg := lemmas.Default()
+	seqChecker := NewChecker(Options{Registry: reg, Workers: 1})
+	parChecker := NewChecker(Options{Registry: reg, Workers: 4})
+	for name, build := range wavefrontSuite() {
+		name, build := name, build
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			b, err := build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq, err := seqChecker.Check(b.Gs, b.Gd, b.Ri)
+			if err != nil {
+				t.Fatalf("sequential: %v", err)
+			}
+			par, err := parChecker.Check(b.Gs, b.Gd, b.Ri)
+			if err != nil {
+				t.Fatalf("parallel: %v", err)
+			}
+			if got, want := par.OutputRelation.Render(b.Gs), seq.OutputRelation.Render(b.Gs); got != want {
+				t.Errorf("output relations differ:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s", want, got)
+			}
+			if got, want := par.FullRelation.Render(b.Gs), seq.FullRelation.Render(b.Gs); got != want {
+				t.Errorf("full relations differ:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s", want, got)
+			}
+			if par.OpsProcessed != seq.OpsProcessed {
+				t.Errorf("OpsProcessed %d want %d", par.OpsProcessed, seq.OpsProcessed)
+			}
+			if !reflect.DeepEqual(par.Stats.Applications, seq.Stats.Applications) {
+				t.Errorf("per-rule application counts differ:\n  workers=1: %v\n  workers=4: %v",
+					statLines(seq.Stats.Applications), statLines(par.Stats.Applications))
+			}
+			if par.Stats.Iterations != seq.Stats.Iterations ||
+				par.Stats.Runs != seq.Stats.Runs ||
+				par.Stats.Saturated != seq.Stats.Saturated {
+				t.Errorf("stats differ: workers=1 %+v, workers=4 %+v", seq.Stats, par.Stats)
+			}
+		})
+	}
+}
+
+func statLines(apps map[string]int) []string {
+	out := make([]string, 0, len(apps))
+	for name, n := range apps {
+		out = append(out, fmt.Sprintf("%s=%d", name, n))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestWavefrontErrorDeterminism checks first-error-wins: on buggy
+// models the parallel checker must repeatedly report the *same*
+// RefinementError the sequential walk finds — the earliest failing
+// operator in topological order — no matter which workers finish
+// first.
+func TestWavefrontErrorDeterminism(t *testing.T) {
+	reg := lemmas.Default()
+	buggy := map[string]func() (*models.Built, error){
+		"seedmoe-bug1": func() (*models.Built, error) {
+			return models.SeedMoE(models.Options{TP: 2, Bug: models.Bug1RoPEOffset})
+		},
+		"gpt-bug7": func() (*models.Built, error) {
+			return models.GPT(models.Options{TP: 2, Bug: models.Bug7MissingAllReduce})
+		},
+		"pipeline-scaling": func() (*models.Built, error) { return models.Pipeline(2, true) },
+	}
+	seqChecker := NewChecker(Options{Registry: reg, Workers: 1})
+	parChecker := NewChecker(Options{Registry: reg, Workers: 8})
+	for name, build := range buggy {
+		name, build := name, build
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			b, err := build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, seqErr := seqChecker.Check(b.Gs, b.Gd, b.Ri)
+			if seqErr == nil {
+				t.Fatal("expected the buggy model to fail refinement")
+			}
+			var seqRe *RefinementError
+			if !errors.As(seqErr, &seqRe) {
+				t.Fatalf("sequential error is not a RefinementError: %v", seqErr)
+			}
+			// Several rounds so scheduling jitter gets a chance to
+			// reorder completions.
+			for round := 0; round < 4; round++ {
+				_, parErr := parChecker.Check(b.Gs, b.Gd, b.Ri)
+				if parErr == nil {
+					t.Fatalf("round %d: parallel check passed a buggy model", round)
+				}
+				var parRe *RefinementError
+				if !errors.As(parErr, &parRe) {
+					t.Fatalf("round %d: parallel error is not a RefinementError: %v", round, parErr)
+				}
+				if parRe.Op.Label != seqRe.Op.Label {
+					t.Fatalf("round %d: parallel failed at %q, sequential at %q",
+						round, parRe.Op.Label, seqRe.Op.Label)
+				}
+				if parErr.Error() != seqErr.Error() {
+					t.Fatalf("round %d: error text differs:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s",
+						round, seqErr, parErr)
+				}
+			}
+		})
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"testing"
 
 	"entangle/internal/models"
@@ -52,10 +53,20 @@ func TestOptionsDefaults(t *testing.T) {
 	if o.MaxMappings != 16 || o.Registry == nil || o.Saturate.MaxIters != 24 {
 		t.Fatalf("defaults wrong: %+v", o)
 	}
+	if o.Workers != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers default %d, want GOMAXPROCS %d", o.Workers, runtime.GOMAXPROCS(0))
+	}
 	// Explicit values survive.
-	o2 := Options{MaxMappings: 3}.withDefaults()
+	o2 := Options{MaxMappings: 3, Workers: 1}.withDefaults()
 	if o2.MaxMappings != 3 {
 		t.Fatal("explicit MaxMappings overridden")
+	}
+	if o2.Workers != 1 {
+		t.Fatal("explicit Workers overridden")
+	}
+	// Negative worker counts clamp to sequential.
+	if o3 := (Options{Workers: -4}).withDefaults(); o3.Workers != 1 {
+		t.Fatalf("negative Workers must clamp to 1, got %d", o3.Workers)
 	}
 }
 

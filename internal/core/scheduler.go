@@ -1,0 +1,179 @@
+package core
+
+import (
+	"container/heap"
+	"sync"
+
+	"entangle/internal/egraph"
+	"entangle/internal/graph"
+)
+
+// The wavefront scheduler exploits the independence already present in
+// the refinement algorithm: processOp(v) reads only the relation
+// entries of v's inputs and writes only those of v's outputs, so its
+// dependency structure is exactly the G_s DAG. Operators whose
+// producers have all been checked — a "wavefront" of the DAG, e.g.
+// the q/k/v projections of one attention block, per-layer heads, or
+// the experts of an MoE layer — saturate their per-operator e-graphs
+// concurrently on a bounded worker pool.
+//
+// Determinism guarantees, so Workers is purely a wall-clock knob:
+//
+//   - Relation contents: mappings of a tensor are produced solely by
+//     its producer's processOp (itself deterministic), so the store's
+//     final contents do not depend on completion order.
+//   - Stats: per-operator egraph.Stats are buffered by topo index and
+//     merged in topo order after the pool drains, never in completion
+//     order, keeping Figure-6 heatmap counts reproducible.
+//   - Errors: first-error-wins by *topo order*, not wall-clock order.
+//     After an error at topo index e, the scheduler keeps running
+//     operators with smaller indices (their producers all precede
+//     them, hence also < e) and only stops handing out work at or
+//     beyond the earliest error. When the pool drains, every operator
+//     before the earliest error has succeeded — so the reported
+//     RefinementError names exactly the operator the sequential walk
+//     would have failed on.
+
+// runWavefront checks the operators of order on a pool of workers and
+// fills report (stats + OpsProcessed) exactly as the sequential walk
+// would. order must be a topological order of r.gs.
+func (r *runState) runWavefront(order []*graph.Node, workers int, report *Report) error {
+	n := len(order)
+	pos := make(map[graph.NodeID]int, n)
+	for i, v := range order {
+		pos[v.ID] = i
+	}
+
+	// Dependency edges between operators: v waits on the distinct
+	// producers of its input tensors; graph inputs are free.
+	deps := make([]int, n)
+	children := make([][]int, n)
+	for i, v := range order {
+		seen := map[int]bool{}
+		for _, in := range v.Inputs {
+			p := r.gs.Tensor(in).Producer
+			if p == graph.NoProducer {
+				continue
+			}
+			j := pos[p]
+			if !seen[j] {
+				seen[j] = true
+				deps[i]++
+				children[j] = append(children[j], i)
+			}
+		}
+	}
+
+	s := &wavefrontState{
+		stats: make([]egraph.Stats, n),
+		errs:  make(map[int]error),
+		errAt: n,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < n; i++ {
+		if deps[i] == 0 {
+			heap.Push(&s.ready, i)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				s.mu.Lock()
+				for !s.stopped() && !s.runnable() {
+					s.cond.Wait()
+				}
+				if !s.runnable() { // stopped: no work at/below errAt left
+					s.mu.Unlock()
+					return
+				}
+				i := heap.Pop(&s.ready).(int)
+				s.active++
+				s.mu.Unlock()
+
+				stats, err := r.observedProcessOp(order[i])
+
+				s.mu.Lock()
+				s.active--
+				if err != nil {
+					s.errs[i] = err
+					if i < s.errAt {
+						// First error in topo order wins; ready work at
+						// or beyond the earliest error is cancelled
+						// (runnable filters it out).
+						s.errAt = i
+					}
+				} else {
+					s.stats[i] = stats
+					for _, c := range children[i] {
+						deps[c]--
+						if deps[c] == 0 {
+							heap.Push(&s.ready, c)
+						}
+					}
+				}
+				s.cond.Broadcast()
+				s.mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if s.errAt < n {
+		return s.errs[s.errAt]
+	}
+	// Deterministic aggregation: merge per-operator stats in topo
+	// order, exactly as the sequential loop would have.
+	for i := 0; i < n; i++ {
+		report.Stats.Merge(s.stats[i])
+		report.OpsProcessed++
+	}
+	return nil
+}
+
+// wavefrontState is the mutex-guarded shared state of one wavefront
+// run.
+type wavefrontState struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	ready  minHeap // topo indices whose producers are all done
+	active int     // operators currently being processed
+	stats  []egraph.Stats
+
+	errs  map[int]error
+	errAt int // min topo index with an error; len(order) = none
+}
+
+// runnable reports whether a worker should pick up work: the earliest
+// ready operator must precede the earliest error (operators beyond it
+// are cancelled — their results could not change the outcome).
+func (s *wavefrontState) runnable() bool {
+	return len(s.ready) > 0 && s.ready[0] < s.errAt
+}
+
+// stopped reports whether the run has quiesced: nothing runnable and
+// nothing active that could still unlock work. Workers then exit.
+func (s *wavefrontState) stopped() bool {
+	return s.active == 0 && !s.runnable()
+}
+
+// minHeap is a min-heap of topo indices: workers always pick the
+// earliest ready operator, which bounds how much speculative work runs
+// beyond a failure and keeps cancellation convergence fast.
+type minHeap []int
+
+func (h minHeap) Len() int            { return len(h) }
+func (h minHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h minHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *minHeap) Push(x interface{}) { *h = append(*h, x.(int)) }
+func (h *minHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -9,6 +9,7 @@ package egraph
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"entangle/internal/expr"
@@ -111,8 +112,13 @@ func New(ctx *sym.Context) *EGraph {
 	return &EGraph{classes: map[ClassID]*Class{}, memo: map[string]ClassID{}, Ctx: ctx}
 }
 
-// NodeCount returns the number of distinct ENodes added so far.
-func (g *EGraph) NodeCount() int { return nodeTotal(g) }
+// NodeCount returns the number of live ENodes: distinct nodes
+// currently stored across all classes, after rebuild dedup. This is
+// the count SaturateOpts.MaxNodes budgets against. It is maintained
+// incrementally (AddNode increments, repair decrements per deduped
+// node) so it is O(1); nodeTotal is the O(classes) cross-check used
+// by tests.
+func (g *EGraph) NodeCount() int { return g.nodeCount }
 
 func nodeTotal(g *EGraph) int {
 	n := 0
@@ -265,13 +271,15 @@ func (g *EGraph) repair(c ClassID) {
 	if cl == nil {
 		return
 	}
-	// Re-canonicalize and dedupe this class's own nodes.
+	// Re-canonicalize and dedupe this class's own nodes. Dropped
+	// duplicates shrink the live node count NodeCount reports.
 	dedup := map[string]bool{}
 	var nodes []ENode
 	for _, n := range cl.nodes {
 		cn := g.canonNode(n)
 		k := cn.key()
 		if dedup[k] {
+			g.nodeCount--
 			continue
 		}
 		dedup[k] = true
@@ -319,6 +327,19 @@ func (g *EGraph) Classes() []ClassID {
 	for id := range g.classes {
 		out = append(out, id)
 	}
+	return out
+}
+
+// sortedClassIDs returns the live class IDs in ascending order. Class
+// IDs are assigned deterministically by insertion, so iterating in
+// this order (instead of Go's randomized map order) makes e-matching —
+// and therefore union order, extraction tie-breaking, and per-rule
+// application counts — reproducible across runs. The wavefront
+// scheduler relies on this to keep parallel and sequential reports
+// byte-identical.
+func (g *EGraph) sortedClassIDs() []ClassID {
+	out := g.Classes()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

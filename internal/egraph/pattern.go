@@ -183,7 +183,8 @@ type Match struct {
 // MatchAll returns every match of p across all classes.
 func (g *EGraph) MatchAll(p *Pattern) []Match {
 	var out []Match
-	for id, cl := range g.classes {
+	for _, id := range g.sortedClassIDs() {
+		cl := g.classes[id]
 		if p.Var != "" {
 			for _, s := range g.matchClass(p, id, emptySubst) {
 				out = append(out, Match{Class: id, Subst: s})
@@ -216,7 +217,8 @@ func (g *EGraph) matchRules(rules []*Rule) []ruleMatch {
 		byOp[r.LHS.Op] = append(byOp[r.LHS.Op], r)
 	}
 	var out []ruleMatch
-	for id, cl := range g.classes {
+	for _, id := range g.sortedClassIDs() {
+		cl := g.classes[id]
 		for _, r := range varRules {
 			for _, s := range g.matchClass(r.LHS, id, emptySubst) {
 				out = append(out, ruleMatch{rule: r, m: Match{Class: id, Subst: s}})

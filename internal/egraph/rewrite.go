@@ -74,7 +74,13 @@ func Constrained(name string, lhs *Pattern, rhs *RTerm) *Rule {
 // SaturateOpts bound a saturation run. Zero values select defaults.
 type SaturateOpts struct {
 	MaxIters int // default 16
-	MaxNodes int // default 40_000
+	// MaxNodes caps the number of *live* ENodes — the value reported
+	// by EGraph.NodeCount(), i.e. distinct nodes currently stored
+	// across all classes, after dedup. When an application pushes the
+	// live count past the cap, Saturate stops applying matches,
+	// rebuilds (so the e-graph is left congruent), and returns with
+	// Saturated == false. Default 40_000.
+	MaxNodes int
 }
 
 func (o SaturateOpts) withDefaults() SaturateOpts {
@@ -93,8 +99,13 @@ func (o SaturateOpts) withDefaults() SaturateOpts {
 type Stats struct {
 	Iterations   int
 	Applications map[string]int
-	Saturated    bool // fixpoint reached (vs. limit hit)
+	Saturated    bool // every merged run reached fixpoint (vs. limit hit)
 	Nodes        int
+	// Runs counts the saturation runs accumulated into this value.
+	// The zero value (Runs == 0) is the identity of Merge: merging a
+	// run into it adopts that run's Saturated flag instead of AND-ing
+	// with the zero value's false.
+	Runs int
 }
 
 // RuleNames lists rules with non-zero applications, sorted.
@@ -109,7 +120,9 @@ func (s Stats) RuleNames() []string {
 	return names
 }
 
-// Merge accumulates another run's stats into s.
+// Merge accumulates another run's stats into s. The zero Stats value
+// is an identity: Saturated is adopted from the first real run merged
+// in and AND-ed thereafter, so accumulators need no pre-seeding.
 func (s *Stats) Merge(o Stats) {
 	s.Iterations += o.Iterations
 	if s.Applications == nil {
@@ -118,7 +131,15 @@ func (s *Stats) Merge(o Stats) {
 	for k, v := range o.Applications {
 		s.Applications[k] += v
 	}
-	s.Saturated = s.Saturated && o.Saturated
+	switch {
+	case o.Runs == 0:
+		// Merging an empty accumulator: nothing ran, keep s.Saturated.
+	case s.Runs == 0:
+		s.Saturated = o.Saturated
+	default:
+		s.Saturated = s.Saturated && o.Saturated
+	}
+	s.Runs += o.Runs
 	if o.Nodes > s.Nodes {
 		s.Nodes = o.Nodes
 	}
@@ -129,17 +150,23 @@ func (s *Stats) Merge(o Stats) {
 // standard egg iteration structure.
 func (g *EGraph) Saturate(rules []*Rule, opts SaturateOpts) Stats {
 	opts = opts.withDefaults()
-	stats := Stats{Applications: map[string]int{}}
+	stats := Stats{Applications: map[string]int{}, Runs: 1}
 	applied := map[string]bool{}
 	var fp strings.Builder
-	for iter := 0; iter < opts.MaxIters; iter++ {
+	limitHit := false
+	for iter := 0; iter < opts.MaxIters && !limitHit; iter++ {
 		stats.Iterations = iter + 1
 		todo := g.matchRules(rules)
 		changed := false
 		for _, p := range todo {
 			if g.nodeCount > opts.MaxNodes {
-				stats.Nodes = g.nodeCount
-				return stats
+				// Budget blown mid-iteration: stop applying matches,
+				// but fall through to Rebuild below so unions already
+				// applied this iteration are canonicalized — returning
+				// here would leave the memo and parent lists stale and
+				// later extractions non-congruent.
+				limitHit = true
+				break
 			}
 			if !p.rule.Stateful {
 				// Pure rules: one application per canonical match.
@@ -174,7 +201,7 @@ func (g *EGraph) Saturate(rules []*Rule, opts SaturateOpts) Stats {
 			}
 		}
 		g.Rebuild()
-		if !changed {
+		if !changed && !limitHit {
 			stats.Saturated = true
 			break
 		}

@@ -1,0 +1,222 @@
+package egraph
+
+import (
+	"reflect"
+	"testing"
+
+	"entangle/internal/expr"
+)
+
+// opF/opG/opH are private test operators; CleanOp treats unknown ops
+// as unclean, which is irrelevant to the congruence assertions here.
+const (
+	opF = expr.Op("test_f")
+	opG = expr.Op("test_g")
+)
+
+// unionRule unions the classes of the leaves with the given TIDs on
+// any match of leaf `trigger`.
+func unionRule(name string, trigger, a, b int) *Rule {
+	return &Rule{
+		Name: name,
+		LHS:  &Pattern{Op: expr.OpTensor, LeafTID: &trigger},
+		Apply: func(g *EGraph, m Match) []UnionPair {
+			ca, ok := g.Lookup(Leaf(a, "a"))
+			if !ok {
+				return nil
+			}
+			cb, ok := g.Lookup(Leaf(b, "b"))
+			if !ok {
+				return nil
+			}
+			return []UnionPair{{ca, cb}}
+		},
+	}
+}
+
+// growRule adds a fresh chain node over the matched class every
+// iteration, inflating the node count past any small budget.
+func growRule(name string, trigger int) *Rule {
+	n := 0
+	return &Rule{
+		Name:     name,
+		Stateful: true,
+		LHS:      &Pattern{Op: expr.OpTensor, LeafTID: &trigger},
+		Apply: func(g *EGraph, m Match) []UnionPair {
+			n++
+			fresh := g.AddNode(ENode{Op: opG, Str: string(rune('A' + n)), Kids: []ClassID{m.Class}})
+			return m.With(fresh)
+		},
+	}
+}
+
+// TestSaturateMaxNodesRebuilds is the regression test for the
+// saturation-budget congruence bug: when the MaxNodes budget is blown
+// mid-iteration, Saturate used to return without calling Rebuild, so
+// unions applied earlier in that same iteration left congruent nodes
+// (f(a) and f(b) after union(a, b)) in distinct classes and the memo
+// keyed by stale child classes. The fix breaks out of both loops and
+// always rebuilds before returning.
+func TestSaturateMaxNodesRebuilds(t *testing.T) {
+	g := New(nil)
+	ca := g.AddTerm(leafT(1, "a"))
+	cb := g.AddTerm(leafT(2, "b"))
+	g.AddTerm(leafT(3, "t"))
+	fa := g.AddNode(ENode{Op: opF, Kids: []ClassID{ca}})
+	fb := g.AddNode(ENode{Op: opF, Kids: []ClassID{cb}})
+	if g.Find(fa) == g.Find(fb) {
+		t.Fatal("f(a) and f(b) must start distinct")
+	}
+
+	// Rule order = match application order: first union a with b,
+	// then grow past the budget so a later pending match trips the
+	// MaxNodes early exit inside the same iteration, with the a=b
+	// union still un-rebuilt.
+	rules := []*Rule{
+		unionRule("union-ab", 3, 1, 2),
+		growRule("grow", 3),
+		unionRule("late", 3, 1, 2), // pending match that hits the budget check
+	}
+	stats := g.Saturate(rules, SaturateOpts{MaxIters: 8, MaxNodes: g.NodeCount()})
+	if stats.Saturated {
+		t.Fatalf("budget run must not report saturation: %+v", stats)
+	}
+
+	// Congruence: union(a, b) was applied before the budget hit, so
+	// f(a) and f(b) must have been merged by the final Rebuild.
+	if g.Find(ca) != g.Find(cb) {
+		t.Fatal("a and b were not unioned before the budget hit")
+	}
+	if g.Find(fa) != g.Find(fb) {
+		t.Fatal("congruence broken: f(a) and f(b) in distinct classes after Saturate hit MaxNodes")
+	}
+
+	assertCongruent(t, g)
+}
+
+// assertCongruent checks the rebuild invariants: every stored node is
+// canonical, its memo entry exists and maps to its class, and no two
+// classes share a node key.
+func assertCongruent(t *testing.T, g *EGraph) {
+	t.Helper()
+	owner := map[string]ClassID{}
+	for id, cl := range g.classes {
+		for _, n := range cl.nodes {
+			cn := g.canonNode(n)
+			k := cn.key()
+			if prev, ok := owner[k]; ok && g.Find(prev) != g.Find(id) {
+				t.Fatalf("node %q stored in two distinct classes (%d and %d)", k, prev, id)
+			}
+			owner[k] = id
+			memoC, ok := g.memo[k]
+			if !ok {
+				t.Fatalf("canonical node %q missing from memo", k)
+			}
+			if g.Find(memoC) != g.Find(id) {
+				t.Fatalf("memo for %q maps to class %d, stored in %d", k, g.Find(memoC), g.Find(id))
+			}
+		}
+	}
+}
+
+// TestSaturateBudgetExtractionSeesUnions drives the same scenario
+// through extraction. The equivalence flows through congruence: the
+// pre-budget union makes a = b, which must merge f(a) with f(b) — and
+// f(b) is known equal to the clean leaf c. Without the final Rebuild,
+// f(a)'s class never learns about c and extraction comes back empty.
+func TestSaturateBudgetExtractionSeesUnions(t *testing.T) {
+	g := New(nil)
+	ca := g.AddTerm(leafT(1, "a"))
+	cb := g.AddTerm(leafT(2, "b"))
+	g.AddTerm(leafT(3, "t"))
+	ccl := g.AddTerm(leafT(4, "c"))
+	cfa := g.AddNode(ENode{Op: opF, Kids: []ClassID{ca}})
+	cfb := g.AddNode(ENode{Op: opF, Kids: []ClassID{cb}})
+	g.Union(cfb, ccl)
+	g.Rebuild()
+
+	onlyC := func(tid int) bool { return tid == 4 }
+	if got := g.ExtractAllClean(cfa, onlyC, 0); len(got) != 0 {
+		t.Fatalf("setup broken: f(a) must have no clean form yet, got %v", got)
+	}
+
+	rules := []*Rule{
+		unionRule("union-ab", 3, 1, 2),
+		growRule("grow", 3),
+		unionRule("late", 3, 1, 2),
+	}
+	g.Saturate(rules, SaturateOpts{MaxIters: 8, MaxNodes: g.NodeCount()})
+
+	terms := g.ExtractAllClean(cfa, onlyC, 0)
+	if len(terms) == 0 {
+		t.Fatal("extraction does not see the congruence implied by the pre-budget union")
+	}
+	want := leafT(4, "c")
+	if terms[0].Key() != want.Key() {
+		t.Fatalf("extracted %s, want %s", terms[0], want)
+	}
+}
+
+// TestNodeCountMatchesLiveNodes covers the NodeCount/budget
+// unification: dedup during rebuild must shrink the reported count to
+// the live total instead of double-counting merged nodes forever.
+func TestNodeCountMatchesLiveNodes(t *testing.T) {
+	g := New(nil)
+	ca := g.AddTerm(leafT(1, "a"))
+	cb := g.AddTerm(leafT(2, "b"))
+	g.AddNode(ENode{Op: opF, Kids: []ClassID{ca}})
+	g.AddNode(ENode{Op: opF, Kids: []ClassID{cb}})
+	if got := g.NodeCount(); got != 4 || got != nodeTotal(g) {
+		t.Fatalf("before union: NodeCount %d, live %d, want 4", got, nodeTotal(g))
+	}
+	g.Union(ca, cb)
+	g.Rebuild()
+	// a and b merged; f(a) and f(b) became congruent and deduped. The
+	// budget counter g.nodeCount (what Saturate checks MaxNodes
+	// against) must shrink with the dedup instead of double-counting
+	// the merged node forever.
+	if g.nodeCount != nodeTotal(g) {
+		t.Fatalf("after rebuild: budget counter %d but live total %d", g.nodeCount, nodeTotal(g))
+	}
+	if got := g.NodeCount(); got != 3 {
+		t.Fatalf("after rebuild: NodeCount %d, want 3 (a, b, f)", got)
+	}
+}
+
+// TestStatsMergeZeroValueIdentity covers the Stats.Merge tri-state:
+// the zero value must be a merge identity rather than forcing
+// Saturated to false forever.
+func TestStatsMergeZeroValueIdentity(t *testing.T) {
+	var acc Stats
+	acc.Merge(Stats{Saturated: true, Runs: 1, Iterations: 2})
+	if !acc.Saturated || acc.Runs != 1 {
+		t.Fatalf("zero value must adopt first run's Saturated: %+v", acc)
+	}
+	acc.Merge(Stats{Saturated: true, Runs: 1})
+	if !acc.Saturated || acc.Runs != 2 {
+		t.Fatalf("two saturated runs must stay saturated: %+v", acc)
+	}
+	acc.Merge(Stats{Saturated: false, Runs: 1})
+	if acc.Saturated {
+		t.Fatal("an unsaturated run must clear Saturated")
+	}
+	acc.Merge(Stats{Saturated: true, Runs: 1})
+	if acc.Saturated {
+		t.Fatal("Saturated must never recover once cleared")
+	}
+
+	// Merging an empty accumulator is a no-op on Saturated.
+	sat := Stats{Saturated: true, Runs: 1}
+	sat.Merge(Stats{})
+	if !sat.Saturated || sat.Runs != 1 {
+		t.Fatalf("merging the zero value must not clear Saturated: %+v", sat)
+	}
+
+	// Applications still accumulate through the identity.
+	var a2 Stats
+	a2.Merge(Stats{Applications: map[string]int{"r": 2}, Runs: 1, Saturated: true})
+	a2.Merge(Stats{Applications: map[string]int{"r": 3}, Runs: 1, Saturated: true})
+	if !reflect.DeepEqual(a2.Applications, map[string]int{"r": 5}) {
+		t.Fatalf("applications not accumulated: %+v", a2.Applications)
+	}
+}

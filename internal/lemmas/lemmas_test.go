@@ -1,6 +1,7 @@
 package lemmas
 
 import (
+	"sync"
 	"testing"
 
 	"entangle/internal/egraph"
@@ -490,4 +491,35 @@ func TestThreeWayParallelism(t *testing.T) {
 	saturate(g, r)
 	want := expr.Sum(expr.MatMul(xs[0], ws[0]), expr.MatMul(xs[1], ws[1]), expr.MatMul(xs[2], ws[2]))
 	wantEqual(t, g, lhs, want, "3-way row parallel")
+}
+
+// TestRulesCached checks the flattened-rule cache: repeated calls
+// share one slice, concurrent calls are race-free, and Register
+// invalidates.
+func TestRulesCached(t *testing.T) {
+	r := Default()
+	first := r.Rules()
+	if len(first) == 0 {
+		t.Fatal("no rules")
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rs := r.Rules()
+			if &rs[0] != &first[0] || len(rs) != len(first) {
+				t.Error("Rules() did not return the cached slice")
+			}
+		}()
+	}
+	wg.Wait()
+
+	r.Register(&Lemma{Name: "test/extra", Kind: KindGeneral, Complexity: 1, LOC: 1,
+		Rules: []*egraph.Rule{{Name: "test/extra/rule", LHS: egraph.PVar("x"),
+			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair { return nil }}}})
+	after := r.Rules()
+	if len(after) != len(first)+1 {
+		t.Fatalf("Register did not invalidate the cache: %d vs %d rules", len(after), len(first))
+	}
 }

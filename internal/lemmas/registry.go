@@ -10,6 +10,7 @@ package lemmas
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"entangle/internal/egraph"
 )
@@ -42,11 +43,22 @@ type Lemma struct {
 	Rules      []*egraph.Rule
 }
 
-// Registry holds an ordered lemma collection.
+// Registry holds an ordered lemma collection. It is safe to share one
+// registry across concurrent Check calls and scheduler workers: after
+// construction the lemma set is read-only, and the rules cache below
+// is guarded.
 type Registry struct {
 	lemmas []*Lemma
 	byName map[string]*Lemma
 	byRule map[string]*Lemma // rule name → owning lemma
+
+	// rulesMu guards rulesCache, the flattened rule slice Rules()
+	// hands out. Saturation runs once per operator per frontier
+	// iteration; materializing the slice every call was measurable
+	// allocation churn, so it is built once and invalidated on
+	// Register.
+	rulesMu    sync.Mutex
+	rulesCache []*egraph.Rule
 }
 
 // NewRegistry returns an empty registry.
@@ -69,6 +81,9 @@ func (r *Registry) Register(l *Lemma) *Lemma {
 		}
 		r.byRule[rule.Name] = l
 	}
+	r.rulesMu.Lock()
+	r.rulesCache = nil // invalidate the flattened-rule cache
+	r.rulesMu.Unlock()
 	return l
 }
 
@@ -85,12 +100,19 @@ func (r *Registry) ByName(name string) (*Lemma, bool) {
 }
 
 // Rules returns every e-graph rule across all lemmas, in lemma order.
+// The returned slice is cached and shared — callers must not mutate
+// it. Registering a new lemma invalidates the cache.
 func (r *Registry) Rules() []*egraph.Rule {
-	var out []*egraph.Rule
-	for _, l := range r.lemmas {
-		out = append(out, l.Rules...)
+	r.rulesMu.Lock()
+	defer r.rulesMu.Unlock()
+	if r.rulesCache == nil {
+		out := make([]*egraph.Rule, 0, len(r.lemmas)*2)
+		for _, l := range r.lemmas {
+			out = append(out, l.Rules...)
+		}
+		r.rulesCache = out
 	}
-	return out
+	return r.rulesCache
 }
 
 // LemmaCounts folds per-rule application counts (from egraph.Stats)

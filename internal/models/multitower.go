@@ -1,0 +1,90 @@
+package models
+
+import (
+	"fmt"
+
+	"entangle/internal/graph"
+	"entangle/internal/shape"
+	"entangle/internal/strategy"
+	"entangle/internal/sym"
+)
+
+// MultiTower builds an ensemble workload: `towers` independent
+// normalized MLP towers read one shared input and their outputs are
+// concatenated — the shape of multi-task heads, mixture ensembles and
+// wide recommender towers. Unlike the transformer stacks (whose G_s is
+// a chain of layers), the towers form a wide anti-chain in G_s, which
+// makes this the stress model for the wavefront scheduler: with W
+// workers, up to W towers verify concurrently.
+//
+// The distributed implementation runs every tower tensor-parallel over
+// tp ranks (Megatron MLP: column-parallel fc1, row-parallel fc2 with
+// an all-reduce) and concatenates on rank 0.
+func MultiTower(towers, tp int) (*Built, error) {
+	if towers < 1 {
+		return nil, fmt.Errorf("models: multitower: towers=%d < 1", towers)
+	}
+	const (
+		S = 8  // sequence length
+		H = 16 // hidden width
+		F = 32 // tower FFN width
+	)
+	if tp < 1 || F%tp != 0 || H%tp != 0 {
+		return nil, fmt.Errorf("models: multitower: widths (%d, %d) not divisible by tp=%d", H, F, tp)
+	}
+
+	b := graph.NewBuilder("multitower-seq", nil)
+	x := b.Input("x", shape.Of(S, H))
+	outs := make([]graph.TensorID, towers)
+	for t := 0; t < towers; t++ {
+		p := func(s string) string { return fmt.Sprintf("T%d/%s", t, s) }
+		lnw := b.Input(p("ln_w"), shape.Of(H))
+		lnb := b.Input(p("ln_b"), shape.Of(H))
+		fc1 := b.Input(p("fc1_w"), shape.Of(H, F))
+		fc2 := b.Input(p("fc2_w"), shape.Of(F, H))
+		a := b.LayerNorm(p("ln"), x, lnw, lnb)
+		h := b.MatMul(p("fc1"), a, fc1)
+		g := b.Unary(p("gelu"), "gelu", h)
+		outs[t] = b.MatMul(p("fc2"), g, fc2)
+	}
+	combined := b.Concat("combine", sym.Const(0), outs...)
+	b.Output(combined)
+	gs, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	env := strategy.NewEnv(gs, "multitower-dist", tp)
+	db := env.B
+	R := env.R
+	xd := env.Replicate("x")
+	distOuts := make([][]graph.TensorID, towers)
+	for t := 0; t < towers; t++ {
+		p := func(s string) string { return fmt.Sprintf("T%d/%s", t, s) }
+		lnw := env.Shared(p("ln_w"))
+		lnb := env.Shared(p("ln_b"))
+		a := make([]graph.TensorID, R)
+		for r := 0; r < R; r++ {
+			a[r] = db.LayerNorm(fmt.Sprintf("r%d/%s", r, p("ln")), xd[r], lnw, lnb)
+		}
+		h := env.ColumnParallelLinear(p("fc1"), a, p("fc1_w"))
+		g := make([]graph.TensorID, R)
+		for r := 0; r < R; r++ {
+			g[r] = db.Unary(fmt.Sprintf("r%d/%s", r, p("gelu")), "gelu", h[r])
+		}
+		distOuts[t] = env.RowParallelLinear(p("fc2"), g, p("fc2_w"), strategy.ReduceAllReduce)
+	}
+	// After the all-reduce every rank holds each tower's full output;
+	// rank 0 concatenates them, mirroring the sequential combine.
+	rank0 := make([]graph.TensorID, towers)
+	for t := 0; t < towers; t++ {
+		rank0[t] = distOuts[t][0]
+	}
+	combinedD := db.Concat("r0/combine", sym.Const(0), rank0...)
+	db.Output(combinedD)
+	gd, err := env.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Built{Name: "MultiTower", Gs: gs, Gd: gd, Ri: env.Ri, Env: env}, nil
+}

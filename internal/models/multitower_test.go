@@ -1,0 +1,38 @@
+package models
+
+import (
+	"testing"
+
+	"entangle/internal/core"
+)
+
+func TestMultiTowerVerifies(t *testing.T) {
+	for _, tc := range []struct{ towers, tp int }{{1, 2}, {4, 2}, {8, 4}} {
+		b, err := MultiTower(tc.towers, tc.tp)
+		if err != nil {
+			t.Fatalf("towers=%d tp=%d: %v", tc.towers, tc.tp, err)
+		}
+		rep, err := core.NewChecker(core.Options{}).Check(b.Gs, b.Gd, b.Ri)
+		if err != nil {
+			t.Fatalf("towers=%d tp=%d: %v", tc.towers, tc.tp, err)
+		}
+		if rep.OpsProcessed != b.Gs.OperatorCount() {
+			t.Fatalf("towers=%d tp=%d: processed %d of %d ops",
+				tc.towers, tc.tp, rep.OpsProcessed, b.Gs.OperatorCount())
+		}
+		for _, o := range b.Gs.Outputs {
+			if len(rep.OutputRelation.Get(o)) == 0 {
+				t.Fatalf("towers=%d tp=%d: output unmapped", tc.towers, tc.tp)
+			}
+		}
+	}
+}
+
+func TestMultiTowerRejectsBadConfig(t *testing.T) {
+	if _, err := MultiTower(0, 2); err == nil {
+		t.Fatal("towers=0 must be rejected")
+	}
+	if _, err := MultiTower(4, 3); err == nil {
+		t.Fatal("tp=3 must be rejected: widths not divisible")
+	}
+}

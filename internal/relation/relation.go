@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"entangle/internal/expr"
 	"entangle/internal/graph"
@@ -39,7 +40,15 @@ func GdTensorID(tid int) graph.TensorID { return graph.TensorID(tid - GdOffset) 
 // G_d tensors. A tensor may have several mappings (replication, or the
 // multiple reconstructions of §4.1's running example); they are kept
 // sorted simplest-first, mirroring the paper's pruning rule (§4.3.2).
+//
+// A Relation is safe for concurrent use: the wavefront scheduler
+// (internal/core) has many operator checks reading input mappings and
+// recording output mappings against one shared store. Reads return
+// copies (copy-on-read), so a slice obtained from Get is never
+// re-sorted or appended to by a concurrent Add. Terms themselves are
+// immutable and shared freely.
 type Relation struct {
+	mu   sync.RWMutex
 	m    map[graph.TensorID][]*expr.Term
 	keys map[graph.TensorID]map[string]bool
 }
@@ -55,6 +64,26 @@ func (r *Relation) Add(id graph.TensorID, t *expr.Term) bool {
 	if t == nil {
 		return false
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.addLocked(id, t)
+}
+
+// AddAll records several mappings.
+func (r *Relation) AddAll(id graph.TensorID, ts []*expr.Term) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, t := range ts {
+		if t != nil {
+			r.addLocked(id, t)
+		}
+	}
+}
+
+// addLocked is Add under r.mu. The mapping list stays sorted
+// simplest-first with insertion order breaking ties (sort is stable),
+// which keeps list order deterministic however callers interleave.
+func (r *Relation) addLocked(id graph.TensorID, t *expr.Term) bool {
 	k := t.Key()
 	if r.keys[id] == nil {
 		r.keys[id] = map[string]bool{}
@@ -69,28 +98,42 @@ func (r *Relation) Add(id graph.TensorID, t *expr.Term) bool {
 	return true
 }
 
-// AddAll records several mappings.
-func (r *Relation) AddAll(id graph.TensorID, ts []*expr.Term) {
-	for _, t := range ts {
-		r.Add(id, t)
+// Get returns the mappings for tensor id, simplest first. The
+// returned slice is a copy owned by the caller.
+func (r *Relation) Get(id graph.TensorID) []*expr.Term {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	lst := r.m[id]
+	if len(lst) == 0 {
+		return nil
 	}
+	out := make([]*expr.Term, len(lst))
+	copy(out, lst)
+	return out
 }
 
-// Get returns the mappings for tensor id, simplest first.
-func (r *Relation) Get(id graph.TensorID) []*expr.Term { return r.m[id] }
-
 // Has reports whether tensor id has at least one mapping.
-func (r *Relation) Has(id graph.TensorID) bool { return len(r.m[id]) > 0 }
+func (r *Relation) Has(id graph.TensorID) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.m[id]) > 0
+}
 
 // Len returns the number of mapped tensors.
-func (r *Relation) Len() int { return len(r.m) }
+func (r *Relation) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.m)
+}
 
 // Tensors returns the mapped tensor IDs in ascending order.
 func (r *Relation) Tensors() []graph.TensorID {
+	r.mu.RLock()
 	out := make([]graph.TensorID, 0, len(r.m))
 	for id := range r.m {
 		out = append(out, id)
 	}
+	r.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
@@ -98,8 +141,10 @@ func (r *Relation) Tensors() []graph.TensorID {
 // Complete reports whether every one of the given tensors is mapped —
 // the paper's completeness condition on R_o (§3.2).
 func (r *Relation) Complete(outputs []graph.TensorID) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	for _, o := range outputs {
-		if !r.Has(o) {
+		if len(r.m[o]) == 0 {
 			return false
 		}
 	}
@@ -110,6 +155,7 @@ func (r *Relation) Complete(outputs []graph.TensorID) bool {
 // mapping of the given G_s tensors (all mapped tensors when ids is
 // nil). This is the T_rel seed of the paper's Listing 3.
 func (r *Relation) GdLeaves(ids []graph.TensorID) []graph.TensorID {
+	r.mu.RLock()
 	seen := map[graph.TensorID]bool{}
 	var out []graph.TensorID
 	collect := func(id graph.TensorID) {
@@ -134,6 +180,7 @@ func (r *Relation) GdLeaves(ids []graph.TensorID) []graph.TensorID {
 			collect(id)
 		}
 	}
+	r.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
@@ -141,9 +188,11 @@ func (r *Relation) GdLeaves(ids []graph.TensorID) []graph.TensorID {
 // Clone returns a deep-enough copy (terms are immutable and shared).
 func (r *Relation) Clone() *Relation {
 	n := New()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	for id, ts := range r.m {
 		for _, t := range ts {
-			n.Add(id, t)
+			n.addLocked(id, t)
 		}
 	}
 	return n
@@ -158,7 +207,10 @@ func (r *Relation) Render(gs *graph.Graph) string {
 		if int(id) < len(gs.Tensors) {
 			name = gs.Tensor(id).Name
 		}
-		for _, t := range r.m[id] {
+		r.mu.RLock()
+		ts := append([]*expr.Term(nil), r.m[id]...)
+		r.mu.RUnlock()
+		for _, t := range ts {
 			fmt.Fprintf(&b, "  %s = %s\n", name, t)
 		}
 	}

@@ -2,6 +2,7 @@ package relation
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"entangle/internal/expr"
@@ -108,5 +109,66 @@ func TestRender(t *testing.T) {
 	out := r.Render(gs)
 	if !strings.Contains(out, "A = A0") {
 		t.Fatalf("render output %q", out)
+	}
+}
+
+// TestConcurrentAddGet exercises the relation under the access pattern
+// of the wavefront scheduler: many goroutines adding mappings for
+// their own tensors while reading others' concurrently. Run with
+// -race; it also checks that slices returned by Get are immune to
+// later Adds (copy-on-read).
+func TestConcurrentAddGet(t *testing.T) {
+	r := New()
+	base := expr.Tensor(GdOffset+0, "D0")
+	r.Add(0, base)
+	snapshot := r.Get(0)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := graph.TensorID(w%4 + 1)
+				term := expr.ConcatI(0, expr.Tensor(GdOffset+w*1000+i, "x"), base)
+				r.Add(id, term)
+				r.AddAll(0, []*expr.Term{base}) // duplicate, must be ignored
+				_ = r.Get(id)
+				_ = r.Has(id)
+				_ = r.GdLeaves([]graph.TensorID{id})
+				_ = r.Len()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if len(snapshot) != 1 || !snapshot[0].Equal(base) {
+		t.Fatalf("snapshot mutated by concurrent adds: %v", snapshot)
+	}
+	if got := r.Get(0); len(got) != 1 {
+		t.Fatalf("duplicate adds not deduped: %d mappings", len(got))
+	}
+	for id := 1; id <= 4; id++ {
+		if got := len(r.Get(graph.TensorID(id))); got != 400 {
+			t.Fatalf("tensor %d: %d mappings, want 400", id, got)
+		}
+	}
+}
+
+// TestGetReturnsCopy pins the copy-on-read contract on the sequential
+// path too: sorting inside a later Add must not reorder a slice a
+// caller already holds.
+func TestGetReturnsCopy(t *testing.T) {
+	r := New()
+	big := expr.ConcatI(0, expr.Tensor(GdOffset, "a"), expr.Tensor(GdOffset+1, "b"))
+	r.Add(7, big)
+	held := r.Get(7)
+	r.Add(7, expr.Tensor(GdOffset+2, "c")) // smaller, sorts first internally
+	if len(held) != 1 || !held[0].Equal(big) {
+		t.Fatalf("held slice changed under a later Add: %v", held)
+	}
+	got := r.Get(7)
+	if len(got) != 2 || got[0].Size() > got[1].Size() {
+		t.Fatalf("mappings not simplest-first: %v", got)
 	}
 }

@@ -1,0 +1,30 @@
+#!/bin/sh
+# Full verification gate: formatting, vet, build, the complete test
+# suite, and the race detector over the concurrent packages (the
+# wavefront scheduler in core, the e-graph engine it drives, and the
+# synchronized relation store). CI and `make verify` both run this.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (core, egraph, relation, lemmas) =="
+go test -race ./internal/core/... ./internal/egraph/... ./internal/relation/... ./internal/lemmas/...
+
+echo "verify: OK"
