@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench verify fmt
+.PHONY: build test bench verify lint fmt
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,11 @@ bench:
 # the concurrent packages. See scripts/verify.sh.
 verify:
 	sh scripts/verify.sh
+
+# Static analysis only: entangle-lint over the lemma registry, the
+# engine source, and generated capture graphs. See scripts/lint.sh.
+lint:
+	sh scripts/lint.sh
 
 fmt:
 	gofmt -w .

@@ -5,6 +5,12 @@
 //	entangle -gs seq.json -gd dist.json -rel relation.json
 //	entangle -gs seq.hlo -gd dist.hlo -rel relation.json -format hlo
 //
+// With -lint, positional arguments name captured graph files, and the
+// graph IR lint layer (internal/lint) runs over each instead of a
+// refinement check:
+//
+//	entangle -lint captured.json other.json
+//
 // The relation file maps sequential input names to clean expressions
 // over distributed tensor names, in the textual form the paper uses:
 //
@@ -25,6 +31,7 @@ import (
 
 	"entangle"
 	"entangle/internal/exprparse"
+	"entangle/internal/lint"
 	"entangle/internal/relation"
 )
 
@@ -37,10 +44,16 @@ func main() {
 		verbose = flag.Bool("v", false, "print the full relation, including intermediates")
 		expect  = flag.String("expect", "", "optional §4.4 expectation JSON: {\"fs\": <expr over G_s outputs>, \"fd\": <expr over G_d outputs>}")
 		workers = flag.Int("workers", 0, "checker worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+		doLint  = flag.Bool("lint", false, "lint the given graph files instead of checking refinement")
+		jsonOut = flag.Bool("json", false, "with -lint: emit findings as JSON")
 	)
 	flag.Parse()
+	if *doLint {
+		lintGraphs(flag.Args(), *format, *jsonOut)
+		return
+	}
 	if *gsPath == "" || *gdPath == "" || *relPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: entangle -gs <graph> -gd <graph> -rel <relation.json> [-format json|hlo] [-v]")
+		fmt.Fprintln(os.Stderr, "usage: entangle -gs <graph> -gd <graph> -rel <relation.json> [-format json|hlo] [-v]\n       entangle -lint [-json] <graph>...")
 		os.Exit(2)
 	}
 
@@ -88,6 +101,36 @@ func main() {
 	if *verbose {
 		fmt.Println("full relation (including intermediates):")
 		fmt.Print(report.FullRelation.Render(gs))
+	}
+}
+
+// lintGraphs runs the graph IR lint layer over captured graph files;
+// exit 0 when clean, 1 on error-severity findings, 2 on input errors.
+func lintGraphs(paths []string, format string, jsonOut bool) {
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: entangle -lint [-json] [-format json|hlo] <graph>...")
+		os.Exit(2)
+	}
+	var report lint.Report
+	for _, path := range paths {
+		g, err := loadGraph(path, format)
+		if err != nil {
+			fatal(2, "loading %s: %v", path, err)
+		}
+		for _, d := range lint.Graph(g) {
+			d.Subject = path + ": " + d.Subject
+			report.Add(d)
+		}
+	}
+	if jsonOut {
+		if err := report.WriteJSON(os.Stdout); err != nil {
+			fatal(2, "%v", err)
+		}
+	} else if err := report.WriteText(os.Stdout); err != nil {
+		fatal(2, "%v", err)
+	}
+	if report.Errors() > 0 {
+		os.Exit(1)
 	}
 }
 

@@ -321,27 +321,23 @@ func (g *EGraph) repair(c ClassID) {
 	cl.parents = parents
 }
 
-// Classes returns the live canonical class IDs.
+// Classes returns the live canonical class IDs in ascending order.
+// Class IDs are assigned deterministically by insertion, so iterating
+// in this order (instead of Go's randomized map order) makes
+// e-matching — and therefore union order, extraction tie-breaking, and
+// per-rule application counts — reproducible across runs. The
+// wavefront scheduler relies on this to keep parallel and sequential
+// reports byte-identical.
 func (g *EGraph) Classes() []ClassID {
 	out := make([]ClassID, 0, len(g.classes))
 	for id := range g.classes {
 		out = append(out, id)
 	}
-	return out
-}
-
-// sortedClassIDs returns the live class IDs in ascending order. Class
-// IDs are assigned deterministically by insertion, so iterating in
-// this order (instead of Go's randomized map order) makes e-matching —
-// and therefore union order, extraction tie-breaking, and per-rule
-// application counts — reproducible across runs. The wavefront
-// scheduler relies on this to keep parallel and sequential reports
-// byte-identical.
-func (g *EGraph) sortedClassIDs() []ClassID {
-	out := g.Classes()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
+
+func (g *EGraph) sortedClassIDs() []ClassID { return g.Classes() }
 
 // Class returns the class record for a (possibly stale) ID.
 func (g *EGraph) Class(id ClassID) *Class { return g.classes[g.Find(id)] }

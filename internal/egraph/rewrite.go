@@ -15,6 +15,15 @@ type Rule struct {
 
 	LHS *Pattern
 
+	// RHS is the declarative right-hand-side template, when the rule
+	// has one (rules built with Simple and Constrained always do).
+	// Apply remains the executable form; RHS exists so static tooling
+	// (internal/lint) can reason about what the rule builds — unbound
+	// template variables, trivial self-loops, redundant specializations
+	// — without running it. Rules whose right-hand side is computed
+	// from e-graph state leave RHS nil.
+	RHS *RTerm
+
 	// Stateful marks rules whose Apply inspects e-graph state beyond
 	// the match bindings (scanning class members or parents). Pure
 	// rules are applied at most once per distinct match fingerprint;
@@ -39,30 +48,26 @@ func (m Match) With(c ClassID) []UnionPair {
 }
 
 // Simple builds the common universal-lemma shape: LHS pattern →
-// RHS template, unconditionally.
+// RHS template, unconditionally. The template is kept on Rule.RHS as
+// declarative metadata alongside the Apply closure that executes it.
 func Simple(name string, lhs *Pattern, rhs *RTerm) *Rule {
-	return &Rule{
-		Name: name,
-		LHS:  lhs,
-		Apply: func(g *EGraph, m Match) []UnionPair {
-			c, ok := g.Instantiate(rhs, m.Subst, false)
-			if !ok {
-				return nil
-			}
-			return m.With(c)
-		},
-	}
+	return templated(name, lhs, rhs, false)
 }
 
 // Constrained builds a rule whose RHS is only added when its nodes
 // already exist in the e-graph (the paper's constrained lemmas,
 // §4.3.2, used for generative rules like slice splitting).
 func Constrained(name string, lhs *Pattern, rhs *RTerm) *Rule {
+	return templated(name, lhs, rhs, true)
+}
+
+func templated(name string, lhs *Pattern, rhs *RTerm, lookupOnly bool) *Rule {
 	return &Rule{
 		Name: name,
 		LHS:  lhs,
+		RHS:  rhs,
 		Apply: func(g *EGraph, m Match) []UnionPair {
-			c, ok := g.Instantiate(rhs, m.Subst, true)
+			c, ok := g.Instantiate(rhs, m.Subst, lookupOnly)
 			if !ok {
 				return nil
 			}

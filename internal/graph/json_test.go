@@ -1,0 +1,89 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestJSONErrorMessages pins the error-path behaviour of the
+// interchange decoder: every malformed capture must come back as a
+// descriptive error naming the offending element — never a panic, and
+// never a silently-wrong graph.
+func TestJSONErrorMessages(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string // substring the error must contain
+	}{
+		{
+			name: "malformed json",
+			src:  `{"name":"g","inputs":[`,
+			want: "unexpected end",
+		},
+		{
+			name: "unparsable shape dim",
+			src:  `{"name":"g","inputs":[{"name":"a","shape":["@@"]}],"nodes":[],"outputs":[]}`,
+			want: `input "a"`,
+		},
+		{
+			name: "unknown op",
+			src: `{"name":"g","inputs":[{"name":"a","shape":["4"]}],
+				"nodes":[{"op":"frobnicate","label":"n","inputs":["a"],"outputs":["o"]}],
+				"outputs":["o"]}`,
+			want: "frobnicate",
+		},
+		{
+			name: "dangling node input",
+			src: `{"name":"g","inputs":[],
+				"nodes":[{"op":"add","label":"n","inputs":["zz","zz"],"outputs":["o"]}],
+				"outputs":[]}`,
+			want: `input "zz" undefined`,
+		},
+		{
+			name: "dangling graph output",
+			src:  `{"name":"g","inputs":[],"nodes":[],"outputs":["nope"]}`,
+			want: `output "nope" undefined`,
+		},
+		{
+			name: "bad attribute expression",
+			src: `{"name":"g","inputs":[{"name":"a","shape":["4","4"]}],
+				"nodes":[{"op":"transpose","label":"t","ints":["??"],"inputs":["a"],"outputs":["o"]}],
+				"outputs":["o"]}`,
+			want: `node "t" attr`,
+		},
+		{
+			name: "bad assumption",
+			src:  `{"name":"g","inputs":[],"nodes":[],"outputs":[],"assumptions":[{"lhs":"!!","rhs":"0"}]}`,
+			want: "assumption lhs",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := &Graph{}
+			err := g.UnmarshalJSON([]byte(tc.src))
+			if err == nil {
+				t.Fatal("decode must fail")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestJSONWrongArity covers the remaining decoder path: a known op
+// applied to the wrong number of inputs must be rejected by shape
+// inference with the node named in the error.
+func TestJSONWrongArity(t *testing.T) {
+	src := `{"name":"g","inputs":[{"name":"a","shape":["4"]}],
+		"nodes":[{"op":"add","label":"lonely","inputs":["a"],"outputs":["o"]}],
+		"outputs":["o"]}`
+	g := &Graph{}
+	err := g.UnmarshalJSON([]byte(src))
+	if err == nil {
+		t.Fatal("decode must fail")
+	}
+	if !strings.Contains(err.Error(), "add") {
+		t.Fatalf("error %q does not mention the op", err)
+	}
+}

@@ -29,7 +29,7 @@ func registerClean(r *Registry) {
 }
 
 func registerIdentity(r *Registry) {
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "identity-elim", Kind: KindClean, Complexity: 1, LOC: 4,
 		Rules: []*egraph.Rule{egraph.Simple("identity-elim",
 			egraph.POp(expr.OpIdentity, nil, egraph.PVar("x")),
@@ -40,7 +40,7 @@ func registerIdentity(r *Registry) {
 func registerSumBasics(r *Registry) {
 	// add(x,y) and sum(x,y) denote the same value; normalizing them
 	// into one class lets every sum lemma cover both spellings.
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "add-is-sum", Kind: KindClean, Complexity: 2, LOC: 6,
 		Rules: []*egraph.Rule{egraph.Simple("add-is-sum",
 			egraph.POp(expr.OpAdd, nil, egraph.PVar("x"), egraph.PVar("y")),
@@ -48,7 +48,7 @@ func registerSumBasics(r *Registry) {
 	})
 
 	// sum is commutative: union with the class-sorted spelling.
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "sum-commutative", Kind: KindClean, Complexity: 2, LOC: 16,
 		Rules: []*egraph.Rule{{
 			Name: "sum-commutative", Stateful: true,
@@ -71,7 +71,7 @@ func registerSumBasics(r *Registry) {
 	// sum(… sum(ys) …) flattens one level. Width-capped: a class can
 	// contain a sum of itself (x = sum(x/2, x/2) after other lemmas),
 	// and uncapped flattening would then grow sums without bound.
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "sum-flatten", Kind: KindClean, Complexity: 2, LOC: 22,
 		Rules: []*egraph.Rule{{
 			Name: "sum-flatten", Stateful: true,
@@ -98,7 +98,7 @@ func registerSumBasics(r *Registry) {
 	// sum of n identical tensors is a scaling by n: the shape of the
 	// replicated-computation bugs (§6.2 bugs 2 and 6) — the buggy
 	// implementation maps only to scale(x, n, 1), which is not clean.
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "sum-identical-scale", Kind: KindClean, Complexity: 2, LOC: 14,
 		Rules: []*egraph.Rule{{
 			Name: "sum-identical-scale",
@@ -121,7 +121,7 @@ func registerSumOfConcats(r *Registry) {
 	// sum(concat(x00,x01,d), concat(x10,x11,d), …) =
 	// concat(sum(x00,x10,…), sum(x01,x11,…), d) when the chunk extents
 	// align pairwise. This is how per-rank partial shards combine.
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "sum-of-concats", Kind: KindClean, Complexity: 4, LOC: 38,
 		Rules: []*egraph.Rule{{
 			Name: "sum-of-concats", Stateful: true,
@@ -179,7 +179,7 @@ func registerSumOfConcats(r *Registry) {
 
 func registerConcatFlatten(r *Registry) {
 	// concat(…, concat(ys, d), …, d) flattens one level (same dim).
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "concat-flatten", Kind: KindClean, Complexity: 2, LOC: 24,
 		Rules: []*egraph.Rule{{
 			Name: "concat-flatten", Stateful: true,
@@ -209,7 +209,7 @@ func registerConcatFlatten(r *Registry) {
 func registerConcatOfSlices(r *Registry) {
 	// concat(x[b0:e0 @d], x[e0:e1 @d], …, d) collapses to a single
 	// slice of x — and to x itself when the tiles cover it exactly.
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "concat-of-slices", Kind: KindClean, Complexity: 3, LOC: 44,
 		Rules: []*egraph.Rule{{
 			Name: "concat-of-slices", Stateful: true,
@@ -263,7 +263,7 @@ func registerSliceJoin(r *Registry) {
 	// that already exists. Restricting targets to existing ENodes
 	// keeps the interval lattice linear in the number of real slices
 	// instead of quadratic in all spans.
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "slice-tiling", Kind: KindClean, Complexity: 3, LOC: 58,
 		Rules: []*egraph.Rule{{
 			Name: "slice-tiling", Stateful: true,
@@ -287,8 +287,18 @@ func registerSliceJoin(r *Registry) {
 					}
 					byDim[d] = append(byDim[d], tileSlice{begin: b, end: e, class: p.Class})
 				}
+				// Iterate dimensions in sorted order: ranging the map
+				// directly would let Go's randomized iteration order
+				// pick which addAll runs first, minting different
+				// class IDs across runs.
+				dims := make([]int, 0, len(byDim))
+				for d := range byDim {
+					dims = append(dims, d)
+				}
+				sort.Ints(dims)
 				var out []egraph.UnionPair
-				for d, slices := range byDim {
+				for _, d := range dims {
+					slices := byDim[d]
 					sort.Slice(slices, func(i, j int) bool {
 						if slices[i].begin != slices[j].begin {
 							return slices[i].begin < slices[j].begin
@@ -365,7 +375,7 @@ func registerSliceOfConcat(r *Registry) {
 	// The paper's Listing 4 conditioned lemma: slicing a concatenation
 	// commutes — trivially on a different dimension, and by locating
 	// the covered chunks on the same dimension.
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "slice-concat-commutative", Kind: KindClean, Complexity: 4, LOC: 60,
 		Rules: []*egraph.Rule{{
 			Name: "slice-concat-commutative",
@@ -428,7 +438,7 @@ func registerSliceOfConcat(r *Registry) {
 
 func registerSliceCompose(r *Registry) {
 	// x[b1:e1 @d][b2:e2 @d] = x[b1+b2 : b1+e2 @d].
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "slice-compose", Kind: KindClean, Complexity: 3, LOC: 18,
 		Rules: []*egraph.Rule{{
 			Name: "slice-compose",
@@ -454,7 +464,7 @@ func registerSliceCompose(r *Registry) {
 
 func registerSliceFull(r *Registry) {
 	// x[0:extent @d] = x.
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "slice-full", Kind: KindClean, Complexity: 1, LOC: 20,
 		Rules: []*egraph.Rule{{
 			Name: "slice-full",
@@ -480,7 +490,7 @@ func registerSliceFull(r *Registry) {
 
 func registerSliceOfSum(r *Registry) {
 	// slice(sum(xs), d, b, e) = sum(slice(x_i, d, b, e)).
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "slice-of-sum", Kind: KindClean, Complexity: 3, LOC: 18,
 		Rules: []*egraph.Rule{{
 			Name: "slice-of-sum",
@@ -504,7 +514,7 @@ func registerSliceOfPad(r *Registry) {
 	// pad(x, d, bf, af)[b:e @d] = x[b-bf : e-bf @d] when bf ≤ b ∧
 	// e ≤ bf+extent(x, d); equal to x when the range is exact. The
 	// lemma behind §6.2's bug 3 (mismatched padding and slicing).
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "pad-slice-inverse", Kind: KindClean, Complexity: 3, LOC: 34,
 		Rules: []*egraph.Rule{{
 			Name: "pad-slice-inverse",
@@ -544,7 +554,7 @@ func registerSliceOfPad(r *Registry) {
 }
 
 func registerTranspose(r *Registry) {
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "transpose-involution", Kind: KindClean, Complexity: 2, LOC: 12,
 		Rules: []*egraph.Rule{
 			egraph.Simple("transpose-involution",
@@ -555,7 +565,7 @@ func registerTranspose(r *Registry) {
 		},
 	})
 
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "transpose-dim-symmetry", Kind: KindClean, Complexity: 2, LOC: 12,
 		Rules: []*egraph.Rule{{
 			Name: "transpose-dim-symmetry",
@@ -574,7 +584,7 @@ func registerTranspose(r *Registry) {
 
 	// transpose(concat(xs, d), a, b) = concat(transpose(x_i, a, b), σ(d))
 	// where σ swaps a and b.
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "transpose-concat-commutative", Kind: KindClean, Complexity: 4, LOC: 28,
 		Rules: []*egraph.Rule{{
 			Name: "transpose-concat-commutative",
@@ -599,7 +609,7 @@ func registerTranspose(r *Registry) {
 	})
 
 	// transpose(slice(x, d, b, e), p, q) = slice(transpose(x, p, q), σ(d), b, e).
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "transpose-slice-commutative", Kind: KindClean, Complexity: 4, LOC: 26,
 		Rules: []*egraph.Rule{{
 			Name: "transpose-slice-commutative",
@@ -629,7 +639,7 @@ func registerTranspose(r *Registry) {
 func registerReshape(r *Registry) {
 	// reshape(reshape(x, s1), s2) = reshape(x, s2); the constrained
 	// form of the x = reshape(reshape(x)) lemma the paper discusses.
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "reshape-compose", Kind: KindClean, Complexity: 3, LOC: 16,
 		Rules: []*egraph.Rule{{
 			Name: "reshape-compose",
@@ -644,7 +654,7 @@ func registerReshape(r *Registry) {
 	})
 
 	// reshape(x, shape(x)) = x.
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "reshape-self", Kind: KindClean, Complexity: 1, LOC: 20,
 		Rules: []*egraph.Rule{{
 			Name: "reshape-self",

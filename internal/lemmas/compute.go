@@ -30,7 +30,7 @@ func registerCompute(r *Registry) {
 func registerMatMul(r *Registry) {
 	// Column-parallel: matmul(x, concat(w_i, last)) =
 	// concat(matmul(x, w_i), last). Megatron's ColumnParallelLinear.
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "matmul-col-parallel", Kind: KindGeneral, Complexity: 4, LOC: 30,
 		Rules: []*egraph.Rule{{
 			Name: "matmul-col-parallel",
@@ -67,7 +67,7 @@ func registerMatMul(r *Registry) {
 	// Row-parallel (the block matmul lemma of §4.1's running example):
 	// matmul(concat(x_i, last), concat(w_i, 0)) = sum(matmul(x_i, w_i))
 	// when the per-block inner extents agree.
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "matmul-row-parallel", Kind: KindGeneral, Complexity: 5, LOC: 40,
 		Rules: []*egraph.Rule{{
 			Name: "matmul-row-parallel",
@@ -107,7 +107,7 @@ func registerMatMul(r *Registry) {
 	// Batch/row split of the left operand: matmul(concat(x_i, d), w) =
 	// concat(matmul(x_i, w), d) for d below the contraction dim.
 	// Sequence parallelism's workhorse.
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "matmul-row-split-lhs", Kind: KindGeneral, Complexity: 4, LOC: 28,
 		Rules: []*egraph.Rule{{
 			Name: "matmul-row-split-lhs",
@@ -139,7 +139,7 @@ func registerMatMul(r *Registry) {
 	})
 
 	// Bilinearity over sums, both operands.
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "matmul-sum-lhs", Kind: KindGeneral, Complexity: 3, LOC: 14,
 		Rules: []*egraph.Rule{{
 			Name: "matmul-sum-lhs",
@@ -155,7 +155,7 @@ func registerMatMul(r *Registry) {
 			},
 		}},
 	})
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "matmul-sum-rhs", Kind: KindGeneral, Complexity: 3, LOC: 14,
 		Rules: []*egraph.Rule{{
 			Name: "matmul-sum-rhs",
@@ -173,7 +173,7 @@ func registerMatMul(r *Registry) {
 	})
 
 	// Scaling factors float out of matmul.
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "matmul-scale-lhs", Kind: KindGeneral, Complexity: 3, LOC: 12,
 		Rules: []*egraph.Rule{{
 			Name: "matmul-scale-lhs",
@@ -229,7 +229,7 @@ func elementwiseConcat(op expr.Op) *egraph.Rule {
 
 func registerElementwise(r *Registry) {
 	for _, op := range []expr.Op{expr.OpAdd, expr.OpSub, expr.OpMul, expr.OpDiv} {
-		r.Register(&Lemma{
+		r.MustRegister(&Lemma{
 			Name:       fmt.Sprintf("%s-concat-distribute", op),
 			Kind:       KindGeneral,
 			Complexity: 4, LOC: 30,
@@ -280,7 +280,7 @@ func registerElementwise(r *Registry) {
 				},
 			}
 		}
-		r.Register(&Lemma{
+		r.MustRegister(&Lemma{
 			Name:       fmt.Sprintf("%s-broadcast-concat", op),
 			Kind:       KindGeneral,
 			Complexity: 4, LOC: 34,
@@ -292,7 +292,7 @@ func registerElementwise(r *Registry) {
 	}
 
 	// Unary elementwise functions distribute over concat on any dim.
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "unary-concat-distribute", Kind: KindGeneral, Complexity: 3, LOC: 16,
 		Rules: []*egraph.Rule{{
 			Name: "unary-concat-distribute",
@@ -312,7 +312,7 @@ func registerElementwise(r *Registry) {
 }
 
 func registerScale(r *Registry) {
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "scale-concat-distribute", Kind: KindGeneral, Complexity: 3, LOC: 16,
 		Rules: []*egraph.Rule{{
 			Name: "scale-concat-distribute",
@@ -333,7 +333,7 @@ func registerScale(r *Registry) {
 	// sum(scale(x_i, n, d)) = scale(sum(x_i), n, d). This direction is
 	// contractive; the push-in direction would mint ever-finer
 	// fractions through classes that contain sums of themselves.
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "sum-of-equal-scales", Kind: KindGeneral, Complexity: 3, LOC: 30,
 		Rules: []*egraph.Rule{{
 			Name: "sum-of-equal-scales", Stateful: true,
@@ -371,7 +371,7 @@ func registerScale(r *Registry) {
 	// Scaling commutes with reshape: reshape(scale(x,n,d), s) =
 	// scale(reshape(x,s), n, d). Backward graphs reshape scaled loss
 	// seeds, so this lemma lets the factor float out.
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "scale-reshape-commute", Kind: KindGeneral, Complexity: 3, LOC: 16,
 		Rules: []*egraph.Rule{{
 			Name: "scale-reshape-commute",
@@ -418,7 +418,7 @@ func registerScale(r *Registry) {
 			},
 		}
 	}
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "mul-scale-assoc", Kind: KindGeneral, Complexity: 3, LOC: 26,
 		Rules: []*egraph.Rule{
 			mulScale("mul-scale-assoc/lhs", true),
@@ -427,7 +427,7 @@ func registerScale(r *Registry) {
 	})
 
 	// scale(scale(x, a, b), c, d) = scale(x, ac, bd); scale(x, k, k) = x.
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "scale-compose", Kind: KindGeneral, Complexity: 3, LOC: 26,
 		Rules: []*egraph.Rule{{
 			Name: "scale-compose",
@@ -469,7 +469,7 @@ func registerScale(r *Registry) {
 
 func registerSoftmaxNorms(r *Registry) {
 	// softmax over dim ds distributes over concat on a different dim.
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "softmax-concat-commutative", Kind: KindGeneral, Complexity: 4, LOC: 26,
 		Rules: []*egraph.Rule{{
 			Name: "softmax-concat-commutative",
@@ -491,7 +491,7 @@ func registerSoftmaxNorms(r *Registry) {
 
 	// layernorm normalizes the last dim: it distributes over concat on
 	// any earlier dim, sharing weight and bias.
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "layernorm-concat-commutative", Kind: KindGeneral, Complexity: 4, LOC: 30,
 		Rules: []*egraph.Rule{{
 			Name: "layernorm-concat-commutative",
@@ -520,7 +520,7 @@ func registerSoftmaxNorms(r *Registry) {
 
 	// The paper's worked example (§6.5): RMSNorm(concat(X1,X2,0), W) =
 	// concat(RMSNorm(X1,W), RMSNorm(X2,W), 0) — complexity 5.
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "rmsnorm-concat-commutative", Kind: KindGeneral, Complexity: 5, LOC: 28,
 		Rules: []*egraph.Rule{{
 			Name: "rmsnorm-concat-commutative",
@@ -550,7 +550,7 @@ func registerSoftmaxNorms(r *Registry) {
 
 func registerReduceSum(r *Registry) {
 	// reducesum over the concat dim sums the per-chunk reductions.
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "reducesum-concat-same-dim", Kind: KindGeneral, Complexity: 4, LOC: 22,
 		Rules: []*egraph.Rule{{
 			Name: "reducesum-concat-same-dim",
@@ -571,7 +571,7 @@ func registerReduceSum(r *Registry) {
 	})
 
 	// reducesum over another dim keeps the concat structure.
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "reducesum-concat-other-dim", Kind: KindGeneral, Complexity: 4, LOC: 22,
 		Rules: []*egraph.Rule{{
 			Name: "reducesum-concat-other-dim",
@@ -595,7 +595,7 @@ func registerReduceSum(r *Registry) {
 func registerEmbedding(r *Registry) {
 	// Vocabulary parallelism: a lookup in a row-partitioned table is
 	// the sum of masked per-shard lookups (out-of-shard ids yield 0).
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "embedding-vocab-parallel", Kind: KindGeneral, Complexity: 4, LOC: 30,
 		Rules: []*egraph.Rule{{
 			Name: "embedding-vocab-parallel",
@@ -622,7 +622,7 @@ func registerEmbedding(r *Registry) {
 
 	// Hidden-dim parallelism: a column-partitioned table concatenates
 	// per-shard lookups along the output's last dim.
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "embedding-hidden-parallel", Kind: KindGeneral, Complexity: 4, LOC: 26,
 		Rules: []*egraph.Rule{{
 			Name: "embedding-hidden-parallel",
@@ -646,7 +646,7 @@ func registerEmbedding(r *Registry) {
 	})
 
 	// Sequence split of the ids: lookups are per-token independent.
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "embedding-seq-split", Kind: KindGeneral, Complexity: 4, LOC: 18,
 		Rules: []*egraph.Rule{{
 			Name: "embedding-seq-split",
@@ -670,7 +670,7 @@ func registerRoPE(r *Registry) {
 	// Sequence parallelism for rotary embeddings: each sequence shard
 	// must use the matching slice of the precomputed cos/sin tables —
 	// the lemma whose violation is §6.2's bug 1.
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "rope-seq-split", Kind: KindGeneral, Complexity: 6, LOC: 38,
 		Rules: []*egraph.Rule{{
 			Name: "rope-seq-split",
@@ -703,7 +703,7 @@ func registerRoPEHidden(r *Registry) {
 	// adjacent-pair convention, splitting the hidden dim on even
 	// boundaries commutes with rotation when cos/sin are split the
 	// same way.
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "rope-hidden-split", Kind: KindGeneral, Complexity: 6, LOC: 34,
 		Rules: []*egraph.Rule{{
 			Name: "rope-hidden-split",
@@ -749,7 +749,7 @@ func registerAttention(r *Registry) {
 	// equals the concatenation of per-group attention with
 	// proportionally fewer heads. The FlashAttention-style fused
 	// kernel assumption (§3.3) makes this a single lemma.
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "attention-head-parallel", Kind: KindGeneral, Complexity: 8, LOC: 44,
 		Rules: []*egraph.Rule{{
 			Name: "attention-head-parallel",
@@ -799,7 +799,7 @@ func registerAttention(r *Registry) {
 
 	// Attention is per-row independent in q: a sequence split of q
 	// (with full k, v) concatenates. Used by sequence parallelism.
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "attention-query-seq-split", Kind: KindGeneral, Complexity: 5, LOC: 26,
 		Rules: []*egraph.Rule{{
 			Name: "attention-query-seq-split",
@@ -821,7 +821,7 @@ func registerAttention(r *Registry) {
 
 func registerMoE(r *Registry) {
 	// Router probabilities are per-token: sequence splits commute.
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "router-seq-split", Kind: KindGeneral, Complexity: 4, LOC: 18,
 		Rules: []*egraph.Rule{{
 			Name: "router-seq-split",
@@ -842,7 +842,7 @@ func registerMoE(r *Registry) {
 	// The auxiliary load-balancing loss over a token split is the mean
 	// of per-shard losses: scale(sum(auxloss_i), 1, k) for k equal
 	// shards. Omitting the 1/k scaling is §6.2's bug 2 shape.
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "auxloss-token-split", Kind: KindGeneral, Complexity: 4, LOC: 26,
 		Rules: []*egraph.Rule{{
 			Name: "auxloss-token-split",
@@ -869,7 +869,7 @@ func registerMoE(r *Registry) {
 
 func registerLosses(r *Registry) {
 	// Sum-of-squares error is additive over aligned batch splits.
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "sqerr-batch-split", Kind: KindGeneral, Complexity: 4, LOC: 30,
 		Rules: []*egraph.Rule{{
 			Name: "sqerr-batch-split",
@@ -901,7 +901,7 @@ func registerLosses(r *Registry) {
 	// MSE is the sum of squares scaled by 1/numel (when the element
 	// count is concrete); lets mean-based and sum-based loss spellings
 	// meet in one class.
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "mse-as-scaled-sqerr", Kind: KindGeneral, Complexity: 3, LOC: 24,
 		Rules: []*egraph.Rule{{
 			Name: "mse-as-scaled-sqerr",
@@ -935,7 +935,7 @@ func registerLosses(r *Registry) {
 	// Mean-squared error over k equal batch shards is the scaled sum
 	// of per-shard means — gradient accumulation's loss-scaling lemma
 	// (§6.2's bug 6 omits the 1/k).
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "mse-batch-split", Kind: KindGeneral, Complexity: 5, LOC: 36,
 		Rules: []*egraph.Rule{{
 			Name: "mse-batch-split",

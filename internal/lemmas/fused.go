@@ -13,8 +13,8 @@ import (
 func registerVLLM(r *Registry) {
 	// fused_add_rmsnorm(x, res, w) = rmsnorm(add(x, res), w): relate
 	// the fused kernel to its unfused semantics, both directions.
-	r.Register(&Lemma{
-		Name: "fused-add-rmsnorm-unfuse", Kind: KindVLLM, Complexity: 4, LOC: 14,
+	r.MustRegister(&Lemma{
+		Name: "fused-add-rmsnorm-unfuse", Kind: KindVLLM, Complexity: 3, LOC: 14,
 		Rules: []*egraph.Rule{
 			egraph.Simple("fused-add-rmsnorm-unfuse",
 				egraph.POp(expr.OpFusedAddRMSNorm, nil,
@@ -32,7 +32,7 @@ func registerVLLM(r *Registry) {
 	})
 
 	// fused_silu_mul(gate, up) = mul(silu(gate), up), both directions.
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "fused-silu-mul-unfuse", Kind: KindVLLM, Complexity: 3, LOC: 14,
 		Rules: []*egraph.Rule{
 			egraph.Simple("fused-silu-mul-unfuse",
@@ -51,7 +51,7 @@ func registerVLLM(r *Registry) {
 	// Direct shard distribution for the fused kernels: derivable from
 	// the unfused lemmas but registered directly, as the paper does,
 	// to keep saturation short on serving graphs.
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "fused-add-rmsnorm-concat", Kind: KindVLLM, Complexity: 5, LOC: 36,
 		Rules: []*egraph.Rule{{
 			Name: "fused-add-rmsnorm-concat",
@@ -91,7 +91,7 @@ func registerVLLM(r *Registry) {
 		}},
 	})
 
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "fused-silu-mul-concat", Kind: KindVLLM, Complexity: 4, LOC: 30,
 		Rules: []*egraph.Rule{{
 			Name: "fused-silu-mul-concat",
@@ -135,7 +135,7 @@ func registerHLO(r *Registry) {
 	// HLO's dot with a transposed rhs: matmul(x, transpose(w, 0, 1)) =
 	// transpose(matmul(w, transpose(x, 0, 1)), 0, 1) for rank-2
 	// operands (AᐧBᵀ = (BᐧAᵀ)ᵀ).
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "hlo-dot-transpose", Kind: KindHLO, Complexity: 5, LOC: 30,
 		Rules: []*egraph.Rule{{
 			Name: "hlo-dot-transpose",
@@ -162,7 +162,7 @@ func registerHLO(r *Registry) {
 	// HLO spells row-splits of a transposed weight as transposed
 	// column-splits: transpose(concat(ws, 0), 0, 1) =
 	// concat(transpose(w_i, 0, 1), 1).
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "hlo-transpose-row-concat", Kind: KindHLO, Complexity: 4, LOC: 20,
 		Rules: []*egraph.Rule{{
 			Name: "hlo-transpose-row-concat",
@@ -185,7 +185,7 @@ func registerHLO(r *Registry) {
 	// covers the scaled mean-reduce HLO emits for loss epilogues:
 	// scale(reducesum(concat(xs, d), d), 1, k) over k equal chunks =
 	// scale(sum(reducesum(x_i, d)), 1, k).
-	r.Register(&Lemma{
+	r.MustRegister(&Lemma{
 		Name: "hlo-mean-reduce-split", Kind: KindHLO, Complexity: 6, LOC: 28,
 		Rules: []*egraph.Rule{{
 			Name: "hlo-mean-reduce-split",

@@ -515,7 +515,7 @@ func TestRulesCached(t *testing.T) {
 	}
 	wg.Wait()
 
-	r.Register(&Lemma{Name: "test/extra", Kind: KindGeneral, Complexity: 1, LOC: 1,
+	r.MustRegister(&Lemma{Name: "test/extra", Kind: KindGeneral, Complexity: 1, LOC: 1,
 		Rules: []*egraph.Rule{{Name: "test/extra/rule", LHS: egraph.PVar("x"),
 			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair { return nil }}}})
 	after := r.Rules()

@@ -66,25 +66,43 @@ func NewRegistry() *Registry {
 	return &Registry{byName: map[string]*Lemma{}, byRule: map[string]*Lemma{}}
 }
 
-// Register appends a lemma, assigning its ID. Rule names are
-// namespaced under the lemma name and must be unique.
-func (r *Registry) Register(l *Lemma) *Lemma {
+// Register appends a lemma, assigning its ID. Lemma names and rule
+// names must be unique across the registry: a duplicate of either is
+// rejected with an error before any state changes, so a failed
+// Register leaves the registry exactly as it was (no byName/byRule
+// entry is overwritten and no ID is consumed).
+func (r *Registry) Register(l *Lemma) (*Lemma, error) {
 	if _, dup := r.byName[l.Name]; dup {
-		panic(fmt.Sprintf("lemmas: duplicate lemma %q", l.Name))
+		return nil, fmt.Errorf("lemmas: duplicate lemma %q", l.Name)
+	}
+	seen := map[string]bool{}
+	for _, rule := range l.Rules {
+		if _, dup := r.byRule[rule.Name]; dup || seen[rule.Name] {
+			return nil, fmt.Errorf("lemmas: lemma %q: duplicate rule %q", l.Name, rule.Name)
+		}
+		seen[rule.Name] = true
 	}
 	l.ID = len(r.lemmas)
 	r.lemmas = append(r.lemmas, l)
 	r.byName[l.Name] = l
 	for _, rule := range l.Rules {
-		if _, dup := r.byRule[rule.Name]; dup {
-			panic(fmt.Sprintf("lemmas: duplicate rule %q", rule.Name))
-		}
 		r.byRule[rule.Name] = l
 	}
 	r.rulesMu.Lock()
 	r.rulesCache = nil // invalidate the flattened-rule cache
 	r.rulesMu.Unlock()
-	return l
+	return l, nil
+}
+
+// MustRegister is Register that panics on a duplicate name; the
+// built-in library uses it because its names are fixed at compile
+// time.
+func (r *Registry) MustRegister(l *Lemma) *Lemma {
+	reg, err := r.Register(l)
+	if err != nil {
+		panic(err)
+	}
+	return reg
 }
 
 // All returns the lemmas in ID order.

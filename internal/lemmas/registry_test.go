@@ -1,0 +1,79 @@
+package lemmas
+
+import (
+	"strings"
+	"testing"
+
+	"entangle/internal/egraph"
+	"entangle/internal/expr"
+)
+
+func idRule(name string) *egraph.Rule {
+	return egraph.Simple(name,
+		egraph.POp(expr.OpIdentity, nil, egraph.PVar("x")),
+		egraph.RVar("x"))
+}
+
+func TestRegisterRejectsDuplicateLemmaName(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Register(&Lemma{Name: "dup", Rules: []*egraph.Rule{idRule("r1")}}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := r.Register(&Lemma{Name: "dup", Rules: []*egraph.Rule{idRule("r2")}})
+	if err == nil || !strings.Contains(err.Error(), `duplicate lemma "dup"`) {
+		t.Fatalf("want duplicate-lemma error, got %v", err)
+	}
+	// The failed Register must leave the registry untouched: one
+	// lemma, and r2 not claimed by the rule index.
+	if r.Len() != 1 {
+		t.Fatalf("Len() = %d after rejected Register, want 1", r.Len())
+	}
+	if _, err := r.Register(&Lemma{Name: "other", Rules: []*egraph.Rule{idRule("r2")}}); err != nil {
+		t.Fatalf("r2 should still be registrable after the rejection: %v", err)
+	}
+}
+
+func TestRegisterRejectsDuplicateRuleName(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Register(&Lemma{Name: "first", Rules: []*egraph.Rule{idRule("shared")}}); err != nil {
+		t.Fatal(err)
+	}
+	// Across lemmas.
+	if _, err := r.Register(&Lemma{Name: "second", Rules: []*egraph.Rule{idRule("shared")}}); err == nil {
+		t.Fatal("want error for rule name duplicated across lemmas")
+	}
+	if _, ok := r.ByName("second"); ok {
+		t.Fatal("rejected lemma must not be registered")
+	}
+	// Within one lemma.
+	_, err := r.Register(&Lemma{Name: "third", Rules: []*egraph.Rule{idRule("twice"), idRule("twice")}})
+	if err == nil {
+		t.Fatal("want error for rule name duplicated within one lemma")
+	}
+	if len(r.Rules()) != 1 {
+		t.Fatalf("Rules() has %d entries, want 1 (rejections must not leak rules)", len(r.Rules()))
+	}
+}
+
+func TestMustRegisterPanicsOnDuplicate(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister(&Lemma{Name: "dup", Rules: []*egraph.Rule{idRule("r1")}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustRegister must panic on a duplicate lemma name")
+		}
+	}()
+	r.MustRegister(&Lemma{Name: "dup", Rules: []*egraph.Rule{idRule("r2")}})
+}
+
+func TestRegisterInvalidatesRulesCache(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister(&Lemma{Name: "a", Rules: []*egraph.Rule{idRule("ra")}})
+	if n := len(r.Rules()); n != 1 {
+		t.Fatalf("Rules() = %d, want 1", n)
+	}
+	r.MustRegister(&Lemma{Name: "b", Rules: []*egraph.Rule{idRule("rb")}})
+	if n := len(r.Rules()); n != 2 {
+		t.Fatalf("Rules() = %d after second Register, want 2 (cache must invalidate)", n)
+	}
+}

@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// checkGolden renders the diagnostics as a text report and compares
+// against testdata/<name>; -update rewrites the golden.
+func checkGolden(t *testing.T, name string, diags []Diagnostic) {
+	t.Helper()
+	var buf bytes.Buffer
+	r := Report{Diags: diags}
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if got := buf.String(); got != string(want) {
+		t.Errorf("diagnostics differ from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// findDiag returns the first finding with the given check ID and
+// subject, failing the test when absent.
+func findDiag(t *testing.T, ds []Diagnostic, check, subject string) Diagnostic {
+	t.Helper()
+	for _, d := range ds {
+		if d.Check == check && d.Subject == subject {
+			return d
+		}
+	}
+	t.Fatalf("no %s finding for %q in %v", check, subject, ds)
+	return Diagnostic{}
+}
+
+// noDiag fails the test when any finding carries the given check ID
+// and subject.
+func noDiag(t *testing.T, ds []Diagnostic, check, subject string) {
+	t.Helper()
+	for _, d := range ds {
+		if d.Check == check && d.Subject == subject {
+			t.Fatalf("unexpected %s finding for %q: %s", check, subject, d)
+		}
+	}
+}
+
+func TestSeverityString(t *testing.T) {
+	cases := map[Severity]string{SevInfo: "info", SevWarning: "warning", SevError: "error", Severity(9): "severity(9)"}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("Severity(%d).String() = %q, want %q", int(s), got, want)
+		}
+	}
+	data, err := json.Marshal(SevError)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `"error"` {
+		t.Errorf("SevError marshals to %s, want \"error\"", data)
+	}
+}
+
+func TestReportSortNumericPositions(t *testing.T) {
+	r := Report{Diags: []Diagnostic{
+		{Pos: "f.go:10:2", Check: "b"},
+		{Pos: "f.go:9:11", Check: "a"},
+		{Pos: "f.go:9:2", Check: "c"},
+	}}
+	r.Sort()
+	got := []string{r.Diags[0].Check, r.Diags[1].Check, r.Diags[2].Check}
+	want := []string{"c", "a", "b"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sorted order %v, want %v (line 9 must sort before line 10)", got, want)
+		}
+	}
+}
+
+func TestReportCountsAndJSON(t *testing.T) {
+	r := Report{Diags: []Diagnostic{
+		{Check: "x", Severity: SevError, Subject: "s", Message: "m"},
+		{Check: "y", Severity: SevWarning, Subject: "s", Message: "m"},
+	}}
+	if r.Errors() != 1 || r.Count(SevWarning) != 2 {
+		t.Fatalf("Errors()=%d Count(warning)=%d, want 1 and 2", r.Errors(), r.Count(SevWarning))
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Diagnostics []struct {
+			Check    string `json:"check"`
+			Severity string `json:"severity"`
+		} `json:"diagnostics"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("WriteJSON output does not decode: %v", err)
+	}
+	if len(decoded.Diagnostics) != 2 || decoded.Diagnostics[0].Severity != "error" {
+		t.Fatalf("unexpected JSON decode: %+v", decoded)
+	}
+
+	var empty Report
+	buf.Reset()
+	if err := empty.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"diagnostics": []`) {
+		t.Fatalf("empty report must encode an empty array, got %s", buf.String())
+	}
+}

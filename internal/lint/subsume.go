@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"entangle/internal/egraph"
+)
+
+// Pattern subsumption: A subsumes B when every class B's pattern can
+// match, A's pattern also matches. The binding records what B-shape
+// each A-variable covers, so the caller can additionally check that
+// the two rules' RHS templates coincide under it — the combination
+// that makes the later rule fully redundant.
+
+type binding struct {
+	classes map[string]*egraph.Pattern // A class var → B subpattern
+	attrs   map[string]egraph.AttrPat  // A attr var → B attr pattern
+}
+
+func newBinding() *binding {
+	return &binding{classes: map[string]*egraph.Pattern{}, attrs: map[string]egraph.AttrPat{}}
+}
+
+// subsumes reports whether pattern a is at least as general as b,
+// extending bind. Repeated variables in a must cover identical
+// B-subpatterns (a non-linear pattern constrains its matches).
+func subsumes(a, b *egraph.Pattern, bind *binding) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	if a.Var != "" {
+		if prev, ok := bind.classes[a.Var]; ok {
+			return patternsIdentical(prev, b)
+		}
+		bind.classes[a.Var] = b
+		return true
+	}
+	if b.Var != "" {
+		// b matches any class; structured a does not.
+		return false
+	}
+	if a.Op != b.Op {
+		return false
+	}
+	if a.Str != "" && a.Str != b.Str {
+		return false
+	}
+	if a.LeafTID != nil && (b.LeafTID == nil || *a.LeafTID != *b.LeafTID) {
+		return false
+	}
+	if !attrsSubsume(a.Attrs, b.Attrs, bind) {
+		return false
+	}
+	if a.VarKids != "" {
+		// a accepts any child list; fixed kids of b (or b's own
+		// variadic binding) are a strict subset of that.
+		return true
+	}
+	if b.VarKids != "" || len(a.Kids) != len(b.Kids) {
+		return false
+	}
+	for i := range a.Kids {
+		if !subsumes(a.Kids[i], b.Kids[i], bind) {
+			return false
+		}
+	}
+	return true
+}
+
+// attrsSubsume checks attribute patterns: an empty attr list imposes
+// no constraint (matchNode skips the length check when len == 0), a
+// non-empty one pins the attribute count and each entry.
+func attrsSubsume(a, b []egraph.AttrPat, bind *binding) bool {
+	if len(a) == 0 {
+		return true
+	}
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Var != "" {
+			if prev, ok := bind.attrs[a[i].Var]; ok {
+				if !attrPatsIdentical(prev, b[i]) {
+					return false
+				}
+				continue
+			}
+			bind.attrs[a[i].Var] = b[i]
+			continue
+		}
+		// Literal in a only covers the same literal in b; an attr
+		// variable in b matches values a's literal rejects.
+		if b[i].Var != "" || !a[i].Lit.Equal(b[i].Lit) {
+			return false
+		}
+	}
+	return true
+}
+
+func attrPatsIdentical(a, b egraph.AttrPat) bool {
+	if a.Var != "" || b.Var != "" {
+		return a.Var == b.Var
+	}
+	return a.Lit.Equal(b.Lit)
+}
+
+// patternsIdentical is structural equality of two patterns from the
+// same (B) rule — used to check non-linear variable reuse.
+func patternsIdentical(a, b *egraph.Pattern) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Var != "" || b.Var != "" {
+		return a.Var == b.Var
+	}
+	if a.Op != b.Op || a.Str != b.Str || a.VarKids != b.VarKids {
+		return false
+	}
+	if (a.LeafTID == nil) != (b.LeafTID == nil) {
+		return false
+	}
+	if a.LeafTID != nil && *a.LeafTID != *b.LeafTID {
+		return false
+	}
+	if len(a.Kids) != len(b.Kids) || len(a.Attrs) != len(b.Attrs) {
+		return false
+	}
+	for i := range a.Attrs {
+		if !attrPatsIdentical(a.Attrs[i], b.Attrs[i]) {
+			return false
+		}
+	}
+	for i := range a.Kids {
+		if !patternsIdentical(a.Kids[i], b.Kids[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// rhsCoincides reports whether the general rule's RHS template a,
+// instantiated through the subsumption binding, builds the same term
+// as the specific rule's RHS template b. When it does, the specific
+// rule is fully redundant: same matches, same unions.
+func rhsCoincides(a, b *egraph.RTerm, bind *binding) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	if a.VarName != "" {
+		p, ok := bind.classes[a.VarName]
+		if !ok {
+			return false
+		}
+		// a copies whatever class its var matched — the B-subpattern p.
+		// b coincides iff it rebuilds exactly that shape.
+		return patternEqualsRTerm(p, b)
+	}
+	if b.VarName != "" || a.HasDirect != b.HasDirect || a.IsLeaf != b.IsLeaf {
+		return false
+	}
+	if a.HasDirect {
+		return a.Direct == b.Direct
+	}
+	if a.IsLeaf {
+		return a.LeafTID == b.LeafTID
+	}
+	if a.Op != b.Op || a.Str != b.Str || len(a.Kids) != len(b.Kids) || len(a.Ints) != len(b.Ints) {
+		return false
+	}
+	for i := range a.Ints {
+		if !a.Ints[i].Equal(b.Ints[i]) {
+			return false
+		}
+	}
+	for i := range a.Kids {
+		if !rhsCoincides(a.Kids[i], b.Kids[i], bind) {
+			return false
+		}
+	}
+	return true
+}

@@ -27,4 +27,7 @@ go test ./...
 echo "== go test -race (core, egraph, relation, lemmas) =="
 go test -race ./internal/core/... ./internal/egraph/... ./internal/relation/... ./internal/lemmas/...
 
+echo "== entangle-lint =="
+sh scripts/lint.sh
+
 echo "verify: OK"
