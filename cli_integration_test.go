@@ -96,4 +96,31 @@ func TestCLIWorkflow(t *testing.T) {
 
 	// 5. Usage errors exit 2.
 	run(t, check, 2)
+
+	// 6. -keep-going on the buggy model still exits 1 and reports the
+	// failing operator plus its skipped downstream cone.
+	out = run(t, check, 1, "-keep-going",
+		"-gs", bug+"-seq.json", "-gd", bug+"-dist.json", "-rel", bug+"-relation.json")
+	if !strings.Contains(out, "REFINEMENT FAILED") || !strings.Contains(out, "expert0/fc1") {
+		t.Fatalf("keep-going bug output:\n%s", out)
+	}
+	if !strings.Contains(out, "skipped") {
+		t.Fatalf("keep-going output must list the skipped cone:\n%s", out)
+	}
+
+	// 7. An immediately-expired -timeout cancels the run: exit 3, with
+	// the cancellation named rather than a refinement verdict.
+	out = run(t, check, 3, "-timeout", "1ns",
+		"-gs", prefix+"-seq.json", "-gd", prefix+"-dist.json", "-rel", prefix+"-relation.json")
+	if !strings.Contains(out, "cancelled") {
+		t.Fatalf("timeout output:\n%s", out)
+	}
+
+	// 8. -budget-escalations and -op-timeout are accepted on a healthy
+	// run and leave the verdict untouched.
+	out = run(t, check, 0, "-budget-escalations", "2", "-op-timeout", "1m",
+		"-gs", prefix+"-seq.json", "-gd", prefix+"-dist.json", "-rel", prefix+"-relation.json")
+	if !strings.Contains(out, "refinement verified") {
+		t.Fatalf("flags on healthy run:\n%s", out)
+	}
 }

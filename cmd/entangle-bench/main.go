@@ -5,7 +5,8 @@
 //	entangle-bench -exp fig3       # one experiment
 //	entangle-bench -exp bugs       # Table 3
 //
-// Experiments: fig3, fig4, fig5, fig6, bugs (Table 3), ablation.
+// Experiments: fig3, fig4, fig5, fig6, bugs (Table 3), ablation,
+// extensions, parallel, chaos (fault-injection robustness matrix).
 package main
 
 import (
@@ -15,7 +16,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6, bugs, ablation, extensions, parallel, all")
+	exp := flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6, bugs, ablation, extensions, parallel, chaos, all")
 	flag.Parse()
 
 	steps := []struct {
@@ -30,6 +31,7 @@ func main() {
 		{"ablation", runAblation},
 		{"extensions", runExtensions},
 		{"parallel", runParallel},
+		{"chaos", runChaos},
 	}
 	ran := false
 	for _, s := range steps {

@@ -25,4 +25,6 @@ func runAblation() (string, error) { return bench.Ablation() }
 
 func runParallel() (string, error) { return bench.Parallel() }
 
+func runChaos() (string, error) { return bench.Chaos() }
+
 func runExtensions() (string, error) { return bench.Extensions() }

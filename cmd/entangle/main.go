@@ -4,6 +4,15 @@
 //
 //	entangle -gs seq.json -gd dist.json -rel relation.json
 //	entangle -gs seq.hlo -gd dist.hlo -rel relation.json -format hlo
+//	entangle -gs seq.json -gd dist.json -rel relation.json \
+//	    -timeout 5m -op-timeout 30s -keep-going
+//
+// -timeout bounds the whole run (Ctrl-C cancels it the same way);
+// -op-timeout bounds each operator's check, classifying a stalled
+// operator inconclusive instead of aborting; -keep-going reports every
+// failing operator (skipping their downstream cones) instead of
+// stopping at the first; -budget-escalations retries budget-limited
+// operators with geometrically larger saturation budgets.
 //
 // With -lint, positional arguments name captured graph files, and the
 // graph IR lint layer (internal/lint) runs over each instead of a
@@ -17,16 +26,20 @@
 //	{"A": ["concat(A1, A2, dim=1)"], "X": ["r0/X", "r1/X"]}
 //
 // Exit status: 0 when refinement holds (the output relation is printed),
-// 1 on a refinement failure (the failing operator is printed), 2 on
-// usage or input errors.
+// 1 on a refinement failure (the failing operator is printed — with
+// -keep-going, every failing operator), 2 on usage or input errors, 3
+// when the check was cancelled by -timeout or an interrupt before
+// reaching a verdict.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"entangle"
@@ -44,6 +57,10 @@ func main() {
 		verbose = flag.Bool("v", false, "print the full relation, including intermediates")
 		expect  = flag.String("expect", "", "optional §4.4 expectation JSON: {\"fs\": <expr over G_s outputs>, \"fd\": <expr over G_d outputs>}")
 		workers = flag.Int("workers", 0, "checker worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+		timeout = flag.Duration("timeout", 0, "whole-run deadline; an expired check exits 3 (0 = none)")
+		opTO    = flag.Duration("op-timeout", 0, "per-operator deadline; an operator exceeding it is inconclusive, not fatal (0 = none)")
+		keepGo  = flag.Bool("keep-going", false, "on a per-operator failure, skip its downstream cone and keep checking independent operators; report every failure")
+		escal   = flag.Int("budget-escalations", 0, "retries with a 4x larger saturation budget before an operator is declared inconclusive (0 = default of 1, negative = disabled)")
 		doLint  = flag.Bool("lint", false, "lint the given graph files instead of checking refinement")
 		jsonOut = flag.Bool("json", false, "with -lint: emit findings as JSON")
 	)
@@ -70,7 +87,12 @@ func main() {
 		fatal(2, "loading relation: %v", err)
 	}
 
-	checker := entangle.NewChecker(entangle.CheckerOptions{Workers: *workers})
+	checker := entangle.NewChecker(entangle.CheckerOptions{
+		Workers:           *workers,
+		OpTimeout:         *opTO,
+		KeepGoing:         *keepGo,
+		BudgetEscalations: *escal,
+	})
 	if *expect != "" {
 		if err := checkExpectation(checker, gs, gd, ri, *expect); err != nil {
 			var ee *entangle.ExpectationError
@@ -84,12 +106,47 @@ func main() {
 		return
 	}
 
-	report, err := checker.Check(gs, gd, ri)
+	// The run context: Ctrl-C (SIGINT/SIGTERM) and -timeout both cancel
+	// it; the checker observes cancellation between saturation
+	// iterations, so the process exits promptly either way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	report, err := checker.CheckContext(ctx, gs, gd, ri)
 	if err != nil {
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "entangle: check cancelled (%v): %v\n", ctx.Err(), err)
+			os.Exit(3)
+		}
+		if report != nil && len(report.Failures) > 0 {
+			// -keep-going: the partial report lists every failing
+			// operator (and its skipped cone) in topological order.
+			fmt.Fprintf(os.Stderr, "REFINEMENT FAILED (%d operators, %d checked)\n%s",
+				len(report.Failures), report.OpsProcessed, report.RenderFailures())
+			fmt.Fprintf(os.Stderr, "first failure:\n%v\n", err)
+			os.Exit(1)
+		}
+		// Inconclusive wraps the final attempt's RefinementError, so it
+		// must be matched first.
+		var ie *entangle.InconclusiveError
+		if errors.As(err, &ie) {
+			fmt.Fprintf(os.Stderr, "REFINEMENT INCONCLUSIVE\n%v\n", ie)
+			os.Exit(1)
+		}
 		var re *entangle.RefinementError
 		if errors.As(err, &re) {
 			fmt.Fprintf(os.Stderr, "REFINEMENT FAILED\n%v\n", re)
 			os.Exit(1)
+		}
+		var ef *entangle.EngineFaultError
+		if errors.As(err, &ef) {
+			fmt.Fprintf(os.Stderr, "ENGINE FAULT\n%v\n", ef)
+			os.Exit(2)
 		}
 		fatal(2, "%v", err)
 	}

@@ -74,6 +74,20 @@ type (
 	Report = core.Report
 	// RefinementError localizes a detected bug to a G_s operator.
 	RefinementError = core.RefinementError
+	// OpVerdict classifies one operator's outcome (Report.Verdicts).
+	OpVerdict = core.OpVerdict
+	// VerdictKind is the verdict lattice: refined, disproved,
+	// inconclusive, engine-fault, skipped.
+	VerdictKind = core.VerdictKind
+	// InconclusiveReason says which limit stopped an inconclusive check.
+	InconclusiveReason = core.InconclusiveReason
+	// InconclusiveError reports a check stopped by budget or deadline
+	// before refinement could be proved or disproved; it unwraps to the
+	// final attempt's *RefinementError when one exists.
+	InconclusiveError = core.InconclusiveError
+	// EngineFaultError reports a panic recovered during one operator's
+	// check, with the operator identity and stack.
+	EngineFaultError = core.EngineFaultError
 	// Expectation is a §4.4 user expectation on the refinement.
 	Expectation = core.Expectation
 	// ExpectationError reports a violated user expectation.
@@ -91,6 +105,21 @@ func NewBuilder(name string, ctx *SymContext) *Builder { return graph.NewBuilder
 
 // NewChecker builds a refinement checker.
 func NewChecker(opts CheckerOptions) *Checker { return core.NewChecker(opts) }
+
+// Verdict kinds (see VerdictKind).
+const (
+	VerdictRefined      = core.VerdictRefined
+	VerdictDisproved    = core.VerdictDisproved
+	VerdictInconclusive = core.VerdictInconclusive
+	VerdictEngineFault  = core.VerdictEngineFault
+	VerdictSkipped      = core.VerdictSkipped
+)
+
+// Inconclusive reasons (see InconclusiveReason).
+const (
+	ReasonBudgetExhausted = core.ReasonBudgetExhausted
+	ReasonTimeout         = core.ReasonTimeout
+)
 
 // NewRelation returns an empty relation.
 func NewRelation() *Relation { return relation.New() }

@@ -9,8 +9,11 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"time"
 
@@ -54,11 +57,45 @@ type Options struct {
 	// knob.
 	Workers int
 	// OpObserver, when non-nil, is called after each operator's check
-	// completes, with its wall-clock duration. With Workers > 1 it is
-	// invoked from pool goroutines and must be safe for concurrent
-	// use. The bench harness uses it for the wavefront speedup study.
+	// completes, with its wall-clock duration. It is invoked from pool
+	// goroutines (the scheduler runs even Workers == 1 on a pool of
+	// one) and must be safe for concurrent use when Workers > 1. The
+	// bench harness uses it for the wavefront speedup study. A panic
+	// in the observer is recovered into an EngineFault verdict for the
+	// observed operator.
 	OpObserver func(v *graph.Node, d time.Duration)
+	// OpTimeout bounds each operator's wall-clock check time. An
+	// operator that exceeds it is classified Inconclusive(Timeout)
+	// instead of hanging or aborting the run. 0 disables the
+	// per-operator deadline. (The whole-run deadline is the context
+	// given to CheckContext.)
+	OpTimeout time.Duration
+	// KeepGoing selects graceful degradation: a failing operator's
+	// downstream cone is skipped, independent subgraphs keep checking,
+	// and Check returns a Report whose Failures field lists every
+	// failing operator in topological order (strictly better bug
+	// localization than the paper's single-error output). The returned
+	// error is the earliest failure, as in the default mode. False
+	// preserves the paper's first-error-only behaviour.
+	KeepGoing bool
+	// BudgetEscalations is how many times an operator whose saturation
+	// hit MaxNodes/MaxIters without disproving refinement is retried
+	// with a geometrically larger budget (×4 per escalation) before
+	// being declared inconclusive. 0 selects the default of 1
+	// escalation; negative disables escalation entirely.
+	BudgetEscalations int
+	// PreOp, when non-nil, runs before each operator's check on the
+	// worker goroutine that will check it; returning a non-nil
+	// SaturateOpts replaces that operator's base saturation budget
+	// (escalation still multiplies it). Fault-injection harnesses
+	// (internal/faultinject) use this hook to panic, stall, or starve
+	// specific operators; a panic in PreOp is recovered into an
+	// EngineFault verdict exactly like a panicking lemma.
+	PreOp func(v *graph.Node) *egraph.SaturateOpts
 }
+
+// escalationFactor is the geometric budget growth per escalation.
+const escalationFactor = 4
 
 func (o Options) withDefaults() Options {
 	if o.MaxMappings == 0 {
@@ -78,6 +115,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Workers < 1 {
 		o.Workers = 1
+	}
+	switch {
+	case o.BudgetEscalations == 0:
+		o.BudgetEscalations = 1
+	case o.BudgetEscalations < 0:
+		o.BudgetEscalations = 0
 	}
 	return o
 }
@@ -102,10 +145,14 @@ func (e *RefinementError) Error() string {
 	return msg
 }
 
-// Report is the result of a successful refinement check.
+// Report is the result of a refinement check. On success every field
+// is populated; in KeepGoing mode a failing check still returns the
+// Report (alongside the earliest failure as the error) with Failures
+// carrying the full multi-failure picture and OutputRelation nil.
 type Report struct {
 	// OutputRelation is the complete clean relation R_o mapping every
-	// G_s output to expressions over G_d outputs.
+	// G_s output to expressions over G_d outputs. Nil when Failures is
+	// non-empty: an incomplete walk cannot complete R_o.
 	OutputRelation *relation.Relation
 	// FullRelation additionally contains mappings of intermediate
 	// tensors accumulated during the walk (useful for inspection).
@@ -113,10 +160,32 @@ type Report struct {
 	// Stats aggregates saturation statistics; Stats.Applications feeds
 	// the Figure 6 lemma heatmap.
 	Stats egraph.Stats
-	// OpsProcessed counts the G_s operators checked.
+	// OpsProcessed counts the G_s operators actually checked (skipped
+	// cone members in KeepGoing mode are excluded).
 	OpsProcessed int
 	// Duration is wall-clock verification time (Figure 3/4).
 	Duration time.Duration
+	// Verdicts classifies every operator in topological order.
+	Verdicts []OpVerdict
+	// Failures lists the non-refined verdicts in topological order —
+	// the multi-failure bug-localization output of KeepGoing mode. In
+	// the default first-error mode it is always empty (the first
+	// failure is returned as the error instead).
+	Failures []OpVerdict
+}
+
+// RenderFailures renders the multi-failure report one verdict per
+// line, in topological order. The rendering is deterministic (no
+// durations, stacks, or addresses): for a fixed model, fault seed, and
+// options, any Workers value produces byte-identical output — the
+// chaos harness asserts exactly that.
+func (r *Report) RenderFailures() string {
+	var b strings.Builder
+	for _, v := range r.Failures {
+		b.WriteString(v.Describe())
+		b.WriteByte('\n')
+	}
+	return b.String()
 }
 
 // Checker verifies model refinement between a sequential model and a
@@ -132,8 +201,27 @@ func NewChecker(opts Options) *Checker {
 
 // Check solves the model refinement problem (§3.2): given G_s, G_d and
 // a clean input relation R_i, it either returns a complete clean
-// output relation R_o or a *RefinementError localizing the bug.
+// output relation R_o or a *RefinementError localizing the bug. It is
+// CheckContext with a background context (no deadline, no
+// cancellation).
 func (c *Checker) Check(gs, gd *graph.Graph, ri *relation.Relation) (*Report, error) {
+	return c.CheckContext(context.Background(), gs, gd, ri)
+}
+
+// CheckContext is Check under a context: cancelling ctx (deadline,
+// Ctrl-C) aborts the run promptly — cancellation is observed between
+// saturation iterations and between frontier folds, so the latency is
+// bounded by one iteration — and returns an error wrapping ctx.Err().
+// Every worker goroutine has exited by the time CheckContext returns.
+//
+// In KeepGoing mode a failed check returns a non-nil *Report (with
+// Failures populated in topo order) alongside the earliest failure as
+// the error; in the default mode a failed check returns a nil Report,
+// as before.
+func (c *Checker) CheckContext(ctx context.Context, gs, gd *graph.Graph, ri *relation.Relation) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	order, err := gs.TopoSort()
 	if err != nil {
@@ -163,22 +251,20 @@ func (c *Checker) Check(gs, gd *graph.Graph, ri *relation.Relation) (*Report, er
 	if workers > len(order) {
 		workers = len(order)
 	}
-	if workers <= 1 {
-		// Sequential walk: the reference behaviour.
-		for _, v := range order {
-			stats, err := run.observedProcessOp(v)
-			if err != nil {
-				return nil, err
-			}
-			report.Stats.Merge(stats)
-			report.OpsProcessed++
-		}
-	} else if err := run.runWavefront(order, workers, report); err != nil {
+	if err := run.runSchedule(ctx, order, workers, report); err != nil {
 		return nil, err
+	}
+	if len(report.Failures) > 0 {
+		// KeepGoing degraded result: the walk is incomplete, so R_o
+		// cannot be resolved; hand back the partial report with the
+		// earliest failure as the error (the same operator the default
+		// mode would have reported).
+		report.Duration = time.Since(start)
+		return report, report.Failures[0].Err
 	}
 
 	// Listing 1 line 9: filter to the output relation over O(G_d).
-	ro, err := run.resolveOutputs(report)
+	ro, err := run.resolveOutputs(ctx, report)
 	if err != nil {
 		return nil, err
 	}
@@ -235,14 +321,138 @@ func (r *runState) newEGraph() *egraph.EGraph {
 func allowGdLeaf(tid int) bool { return relation.IsGd(tid) }
 
 // observedProcessOp wraps processOp with the OpObserver timing hook.
-func (r *runState) observedProcessOp(v *graph.Node) (egraph.Stats, error) {
+func (r *runState) observedProcessOp(ctx context.Context, v *graph.Node, budget egraph.SaturateOpts) (egraph.Stats, error) {
 	if r.opts.OpObserver == nil {
-		return r.processOp(v)
+		return r.processOp(ctx, v, budget)
 	}
 	start := time.Now()
-	stats, err := r.processOp(v)
+	stats, err := r.processOp(ctx, v, budget)
 	r.opts.OpObserver(v, time.Since(start))
 	return stats, err
+}
+
+// recoveredProcessOp runs one check attempt under panic recovery: a
+// panicking lemma, shape rule, or observer is converted into a
+// structured *EngineFaultError naming the operator, with the stack,
+// instead of unwinding through the worker pool (where, before this
+// layer, it deadlocked the scheduler by leaking an active slot).
+func (r *runState) recoveredProcessOp(ctx context.Context, v *graph.Node, budget egraph.SaturateOpts) (stats egraph.Stats, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = &EngineFaultError{Op: v, Recovered: rec, Stack: debug.Stack()}
+		}
+	}()
+	return r.observedProcessOp(ctx, v, budget)
+}
+
+// safePreOp invokes the PreOp hook under the same panic recovery.
+func (r *runState) safePreOp(v *graph.Node) (override *egraph.SaturateOpts, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			override = nil
+			err = &EngineFaultError{Op: v, Recovered: rec, Stack: debug.Stack()}
+		}
+	}()
+	return r.opts.PreOp(v), nil
+}
+
+// checkOp is the resilient per-operator harness: it runs processOp
+// under panic recovery and a per-operator deadline, escalates the
+// saturation budget when the search stops on a limit without reaching
+// fixpoint, and classifies the outcome into an OpVerdict.
+//
+// The returned fatal error, when non-nil, aborts the whole check even
+// in KeepGoing mode: it reports conditions that are not per-operator
+// analysis outcomes — the run context was cancelled, or the input
+// graphs are malformed.
+//
+// Determinism: for a fixed graph, options, and (injected) faults, the
+// verdict depends only on the operator — attempts run the saturation
+// from a fresh e-graph with deterministic budgets — so any Workers
+// value yields the same verdict for every operator. Timeout verdicts
+// (OpTimeout) are the one wall-clock-dependent exception.
+func (r *runState) checkOp(ctx context.Context, v *graph.Node) (acc egraph.Stats, verdict OpVerdict, fatal error) {
+	verdict = OpVerdict{Op: v, Kind: VerdictRefined}
+	start := time.Now()
+	defer func() { verdict.Duration = time.Since(start) }()
+
+	opCtx := ctx
+	if r.opts.OpTimeout > 0 {
+		var cancel context.CancelFunc
+		opCtx, cancel = context.WithTimeout(ctx, r.opts.OpTimeout)
+		defer cancel()
+	}
+
+	budget := r.opts.Saturate
+	if r.opts.PreOp != nil {
+		override, err := r.safePreOp(v)
+		if err != nil {
+			verdict.Kind = VerdictEngineFault
+			verdict.Err = err
+			return
+		}
+		if override != nil {
+			budget = *override
+		}
+	}
+
+	for attempt := 0; ; attempt++ {
+		stats, err := r.recoveredProcessOp(opCtx, v, budget)
+		acc.Merge(stats)
+		if err == nil {
+			return
+		}
+		var ef *EngineFaultError
+		if errors.As(err, &ef) {
+			verdict.Kind = VerdictEngineFault
+			verdict.Err = ef
+			return
+		}
+		if ctx.Err() != nil {
+			// The whole-run context (global -timeout, Ctrl-C) expired:
+			// abort everything.
+			fatal = fmt.Errorf("core: check cancelled at operator %q: %w", v.Label, ctx.Err())
+			return
+		}
+		var re *RefinementError
+		isRefinement := errors.As(err, &re)
+		if opCtx.Err() != nil {
+			// Only the per-operator deadline expired: this operator is
+			// inconclusive, the rest of the run continues.
+			verdict.Kind = VerdictInconclusive
+			verdict.Reason = ReasonTimeout
+			verdict.Err = &InconclusiveError{Op: v, Reason: ReasonTimeout, Escalations: verdict.Escalations, Cause: re}
+			return
+		}
+		if !isRefinement {
+			// Malformed input (a collective in G_s, an inexpressible
+			// operator definition): not an analysis outcome.
+			fatal = err
+			return
+		}
+		if stats.Saturated || stats.Runs == 0 {
+			// Fixpoint reached (or the failure precedes any search):
+			// the e-graph holds every derivable equivalence and no
+			// clean mapping exists — refinement is genuinely disproved
+			// and more budget cannot change the answer.
+			verdict.Kind = VerdictDisproved
+			verdict.Err = re
+			return
+		}
+		if attempt < r.opts.BudgetEscalations {
+			// The search stopped on a budget, so the missing mapping
+			// may lie just beyond it: retry with a geometrically
+			// larger budget before declaring the operator inconclusive.
+			budget.MaxIters *= escalationFactor
+			budget.MaxNodes *= escalationFactor
+			verdict.Escalations = attempt + 1
+			continue
+		}
+		verdict.Kind = VerdictInconclusive
+		verdict.Reason = ReasonBudgetExhausted
+		verdict.Err = &InconclusiveError{Op: v, Reason: ReasonBudgetExhausted, Escalations: verdict.Escalations, Cause: re}
+		return
+	}
 }
 
 // processOp is compute_node_out_rel (Listing 2) with the Listing-3
@@ -255,11 +465,19 @@ func (r *runState) observedProcessOp(v *graph.Node) (egraph.Stats, error) {
 // reads mappings of v's inputs (complete once their producers are
 // done) and only writes mappings of v's outputs, which is what makes
 // the wavefront schedule race-free and deterministic.
-func (r *runState) processOp(v *graph.Node) (egraph.Stats, error) {
+//
+// ctx bounds the search: it is threaded into every Saturate call and
+// checked between frontier iterations, so cancellation surfaces within
+// one iteration as a context error (never disguised as a refinement
+// failure). budget bounds each saturation run; checkOp escalates it
+// across attempts.
+func (r *runState) processOp(ctx context.Context, v *graph.Node, budget egraph.SaturateOpts) (egraph.Stats, error) {
 	var acc egraph.Stats
 	if expr.Collective(v.Op) {
 		return acc, fmt.Errorf("core: sequential model %s contains collective %q", r.gs.Name, v.Label)
 	}
+	satOpts := budget
+	satOpts.Ctx = ctx
 	eg := r.newEGraph()
 
 	// Step 1 (rewrite_t_to_expr): leaves for v's inputs, unioned with
@@ -306,6 +524,9 @@ func (r *runState) processOp(v *graph.Node) (egraph.Stats, error) {
 	}
 
 	for iter := 0; iter < maxIters; iter++ {
+		if err := ctx.Err(); err != nil {
+			return acc, fmt.Errorf("core: checking %q: %w", v.Label, err)
+		}
 		progress := false
 		for _, n := range r.gdOrder {
 			if folded[n.ID] {
@@ -331,7 +552,7 @@ func (r *runState) processOp(v *graph.Node) (egraph.Stats, error) {
 			break
 		}
 
-		acc.Merge(eg.Saturate(r.rules, r.opts.Saturate))
+		acc.Merge(eg.Saturate(r.rules, satOpts))
 
 		// Grow T_rel with tensors appearing in newly derived clean
 		// expressions of v's outputs ("related to v's outputs").
@@ -368,6 +589,12 @@ func (r *runState) processOp(v *graph.Node) (egraph.Stats, error) {
 		if !progress && !grew {
 			break
 		}
+	}
+
+	// A run cancelled mid-saturation must report the cancellation, not
+	// a refinement failure extracted from a truncated e-graph.
+	if err := ctx.Err(); err != nil {
+		return acc, fmt.Errorf("core: checking %q: %w", v.Label, err)
 	}
 
 	// Step 4: extract and record the clean output relation R_v.
@@ -437,7 +664,7 @@ func (r *runState) renderInputMappings(v *graph.Node) string {
 // to expressions over O(G_d) (Listing 1 line 9). Outputs that did not
 // resolve during their producing operator's pass get one dedicated
 // resolution pass that folds G_d forward from their known mappings.
-func (r *runState) resolveOutputs(report *Report) (*relation.Relation, error) {
+func (r *runState) resolveOutputs(ctx context.Context, report *Report) (*relation.Relation, error) {
 	ro := relation.New()
 	for _, o := range r.gs.Outputs {
 		for _, m := range r.rel.Get(o) {
@@ -448,7 +675,7 @@ func (r *runState) resolveOutputs(report *Report) (*relation.Relation, error) {
 		if ro.Has(o) {
 			continue
 		}
-		m, err := r.resolveOutput(o, report)
+		m, err := r.resolveOutput(ctx, o, report)
 		if err != nil {
 			return nil, err
 		}
@@ -466,7 +693,7 @@ func (r *runState) leavesAreGdOutputs(t *expr.Term) bool {
 	return true
 }
 
-func (r *runState) resolveOutput(o graph.TensorID, report *Report) ([]*expr.Term, error) {
+func (r *runState) resolveOutput(ctx context.Context, o graph.TensorID, report *Report) ([]*expr.Term, error) {
 	producer := r.gs.Tensor(o).Producer
 	fail := func() error {
 		var v *graph.Node
@@ -498,6 +725,9 @@ func (r *runState) resolveOutput(o graph.TensorID, report *Report) ([]*expr.Term
 
 	folded := map[graph.NodeID]bool{}
 	for iter := 0; iter <= len(r.gd.Nodes); iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: resolving output %q: %w", r.gs.Tensor(o).Name, err)
+		}
 		progress := false
 		for _, n := range r.gdOrder {
 			if folded[n.ID] {
@@ -526,7 +756,12 @@ func (r *runState) resolveOutput(o graph.TensorID, report *Report) ([]*expr.Term
 			break
 		}
 	}
-	report.Stats.Merge(eg.Saturate(r.rules, r.opts.Saturate))
+	satOpts := r.opts.Saturate
+	satOpts.Ctx = ctx
+	report.Stats.Merge(eg.Saturate(r.rules, satOpts))
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: resolving output %q: %w", r.gs.Tensor(o).Name, err)
+	}
 
 	out := eg.ExtractAllClean(eg.Find(cls), r.allowGdOutput, r.opts.MaxMappings)
 	if len(out) == 0 {

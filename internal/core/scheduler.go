@@ -2,6 +2,8 @@ package core
 
 import (
 	"container/heap"
+	"context"
+	"runtime/debug"
 	"sync"
 
 	"entangle/internal/egraph"
@@ -15,7 +17,10 @@ import (
 // producers have all been checked — a "wavefront" of the DAG, e.g.
 // the q/k/v projections of one attention block, per-layer heads, or
 // the experts of an MoE layer — saturate their per-operator e-graphs
-// concurrently on a bounded worker pool.
+// concurrently on a bounded worker pool. Every run, including
+// Workers == 1, goes through this scheduler: one code path means the
+// determinism argument below holds by construction instead of by
+// keeping two walks in sync.
 //
 // Determinism guarantees, so Workers is purely a wall-clock knob:
 //
@@ -25,19 +30,33 @@ import (
 //   - Stats: per-operator egraph.Stats are buffered by topo index and
 //     merged in topo order after the pool drains, never in completion
 //     order, keeping Figure-6 heatmap counts reproducible.
-//   - Errors: first-error-wins by *topo order*, not wall-clock order.
-//     After an error at topo index e, the scheduler keeps running
-//     operators with smaller indices (their producers all precede
-//     them, hence also < e) and only stops handing out work at or
-//     beyond the earliest error. When the pool drains, every operator
-//     before the earliest error has succeeded — so the reported
-//     RefinementError names exactly the operator the sequential walk
-//     would have failed on.
+//   - Errors (default mode): first-error-wins by *topo order*, not
+//     wall-clock order. After a failure at topo index e, the scheduler
+//     keeps running operators with smaller indices (their producers
+//     all precede them, hence also < e) and only stops handing out
+//     work at or beyond the earliest failure. When the pool drains,
+//     every operator before the earliest failure has succeeded — so
+//     the reported error names exactly the operator the sequential
+//     walk would have failed on.
+//   - Verdicts (KeepGoing mode): a failing operator taints its
+//     downstream cone — every op transitively consuming one of its
+//     outputs is marked Skipped without running — while independent
+//     subgraphs keep checking. Taint propagation is a pure function of
+//     the DAG and the per-operator verdicts (both
+//     schedule-independent), so the final verdict vector, read out in
+//     topo order, is identical for any worker count.
+//   - Faults: checkOp converts panics into EngineFault verdicts, and
+//     the worker's accounting (the active-slot decrement and pool
+//     wake-up) runs in a defer, so even a panic that slips past the
+//     recovery layer drains the pool instead of deadlocking it.
 
-// runWavefront checks the operators of order on a pool of workers and
-// fills report (stats + OpsProcessed) exactly as the sequential walk
-// would. order must be a topological order of r.gs.
-func (r *runState) runWavefront(order []*graph.Node, workers int, report *Report) error {
+// runSchedule checks the operators of order on a pool of workers and
+// fills report (stats, verdicts, OpsProcessed) exactly as a sequential
+// topo-order walk would. order must be a topological order of r.gs. A
+// non-nil return is fatal: a cancelled context, a malformed graph, or
+// (default mode) the earliest per-operator failure. KeepGoing-mode
+// per-operator failures are reported through report.Failures instead.
+func (r *runState) runSchedule(ctx context.Context, order []*graph.Node, workers int, report *Report) error {
 	n := len(order)
 	pos := make(map[graph.NodeID]int, n)
 	for i, v := range order {
@@ -65,9 +84,15 @@ func (r *runState) runWavefront(order []*graph.Node, workers int, report *Report
 	}
 
 	s := &wavefrontState{
-		stats: make([]egraph.Stats, n),
-		errs:  make(map[int]error),
-		errAt: n,
+		order:     order,
+		deps:      deps,
+		children:  children,
+		tainted:   make([]bool, n),
+		stats:     make([]egraph.Stats, n),
+		verdicts:  make([]OpVerdict, n),
+		errAt:     n,
+		fatalAt:   n,
+		keepGoing: r.opts.KeepGoing,
 	}
 	s.cond = sync.NewCond(&s.mu)
 	for i := 0; i < n; i++ {
@@ -86,7 +111,7 @@ func (r *runState) runWavefront(order []*graph.Node, workers int, report *Report
 				for !s.stopped() && !s.runnable() {
 					s.cond.Wait()
 				}
-				if !s.runnable() { // stopped: no work at/below errAt left
+				if !s.runnable() { // stopped: no schedulable work left
 					s.mu.Unlock()
 					return
 				}
@@ -94,65 +119,159 @@ func (r *runState) runWavefront(order []*graph.Node, workers int, report *Report
 				s.active++
 				s.mu.Unlock()
 
-				stats, err := r.observedProcessOp(order[i])
-
-				s.mu.Lock()
-				s.active--
-				if err != nil {
-					s.errs[i] = err
-					if i < s.errAt {
-						// First error in topo order wins; ready work at
-						// or beyond the earliest error is cancelled
-						// (runnable filters it out).
-						s.errAt = i
-					}
-				} else {
-					s.stats[i] = stats
-					for _, c := range children[i] {
-						deps[c]--
-						if deps[c] == 0 {
-							heap.Push(&s.ready, c)
-						}
-					}
-				}
-				s.cond.Broadcast()
-				s.mu.Unlock()
+				r.runOne(ctx, s, i)
 			}
 		}()
 	}
 	wg.Wait()
 
-	if s.errAt < n {
-		return s.errs[s.errAt]
+	if s.fatal != nil {
+		return s.fatal
 	}
-	// Deterministic aggregation: merge per-operator stats in topo
-	// order, exactly as the sequential loop would have.
+	if !s.keepGoing && s.errAt < n {
+		return s.verdicts[s.errAt].Err
+	}
+	// Deterministic aggregation: merge per-operator stats and read out
+	// verdicts in topo order, never in completion order.
 	for i := 0; i < n; i++ {
 		report.Stats.Merge(s.stats[i])
-		report.OpsProcessed++
+		if s.verdicts[i].Kind != VerdictSkipped {
+			report.OpsProcessed++
+		}
+		report.Verdicts = append(report.Verdicts, s.verdicts[i])
+		if s.verdicts[i].Failed() {
+			report.Failures = append(report.Failures, s.verdicts[i])
+		}
 	}
 	return nil
 }
 
-// wavefrontState is the mutex-guarded shared state of one wavefront
+// runOne checks order[i] and records the outcome. All accounting — the
+// active-slot decrement, verdict recording, dependency propagation,
+// and pool wake-up — happens in the deferred closure, so it runs even
+// if the check panics past checkOp's own recovery. Before this defer a
+// panicking lemma left s.active incremented forever: runnable() stayed
+// false, stopped() never turned true, and every worker slept on the
+// condition variable — the latent pool deadlock this layer fixes.
+func (r *runState) runOne(ctx context.Context, s *wavefrontState, i int) {
+	var stats egraph.Stats
+	var verdict OpVerdict
+	var fatal error
+	completed := false
+	defer func() {
+		if !completed {
+			// checkOp recovers panics itself; reaching here means the
+			// scheduler-side bookkeeping around it panicked. Convert
+			// to a structured fault rather than crash or deadlock.
+			verdict = OpVerdict{Op: s.order[i], Kind: VerdictEngineFault,
+				Err: &EngineFaultError{Op: s.order[i], Recovered: recover(), Stack: debug.Stack()}}
+		}
+		s.mu.Lock()
+		s.active--
+		s.record(i, stats, verdict, fatal)
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}()
+	stats, verdict, fatal = r.checkOp(ctx, s.order[i])
+	completed = true
+}
+
+// wavefrontState is the mutex-guarded shared state of one scheduled
 // run.
 type wavefrontState struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 
-	ready  minHeap // topo indices whose producers are all done
-	active int     // operators currently being processed
-	stats  []egraph.Stats
+	order    []*graph.Node
+	deps     []int   // outstanding producer count per topo index
+	children [][]int // consumer topo indices per topo index
+	tainted  []bool  // in the downstream cone of a failure (KeepGoing)
 
-	errs  map[int]error
-	errAt int // min topo index with an error; len(order) = none
+	ready    minHeap // topo indices whose producers are all done
+	active   int     // operators currently being processed
+	stats    []egraph.Stats
+	verdicts []OpVerdict
+
+	keepGoing bool
+	errAt     int // default mode: min topo index with a failure; n = none
+	fatal     error
+	fatalAt   int // min topo index with a fatal error; n = none
 }
 
-// runnable reports whether a worker should pick up work: the earliest
-// ready operator must precede the earliest error (operators beyond it
-// are cancelled — their results could not change the outcome).
+// record stores operator i's outcome and propagates scheduling
+// consequences. Caller holds s.mu.
+func (s *wavefrontState) record(i int, stats egraph.Stats, v OpVerdict, fatal error) {
+	s.stats[i] = stats
+	s.verdicts[i] = v
+	if fatal != nil {
+		// Earliest-in-topo-order fatal wins, for the same determinism
+		// reason as errAt; no children are released — the pool drains.
+		if i < s.fatalAt {
+			s.fatalAt = i
+			s.fatal = fatal
+		}
+		return
+	}
+	if v.Kind == VerdictRefined {
+		for _, c := range s.children[i] {
+			s.deps[c]--
+			if s.deps[c] == 0 {
+				if s.tainted[c] {
+					// Last producer resolved, but an earlier one
+					// failed: the cone member is skipped, never run.
+					s.verdicts[c] = OpVerdict{Op: s.order[c], Kind: VerdictSkipped}
+					s.propagateTaint(c)
+				} else {
+					heap.Push(&s.ready, c)
+				}
+			}
+		}
+		return
+	}
+	// Operator i failed (disproved / inconclusive / engine fault).
+	if !s.keepGoing {
+		if i < s.errAt {
+			// First failure in topo order wins; ready work at or
+			// beyond the earliest failure is cancelled (runnable
+			// filters it out).
+			s.errAt = i
+		}
+		return
+	}
+	s.propagateTaint(i)
+}
+
+// propagateTaint marks the downstream cone of a failed or skipped
+// operator: every child loses a producer and is tainted; children
+// whose producers have all resolved are marked Skipped and propagate
+// further. The result depends only on the DAG and which operators
+// failed, never on scheduling order. Caller holds s.mu.
+func (s *wavefrontState) propagateTaint(i int) {
+	stack := []int{i}
+	for len(stack) > 0 {
+		j := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range s.children[j] {
+			s.tainted[c] = true
+			s.deps[c]--
+			if s.deps[c] == 0 {
+				s.verdicts[c] = OpVerdict{Op: s.order[c], Kind: VerdictSkipped}
+				stack = append(stack, c)
+			}
+		}
+	}
+}
+
+// runnable reports whether a worker should pick up work. A fatal error
+// stops all scheduling; the default mode additionally requires the
+// earliest ready operator to precede the earliest failure (operators
+// beyond it are cancelled — their results could not change the
+// outcome), while KeepGoing schedules everything that is not skipped.
 func (s *wavefrontState) runnable() bool {
-	return len(s.ready) > 0 && s.ready[0] < s.errAt
+	if s.fatal != nil || len(s.ready) == 0 {
+		return false
+	}
+	return s.keepGoing || s.ready[0] < s.errAt
 }
 
 // stopped reports whether the run has quiesced: nothing runnable and
@@ -163,7 +282,8 @@ func (s *wavefrontState) stopped() bool {
 
 // minHeap is a min-heap of topo indices: workers always pick the
 // earliest ready operator, which bounds how much speculative work runs
-// beyond a failure and keeps cancellation convergence fast.
+// beyond a failure and keeps cancellation convergence fast. With one
+// worker it reproduces the exact sequential topo-order walk.
 type minHeap []int
 
 func (h minHeap) Len() int            { return len(h) }

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"entangle/internal/graph"
+)
+
+// VerdictKind classifies the outcome of one operator's check. The
+// paper's checker has a single failure mode — the first RefinementError
+// aborts the walk — which conflates "refinement disproved" with
+// "search budget exhausted, result unknown". The verdict lattice keeps
+// those apart (GraphGuard-style graceful degradation: report partial
+// results instead of aborting; the ecta line of work treats budget
+// exhaustion in entangled search spaces as a first-class outcome).
+type VerdictKind int
+
+const (
+	// VerdictRefined: a complete clean mapping of the operator's
+	// outputs was found; refinement holds locally.
+	VerdictRefined VerdictKind = iota
+	// VerdictDisproved: saturation reached fixpoint and no clean
+	// mapping exists — the e-graph enumerated every derivable
+	// equivalence, so more budget cannot change the answer. This is
+	// the paper's genuine bug-localization outcome.
+	VerdictDisproved
+	// VerdictInconclusive: the search stopped on a budget or deadline
+	// before reaching fixpoint; a mapping may exist beyond the limit.
+	// OpVerdict.Reason says which limit bit.
+	VerdictInconclusive
+	// VerdictEngineFault: the operator's check panicked (a buggy
+	// lemma, observer, or injected fault); the panic was recovered on
+	// the worker and converted into this structured failure.
+	VerdictEngineFault
+	// VerdictSkipped: the operator sits in the downstream cone of a
+	// failed operator and was not checked (KeepGoing mode only — its
+	// input mappings are incomplete, so any verdict would be noise).
+	VerdictSkipped
+)
+
+func (k VerdictKind) String() string {
+	switch k {
+	case VerdictRefined:
+		return "refined"
+	case VerdictDisproved:
+		return "disproved"
+	case VerdictInconclusive:
+		return "inconclusive"
+	case VerdictEngineFault:
+		return "engine-fault"
+	case VerdictSkipped:
+		return "skipped"
+	}
+	return fmt.Sprintf("VerdictKind(%d)", int(k))
+}
+
+// InconclusiveReason says which limit stopped an inconclusive check.
+type InconclusiveReason int
+
+const (
+	// ReasonNone: the verdict is not inconclusive.
+	ReasonNone InconclusiveReason = iota
+	// ReasonBudgetExhausted: MaxNodes/MaxIters hit (after every
+	// configured budget escalation).
+	ReasonBudgetExhausted
+	// ReasonTimeout: the per-operator deadline (Options.OpTimeout)
+	// expired mid-search.
+	ReasonTimeout
+)
+
+func (r InconclusiveReason) String() string {
+	switch r {
+	case ReasonNone:
+		return "none"
+	case ReasonBudgetExhausted:
+		return "budget-exhausted"
+	case ReasonTimeout:
+		return "timeout"
+	}
+	return fmt.Sprintf("InconclusiveReason(%d)", int(r))
+}
+
+// OpVerdict is one operator's classified outcome.
+type OpVerdict struct {
+	// Op is the G_s operator checked (or skipped).
+	Op *graph.Node
+	// Kind classifies the outcome.
+	Kind VerdictKind
+	// Reason qualifies VerdictInconclusive.
+	Reason InconclusiveReason
+	// Err carries the failure detail: *RefinementError for disproved
+	// and budget-inconclusive operators, *EngineFaultError for
+	// recovered panics, nil for refined and skipped operators.
+	Err error
+	// Escalations counts the budget-escalation retries this operator
+	// consumed before the verdict was reached.
+	Escalations int
+	// Duration is the operator's total check wall clock across all
+	// attempts. Zero for skipped operators. Excluded from Describe so
+	// rendered reports stay byte-identical across runs.
+	Duration time.Duration
+}
+
+// Failed reports whether the verdict is a failure that KeepGoing mode
+// records and propagates (everything except refined; skipped counts —
+// its cone root already failed, and listing the cone keeps reports
+// self-explanatory).
+func (v OpVerdict) Failed() bool { return v.Kind != VerdictRefined }
+
+// Describe renders the verdict as one deterministic line (no
+// durations, no pointers): the chaos harness compares these across
+// worker counts byte-for-byte.
+func (v OpVerdict) Describe() string {
+	switch v.Kind {
+	case VerdictInconclusive:
+		return fmt.Sprintf("%s: inconclusive (%s, %d escalations)", v.Op.Label, v.Reason, v.Escalations)
+	case VerdictEngineFault:
+		if ef, ok := v.Err.(*EngineFaultError); ok {
+			return fmt.Sprintf("%s: engine-fault (%v)", v.Op.Label, ef.Recovered)
+		}
+		return fmt.Sprintf("%s: engine-fault", v.Op.Label)
+	default:
+		return fmt.Sprintf("%s: %s", v.Op.Label, v.Kind)
+	}
+}
+
+// EngineFaultError reports a panic recovered during one operator's
+// check: the operator identity plus the recovered value and stack. It
+// marks a fault in the checking engine (or an injected one), never a
+// statement about the model being checked.
+type EngineFaultError struct {
+	// Op is the G_s operator whose check panicked.
+	Op *graph.Node
+	// Recovered is the value passed to panic.
+	Recovered any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *EngineFaultError) Error() string {
+	return fmt.Sprintf("engine fault while checking operator %q (op %s): panic: %v\n%s",
+		e.Op.Label, e.Op.Op, e.Recovered, e.Stack)
+}
+
+// InconclusiveError reports that an operator's check ran out of budget
+// or time before refinement could be proved or disproved. It wraps the
+// final attempt's *RefinementError (when the search ended with
+// unmappable outputs rather than a deadline), so existing errors.As
+// call sites that localize the failing operator keep working.
+type InconclusiveError struct {
+	// Op is the operator whose check was inconclusive.
+	Op *graph.Node
+	// Reason says which limit stopped the search.
+	Reason InconclusiveReason
+	// Escalations counts the budget-escalation retries consumed.
+	Escalations int
+	// Cause is the final attempt's RefinementError, when one exists.
+	Cause *RefinementError
+}
+
+func (e *InconclusiveError) Error() string {
+	msg := fmt.Sprintf("refinement inconclusive for operator %q (op %s): %s after %d budget escalation(s)",
+		e.Op.Label, e.Op.Op, e.Reason, e.Escalations)
+	if e.Cause != nil {
+		msg += "\n" + e.Cause.Error()
+	}
+	return msg
+}
+
+// Unwrap exposes the underlying RefinementError to errors.As/Is.
+func (e *InconclusiveError) Unwrap() error {
+	if e.Cause == nil {
+		return nil
+	}
+	return e.Cause
+}

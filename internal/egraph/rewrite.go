@@ -1,6 +1,7 @@
 package egraph
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -86,6 +87,11 @@ type SaturateOpts struct {
 	// rebuilds (so the e-graph is left congruent), and returns with
 	// Saturated == false. Default 40_000.
 	MaxNodes int
+	// Ctx, when non-nil, cancels the run: it is checked between
+	// iterations, so a cancelled Saturate returns within one iteration,
+	// always after Rebuild — the e-graph is left congruent exactly as
+	// on a budget stop. A nil Ctx never cancels.
+	Ctx context.Context
 }
 
 func (o SaturateOpts) withDefaults() SaturateOpts {
@@ -96,6 +102,41 @@ func (o SaturateOpts) withDefaults() SaturateOpts {
 		o.MaxNodes = 40_000
 	}
 	return o
+}
+
+// StopReason records why a saturation run stopped. Values are ordered
+// by severity so Merge can keep the most severe reason seen across
+// runs; the zero value (StopNone, "no run yet") is the Merge identity.
+type StopReason int
+
+const (
+	// StopNone is the zero value: no saturation run recorded.
+	StopNone StopReason = iota
+	// StopSaturated: the run reached fixpoint.
+	StopSaturated
+	// StopIterLimit: MaxIters elapsed before fixpoint.
+	StopIterLimit
+	// StopNodeLimit: an application pushed the live node count past
+	// MaxNodes.
+	StopNodeLimit
+	// StopCancelled: SaturateOpts.Ctx was cancelled between iterations.
+	StopCancelled
+)
+
+func (r StopReason) String() string {
+	switch r {
+	case StopNone:
+		return "none"
+	case StopSaturated:
+		return "saturated"
+	case StopIterLimit:
+		return "iter-limit"
+	case StopNodeLimit:
+		return "node-limit"
+	case StopCancelled:
+		return "cancelled"
+	}
+	return fmt.Sprintf("StopReason(%d)", int(r))
 }
 
 // Stats reports what a saturation run did. Applications counts, per
@@ -111,6 +152,16 @@ type Stats struct {
 	// run into it adopts that run's Saturated flag instead of AND-ing
 	// with the zero value's false.
 	Runs int
+	// Cancelled counts merged runs stopped by context cancellation.
+	Cancelled int
+	// BudgetHit counts merged runs stopped by MaxIters or MaxNodes —
+	// the "inconclusive, not disproved" signal the checker's verdict
+	// layer and budget escalation key off.
+	BudgetHit int
+	// StopReason is the most severe stop cause across merged runs
+	// (cancelled > node-limit > iter-limit > saturated). The zero
+	// value StopNone is the Merge identity.
+	StopReason StopReason
 }
 
 // RuleNames lists rules with non-zero applications, sorted.
@@ -148,6 +199,11 @@ func (s *Stats) Merge(o Stats) {
 	if o.Nodes > s.Nodes {
 		s.Nodes = o.Nodes
 	}
+	s.Cancelled += o.Cancelled
+	s.BudgetHit += o.BudgetHit
+	if o.StopReason > s.StopReason {
+		s.StopReason = o.StopReason
+	}
 }
 
 // Saturate runs the rules to fixpoint or until limits are hit. Matches
@@ -159,7 +215,15 @@ func (g *EGraph) Saturate(rules []*Rule, opts SaturateOpts) Stats {
 	applied := map[string]bool{}
 	var fp strings.Builder
 	limitHit := false
+	cancelled := false
 	for iter := 0; iter < opts.MaxIters && !limitHit; iter++ {
+		// Cancellation is checked between iterations only: the e-graph
+		// was rebuilt at the end of the previous iteration, so stopping
+		// here always leaves it congruent.
+		if opts.Ctx != nil && opts.Ctx.Err() != nil {
+			cancelled = true
+			break
+		}
 		stats.Iterations = iter + 1
 		todo := g.matchRules(rules)
 		changed := false
@@ -210,6 +274,20 @@ func (g *EGraph) Saturate(rules []*Rule, opts SaturateOpts) Stats {
 			stats.Saturated = true
 			break
 		}
+	}
+	switch {
+	case cancelled:
+		stats.StopReason = StopCancelled
+		stats.Cancelled = 1
+	case limitHit:
+		stats.StopReason = StopNodeLimit
+		stats.BudgetHit = 1
+	case stats.Saturated:
+		stats.StopReason = StopSaturated
+	default:
+		// The iteration budget elapsed while rules were still firing.
+		stats.StopReason = StopIterLimit
+		stats.BudgetHit = 1
 	}
 	stats.Nodes = g.nodeCount
 	return stats

@@ -1,6 +1,7 @@
 package egraph
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -219,4 +220,103 @@ func TestStatsMergeZeroValueIdentity(t *testing.T) {
 	if !reflect.DeepEqual(a2.Applications, map[string]int{"r": 5}) {
 		t.Fatalf("applications not accumulated: %+v", a2.Applications)
 	}
+
+	// The new counters keep the zero-value-is-identity invariant:
+	// merging the zero value changes nothing, and counters sum while
+	// StopReason keeps the most severe cause.
+	acc2 := Stats{Runs: 1, Saturated: true, StopReason: StopSaturated}
+	acc2.Merge(Stats{})
+	if acc2.StopReason != StopSaturated || acc2.Cancelled != 0 || acc2.BudgetHit != 0 {
+		t.Fatalf("zero merge disturbed counters: %+v", acc2)
+	}
+	acc2.Merge(Stats{Runs: 1, StopReason: StopIterLimit, BudgetHit: 1})
+	acc2.Merge(Stats{Runs: 1, StopReason: StopNodeLimit, BudgetHit: 1})
+	acc2.Merge(Stats{Runs: 1, StopReason: StopCancelled, Cancelled: 1})
+	acc2.Merge(Stats{Runs: 1, StopReason: StopSaturated, Saturated: true})
+	if acc2.BudgetHit != 2 || acc2.Cancelled != 1 {
+		t.Fatalf("counters did not sum: %+v", acc2)
+	}
+	if acc2.StopReason != StopCancelled {
+		t.Fatalf("StopReason must keep the most severe cause, got %v", acc2.StopReason)
+	}
 }
+
+// TestSaturateStopReasons pins the reason classification for each way
+// a run can stop: fixpoint, node budget, iteration budget, and
+// pre-cancelled context.
+func TestSaturateStopReasons(t *testing.T) {
+	// Fixpoint: no rules fire at all.
+	g := New(nil)
+	g.AddTerm(leafT(1, "a"))
+	stats := g.Saturate(nil, SaturateOpts{MaxIters: 4, MaxNodes: 100})
+	if !stats.Saturated || stats.StopReason != StopSaturated || stats.BudgetHit != 0 || stats.Cancelled != 0 {
+		t.Fatalf("fixpoint run misclassified: %+v", stats)
+	}
+
+	// Node budget: the grow rule inflates past MaxNodes.
+	g = New(nil)
+	g.AddTerm(leafT(3, "t"))
+	stats = g.Saturate([]*Rule{growRule("grow", 3)}, SaturateOpts{MaxIters: 32, MaxNodes: g.NodeCount() + 2})
+	if stats.Saturated || stats.StopReason != StopNodeLimit || stats.BudgetHit != 1 {
+		t.Fatalf("node-budget run misclassified: %+v", stats)
+	}
+
+	// Iteration budget: the grow rule still firing when MaxIters ends.
+	g = New(nil)
+	g.AddTerm(leafT(3, "t"))
+	stats = g.Saturate([]*Rule{growRule("grow", 3)}, SaturateOpts{MaxIters: 2, MaxNodes: 1 << 20})
+	if stats.Saturated || stats.StopReason != StopIterLimit || stats.BudgetHit != 1 || stats.Iterations != 2 {
+		t.Fatalf("iter-budget run misclassified: %+v", stats)
+	}
+
+	// Pre-cancelled context: zero iterations run.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g = New(nil)
+	g.AddTerm(leafT(3, "t"))
+	stats = g.Saturate([]*Rule{growRule("grow", 3)}, SaturateOpts{MaxIters: 8, MaxNodes: 100, Ctx: ctx})
+	if stats.StopReason != StopCancelled || stats.Cancelled != 1 || stats.Iterations != 0 || stats.Saturated {
+		t.Fatalf("cancelled run misclassified: %+v", stats)
+	}
+}
+
+// TestSaturateCancelMidRunLeavesCongruent cancels the context from
+// inside a rule application, so the *next* iteration boundary stops the
+// run. The e-graph must be left rebuilt and congruent, exactly as on a
+// budget stop, and the stats must say the run was cancelled within one
+// iteration of the cancel.
+func TestSaturateCancelMidRunLeavesCongruent(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g := New(nil)
+	ca := g.AddTerm(leafT(1, "a"))
+	cb := g.AddTerm(leafT(2, "b"))
+	g.AddTerm(leafT(3, "t"))
+	fa := g.AddNode(ENode{Op: opF, Kids: []ClassID{ca}})
+	fb := g.AddNode(ENode{Op: opF, Kids: []ClassID{cb}})
+
+	// Iteration 1: union a=b, grow, and cancel. Iteration 2 must never
+	// start, but the a=b union must still be congruence-closed.
+	cancelRule := &Rule{
+		Name:     "cancel",
+		Stateful: true,
+		LHS:      &Pattern{Op: expr.OpTensor, LeafTID: intPtr(3)},
+		Apply: func(g *EGraph, m Match) []UnionPair {
+			cancel()
+			return nil
+		},
+	}
+	rules := []*Rule{unionRule("union-ab", 3, 1, 2), growRule("grow", 3), cancelRule}
+	stats := g.Saturate(rules, SaturateOpts{MaxIters: 64, MaxNodes: 1 << 20, Ctx: ctx})
+	if stats.StopReason != StopCancelled || stats.Cancelled != 1 {
+		t.Fatalf("mid-run cancel misclassified: %+v", stats)
+	}
+	if stats.Iterations != 1 {
+		t.Fatalf("cancel must bite at the next iteration boundary, ran %d iterations", stats.Iterations)
+	}
+	if g.Find(fa) != g.Find(fb) {
+		t.Fatal("congruence broken after cancelled run: f(a) != f(b) despite a = b")
+	}
+	assertCongruent(t, g)
+}
+
+func intPtr(v int) *int { return &v }

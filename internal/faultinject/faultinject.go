@@ -1,0 +1,176 @@
+// Package faultinject is a deterministic, seed-driven fault injector
+// for the checking pipeline's chaos tests and the `entangle-bench
+// -exp chaos` experiment. Faults are keyed purely by operator label —
+// a splitmix64-style hash of (seed, label) decides, independently of
+// worker count, scheduling order, or wall clock, whether an operator's
+// check panics, stalls, or runs budget-starved. That schedule
+// independence is what lets the chaos harness demand byte-identical
+// KeepGoing failure reports from Workers=1 and Workers=8 runs under
+// the same seed.
+//
+// The injector attaches to the checker through core.Options.PreOp,
+// which runs on the worker goroutine about to check the operator —
+// exactly where a buggy lemma would fault:
+//
+//	inj := faultinject.New(faultinject.Config{Seed: 7, PanicRate: 0.1})
+//	opts := core.Options{PreOp: inj.PreOp, KeepGoing: true}
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"entangle/internal/egraph"
+	"entangle/internal/graph"
+)
+
+// Fault is the decision for one operator.
+type Fault int
+
+const (
+	// None: the operator runs untouched.
+	None Fault = iota
+	// Panic: the worker panics before the check starts (the checker
+	// must recover it into an EngineFault verdict).
+	Panic
+	// Slow: the worker sleeps for Config.SlowFor before checking (the
+	// checker's OpTimeout turns this into an Inconclusive(Timeout)
+	// verdict when the sleep exceeds it).
+	Slow
+	// Starve: the operator runs with the starved saturation budget
+	// (Config.StarveMaxIters/StarveMaxNodes), exercising budget
+	// escalation and the Inconclusive(BudgetExhausted) verdict.
+	Starve
+)
+
+func (f Fault) String() string {
+	switch f {
+	case None:
+		return "none"
+	case Panic:
+		return "panic"
+	case Slow:
+		return "slow"
+	case Starve:
+		return "starve"
+	}
+	return fmt.Sprintf("Fault(%d)", int(f))
+}
+
+// Config parameterizes an Injector. Rates are per-operator
+// probabilities in [0, 1], carved out of the unit interval in order
+// panic, slow, starve: an operator's hash point u ∈ [0,1) injects a
+// panic when u < PanicRate, a stall when u < PanicRate+SlowRate, and
+// so on. Zero rates inject nothing.
+type Config struct {
+	// Seed drives the per-operator hash. Two injectors with the same
+	// seed and rates make identical decisions for every label.
+	Seed uint64
+	// PanicRate is the fraction of operators whose check panics.
+	PanicRate float64
+	// SlowRate is the fraction of operators stalled for SlowFor.
+	SlowRate float64
+	// SlowFor is the stall duration (default 50ms).
+	SlowFor time.Duration
+	// StarveRate is the fraction of operators run budget-starved.
+	StarveRate float64
+	// StarveMaxIters / StarveMaxNodes are the starved saturation
+	// budget (defaults 1 iteration, 8 nodes — small enough that any
+	// real operator hits the limit).
+	StarveMaxIters int
+	StarveMaxNodes int
+}
+
+func (c Config) withDefaults() Config {
+	if c.SlowFor == 0 {
+		c.SlowFor = 50 * time.Millisecond
+	}
+	if c.StarveMaxIters == 0 {
+		c.StarveMaxIters = 1
+	}
+	if c.StarveMaxNodes == 0 {
+		c.StarveMaxNodes = 8
+	}
+	return c
+}
+
+// Injector makes deterministic per-operator fault decisions and
+// records what it injected.
+type Injector struct {
+	cfg Config
+
+	mu       sync.Mutex
+	injected map[string]Fault // label → decision, for reporting
+}
+
+// New builds an injector for the given config.
+func New(cfg Config) *Injector {
+	return &Injector{cfg: cfg.withDefaults(), injected: map[string]Fault{}}
+}
+
+// Decide returns the fault for an operator label. Pure: it depends
+// only on (Seed, rates, label).
+func (in *Injector) Decide(label string) Fault {
+	u := unit(in.cfg.Seed, label)
+	switch {
+	case u < in.cfg.PanicRate:
+		return Panic
+	case u < in.cfg.PanicRate+in.cfg.SlowRate:
+		return Slow
+	case u < in.cfg.PanicRate+in.cfg.SlowRate+in.cfg.StarveRate:
+		return Starve
+	}
+	return None
+}
+
+// PreOp is the core.Options.PreOp hook: it executes the decided fault
+// for v on the calling worker goroutine. Panic faults panic with a
+// recognizable value; Slow faults sleep; Starve faults return the
+// starved saturation budget; None returns nil (keep the configured
+// budget).
+func (in *Injector) PreOp(v *graph.Node) *egraph.SaturateOpts {
+	f := in.Decide(v.Label)
+	in.mu.Lock()
+	if f != None {
+		in.injected[v.Label] = f
+	}
+	in.mu.Unlock()
+	switch f {
+	case Panic:
+		panic(fmt.Sprintf("faultinject: injected panic in lemma for operator %q (seed %d)", v.Label, in.cfg.Seed))
+	case Slow:
+		time.Sleep(in.cfg.SlowFor)
+	case Starve:
+		return &egraph.SaturateOpts{MaxIters: in.cfg.StarveMaxIters, MaxNodes: in.cfg.StarveMaxNodes}
+	}
+	return nil
+}
+
+// Injected reports how many faults of each kind fired so far. Safe for
+// concurrent use with PreOp.
+func (in *Injector) Injected() map[Fault]int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := map[Fault]int{}
+	for _, f := range in.injected {
+		out[f]++
+	}
+	return out
+}
+
+// unit hashes (seed, label) to a uniform point in [0, 1) with an
+// FNV-1a pass over the label followed by a splitmix64 finalizer.
+func unit(seed uint64, label string) float64 {
+	h := uint64(14695981039346656037) ^ seed
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	// splitmix64 finalizer for avalanche.
+	h += 0x9e3779b97f4a7c15
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	h ^= h >> 31
+	return float64(h>>11) / float64(1<<53)
+}

@@ -1,0 +1,101 @@
+package faultinject
+
+import (
+	"fmt"
+	"testing"
+
+	"entangle/internal/graph"
+)
+
+func testNode(label string) *graph.Node { return &graph.Node{Label: label} }
+
+// TestDecideDeterministic: the decision is a pure function of
+// (seed, rates, label) — repeated calls and fresh injectors agree.
+func TestDecideDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, PanicRate: 0.2, SlowRate: 0.2, StarveRate: 0.2}
+	a, b := New(cfg), New(cfg)
+	for i := 0; i < 200; i++ {
+		label := fmt.Sprintf("L%d/op%d", i%8, i)
+		if got, want := a.Decide(label), b.Decide(label); got != want {
+			t.Fatalf("label %q: %v vs %v across injectors", label, got, want)
+		}
+		if got, want := a.Decide(label), a.Decide(label); got != want {
+			t.Fatalf("label %q: %v vs %v across calls", label, got, want)
+		}
+	}
+}
+
+// TestDecideSeedSensitivity: different seeds give different fault
+// sets (overwhelmingly likely over 200 labels at these rates).
+func TestDecideSeedSensitivity(t *testing.T) {
+	a := New(Config{Seed: 1, PanicRate: 0.3})
+	b := New(Config{Seed: 2, PanicRate: 0.3})
+	differ := false
+	for i := 0; i < 200 && !differ; i++ {
+		label := fmt.Sprintf("op%d", i)
+		differ = a.Decide(label) != b.Decide(label)
+	}
+	if !differ {
+		t.Fatal("seeds 1 and 2 made identical decisions on 200 labels")
+	}
+}
+
+// TestRateCarving: rates carve the unit interval — observed fault
+// frequencies over many labels land near the configured rates, and
+// zero rates inject nothing.
+func TestRateCarving(t *testing.T) {
+	in := New(Config{Seed: 7, PanicRate: 0.25, SlowRate: 0.25, StarveRate: 0.25})
+	counts := map[Fault]int{}
+	const n = 4000
+	for i := 0; i < n; i++ {
+		counts[in.Decide(fmt.Sprintf("op%d", i))]++
+	}
+	for _, f := range []Fault{Panic, Slow, Starve, None} {
+		frac := float64(counts[f]) / n
+		if frac < 0.20 || frac > 0.30 {
+			t.Fatalf("%v frequency %.3f, want ≈0.25 (counts %v)", f, frac, counts)
+		}
+	}
+
+	quiet := New(Config{Seed: 7})
+	for i := 0; i < 500; i++ {
+		if f := quiet.Decide(fmt.Sprintf("op%d", i)); f != None {
+			t.Fatalf("zero-rate injector decided %v", f)
+		}
+	}
+}
+
+// TestPreOpStarveBudget: a starved operator gets the starved budget,
+// an untouched one keeps the caller's, and Injected records the hit.
+func TestPreOpStarveBudget(t *testing.T) {
+	in := New(Config{Seed: 3, StarveRate: 1.0, StarveMaxIters: 2, StarveMaxNodes: 16})
+	node := testNode("victim")
+	o := in.PreOp(node)
+	if o == nil || o.MaxIters != 2 || o.MaxNodes != 16 {
+		t.Fatalf("starved override wrong: %+v", o)
+	}
+	if got := in.Injected()[Starve]; got != 1 {
+		t.Fatalf("Injected[Starve] = %d, want 1", got)
+	}
+
+	none := New(Config{Seed: 3})
+	if o := none.PreOp(node); o != nil {
+		t.Fatalf("no-fault PreOp must return nil, got %+v", o)
+	}
+}
+
+// TestPreOpPanics: a Panic decision panics with a message naming the
+// operator.
+func TestPreOpPanics(t *testing.T) {
+	in := New(Config{Seed: 9, PanicRate: 1.0})
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			t.Fatal("PreOp did not panic")
+		}
+		if s, ok := rec.(string); !ok || s == "" {
+			t.Fatalf("panic value %v, want descriptive string", rec)
+		}
+	}()
+	in.PreOp(testNode("boom"))
+}

@@ -24,8 +24,11 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (core, egraph, relation, lemmas) =="
-go test -race ./internal/core/... ./internal/egraph/... ./internal/relation/... ./internal/lemmas/...
+echo "== go test -race (core, egraph, relation, lemmas, faultinject) =="
+# -timeout on core: the robustness suite's worst regression mode is a
+# deadlocked worker pool, which must fail the gate instead of hanging it.
+go test -race -timeout 120s ./internal/core/...
+go test -race ./internal/egraph/... ./internal/relation/... ./internal/lemmas/... ./internal/faultinject/...
 
 echo "== entangle-lint =="
 sh scripts/lint.sh
