@@ -6,11 +6,19 @@ package entangle_test
 // boundaries and file formats.
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 func buildTool(t *testing.T, dir, pkg string) string {
@@ -122,5 +130,143 @@ func TestCLIWorkflow(t *testing.T) {
 		"-gs", prefix+"-seq.json", "-gd", prefix+"-dist.json", "-rel", prefix+"-relation.json")
 	if !strings.Contains(out, "refinement verified") {
 		t.Fatalf("flags on healthy run:\n%s", out)
+	}
+
+	// 9. -cache: the second (warm) run replays every verdict from the
+	// cold run's store yet prints a byte-identical report — the only
+	// divergence allowed is the wall-clock token, masked here. A third
+	// run at a different worker count must agree too.
+	cacheDir := filepath.Join(dir, "vcache")
+	cacheArgs := []string{"-cache", cacheDir, "-v",
+		"-gs", prefix + "-seq.json", "-gd", prefix + "-dist.json", "-rel", prefix + "-relation.json"}
+	cold := run(t, check, 0, cacheArgs...)
+	warm := run(t, check, 0, cacheArgs...)
+	warm8 := run(t, check, 0, append([]string{"-workers", "8"}, cacheArgs...)...)
+	if !strings.Contains(cold, "refinement verified") {
+		t.Fatalf("cold cache run:\n%s", cold)
+	}
+	clock := regexp.MustCompile(`checked in [^)]*\)`)
+	mask := func(s string) string { return clock.ReplaceAllString(s, "checked in X)") }
+	if mask(warm) != mask(cold) {
+		t.Fatalf("warm cache report differs from cold:\n--- cold ---\n%s--- warm ---\n%s", cold, warm)
+	}
+	if mask(warm8) != mask(cold) {
+		t.Fatalf("warm 8-worker report differs from cold:\n--- cold ---\n%s--- warm ---\n%s", cold, warm8)
+	}
+}
+
+// TestCLIDaemon drives cmd/entangled end to end: start it with an
+// on-disk cache, submit the same graphgen-produced model twice, watch
+// /v1/stats report warm hits, then SIGTERM and expect a graceful
+// drain with exit status 0.
+func TestCLIDaemon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	gen := buildTool(t, dir, "./cmd/entangle-graphgen")
+	daemon := buildTool(t, dir, "./cmd/entangled")
+
+	prefix := filepath.Join(dir, "gpt")
+	run(t, gen, 0, "-model", "gpt", "-tp", "2", "-o", prefix)
+	readFile := func(path string) json.RawMessage {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	body, err := json.Marshal(map[string]json.RawMessage{
+		"gs":  readFile(prefix + "-seq.json"),
+		"gd":  readFile(prefix + "-dist.json"),
+		"rel": readFile(prefix + "-relation.json"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reserve a port, release it, and hand it to the daemon.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	var stderr bytes.Buffer
+	cmd := exec.Command(daemon, "-addr", addr, "-cache", filepath.Join(dir, "vcache"))
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+	base := "http://" + addr
+
+	// Wait for liveness.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never became healthy; stderr:\n%s", stderr.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	check := func() map[string]any {
+		resp, err := http.Post(base+"/v1/check", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var cr map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK || cr["verdict"] != "refined" {
+			t.Fatalf("check: status %d body %v", resp.StatusCode, cr)
+		}
+		return cr
+	}
+	cold := check()
+	warm := check()
+	if fmt.Sprint(warm["output_relation"]) != fmt.Sprint(cold["output_relation"]) {
+		t.Fatalf("warm relation differs:\n  cold: %v\n  warm: %v", cold["output_relation"], warm["output_relation"])
+	}
+
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Requests int64 `json:"requests"`
+		Refined  int64 `json:"refined"`
+		Cache    struct {
+			Hits int64 `json:"hits"`
+		} `json:"cache"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Requests != 2 || stats.Refined != 2 || stats.Cache.Hits == 0 {
+		t.Fatalf("stats after warm submission: %+v", stats)
+	}
+
+	// Graceful drain on SIGTERM: exit 0, drain announced on stderr.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("daemon exit: %v; stderr:\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "drained") {
+		t.Fatalf("daemon stderr missing drain notice:\n%s", stderr.String())
 	}
 }

@@ -6,7 +6,9 @@
 //	entangle-bench -exp bugs       # Table 3
 //
 // Experiments: fig3, fig4, fig5, fig6, bugs (Table 3), ablation,
-// extensions, parallel, chaos (fault-injection robustness matrix).
+// extensions, parallel, chaos (fault-injection robustness matrix),
+// cache (cold vs warm verdict-cache matrix; -json FILE appends the
+// run's data points to a BENCH_cache.json-style trajectory).
 package main
 
 import (
@@ -15,8 +17,10 @@ import (
 	"os"
 )
 
+var jsonOut = flag.String("json", "", "append the cache experiment's data points to this JSON trajectory file (e.g. BENCH_cache.json)")
+
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6, bugs, ablation, extensions, parallel, chaos, all")
+	exp := flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6, bugs, ablation, extensions, parallel, chaos, cache, all")
 	flag.Parse()
 
 	steps := []struct {
@@ -32,6 +36,7 @@ func main() {
 		{"extensions", runExtensions},
 		{"parallel", runParallel},
 		{"chaos", runChaos},
+		{"cache", runCache},
 	}
 	ran := false
 	for _, s := range steps {

@@ -1,6 +1,14 @@
 package main
 
-import "entangle/internal/bench"
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"entangle/internal/bench"
+)
 
 func runFig3() (string, error) {
 	txt, _, err := bench.Fig3()
@@ -26,5 +34,49 @@ func runAblation() (string, error) { return bench.Ablation() }
 func runParallel() (string, error) { return bench.Parallel() }
 
 func runChaos() (string, error) { return bench.Chaos() }
+
+func runCache() (string, error) {
+	txt, points, err := bench.Cache()
+	if err != nil {
+		return "", err
+	}
+	if *jsonOut != "" {
+		if err := appendTrajectory(*jsonOut, points); err != nil {
+			return "", err
+		}
+		txt += fmt.Sprintf("appended %d data points to %s\n", len(points), *jsonOut)
+	}
+	return txt, err
+}
+
+// cacheRun is one recorded `-exp cache` invocation in the trajectory
+// file: BENCH_cache.json holds an array of these, one per run, so the
+// series tracks cache performance across checker versions.
+type cacheRun struct {
+	Timestamp string             `json:"timestamp"`
+	Go        string             `json:"go"`
+	Points    []bench.CachePoint `json:"points"`
+}
+
+func appendTrajectory(path string, points []bench.CachePoint) error {
+	var runs []cacheRun
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &runs); err != nil {
+			return fmt.Errorf("%s: existing trajectory unreadable: %v", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	runs = append(runs, cacheRun{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Go:        runtime.Version(),
+		Points:    points,
+	})
+	data, err := json.MarshalIndent(runs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
 
 func runExtensions() (string, error) { return bench.Extensions() }

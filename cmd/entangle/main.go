@@ -12,7 +12,10 @@
 // operator inconclusive instead of aborting; -keep-going reports every
 // failing operator (skipping their downstream cones) instead of
 // stopping at the first; -budget-escalations retries budget-limited
-// operators with geometrically larger saturation budgets.
+// operators with geometrically larger saturation budgets; -cache DIR
+// keeps a content-addressed verdict cache across runs, so re-checking
+// an unchanged (or mostly unchanged) model pair replays stored
+// verdicts instead of re-saturating.
 //
 // With -lint, positional arguments name captured graph files, and the
 // graph IR lint layer (internal/lint) runs over each instead of a
@@ -45,7 +48,6 @@ import (
 	"entangle"
 	"entangle/internal/exprparse"
 	"entangle/internal/lint"
-	"entangle/internal/relation"
 )
 
 func main() {
@@ -61,6 +63,7 @@ func main() {
 		opTO    = flag.Duration("op-timeout", 0, "per-operator deadline; an operator exceeding it is inconclusive, not fatal (0 = none)")
 		keepGo  = flag.Bool("keep-going", false, "on a per-operator failure, skip its downstream cone and keep checking independent operators; report every failure")
 		escal   = flag.Int("budget-escalations", 0, "retries with a 4x larger saturation budget before an operator is declared inconclusive (0 = default of 1, negative = disabled)")
+		cache   = flag.String("cache", "", "verdict cache directory: operators whose content-addressed fingerprint matches a prior run replay the stored verdict instead of re-saturating (empty = no cache)")
 		doLint  = flag.Bool("lint", false, "lint the given graph files instead of checking refinement")
 		jsonOut = flag.Bool("json", false, "with -lint: emit findings as JSON")
 	)
@@ -87,12 +90,20 @@ func main() {
 		fatal(2, "loading relation: %v", err)
 	}
 
-	checker := entangle.NewChecker(entangle.CheckerOptions{
+	opts := entangle.CheckerOptions{
 		Workers:           *workers,
 		OpTimeout:         *opTO,
 		KeepGoing:         *keepGo,
 		BudgetEscalations: *escal,
-	})
+	}
+	if *cache != "" {
+		vc, err := entangle.OpenVerdictCache(entangle.VerdictCacheConfig{Dir: *cache})
+		if err != nil {
+			fatal(2, "opening cache: %v", err)
+		}
+		opts.Cache = vc
+	}
+	checker := entangle.NewChecker(opts)
 	if *expect != "" {
 		if err := checkExpectation(checker, gs, gd, ri, *expect); err != nil {
 			var ee *entangle.ExpectationError
@@ -215,27 +226,7 @@ func loadRelation(path string, gs, gd *entangle.Graph) (*entangle.Relation, erro
 	if err := json.Unmarshal(data, &raw); err != nil {
 		return nil, err
 	}
-	ri := entangle.NewRelation()
-	for gsName, exprs := range raw {
-		t, ok := gs.TensorByName(gsName)
-		if !ok {
-			return nil, fmt.Errorf("G_s has no tensor %q", gsName)
-		}
-		for _, src := range exprs {
-			term, err := exprparse.Parse(strings.TrimSpace(src), func(name string) (*entangle.Term, error) {
-				gdT, ok := gd.TensorByName(name)
-				if !ok {
-					return nil, fmt.Errorf("G_d has no tensor %q", name)
-				}
-				return relation.GdLeaf(gdT), nil
-			})
-			if err != nil {
-				return nil, fmt.Errorf("relation for %q: %v", gsName, err)
-			}
-			ri.Add(t.ID, term)
-		}
-	}
-	return ri, nil
+	return exprparse.ParseRelation(raw, gs, gd)
 }
 
 // checkExpectation reads {"fs": "...", "fd": "..."} and runs the §4.4
@@ -252,23 +243,11 @@ func checkExpectation(checker *entangle.Checker, gs, gd *entangle.Graph, ri *ent
 	if err := json.Unmarshal(data, &raw); err != nil {
 		return err
 	}
-	fs, err := exprparse.Parse(strings.TrimSpace(raw.Fs), func(name string) (*entangle.Term, error) {
-		t, ok := gs.TensorByName(name)
-		if !ok {
-			return nil, fmt.Errorf("G_s has no tensor %q", name)
-		}
-		return relation.GsLeaf(t), nil
-	})
+	fs, err := exprparse.Parse(strings.TrimSpace(raw.Fs), exprparse.GsLeafFn(gs))
 	if err != nil {
 		return fmt.Errorf("expectation fs: %v", err)
 	}
-	fd, err := exprparse.Parse(strings.TrimSpace(raw.Fd), func(name string) (*entangle.Term, error) {
-		t, ok := gd.TensorByName(name)
-		if !ok {
-			return nil, fmt.Errorf("G_d has no tensor %q", name)
-		}
-		return relation.GdLeaf(t), nil
-	})
+	fd, err := exprparse.Parse(strings.TrimSpace(raw.Fd), exprparse.GdLeafFn(gd))
 	if err != nil {
 		return fmt.Errorf("expectation fd: %v", err)
 	}

@@ -1,0 +1,101 @@
+// Command entangled is the long-lived checker daemon: it serves
+// refinement checks over HTTP while keeping one warm content-addressed
+// verdict cache (and one materialized lemma registry) across requests,
+// so repeated checks of unchanged operators replay stored verdicts
+// instead of re-saturating.
+//
+//	entangled -addr :8372 -cache /var/cache/entangle
+//
+// Endpoints (see internal/server):
+//
+//	POST /v1/check    {"gs": <graph>, "gd": <graph>, "rel": {...}}
+//	GET  /v1/healthz
+//	GET  /v1/stats
+//
+// SIGINT/SIGTERM drain gracefully: the listener closes, in-flight
+// checks run to completion (bounded by -drain-timeout), and the
+// process exits 0. Exit status 2 reports a startup error.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"entangle"
+	"entangle/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8372", "listen address")
+		cache   = flag.String("cache", "", "verdict cache directory shared across requests (empty = in-memory cache only)")
+		workers = flag.Int("workers", 0, "per-check worker pool size (0 = GOMAXPROCS)")
+		conc    = flag.Int("max-concurrent", 0, "simultaneous checks (0 = GOMAXPROCS); further requests queue")
+		reqTO   = flag.Duration("request-timeout", 5*time.Minute, "default per-check deadline when the request carries none (0 = none)")
+		opTO    = flag.Duration("op-timeout", 0, "per-operator deadline within each check (0 = none)")
+		escal   = flag.Int("budget-escalations", 0, "retries with a 4x larger saturation budget before an operator is declared inconclusive (0 = default of 1, negative = disabled)")
+		drainTO = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight checks")
+	)
+	flag.Parse()
+
+	// The daemon always runs with a verdict cache — sharing warm
+	// verdicts across requests is its reason to exist. -cache adds the
+	// on-disk layer so warmth survives restarts.
+	vc, err := entangle.OpenVerdictCache(entangle.VerdictCacheConfig{Dir: *cache})
+	if err != nil {
+		fatal("opening cache: %v", err)
+	}
+
+	srv := server.New(server.Config{
+		Options: entangle.CheckerOptions{
+			Workers:           *workers,
+			OpTimeout:         *opTO,
+			BudgetEscalations: *escal,
+			Cache:             vc,
+		},
+		MaxConcurrent:  *conc,
+		DefaultTimeout: *reqTO,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "entangled: listening on %s (cache %s)\n", *addr, cacheDesc(*cache))
+
+	select {
+	case err := <-errc:
+		fatal("%v", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting, let in-flight checks finish.
+	fmt.Fprintln(os.Stderr, "entangled: draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal("shutdown: %v", err)
+	}
+	fmt.Fprintln(os.Stderr, "entangled: drained")
+}
+
+func cacheDesc(dir string) string {
+	if dir == "" {
+		return "in-memory"
+	}
+	return dir
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "entangled: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -40,6 +40,7 @@ import (
 	"entangle/internal/relation"
 	"entangle/internal/shape"
 	"entangle/internal/sym"
+	"entangle/internal/vcache"
 )
 
 // Core graph types.
@@ -98,6 +99,13 @@ type (
 	Term = expr.Term
 	// LemmaRegistry is the rewrite-lemma library.
 	LemmaRegistry = lemmas.Registry
+	// VerdictCache is the content-addressed verdict cache consulted via
+	// CheckerOptions.Cache: operators whose fingerprint matches a prior
+	// run replay the stored verdict instead of re-saturating.
+	VerdictCache = vcache.Cache
+	// VerdictCacheConfig sizes a VerdictCache (directory, in-memory
+	// capacity, shard count).
+	VerdictCacheConfig = vcache.Config
 )
 
 // NewBuilder starts a graph with the given name; ctx may be nil.
@@ -127,6 +135,10 @@ func NewRelation() *Relation { return relation.New() }
 // DefaultLemmas builds the full lemma library (Figure 6's c/g/v/h
 // families).
 func DefaultLemmas() *LemmaRegistry { return lemmas.Default() }
+
+// OpenVerdictCache opens (creating if needed) a verdict cache; one
+// cache may be shared across checkers and concurrent Check calls.
+func OpenVerdictCache(cfg VerdictCacheConfig) (*VerdictCache, error) { return vcache.Open(cfg) }
 
 // GdLeaf references a distributed-graph tensor inside a relation
 // expression.

@@ -1,0 +1,258 @@
+package core
+
+// Verdict-cache integration: before an operator is saturated, checkOp
+// consults Options.Cache under a content-addressed key — the
+// operator's upstream-cone fingerprint combined with the run's ambient
+// digest (lemma registry, budget options, G_d, checker version). On a
+// hit the stored verdict is REPLAYED, not merely returned: a Refined
+// entry re-adds the exact extracted mappings (in stored order, so the
+// relation's insertion-order tie-breaking matches a live run) and a
+// Disproved entry reconstructs the same RefinementError against the
+// current graphs. Replay therefore leaves the run in a state
+// byte-identical to a cold run, while Report.LiveStats records that no
+// saturation actually happened.
+//
+// Reuse safety rests on two facts. First, an operator's verdict is a
+// pure function of exactly what the key hashes: its cone (ops, shapes,
+// attributes, wiring), the input-relation entries its cone consumes,
+// G_d, the lemma library, the saturation budget, and the checker
+// version — nothing schedule- or wall-clock-dependent. Second, only
+// the schedule-independent points of the verdict lattice are cached:
+// Refined and Disproved are facts about the graphs; Inconclusive
+// depends on budgets and clocks (and escalation makes it retryable),
+// EngineFault on transient runtime state, Skipped on sibling failures.
+// Those are never stored — vcache itself also rejects them.
+//
+// Two bypasses keep the key honest: a PreOp budget override
+// (fault-injection harnesses) changes the effective budget without
+// changing the key, so overridden operators skip the cache entirely;
+// and a Disproved failure on a tensor that is not one of the
+// operator's outputs (a missing *input* mapping) reflects upstream
+// state, so it is not stored either.
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"entangle/internal/egraph"
+	"entangle/internal/expr"
+	"entangle/internal/fingerprint"
+	"entangle/internal/graph"
+	"entangle/internal/vcache"
+)
+
+// CheckerVersion tags every cache key with the checker's semantic
+// version. Bump it whenever checking semantics change in a way the
+// other key components cannot see (extraction order, frontier policy,
+// verdict classification), so stale verdicts invalidate wholesale.
+const CheckerVersion = "entangle-core/1"
+
+// CacheStats summarizes one run's verdict-cache traffic in the Report.
+type CacheStats struct {
+	// Hits/Misses/Stores/ReplayRejects count this run's own lookups
+	// and stores.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	Stores int64 `json:"stores"`
+	// ReplayRejects counts hits whose payload failed to replay against
+	// the current graphs (counted in Misses too); nonzero values
+	// indicate a fingerprint scheme bug and are worth alerting on.
+	ReplayRejects int64 `json:"replay_rejects,omitempty"`
+	// Corrupt and Evictions are deltas of the shared cache's global
+	// counters across this run; concurrent runs on one cache may
+	// attribute each other's events.
+	Corrupt   int64 `json:"corrupt"`
+	Evictions int64 `json:"evictions"`
+}
+
+// cacheState is the per-run cache context hanging off runState.
+type cacheState struct {
+	cache *vcache.Cache
+	gdix  *fingerprint.GdIndex
+	// keys holds every operator's precomputed cache key. Filling the
+	// map before the scheduler starts keeps the cone hasher's memo
+	// single-threaded; afterwards workers only read.
+	keys map[graph.NodeID]fingerprint.Hash
+
+	hits, misses, stores, replayRejects atomic.Int64
+	baseCorrupt, baseEvictions          int64
+}
+
+// initCache precomputes the ambient digest and every operator's key.
+// Called after runState construction, before any operator runs.
+func (r *runState) initCache(order []*graph.Node) error {
+	if r.opts.Cache == nil {
+		return nil
+	}
+	gdix, err := fingerprint.NewGdIndex(r.gd)
+	if err != nil {
+		return fmt.Errorf("core: cache: %v", err)
+	}
+	opts := fmt.Sprintf("mm=%d|mfi=%d|df=%t|si=%d|sn=%d|be=%d",
+		r.opts.MaxMappings, r.opts.MaxFrontierIters, r.opts.DisableFrontier,
+		r.opts.Saturate.MaxIters, r.opts.Saturate.MaxNodes, r.opts.BudgetEscalations)
+	// Workers, OpTimeout, KeepGoing, and observers are deliberately
+	// absent: they steer scheduling and wall clocks, never a cacheable
+	// verdict.
+	ambient := fingerprint.Ambient(CheckerVersion, r.opts.Registry.Fingerprint(),
+		[]byte(opts), fingerprint.GraphDigest(r.gd), r.gs.Ctx)
+	cones := fingerprint.NewConeHasher(r.gs, r.rel, gdix)
+	keys := make(map[graph.NodeID]fingerprint.Hash, len(order))
+	for _, v := range order {
+		keys[v.ID] = fingerprint.Key(ambient, cones.Node(v.ID))
+	}
+	snap := r.opts.Cache.Stats().Snapshot()
+	r.cache = &cacheState{
+		cache:         r.opts.Cache,
+		gdix:          gdix,
+		keys:          keys,
+		baseCorrupt:   snap.Corrupt,
+		baseEvictions: snap.Evictions,
+	}
+	return nil
+}
+
+// reportCache fills the Report's cache section.
+func (r *runState) reportCache(report *Report) {
+	if r.cache == nil {
+		return
+	}
+	snap := r.cache.cache.Stats().Snapshot()
+	report.Cache = CacheStats{
+		Hits:          r.cache.hits.Load(),
+		Misses:        r.cache.misses.Load(),
+		Stores:        r.cache.stores.Load(),
+		ReplayRejects: r.cache.replayRejects.Load(),
+		Corrupt:       snap.Corrupt - r.cache.baseCorrupt,
+		Evictions:     snap.Evictions - r.cache.baseEvictions,
+	}
+}
+
+// replayCached looks up and replays a cached verdict for v. ok=false
+// means the caller must run the operator live (miss, replay defect, or
+// cache disabled for this op).
+func (r *runState) replayCached(v *graph.Node) (stats egraph.Stats, verdict OpVerdict, ok bool) {
+	e := r.cache.cache.Get(r.cache.keys[v.ID])
+	if e == nil {
+		r.cache.misses.Add(1)
+		return stats, verdict, false
+	}
+	stats, verdict, ok = r.replayEntry(v, e)
+	if !ok {
+		// A validated entry that does not fit the current graphs:
+		// count it distinctly — this should never happen if the
+		// fingerprint covers everything it must.
+		r.cache.misses.Add(1)
+		r.cache.replayRejects.Add(1)
+		return egraph.Stats{}, OpVerdict{}, false
+	}
+	r.cache.hits.Add(1)
+	return stats, verdict, true
+}
+
+// replayEntry reconstructs the run-state effects of a cached verdict.
+func (r *runState) replayEntry(v *graph.Node, e *vcache.Entry) (egraph.Stats, OpVerdict, bool) {
+	switch e.Verdict {
+	case vcache.VerdictRefined:
+		if len(e.Outputs) != len(v.Outputs) {
+			return egraph.Stats{}, OpVerdict{}, false
+		}
+		// Decode everything before mutating the relation, so a defect
+		// half-way cannot leave partial replay state behind.
+		type decoded struct{ main, restricted []*expr.Term }
+		all := make([]decoded, len(e.Outputs))
+		for i, m := range e.Outputs {
+			var d decoded
+			for _, src := range m.Main {
+				t, err := fingerprint.DecodeTerm(src, r.cache.gdix, nil)
+				if err != nil {
+					return egraph.Stats{}, OpVerdict{}, false
+				}
+				d.main = append(d.main, t)
+			}
+			for _, src := range m.Restricted {
+				t, err := fingerprint.DecodeTerm(src, r.cache.gdix, nil)
+				if err != nil {
+					return egraph.Stats{}, OpVerdict{}, false
+				}
+				d.restricted = append(d.restricted, t)
+			}
+			if len(d.main) == 0 {
+				return egraph.Stats{}, OpVerdict{}, false
+			}
+			all[i] = d
+		}
+		for i, out := range v.Outputs {
+			r.rel.AddAll(out, all[i].main)
+			r.rel.AddAll(out, all[i].restricted)
+		}
+		return e.Stats, OpVerdict{Op: v, Kind: VerdictRefined, Escalations: e.Escalations}, true
+
+	case vcache.VerdictDisproved:
+		if e.FailOutput < 0 || e.FailOutput >= len(v.Outputs) {
+			return egraph.Stats{}, OpVerdict{}, false
+		}
+		re := &RefinementError{Op: v, Tensor: r.gs.Tensor(v.Outputs[e.FailOutput]),
+			InputMappings: r.renderInputMappings(v)}
+		return e.Stats, OpVerdict{Op: v, Kind: VerdictDisproved, Err: re, Escalations: e.Escalations}, true
+	}
+	return egraph.Stats{}, OpVerdict{}, false
+}
+
+// storeVerdict persists a just-computed live verdict when it is
+// cacheable. outs carries the per-output extracted mappings of a
+// Refined run (nil otherwise).
+func (r *runState) storeVerdict(v *graph.Node, acc egraph.Stats, verdict OpVerdict, outs []outputMapping) {
+	entry := &vcache.Entry{Escalations: verdict.Escalations, Stats: acc}
+	switch verdict.Kind {
+	case VerdictRefined:
+		if len(outs) != len(v.Outputs) {
+			return
+		}
+		entry.Verdict = vcache.VerdictRefined
+		for _, om := range outs {
+			m := vcache.Mapping{}
+			for _, t := range om.main {
+				m.Main = append(m.Main, fingerprint.CanonicalTerm(t, r.cache.gdix))
+			}
+			for _, t := range om.restricted {
+				m.Restricted = append(m.Restricted, fingerprint.CanonicalTerm(t, r.cache.gdix))
+			}
+			entry.Outputs = append(entry.Outputs, m)
+		}
+	case VerdictDisproved:
+		re, isRefinement := verdict.Err.(*RefinementError)
+		if !isRefinement || re.Tensor == nil {
+			return
+		}
+		fail := -1
+		for i, out := range v.Outputs {
+			if out == re.Tensor.ID {
+				fail = i
+				break
+			}
+		}
+		if fail < 0 {
+			// The failure names an *input* tensor (missing upstream
+			// mapping): that is a fact about run state, not about this
+			// operator's cone — not cacheable.
+			return
+		}
+		entry.Verdict = vcache.VerdictDisproved
+		entry.FailOutput = fail
+	default:
+		return
+	}
+	// Store errors are counted by the cache itself (StoreErrors) and
+	// never affect the verdict; the entry stays usable in memory.
+	if err := r.cache.cache.Put(r.cache.keys[v.ID], entry); err == nil {
+		r.cache.stores.Add(1)
+	}
+}
+
+// outputMapping carries one output's extracted clean expressions out
+// of processOp, in extraction order, for cache storage.
+type outputMapping struct {
+	main       []*expr.Term
+	restricted []*expr.Term
+}

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"entangle/internal/egraph"
+	"entangle/internal/graph"
+	"entangle/internal/lemmas"
+	"entangle/internal/models"
+	"entangle/internal/vcache"
+)
+
+func openCache(t *testing.T) *vcache.Cache {
+	t.Helper()
+	c, err := vcache.Open(vcache.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestCacheWarmRunIdentical is the cache's core contract: a warm run
+// replays every verdict without saturating anything, and the resulting
+// report is byte-identical to the cold run — same relations, same
+// aggregate stats, same verdicts.
+func TestCacheWarmRunIdentical(t *testing.T) {
+	b, err := models.GPT(models.Options{TP: 2, SP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := openCache(t)
+	reg := lemmas.Default()
+	checker := NewChecker(Options{Registry: reg, Cache: cache})
+
+	cold, err := checker.Check(b.Gs, b.Gd, b.Ri)
+	if err != nil {
+		t.Fatalf("cold: %v", err)
+	}
+	if cold.Cache.Hits != 0 {
+		t.Fatalf("cold run hit the cache: %+v", cold.Cache)
+	}
+	if cold.Cache.Stores == 0 {
+		t.Fatalf("cold run stored nothing: %+v", cold.Cache)
+	}
+	if cold.LiveStats.Iterations == 0 {
+		t.Fatal("cold run recorded no live saturation work")
+	}
+
+	warm, err := checker.Check(b.Gs, b.Gd, b.Ri)
+	if err != nil {
+		t.Fatalf("warm: %v", err)
+	}
+	if warm.Cache.Misses != 0 || warm.Cache.ReplayRejects != 0 {
+		t.Fatalf("warm run missed: %+v", warm.Cache)
+	}
+	if int(warm.Cache.Hits) != warm.OpsProcessed {
+		t.Fatalf("warm hits %d, want one per operator (%d)", warm.Cache.Hits, warm.OpsProcessed)
+	}
+	// The acceptance signal: no operator was re-saturated.
+	if warm.LiveStats.Iterations != 0 {
+		t.Fatalf("warm run re-saturated: LiveStats %+v", warm.LiveStats)
+	}
+	assertReportsMatch(t, b, cold, warm)
+
+	// The stored stats replay into the aggregate, so Stats matches a
+	// cache-disabled run too.
+	plain, err := NewChecker(Options{Registry: reg}).Check(b.Gs, b.Gd, b.Ri)
+	if err != nil {
+		t.Fatalf("cache-disabled: %v", err)
+	}
+	assertReportsMatch(t, b, plain, warm)
+}
+
+// TestCacheWarmAcrossWorkers replays a warm cache at several worker
+// counts: the report must stay byte-identical — replay preserves the
+// relation's insertion order, and stats merge in topo order.
+func TestCacheWarmAcrossWorkers(t *testing.T) {
+	b, err := models.SeedMoE(models.Options{TP: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := openCache(t)
+	reg := lemmas.Default()
+	cold, err := NewChecker(Options{Registry: reg, Cache: cache, Workers: 1}).Check(b.Gs, b.Gd, b.Ri)
+	if err != nil {
+		t.Fatalf("cold: %v", err)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		warm, err := NewChecker(Options{Registry: reg, Cache: cache, Workers: workers}).Check(b.Gs, b.Gd, b.Ri)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if warm.LiveStats.Iterations != 0 {
+			t.Fatalf("workers=%d re-saturated: %+v", workers, warm.LiveStats)
+		}
+		assertReportsMatch(t, b, cold, warm)
+	}
+}
+
+// TestCacheDiskPersistence reopens the cache directory with a fresh
+// Cache (cold memory): the warm run must be served from disk.
+func TestCacheDiskPersistence(t *testing.T) {
+	b, err := models.Llama(models.Options{TP: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	c1, err := vcache.Open(vcache.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := lemmas.Default()
+	cold, err := NewChecker(Options{Registry: reg, Cache: c1}).Check(b.Gs, b.Gd, b.Ri)
+	if err != nil {
+		t.Fatalf("cold: %v", err)
+	}
+	c2, err := vcache.Open(vcache.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := NewChecker(Options{Registry: reg, Cache: c2}).Check(b.Gs, b.Gd, b.Ri)
+	if err != nil {
+		t.Fatalf("warm: %v", err)
+	}
+	if warm.LiveStats.Iterations != 0 || warm.Cache.Misses != 0 {
+		t.Fatalf("disk reopen not warm: live %+v cache %+v", warm.LiveStats, warm.Cache)
+	}
+	if c2.Stats().Snapshot().DiskHits == 0 {
+		t.Fatal("expected disk hits on a fresh in-memory cache")
+	}
+	assertReportsMatch(t, b, cold, warm)
+}
+
+// TestCacheDisprovedReplay caches a Disproved verdict: a warm run on a
+// buggy model must report the exact same failure without saturating.
+func TestCacheDisprovedReplay(t *testing.T) {
+	b, err := models.GPT(models.Options{TP: 2, Bug: models.Bug7MissingAllReduce})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := openCache(t)
+	reg := lemmas.Default()
+	checker := NewChecker(Options{Registry: reg, Cache: cache, KeepGoing: true})
+
+	coldRep, coldErr := checker.Check(b.Gs, b.Gd, b.Ri)
+	if coldErr == nil {
+		t.Fatal("buggy model verified")
+	}
+	warmRep, warmErr := checker.Check(b.Gs, b.Gd, b.Ri)
+	if warmErr == nil {
+		t.Fatal("buggy model verified on warm cache")
+	}
+	if warmErr.Error() != coldErr.Error() {
+		t.Fatalf("warm error differs:\n--- cold ---\n%s\n--- warm ---\n%s", coldErr, warmErr)
+	}
+	var re *RefinementError
+	if !errors.As(warmErr, &re) {
+		t.Fatalf("warm error is not a RefinementError: %v", warmErr)
+	}
+	if got, want := warmRep.RenderFailures(), coldRep.RenderFailures(); got != want {
+		t.Fatalf("failure renderings differ:\n--- cold ---\n%s\n--- warm ---\n%s", want, got)
+	}
+	if warmRep.Cache.Hits == 0 {
+		t.Fatalf("warm buggy run never hit: %+v", warmRep.Cache)
+	}
+	if warmRep.LiveStats.Iterations != 0 {
+		t.Fatalf("warm buggy run re-saturated: %+v", warmRep.LiveStats)
+	}
+}
+
+// TestCacheAmbientInvalidation changes a budget-relevant option: the
+// ambient digest must change, so nothing from the first run is reused.
+func TestCacheAmbientInvalidation(t *testing.T) {
+	b, err := models.Regression(models.Options{GradAccum: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := openCache(t)
+	reg := lemmas.Default()
+	if _, err := NewChecker(Options{Registry: reg, Cache: cache}).Check(b.Gs, b.Gd, b.Ri); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := NewChecker(Options{Registry: reg, Cache: cache, MaxMappings: 17}).Check(b.Gs, b.Gd, b.Ri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cache.Hits != 0 {
+		t.Fatalf("changed options must not reuse verdicts: %+v", rep.Cache)
+	}
+}
+
+// TestCachePreOpOverrideBypasses ensures a PreOp budget override skips
+// the cache in both directions: the overridden run neither poisons the
+// store with small-budget verdicts nor consumes entries keyed by the
+// base budget.
+func TestCachePreOpOverrideBypasses(t *testing.T) {
+	b, err := models.Regression(models.Options{GradAccum: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := openCache(t)
+	reg := lemmas.Default()
+	override := egraph.SaturateOpts{MaxIters: 24, MaxNodes: 60_000}
+	checker := NewChecker(Options{Registry: reg, Cache: cache,
+		PreOp: func(v *graph.Node) *egraph.SaturateOpts { return &override }})
+	rep, err := checker.Check(b.Gs, b.Gd, b.Ri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cache.Hits != 0 || rep.Cache.Misses != 0 || rep.Cache.Stores != 0 {
+		t.Fatalf("overridden operators touched the cache: %+v", rep.Cache)
+	}
+}
+
+// TestCacheCorruptStoreIsSafe damages every on-disk entry: the next run
+// must classify them all as misses and still produce a report identical
+// to a cache-disabled run.
+func TestCacheCorruptStoreIsSafe(t *testing.T) {
+	b, err := models.GPT(models.Options{TP: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	c1, err := vcache.Open(vcache.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := lemmas.Default()
+	if _, err := NewChecker(Options{Registry: reg, Cache: c1}).Check(b.Gs, b.Gd, b.Ri); err != nil {
+		t.Fatal(err)
+	}
+	damaged := 0
+	err = filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if len(data) > 0 {
+			data[len(data)/2] ^= 0x20
+		}
+		damaged++
+		return os.WriteFile(path, data, 0o644)
+	})
+	if err != nil || damaged == 0 {
+		t.Fatalf("damaging store: %v (%d files)", err, damaged)
+	}
+	// Fresh cache over the damaged directory: cold memory forces every
+	// lookup through the corrupt files.
+	c2, err := vcache.Open(vcache.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := NewChecker(Options{Registry: reg, Cache: c2}).Check(b.Gs, b.Gd, b.Ri)
+	if err != nil {
+		t.Fatalf("check over corrupt store: %v", err)
+	}
+	if rep.Cache.Hits != 0 {
+		t.Fatalf("corrupt entries served: %+v", rep.Cache)
+	}
+	if rep.Cache.Corrupt == 0 {
+		t.Fatalf("corruption not counted: %+v", rep.Cache)
+	}
+	plain, err := NewChecker(Options{Registry: reg}).Check(b.Gs, b.Gd, b.Ri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertReportsMatch(t, b, plain, rep)
+}
+
+// assertReportsMatch compares the schedule- and cache-invariant parts
+// of two successful reports byte for byte.
+func assertReportsMatch(t *testing.T, b *models.Built, want, got *Report) {
+	t.Helper()
+	if gw, ww := got.OutputRelation.Render(b.Gs), want.OutputRelation.Render(b.Gs); gw != ww {
+		t.Errorf("output relations differ:\n--- want ---\n%s\n--- got ---\n%s", ww, gw)
+	}
+	if gw, ww := got.FullRelation.Render(b.Gs), want.FullRelation.Render(b.Gs); gw != ww {
+		t.Errorf("full relations differ:\n--- want ---\n%s\n--- got ---\n%s", ww, gw)
+	}
+	if got.OpsProcessed != want.OpsProcessed {
+		t.Errorf("OpsProcessed %d want %d", got.OpsProcessed, want.OpsProcessed)
+	}
+	if got.Stats.Iterations != want.Stats.Iterations ||
+		got.Stats.Runs != want.Stats.Runs ||
+		got.Stats.Saturated != want.Stats.Saturated {
+		t.Errorf("aggregate stats differ: want %+v got %+v", want.Stats, got.Stats)
+	}
+	if !reflect.DeepEqual(got.Stats.Applications, want.Stats.Applications) {
+		t.Errorf("lemma application counts differ:\n  want: %v\n  got:  %v",
+			statLines(want.Stats.Applications), statLines(got.Stats.Applications))
+	}
+	if len(got.Verdicts) != len(want.Verdicts) {
+		t.Fatalf("verdict counts differ: want %d got %d", len(want.Verdicts), len(got.Verdicts))
+	}
+	for i := range want.Verdicts {
+		if got.Verdicts[i].Kind != want.Verdicts[i].Kind ||
+			got.Verdicts[i].Escalations != want.Verdicts[i].Escalations {
+			t.Errorf("verdict %d differs: want %+v got %+v", i, want.Verdicts[i], got.Verdicts[i])
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"entangle/internal/relation"
 	"entangle/internal/shape"
 	"entangle/internal/sym"
+	"entangle/internal/vcache"
 )
 
 // Options tune the checker. The zero value selects the defaults used
@@ -92,6 +93,13 @@ type Options struct {
 	// specific operators; a panic in PreOp is recovered into an
 	// EngineFault verdict exactly like a panicking lemma.
 	PreOp func(v *graph.Node) *egraph.SaturateOpts
+	// Cache, when non-nil, is the content-addressed verdict cache
+	// consulted before each operator's saturation (see cache.go for
+	// the key construction and reuse-safety argument). One cache may
+	// be shared across checkers and concurrent Check calls. Operators
+	// whose budget a PreOp override replaced bypass the cache: the
+	// override changes the effective budget without changing the key.
+	Cache *vcache.Cache
 }
 
 // escalationFactor is the geometric budget growth per escalation.
@@ -158,8 +166,17 @@ type Report struct {
 	// tensors accumulated during the walk (useful for inspection).
 	FullRelation *relation.Relation
 	// Stats aggregates saturation statistics; Stats.Applications feeds
-	// the Figure 6 lemma heatmap.
+	// the Figure 6 lemma heatmap. Cache hits contribute their STORED
+	// stats here, so the aggregate matches a cache-disabled run.
 	Stats egraph.Stats
+	// LiveStats aggregates only the saturation work actually performed
+	// this run: cache hits contribute nothing. On a fully warm cache
+	// LiveStats.Iterations is zero — the acceptance signal that no
+	// operator was re-saturated.
+	LiveStats egraph.Stats
+	// Cache summarizes this run's verdict-cache traffic; zero when
+	// Options.Cache is nil.
+	Cache CacheStats
 	// OpsProcessed counts the G_s operators actually checked (skipped
 	// cone members in KeepGoing mode are excluded).
 	OpsProcessed int
@@ -245,6 +262,9 @@ func (c *Checker) CheckContext(ctx context.Context, gs, gd *graph.Graph, ri *rel
 			return nil, fmt.Errorf("core: input relation has no mapping for G_s input %q", gs.Tensor(in).Name)
 		}
 	}
+	if err := run.initCache(order); err != nil {
+		return nil, err
+	}
 
 	report := &Report{FullRelation: run.rel, Stats: egraph.Stats{Applications: map[string]int{}}}
 	workers := c.opts.Workers
@@ -259,6 +279,7 @@ func (c *Checker) CheckContext(ctx context.Context, gs, gd *graph.Graph, ri *rel
 		// cannot be resolved; hand back the partial report with the
 		// earliest failure as the error (the same operator the default
 		// mode would have reported).
+		run.reportCache(report)
 		report.Duration = time.Since(start)
 		return report, report.Failures[0].Err
 	}
@@ -269,6 +290,7 @@ func (c *Checker) CheckContext(ctx context.Context, gs, gd *graph.Graph, ri *rel
 		return nil, err
 	}
 	report.OutputRelation = ro
+	run.reportCache(report)
 	report.Duration = time.Since(start)
 	return report, nil
 }
@@ -285,6 +307,10 @@ type runState struct {
 	ctx     *sym.Context
 	rules   []*egraph.Rule
 	gdOrder []*graph.Node
+	// cache is the per-run verdict-cache context (cache.go); nil when
+	// Options.Cache is nil. Its key map is filled before the scheduler
+	// starts and read-only afterwards.
+	cache *cacheState
 }
 
 func mergedContext(gs, gd *graph.Graph) *sym.Context {
@@ -321,14 +347,14 @@ func (r *runState) newEGraph() *egraph.EGraph {
 func allowGdLeaf(tid int) bool { return relation.IsGd(tid) }
 
 // observedProcessOp wraps processOp with the OpObserver timing hook.
-func (r *runState) observedProcessOp(ctx context.Context, v *graph.Node, budget egraph.SaturateOpts) (egraph.Stats, error) {
+func (r *runState) observedProcessOp(ctx context.Context, v *graph.Node, budget egraph.SaturateOpts) (egraph.Stats, []outputMapping, error) {
 	if r.opts.OpObserver == nil {
 		return r.processOp(ctx, v, budget)
 	}
 	start := time.Now()
-	stats, err := r.processOp(ctx, v, budget)
+	stats, outs, err := r.processOp(ctx, v, budget)
 	r.opts.OpObserver(v, time.Since(start))
-	return stats, err
+	return stats, outs, err
 }
 
 // recoveredProcessOp runs one check attempt under panic recovery: a
@@ -336,9 +362,10 @@ func (r *runState) observedProcessOp(ctx context.Context, v *graph.Node, budget 
 // structured *EngineFaultError naming the operator, with the stack,
 // instead of unwinding through the worker pool (where, before this
 // layer, it deadlocked the scheduler by leaking an active slot).
-func (r *runState) recoveredProcessOp(ctx context.Context, v *graph.Node, budget egraph.SaturateOpts) (stats egraph.Stats, err error) {
+func (r *runState) recoveredProcessOp(ctx context.Context, v *graph.Node, budget egraph.SaturateOpts) (stats egraph.Stats, outs []outputMapping, err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
+			outs = nil
 			err = &EngineFaultError{Op: v, Recovered: rec, Stack: debug.Stack()}
 		}
 	}()
@@ -371,7 +398,12 @@ func (r *runState) safePreOp(v *graph.Node) (override *egraph.SaturateOpts, err 
 // from a fresh e-graph with deterministic budgets — so any Workers
 // value yields the same verdict for every operator. Timeout verdicts
 // (OpTimeout) are the one wall-clock-dependent exception.
-func (r *runState) checkOp(ctx context.Context, v *graph.Node) (acc egraph.Stats, verdict OpVerdict, fatal error) {
+//
+// acc carries the operator's total saturation statistics — replayed
+// from the cache on a hit — while live carries only work performed
+// this run (zero on a hit); the scheduler merges them into
+// Report.Stats and Report.LiveStats respectively.
+func (r *runState) checkOp(ctx context.Context, v *graph.Node) (acc, live egraph.Stats, verdict OpVerdict, fatal error) {
 	verdict = OpVerdict{Op: v, Kind: VerdictRefined}
 	start := time.Now()
 	defer func() { verdict.Duration = time.Since(start) }()
@@ -384,6 +416,7 @@ func (r *runState) checkOp(ctx context.Context, v *graph.Node) (acc egraph.Stats
 	}
 
 	budget := r.opts.Saturate
+	overridden := false
 	if r.opts.PreOp != nil {
 		override, err := r.safePreOp(v)
 		if err != nil {
@@ -393,13 +426,31 @@ func (r *runState) checkOp(ctx context.Context, v *graph.Node) (acc egraph.Stats
 		}
 		if override != nil {
 			budget = *override
+			overridden = true
+		}
+	}
+
+	// A PreOp override changes the effective budget without changing
+	// the cache key, so overridden operators bypass the cache in both
+	// directions (no lookup, no store).
+	useCache := r.cache != nil && !overridden
+	if useCache {
+		if stats, cached, ok := r.replayCached(v); ok {
+			acc = stats
+			cached.Duration = verdict.Duration
+			verdict = cached
+			return
 		}
 	}
 
 	for attempt := 0; ; attempt++ {
-		stats, err := r.recoveredProcessOp(opCtx, v, budget)
+		stats, outs, err := r.recoveredProcessOp(opCtx, v, budget)
 		acc.Merge(stats)
+		live.Merge(stats)
 		if err == nil {
+			if useCache {
+				r.storeVerdict(v, acc, verdict, outs)
+			}
 			return
 		}
 		var ef *EngineFaultError
@@ -437,6 +488,9 @@ func (r *runState) checkOp(ctx context.Context, v *graph.Node) (acc egraph.Stats
 			// and more budget cannot change the answer.
 			verdict.Kind = VerdictDisproved
 			verdict.Err = re
+			if useCache {
+				r.storeVerdict(v, acc, verdict, nil)
+			}
 			return
 		}
 		if attempt < r.opts.BudgetEscalations {
@@ -471,10 +525,10 @@ func (r *runState) checkOp(ctx context.Context, v *graph.Node) (acc egraph.Stats
 // one iteration as a context error (never disguised as a refinement
 // failure). budget bounds each saturation run; checkOp escalates it
 // across attempts.
-func (r *runState) processOp(ctx context.Context, v *graph.Node, budget egraph.SaturateOpts) (egraph.Stats, error) {
+func (r *runState) processOp(ctx context.Context, v *graph.Node, budget egraph.SaturateOpts) (egraph.Stats, []outputMapping, error) {
 	var acc egraph.Stats
 	if expr.Collective(v.Op) {
-		return acc, fmt.Errorf("core: sequential model %s contains collective %q", r.gs.Name, v.Label)
+		return acc, nil, fmt.Errorf("core: sequential model %s contains collective %q", r.gs.Name, v.Label)
 	}
 	satOpts := budget
 	satOpts.Ctx = ctx
@@ -487,7 +541,7 @@ func (r *runState) processOp(ctx context.Context, v *graph.Node, budget egraph.S
 		cls := eg.AddTerm(relation.GsLeaf(t))
 		maps := r.rel.Get(in)
 		if len(maps) == 0 {
-			return acc, &RefinementError{Op: v, Tensor: t,
+			return acc, nil, &RefinementError{Op: v, Tensor: t,
 				InputMappings: fmt.Sprintf("  (no mapping recorded for input %q)", t.Name)}
 		}
 		for _, m := range maps {
@@ -500,7 +554,7 @@ func (r *runState) processOp(ctx context.Context, v *graph.Node, budget egraph.S
 	for i := range v.Outputs {
 		base, err := r.gs.OutputExpr(v, i)
 		if err != nil {
-			return acc, err
+			return acc, nil, err
 		}
 		outClasses[i] = eg.AddTerm(base)
 	}
@@ -525,7 +579,7 @@ func (r *runState) processOp(ctx context.Context, v *graph.Node, budget egraph.S
 
 	for iter := 0; iter < maxIters; iter++ {
 		if err := ctx.Err(); err != nil {
-			return acc, fmt.Errorf("core: checking %q: %w", v.Label, err)
+			return acc, nil, fmt.Errorf("core: checking %q: %w", v.Label, err)
 		}
 		progress := false
 		for _, n := range r.gdOrder {
@@ -543,7 +597,7 @@ func (r *runState) processOp(ctx context.Context, v *graph.Node, budget egraph.S
 				continue
 			}
 			if err := r.foldGdNode(eg, n); err != nil {
-				return acc, err
+				return acc, nil, err
 			}
 			folded[n.ID] = true
 			progress = true
@@ -594,24 +648,30 @@ func (r *runState) processOp(ctx context.Context, v *graph.Node, budget egraph.S
 	// A run cancelled mid-saturation must report the cancellation, not
 	// a refinement failure extracted from a truncated e-graph.
 	if err := ctx.Err(); err != nil {
-		return acc, fmt.Errorf("core: checking %q: %w", v.Label, err)
+		return acc, nil, fmt.Errorf("core: checking %q: %w", v.Label, err)
 	}
 
-	// Step 4: extract and record the clean output relation R_v.
+	// Step 4: extract and record the clean output relation R_v. The
+	// exact slices added to the relation are also returned, in order,
+	// so checkOp can cache them for replay.
+	outs := make([]outputMapping, 0, len(v.Outputs))
 	for i, out := range v.Outputs {
 		mappings := eg.ExtractAllClean(outClasses[i], allowGdLeaf, r.opts.MaxMappings)
 		if len(mappings) == 0 {
-			return acc, &RefinementError{Op: v, Tensor: r.gs.Tensor(out),
+			return acc, nil, &RefinementError{Op: v, Tensor: r.gs.Tensor(out),
 				InputMappings: r.renderInputMappings(v)}
 		}
 		r.rel.AddAll(out, mappings)
+		om := outputMapping{main: mappings}
 		// Opportunistically record output-restricted mappings too.
 		if r.gs.IsOutput(out) {
 			restricted := eg.ExtractAllClean(outClasses[i], r.allowGdOutput, r.opts.MaxMappings)
 			r.rel.AddAll(out, restricted)
+			om.restricted = restricted
 		}
+		outs = append(outs, om)
 	}
-	return acc, nil
+	return acc, outs, nil
 }
 
 // foldGdNode registers a G_d node's defining equations: for each
@@ -758,7 +818,9 @@ func (r *runState) resolveOutput(ctx context.Context, o graph.TensorID, report *
 	}
 	satOpts := r.opts.Saturate
 	satOpts.Ctx = ctx
-	report.Stats.Merge(eg.Saturate(r.rules, satOpts))
+	resolveStats := eg.Saturate(r.rules, satOpts)
+	report.Stats.Merge(resolveStats)
+	report.LiveStats.Merge(resolveStats)
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: resolving output %q: %w", r.gs.Tensor(o).Name, err)
 	}

@@ -13,6 +13,7 @@ import (
 	"entangle/internal/graph"
 	"entangle/internal/lemmas"
 	"entangle/internal/models"
+	"entangle/internal/vcache"
 )
 
 // checkWithDeadline runs Check on a watchdog: if the checker deadlocks
@@ -354,6 +355,76 @@ func TestChaosDeterminism(t *testing.T) {
 			}
 			if len(errTexts) == 2 && errTexts[0] != errTexts[1] {
 				t.Fatalf("%s seed %d: first-failure errors differ:\n%s\n%s", name, cfg.Seed, errTexts[0], errTexts[1])
+			}
+		}
+	}
+}
+
+// TestChaosCacheCorruption is the verdict cache's chaos criterion: a
+// deterministically vandalized on-disk store (every entry damaged —
+// torn, bit-flipped, re-tagged, or emptied) must degrade to a total
+// miss, never to a wrong or different verdict. Runs at Workers 1 and 8
+// on both a refining and a disproved model; reports must match a
+// cache-disabled run byte for byte.
+func TestChaosCacheCorruption(t *testing.T) {
+	reg := lemmas.Default()
+	builds := map[string]func() (*models.Built, error){
+		"gpt": func() (*models.Built, error) { return models.GPT(models.Options{TP: 2}) },
+		"seedmoe-bug": func() (*models.Built, error) {
+			return models.SeedMoE(models.Options{TP: 2, Bug: models.Bug1RoPEOffset})
+		},
+	}
+	for name, build := range builds {
+		for _, seed := range []uint64{1, 42} {
+			b, err := build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			baseline, baseErr := NewChecker(Options{Registry: reg, KeepGoing: true}).Check(b.Gs, b.Gd, b.Ri)
+
+			dir := t.TempDir()
+			warmup, err := vcache.Open(vcache.Config{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := NewChecker(Options{Registry: reg, KeepGoing: true, Cache: warmup}).Check(b.Gs, b.Gd, b.Ri); (err != nil) != (baseErr != nil) {
+				t.Fatalf("%s: warmup disagrees with baseline: %v vs %v", name, err, baseErr)
+			}
+			for _, workers := range []int{1, 8} {
+				// Re-vandalize before every run: a prior miss-run
+				// legitimately re-stores good entries.
+				damaged, err := faultinject.CorruptCache(dir, seed)
+				if err != nil || damaged == 0 {
+					t.Fatalf("%s seed %d: corrupting cache: %v (%d files)", name, seed, err, damaged)
+				}
+				// A fresh cache over the vandalized directory: cold
+				// memory forces every lookup through a damaged file.
+				vandalized, err := vcache.Open(vcache.Config{Dir: dir})
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep, repErr := NewChecker(Options{Registry: reg, KeepGoing: true, Workers: workers,
+					Cache: vandalized}).Check(b.Gs, b.Gd, b.Ri)
+				if (repErr != nil) != (baseErr != nil) {
+					t.Fatalf("%s seed %d workers %d: verdict flipped: %v vs baseline %v",
+						name, seed, workers, repErr, baseErr)
+				}
+				if rep.Cache.Hits != 0 {
+					t.Fatalf("%s seed %d workers %d: corrupt entries served: %+v", name, seed, workers, rep.Cache)
+				}
+				if rep.Cache.Corrupt == 0 {
+					t.Fatalf("%s seed %d workers %d: corruption not counted: %+v", name, seed, workers, rep.Cache)
+				}
+				if got, want := rep.RenderFailures(), baseline.RenderFailures(); got != want {
+					t.Fatalf("%s seed %d workers %d: failures differ from cache-disabled run:\n--- want ---\n%s--- got ---\n%s",
+						name, seed, workers, want, got)
+				}
+				if baseErr == nil {
+					if got, want := rep.OutputRelation.Render(b.Gs), baseline.OutputRelation.Render(b.Gs); got != want {
+						t.Fatalf("%s seed %d workers %d: relations differ:\n--- want ---\n%s--- got ---\n%s",
+							name, seed, workers, want, got)
+					}
+				}
 			}
 		}
 	}

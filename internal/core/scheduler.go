@@ -89,6 +89,7 @@ func (r *runState) runSchedule(ctx context.Context, order []*graph.Node, workers
 		children:  children,
 		tainted:   make([]bool, n),
 		stats:     make([]egraph.Stats, n),
+		live:      make([]egraph.Stats, n),
 		verdicts:  make([]OpVerdict, n),
 		errAt:     n,
 		fatalAt:   n,
@@ -135,6 +136,7 @@ func (r *runState) runSchedule(ctx context.Context, order []*graph.Node, workers
 	// verdicts in topo order, never in completion order.
 	for i := 0; i < n; i++ {
 		report.Stats.Merge(s.stats[i])
+		report.LiveStats.Merge(s.live[i])
 		if s.verdicts[i].Kind != VerdictSkipped {
 			report.OpsProcessed++
 		}
@@ -154,7 +156,7 @@ func (r *runState) runSchedule(ctx context.Context, order []*graph.Node, workers
 // false, stopped() never turned true, and every worker slept on the
 // condition variable — the latent pool deadlock this layer fixes.
 func (r *runState) runOne(ctx context.Context, s *wavefrontState, i int) {
-	var stats egraph.Stats
+	var stats, live egraph.Stats
 	var verdict OpVerdict
 	var fatal error
 	completed := false
@@ -168,11 +170,11 @@ func (r *runState) runOne(ctx context.Context, s *wavefrontState, i int) {
 		}
 		s.mu.Lock()
 		s.active--
-		s.record(i, stats, verdict, fatal)
+		s.record(i, stats, live, verdict, fatal)
 		s.cond.Broadcast()
 		s.mu.Unlock()
 	}()
-	stats, verdict, fatal = r.checkOp(ctx, s.order[i])
+	stats, live, verdict, fatal = r.checkOp(ctx, s.order[i])
 	completed = true
 }
 
@@ -190,6 +192,7 @@ type wavefrontState struct {
 	ready    minHeap // topo indices whose producers are all done
 	active   int     // operators currently being processed
 	stats    []egraph.Stats
+	live     []egraph.Stats // work actually performed (cache hits excluded)
 	verdicts []OpVerdict
 
 	keepGoing bool
@@ -200,8 +203,9 @@ type wavefrontState struct {
 
 // record stores operator i's outcome and propagates scheduling
 // consequences. Caller holds s.mu.
-func (s *wavefrontState) record(i int, stats egraph.Stats, v OpVerdict, fatal error) {
+func (s *wavefrontState) record(i int, stats, live egraph.Stats, v OpVerdict, fatal error) {
 	s.stats[i] = stats
+	s.live[i] = live
 	s.verdicts[i] = v
 	if fatal != nil {
 		// Earliest-in-topo-order fatal wins, for the same determinism

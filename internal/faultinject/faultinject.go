@@ -18,6 +18,8 @@ package faultinject
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -157,6 +159,75 @@ func (in *Injector) Injected() map[Fault]int {
 		out[f]++
 	}
 	return out
+}
+
+// CacheFault is one way an on-disk verdict-cache entry can be damaged.
+// The modes mirror the failure envelope vcache's reader must absorb: a
+// torn write (Truncate), media rot (BitFlip), a foreign or
+// wrong-version file (BadMagic), and a lost payload (Empty).
+type CacheFault int
+
+const (
+	// Truncate cuts the file in half (torn write).
+	Truncate CacheFault = iota
+	// BitFlip flips one bit in the payload (checksum must catch it).
+	BitFlip
+	// BadMagic clobbers the version tag.
+	BadMagic
+	// Empty leaves a zero-length file.
+	Empty
+	numCacheFaults
+)
+
+func (f CacheFault) String() string {
+	switch f {
+	case Truncate:
+		return "truncate"
+	case BitFlip:
+		return "bit-flip"
+	case BadMagic:
+		return "bad-magic"
+	case Empty:
+		return "empty"
+	}
+	return fmt.Sprintf("CacheFault(%d)", int(f))
+}
+
+// CorruptCache damages every verdict-cache entry file under dir, each
+// with a fault mode chosen deterministically from (seed, file name) —
+// the same hash discipline as operator faults, so a chaos run is
+// reproducible byte for byte. It returns how many files it damaged.
+// The cache contract under this attack is total miss, never a wrong
+// verdict: vcache classifies every damaged file as corrupt.
+func CorruptCache(dir string, seed uint64) (int, error) {
+	damaged := 0
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		mode := CacheFault(uint64(unit(seed, filepath.Base(path))*float64(numCacheFaults))) % numCacheFaults
+		switch mode {
+		case Truncate:
+			data = data[:len(data)/2]
+		case BitFlip:
+			if len(data) > 0 {
+				data[len(data)-1] ^= 0x01
+			}
+		case BadMagic:
+			if len(data) > 0 {
+				data[0] = 'X'
+			}
+		case Empty:
+			data = nil
+		}
+		damaged++
+		return os.WriteFile(path, data, info.Mode())
+	})
+	return damaged, err
 }
 
 // unit hashes (seed, label) to a uniform point in [0, 1) with an

@@ -1,0 +1,468 @@
+// Package fingerprint computes canonical, content-addressed SHA-256
+// identities for ENTANGLE's unit of checking: one G_s operator plus
+// everything its verdict is a function of — the operator's upstream
+// cone (structure, shapes, attributes), the input-relation entries its
+// cone consumes, and the ambient configuration (distributed graph,
+// lemma registry, saturation budget, checker version). The verdict
+// cache (internal/vcache) keys on these hashes, so two properties are
+// load-bearing:
+//
+//   - Stability. The hash must be identical for structurally equal
+//     inputs however they were produced: JSON field order, node and
+//     tensor renames, tensor/node ID renumbering (a WriteGraph →
+//     ReadGraph round trip renumbers both), and Go map iteration order
+//     must all be invisible. Every encoder below therefore works from
+//     structure (producer links, positions in the declared input list)
+//     and sorts anything whose source order is not semantic. Names and
+//     labels are display metadata and are never hashed.
+//
+//   - Sensitivity. Anything that could change a verdict must change
+//     the hash: an added/removed lemma (via the registry fingerprint),
+//     a budget or option change (via the options encoding), a shape,
+//     attribute, or wiring change anywhere in the upstream cone, any
+//     change to G_d, and any change to the relevant input-relation
+//     entries.
+//
+// The canonical byte encodings are exported (CanonicalTerm,
+// CanonicalExpr, CanonicalShape, the cone/graph encoders write through
+// them) so any graph producer can reproduce a hash without this
+// package's Go values.
+package fingerprint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"entangle/internal/expr"
+	"entangle/internal/graph"
+	"entangle/internal/relation"
+	"entangle/internal/shape"
+	"entangle/internal/sym"
+)
+
+// Hash is a 32-byte SHA-256 content address.
+type Hash [sha256.Size]byte
+
+// Hex renders the hash as lowercase hex.
+func (h Hash) Hex() string { return hex.EncodeToString(h[:]) }
+
+// sum hashes a canonical byte string.
+func sum(data []byte) Hash { return sha256.Sum256(data) }
+
+// CanonicalExpr returns the canonical encoding of a symbolic scalar:
+// sym.Expr.Key, which is normalized (constant first, symbols sorted)
+// and parseable by sym.Parse.
+func CanonicalExpr(e sym.Expr) string { return e.Key() }
+
+// CanonicalShape returns the canonical encoding of a shape:
+// "[k1,k2,…]" over CanonicalExpr dims.
+func CanonicalShape(s shape.Shape) string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, d := range s {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(CanonicalExpr(d))
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// GdIndex assigns every tensor of one graph a canonical ordinal: the
+// declared inputs in order, then each node's outputs in topological
+// order. Raw tensor IDs are NOT canonical — a WriteGraph→ReadGraph
+// round trip renumbers them in topological order — but this
+// enumeration is invariant under that renumbering (the JSON encoder
+// itself serializes nodes topologically), under renames, and under
+// map iteration, so terms that reference G_d tensors encode ordinals
+// instead of IDs.
+type GdIndex struct {
+	g       *graph.Graph
+	ord     map[graph.TensorID]int
+	tensors []graph.TensorID // ordinal → tensor ID
+}
+
+// NewGdIndex builds the canonical tensor enumeration for g.
+func NewGdIndex(g *graph.Graph) (*GdIndex, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	ix := &GdIndex{g: g, ord: make(map[graph.TensorID]int, len(g.Tensors))}
+	add := func(id graph.TensorID) {
+		ix.ord[id] = len(ix.tensors)
+		ix.tensors = append(ix.tensors, id)
+	}
+	for _, in := range g.Inputs {
+		add(in)
+	}
+	for _, n := range order {
+		for _, out := range n.Outputs {
+			add(out)
+		}
+	}
+	return ix, nil
+}
+
+// Graph returns the indexed graph.
+func (ix *GdIndex) Graph() *graph.Graph { return ix.g }
+
+// CanonicalTerm returns the canonical encoding of a clean expression
+// term. G_d leaves (TID ≥ relation.GdOffset) encode "d<ordinal>" via
+// ix's canonical enumeration (raw "d<id>" when ix is nil — only for
+// contexts with no graph at hand, e.g. debugging); G_s leaves encode
+// "s<id>"; interior nodes encode "(op|str|ints|arg;arg;…)". Names are
+// omitted: they are display metadata, rebound from the current graphs
+// on decode. The encoding is injective on structurally distinct terms
+// and DecodeTerm inverts it.
+func CanonicalTerm(t *expr.Term, ix *GdIndex) string {
+	var b strings.Builder
+	writeTerm(&b, t, ix)
+	return b.String()
+}
+
+func writeTerm(b *strings.Builder, t *expr.Term, ix *GdIndex) {
+	if t.IsLeaf() {
+		if relation.IsGd(t.TID) {
+			id := relation.GdTensorID(t.TID)
+			if ix != nil {
+				fmt.Fprintf(b, "d%d", ix.ord[id])
+			} else {
+				fmt.Fprintf(b, "d%d", int(id))
+			}
+		} else {
+			fmt.Fprintf(b, "s%d", t.TID)
+		}
+		return
+	}
+	b.WriteByte('(')
+	b.WriteString(string(t.Op))
+	b.WriteByte('|')
+	b.WriteString(t.Str)
+	b.WriteByte('|')
+	for i, e := range t.Ints {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(CanonicalExpr(e))
+	}
+	b.WriteByte('|')
+	for i, a := range t.Args {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		writeTerm(b, a, ix)
+	}
+	b.WriteByte(')')
+}
+
+// LeafNameFn resolves a decoded leaf back to a display name. space is
+// 's' (G_s) or 'd' (G_d); id is the tensor ID within that graph.
+type LeafNameFn func(space byte, id graph.TensorID) string
+
+// DecodeTerm inverts CanonicalTerm. G_d leaf ordinals are resolved to
+// the current graph's tensors through ix (raw IDs when nil); G_s leaf
+// display names through name (nil leaves them empty). Any syntactic
+// defect — an unknown operator, an out-of-range ordinal, and any arity
+// violation the rebuilt term would carry — is an error, never a panic:
+// the verdict cache treats a decode error as a miss.
+func DecodeTerm(s string, ix *GdIndex, name LeafNameFn) (t *expr.Term, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			t, err = nil, fmt.Errorf("fingerprint: decoding term %q: %v", s, rec)
+		}
+	}()
+	p := &termParser{src: s, ix: ix, name: name}
+	t, err = p.parse()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("fingerprint: trailing input at %d in term %q", p.pos, s)
+	}
+	return t, nil
+}
+
+type termParser struct {
+	src  string
+	pos  int
+	ix   *GdIndex
+	name LeafNameFn
+}
+
+func (p *termParser) parse() (*expr.Term, error) {
+	if p.pos >= len(p.src) {
+		return nil, fmt.Errorf("fingerprint: empty term at %d in %q", p.pos, p.src)
+	}
+	if p.src[p.pos] != '(' {
+		return p.parseLeaf()
+	}
+	p.pos++ // '('
+	op, err := p.until("|")
+	if err != nil {
+		return nil, err
+	}
+	str, err := p.until("|")
+	if err != nil {
+		return nil, err
+	}
+	intsRaw, err := p.until("|")
+	if err != nil {
+		return nil, err
+	}
+	var ints []sym.Expr
+	if intsRaw != "" {
+		for _, part := range strings.Split(intsRaw, ",") {
+			e, perr := sym.Parse(part)
+			if perr != nil {
+				return nil, fmt.Errorf("fingerprint: term attr %q: %v", part, perr)
+			}
+			ints = append(ints, e)
+		}
+	}
+	var args []*expr.Term
+	for {
+		a, err := p.parse()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+		if p.pos >= len(p.src) {
+			return nil, fmt.Errorf("fingerprint: unterminated term in %q", p.src)
+		}
+		if p.src[p.pos] == ';' {
+			p.pos++
+			continue
+		}
+		if p.src[p.pos] == ')' {
+			p.pos++
+			break
+		}
+		return nil, fmt.Errorf("fingerprint: unexpected %q at %d in %q", p.src[p.pos], p.pos, p.src)
+	}
+	if _, known := expr.Arity(expr.Op(op)); !known {
+		return nil, fmt.Errorf("fingerprint: unknown operator %q in %q", op, p.src)
+	}
+	// expr.New panics on arity violations; the deferred recover in
+	// DecodeTerm converts that into an error.
+	return expr.New(expr.Op(op), ints, str, args...), nil
+}
+
+func (p *termParser) parseLeaf() (*expr.Term, error) {
+	space := p.src[p.pos]
+	if space != 's' && space != 'd' {
+		return nil, fmt.Errorf("fingerprint: bad leaf space %q at %d in %q", space, p.pos, p.src)
+	}
+	p.pos++
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+		p.pos++
+	}
+	if p.pos == start {
+		return nil, fmt.Errorf("fingerprint: leaf without id at %d in %q", start, p.src)
+	}
+	var id int
+	if _, err := fmt.Sscanf(p.src[start:p.pos], "%d", &id); err != nil {
+		return nil, err
+	}
+	if space == 'd' {
+		if p.ix != nil {
+			if id < 0 || id >= len(p.ix.tensors) {
+				return nil, fmt.Errorf("fingerprint: G_d ordinal %d out of range in %q", id, p.src)
+			}
+			return relation.GdLeaf(p.ix.g.Tensor(p.ix.tensors[id])), nil
+		}
+		var display string
+		if p.name != nil {
+			display = p.name('d', graph.TensorID(id))
+		}
+		return expr.Tensor(id+relation.GdOffset, display), nil
+	}
+	var display string
+	if p.name != nil {
+		display = p.name('s', graph.TensorID(id))
+	}
+	return expr.Tensor(id, display), nil
+}
+
+// until consumes up to (and including) the next occurrence of any
+// delimiter byte, returning the consumed prefix.
+func (p *termParser) until(delims string) (string, error) {
+	for i := p.pos; i < len(p.src); i++ {
+		if strings.IndexByte(delims, p.src[i]) >= 0 {
+			out := p.src[p.pos:i]
+			p.pos = i + 1
+			return out, nil
+		}
+	}
+	return "", fmt.Errorf("fingerprint: missing %q after %d in %q", delims, p.pos, p.src)
+}
+
+// canonicalAssumptions encodes a symbolic context's assumption set:
+// sorted canonical scalars (each recorded as expr ≥ 0).
+func canonicalAssumptions(ctx *sym.Context) string {
+	var keys []string
+	for _, a := range ctx.Assumptions() {
+		keys = append(keys, CanonicalExpr(a))
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ";")
+}
+
+// ConeHasher computes the per-operator cone fingerprint over one G_s
+// and its input relation. The fingerprint of a node is the hash of its
+// canonical encoding — operator, attributes, output shapes — chained
+// through the fingerprints of its producers, with graph-input tensors
+// identified by their position in g.Inputs plus the canonical,
+// lexicographically sorted encodings of their input-relation entries.
+// The recursion makes the hash cover exactly the upstream cone: a
+// change anywhere upstream changes the hash, a change elsewhere in the
+// graph does not.
+type ConeHasher struct {
+	g     *graph.Graph
+	inPos map[graph.TensorID]int
+	rel   *relation.Relation // nil when hashing a bare graph (G_d)
+	gdix  *GdIndex           // resolves G_d leaves inside rel's terms
+	memo  map[graph.NodeID]Hash
+}
+
+// NewConeHasher builds a hasher for g. ri carries the input-relation
+// entries folded into graph-input identities, with their G_d leaves
+// canonicalized through gdix; both nil hashes the bare structure
+// (used for G_d's whole-graph digest).
+func NewConeHasher(g *graph.Graph, ri *relation.Relation, gdix *GdIndex) *ConeHasher {
+	inPos := make(map[graph.TensorID]int, len(g.Inputs))
+	for i, id := range g.Inputs {
+		inPos[id] = i
+	}
+	return &ConeHasher{g: g, inPos: inPos, rel: ri, gdix: gdix, memo: make(map[graph.NodeID]Hash, len(g.Nodes))}
+}
+
+// Node returns the cone fingerprint of node id, memoized.
+func (c *ConeHasher) Node(id graph.NodeID) Hash {
+	if h, ok := c.memo[id]; ok {
+		return h
+	}
+	n := c.g.Node(id)
+	var b strings.Builder
+	b.WriteString("node|op=")
+	b.WriteString(string(n.Op))
+	b.WriteString("|str=")
+	b.WriteString(n.Str)
+	b.WriteString("|ints=")
+	for i, e := range n.Ints {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(CanonicalExpr(e))
+	}
+	for _, in := range n.Inputs {
+		b.WriteString("|in=")
+		c.writeTensorDesc(&b, in)
+	}
+	for _, out := range n.Outputs {
+		b.WriteString("|out=")
+		b.WriteString(CanonicalShape(c.g.Tensor(out).Shape))
+	}
+	h := sum([]byte(b.String()))
+	c.memo[id] = h
+	return h
+}
+
+// writeTensorDesc encodes a tensor's structural identity: produced
+// tensors chain to their producer's cone fingerprint and output index;
+// graph inputs use their declared position, shape, and (when a
+// relation is attached) their sorted canonical relation entries.
+func (c *ConeHasher) writeTensorDesc(b *strings.Builder, id graph.TensorID) {
+	t := c.g.Tensor(id)
+	if t.Producer != graph.NoProducer {
+		fmt.Fprintf(b, "p%s.%d", c.Node(t.Producer).Hex(), t.OutIndex)
+		return
+	}
+	pos, ok := c.inPos[id]
+	if !ok {
+		pos = -1
+	}
+	fmt.Fprintf(b, "i%d@%s", pos, CanonicalShape(t.Shape))
+	if c.rel == nil {
+		return
+	}
+	var entries []string
+	for _, m := range c.rel.Get(id) {
+		entries = append(entries, CanonicalTerm(m, c.gdix))
+	}
+	sort.Strings(entries)
+	b.WriteString("&rel=")
+	b.WriteString(strings.Join(entries, ";"))
+}
+
+// GraphDigest returns the whole-graph structural digest of g: the
+// sorted multiset of every node's cone fingerprint, the declared
+// inputs' shapes in order, the declared outputs' structural
+// identities in order, and the symbolic assumptions. It identifies
+// G_d inside the ambient configuration: every node can be folded by
+// the frontier exploration, so all of them are semantic.
+func GraphDigest(g *graph.Graph) Hash {
+	c := NewConeHasher(g, nil, nil)
+	var nodes []string
+	for _, n := range g.Nodes {
+		nodes = append(nodes, c.Node(n.ID).Hex())
+	}
+	sort.Strings(nodes)
+	var b strings.Builder
+	b.WriteString("graph|nodes=")
+	b.WriteString(strings.Join(nodes, ","))
+	b.WriteString("|inputs=")
+	for i, in := range g.Inputs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(CanonicalShape(g.Tensor(in).Shape))
+	}
+	b.WriteString("|outputs=")
+	for i, out := range g.Outputs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		c.writeTensorDesc(&b, out)
+	}
+	b.WriteString("|assume=")
+	b.WriteString(canonicalAssumptions(g.Ctx))
+	return sum([]byte(b.String()))
+}
+
+// Ambient digests the run-level configuration shared by every key of
+// one check: a checker version tag, the lemma-registry fingerprint,
+// the caller's canonical options encoding, the G_d digest, and the
+// G_s-side symbolic assumptions (they parameterize every per-operator
+// e-graph through the merged context).
+func Ambient(version, registryFP string, options []byte, gd Hash, gsCtx *sym.Context) Hash {
+	var b strings.Builder
+	b.WriteString("ambient|v=")
+	b.WriteString(version)
+	b.WriteString("|reg=")
+	b.WriteString(registryFP)
+	b.WriteString("|opt=")
+	b.Write(options)
+	b.WriteString("|gd=")
+	b.WriteString(gd.Hex())
+	b.WriteString("|assume=")
+	if gsCtx != nil {
+		b.WriteString(canonicalAssumptions(gsCtx))
+	}
+	return sum([]byte(b.String()))
+}
+
+// Key combines the ambient digest with one operator's cone fingerprint
+// into the verdict-cache key.
+func Key(ambient, cone Hash) Hash {
+	data := make([]byte, 0, 4+2*sha256.Size)
+	data = append(data, "key|"...)
+	data = append(data, ambient[:]...)
+	data = append(data, cone[:]...)
+	return sum(data)
+}

@@ -8,8 +8,11 @@
 package lemmas
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"entangle/internal/egraph"
@@ -56,9 +59,10 @@ type Registry struct {
 	// hands out. Saturation runs once per operator per frontier
 	// iteration; materializing the slice every call was measurable
 	// allocation churn, so it is built once and invalidated on
-	// Register.
+	// Register. The same lock guards fpCache (Fingerprint).
 	rulesMu    sync.Mutex
 	rulesCache []*egraph.Rule
+	fpCache    string
 }
 
 // NewRegistry returns an empty registry.
@@ -90,6 +94,7 @@ func (r *Registry) Register(l *Lemma) (*Lemma, error) {
 	}
 	r.rulesMu.Lock()
 	r.rulesCache = nil // invalidate the flattened-rule cache
+	r.fpCache = ""     // and the registry fingerprint
 	r.rulesMu.Unlock()
 	return l, nil
 }
@@ -131,6 +136,37 @@ func (r *Registry) Rules() []*egraph.Rule {
 		r.rulesCache = out
 	}
 	return r.rulesCache
+}
+
+// Fingerprint returns a stable SHA-256 hex digest identifying the
+// registry's lemma set for content-addressed verdict caching: any
+// lemma added, removed, renamed, re-kinded, or re-ordered — and any
+// rule added, removed, or renamed within a lemma — changes the digest.
+// Rule *semantics* are identified by rule name: a lemma library that
+// redefines what an existing rule name rewrites must bump the name
+// (the library's convention is to suffix variants, e.g. "-rev", "-2"),
+// otherwise stale cached verdicts could be replayed. The digest is
+// cached and invalidated by Register, like Rules().
+func (r *Registry) Fingerprint() string {
+	r.rulesMu.Lock()
+	defer r.rulesMu.Unlock()
+	if r.fpCache == "" {
+		var b strings.Builder
+		b.WriteString("lemmas/1")
+		for _, l := range r.lemmas {
+			fmt.Fprintf(&b, "|%s:%c:%d[", l.Name, l.Kind, l.Complexity)
+			for i, rule := range l.Rules {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(rule.Name)
+			}
+			b.WriteByte(']')
+		}
+		sum := sha256.Sum256([]byte(b.String()))
+		r.fpCache = hex.EncodeToString(sum[:])
+	}
+	return r.fpCache
 }
 
 // LemmaCounts folds per-rule application counts (from egraph.Stats)

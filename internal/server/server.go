@@ -1,0 +1,320 @@
+// Package server is the HTTP front end of the entangled checker
+// daemon: a long-lived process that keeps one warm verdict cache (and
+// one materialized lemma registry) across many refinement checks, so a
+// CI fleet or an interactive capture loop pays the saturation cost of
+// each operator exactly once.
+//
+// Endpoints:
+//
+//	POST /v1/check    — graph pair + input relation in, Report out
+//	GET  /v1/healthz  — liveness ("ok")
+//	GET  /v1/stats    — daemon counters + verdict-cache counters
+//
+// Checks run under a bounded semaphore (Config.MaxConcurrent) and a
+// per-request deadline threaded through context, so one pathological
+// graph can neither monopolize the process nor hang a drain. Graceful
+// shutdown is the caller's job (http.Server.Shutdown); the handlers
+// are plain and drain naturally because every check's context is
+// derived from the request's.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"entangle/internal/core"
+	"entangle/internal/egraph"
+	"entangle/internal/exprparse"
+	"entangle/internal/graph"
+	"entangle/internal/hlo"
+	"entangle/internal/vcache"
+)
+
+// Config parameterizes a daemon.
+type Config struct {
+	// Options is the base checker configuration shared by every
+	// request; Options.Cache (when non-nil) is the warm verdict cache.
+	// A request's keep_going field overrides Options.KeepGoing for
+	// that request only.
+	Options core.Options
+	// MaxConcurrent bounds simultaneous checks (0 = GOMAXPROCS).
+	// Requests beyond the bound queue on the semaphore until a slot
+	// frees or their context expires.
+	MaxConcurrent int
+	// DefaultTimeout bounds each check when the request carries no
+	// timeout of its own (0 = none).
+	DefaultTimeout time.Duration
+}
+
+// Server handles the daemon's HTTP API. Safe for concurrent use.
+type Server struct {
+	cfg   Config
+	cache *vcache.Cache
+	mux   *http.ServeMux
+	sem   chan struct{}
+	start time.Time
+
+	requests atomic.Int64 // /v1/check requests accepted
+	refined  atomic.Int64 // checks that verified refinement
+	failed   atomic.Int64 // checks that disproved or degraded
+	errored  atomic.Int64 // malformed requests, cancellations, faults
+	inflight atomic.Int64 // checks currently running or queued
+}
+
+// New builds a server.
+func New(cfg Config) *Server {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	s := &Server{
+		cfg:   cfg,
+		cache: cfg.Options.Cache,
+		mux:   http.NewServeMux(),
+		sem:   make(chan struct{}, cfg.MaxConcurrent),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("/v1/check", s.handleCheck)
+	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// CheckRequest is the /v1/check body. Graphs arrive in the JSON
+// interchange format (or, with format "hlo", as HLO-flavoured text in
+// a JSON string); the relation uses the same name→expressions map as
+// the CLI's -rel sidecar.
+type CheckRequest struct {
+	Format    string              `json:"format,omitempty"` // "json" (default) or "hlo"
+	Gs        json.RawMessage     `json:"gs"`
+	Gd        json.RawMessage     `json:"gd"`
+	Rel       map[string][]string `json:"rel"`
+	Timeout   string              `json:"timeout,omitempty"` // Go duration, e.g. "30s"
+	KeepGoing bool                `json:"keep_going,omitempty"`
+	Verbose   bool                `json:"verbose,omitempty"` // include the full relation
+}
+
+// CheckResponse is the /v1/check reply. Verdict is "refined",
+// "failed", or "cancelled"; Error carries the failure text verbatim
+// (the same rendering the CLI prints).
+type CheckResponse struct {
+	Verdict string `json:"verdict"`
+	Error   string `json:"error,omitempty"`
+	// Failures lists every failing operator's deterministic
+	// description (keep_going mode).
+	Failures []string `json:"failures,omitempty"`
+	// OutputRelation maps each G_s output name to its clean
+	// expressions over G_d outputs.
+	OutputRelation map[string][]string `json:"output_relation,omitempty"`
+	// FullRelation is the intermediate-tensor relation rendering
+	// (verbose requests only).
+	FullRelation string          `json:"full_relation,omitempty"`
+	OpsProcessed int             `json:"ops_processed"`
+	DurationMS   int64           `json:"duration_ms"`
+	Stats        egraph.Stats    `json:"stats"`
+	LiveStats    egraph.Stats    `json:"live_stats"`
+	Cache        core.CacheStats `json:"cache"`
+}
+
+// StatsResponse is the /v1/stats reply.
+type StatsResponse struct {
+	UptimeSeconds float64               `json:"uptime_seconds"`
+	Requests      int64                 `json:"requests"`
+	Refined       int64                 `json:"refined"`
+	Failed        int64                 `json:"failed"`
+	Errors        int64                 `json:"errors"`
+	InFlight      int64                 `json:"in_flight"`
+	MaxConcurrent int                   `json:"max_concurrent"`
+	Cache         *vcache.StatsSnapshot `json:"cache,omitempty"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	resp := StatsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Requests:      s.requests.Load(),
+		Refined:       s.refined.Load(),
+		Failed:        s.failed.Load(),
+		Errors:        s.errored.Load(),
+		InFlight:      s.inflight.Load(),
+		MaxConcurrent: s.cfg.MaxConcurrent,
+	}
+	if s.cache != nil {
+		snap := s.cache.Stats().Snapshot()
+		resp.Cache = &snap
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.requests.Add(1)
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+
+	var req CheckRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.badRequest(w, "decoding request: %v", err)
+		return
+	}
+	gs, err := decodeGraph(req.Gs, req.Format)
+	if err != nil {
+		s.badRequest(w, "loading G_s: %v", err)
+		return
+	}
+	gd, err := decodeGraph(req.Gd, req.Format)
+	if err != nil {
+		s.badRequest(w, "loading G_d: %v", err)
+		return
+	}
+	ri, err := exprparse.ParseRelation(req.Rel, gs, gd)
+	if err != nil {
+		s.badRequest(w, "loading relation: %v", err)
+		return
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.Timeout != "" {
+		timeout, err = time.ParseDuration(req.Timeout)
+		if err != nil || timeout <= 0 {
+			s.badRequest(w, "bad timeout %q", req.Timeout)
+			return
+		}
+	}
+
+	ctx := r.Context()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	// The semaphore bounds concurrent saturations; a request whose
+	// deadline expires while queued reports the cancellation instead
+	// of running late.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		s.errored.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable,
+			CheckResponse{Verdict: "cancelled", Error: fmt.Sprintf("queued past deadline: %v", ctx.Err())})
+		return
+	}
+
+	opts := s.cfg.Options
+	opts.KeepGoing = opts.KeepGoing || req.KeepGoing
+	report, err := core.NewChecker(opts).CheckContext(ctx, gs, gd, ri)
+	switch {
+	case err == nil:
+		s.refined.Add(1)
+		resp := CheckResponse{
+			Verdict:      "refined",
+			OpsProcessed: report.OpsProcessed,
+			DurationMS:   report.Duration.Milliseconds(),
+			Stats:        report.Stats,
+			LiveStats:    report.LiveStats,
+			Cache:        report.Cache,
+		}
+		resp.OutputRelation = renderOutputs(report, gs)
+		if req.Verbose {
+			resp.FullRelation = report.FullRelation.Render(gs)
+		}
+		writeJSON(w, http.StatusOK, resp)
+
+	case ctx.Err() != nil:
+		s.errored.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable,
+			CheckResponse{Verdict: "cancelled", Error: err.Error()})
+
+	default:
+		resp := CheckResponse{Verdict: "failed", Error: err.Error()}
+		var re *core.RefinementError
+		var ie *core.InconclusiveError
+		if !errors.As(err, &re) && !errors.As(err, &ie) {
+			// Malformed graphs or an engine fault, not an analysis
+			// verdict.
+			s.errored.Add(1)
+			s.badRequest(w, "%v", err)
+			return
+		}
+		s.failed.Add(1)
+		if report != nil {
+			resp.OpsProcessed = report.OpsProcessed
+			resp.DurationMS = report.Duration.Milliseconds()
+			resp.Stats = report.Stats
+			resp.LiveStats = report.LiveStats
+			resp.Cache = report.Cache
+			for _, v := range report.Failures {
+				resp.Failures = append(resp.Failures, v.Describe())
+			}
+		}
+		writeJSON(w, http.StatusUnprocessableEntity, resp)
+	}
+}
+
+func (s *Server) badRequest(w http.ResponseWriter, format string, args ...any) {
+	s.errored.Add(1)
+	writeJSON(w, http.StatusBadRequest,
+		CheckResponse{Verdict: "failed", Error: fmt.Sprintf(format, args...)})
+}
+
+func decodeGraph(raw json.RawMessage, format string) (*graph.Graph, error) {
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("missing graph")
+	}
+	switch format {
+	case "", "json":
+		return graph.Read(bytes.NewReader(raw))
+	case "hlo":
+		var text string
+		if err := json.Unmarshal(raw, &text); err != nil {
+			return nil, fmt.Errorf("hlo graphs must be JSON strings: %v", err)
+		}
+		return hlo.Parse(bytes.NewReader([]byte(text)))
+	}
+	return nil, fmt.Errorf("unknown format %q", format)
+}
+
+// renderOutputs maps each G_s output name to its clean expressions, in
+// the relation's deterministic order.
+func renderOutputs(report *core.Report, gs *graph.Graph) map[string][]string {
+	out := make(map[string][]string, len(gs.Outputs))
+	for _, o := range gs.Outputs {
+		var exprs []string
+		for _, t := range report.OutputRelation.Get(o) {
+			exprs = append(exprs, t.String())
+		}
+		out[gs.Tensor(o).Name] = exprs
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,310 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"entangle/internal/core"
+	"entangle/internal/expr"
+	"entangle/internal/models"
+	"entangle/internal/vcache"
+)
+
+// renderRel prints a relation term in the grammar exprparse reads —
+// the same translation cmd/entangle-graphgen performs for the CLI's
+// sidecar files.
+func renderRel(t *expr.Term) string {
+	if t.IsLeaf() {
+		return t.Name
+	}
+	switch t.Op {
+	case expr.OpConcat:
+		var b strings.Builder
+		b.WriteString("concat(")
+		for _, a := range t.Args {
+			b.WriteString(renderRel(a) + ", ")
+		}
+		return b.String() + "dim=" + t.Ints[0].String() + ")"
+	case expr.OpSum:
+		parts := make([]string, len(t.Args))
+		for i, a := range t.Args {
+			parts[i] = renderRel(a)
+		}
+		return "sum(" + strings.Join(parts, ", ") + ")"
+	case expr.OpSlice:
+		return fmt.Sprintf("slice(%s, %s, %s, %s)",
+			renderRel(t.Args[0]), t.Ints[0], t.Ints[1], t.Ints[2])
+	}
+	return t.String()
+}
+
+// requestBody builds a /v1/check body from a built model.
+func requestBody(t *testing.T, b *models.Built, mutate func(*map[string]any)) []byte {
+	t.Helper()
+	var gs, gd bytes.Buffer
+	if err := b.Gs.Write(&gs); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Gd.Write(&gd); err != nil {
+		t.Fatal(err)
+	}
+	rel := map[string][]string{}
+	for _, id := range b.Ri.Tensors() {
+		name := b.Gs.Tensor(id).Name
+		for _, m := range b.Ri.Get(id) {
+			rel[name] = append(rel[name], renderRel(m))
+		}
+	}
+	body := map[string]any{
+		"gs":  json.RawMessage(gs.Bytes()),
+		"gd":  json.RawMessage(gd.Bytes()),
+		"rel": rel,
+	}
+	if mutate != nil {
+		mutate(&body)
+	}
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func post(t *testing.T, ts *httptest.Server, body []byte) (int, CheckResponse) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/check", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var cr CheckResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp.StatusCode, cr
+}
+
+func getStats(t *testing.T, ts *httptest.Server) StatsResponse {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	return sr
+}
+
+func newTestServer(t *testing.T) (*httptest.Server, *vcache.Cache) {
+	t.Helper()
+	vc, err := vcache.Open(vcache.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(Config{Options: core.Options{Cache: vc}}))
+	t.Cleanup(ts.Close)
+	return ts, vc
+}
+
+// TestCheckWarmCache drives the daemon's reason to exist: the second
+// check of the same model hits the shared cache and performs zero live
+// saturation work, and /v1/stats shows the hits.
+func TestCheckWarmCache(t *testing.T) {
+	b, err := models.GPT(models.Options{TP: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, _ := newTestServer(t)
+	body := requestBody(t, b, nil)
+
+	status, cold := post(t, ts, body)
+	if status != http.StatusOK || cold.Verdict != "refined" {
+		t.Fatalf("cold: status %d resp %+v", status, cold)
+	}
+	if cold.OpsProcessed == 0 || len(cold.OutputRelation) == 0 {
+		t.Fatalf("cold response incomplete: %+v", cold)
+	}
+	if cold.Cache.Stores == 0 {
+		t.Fatalf("cold run stored nothing: %+v", cold.Cache)
+	}
+
+	status, warm := post(t, ts, body)
+	if status != http.StatusOK || warm.Verdict != "refined" {
+		t.Fatalf("warm: status %d resp %+v", status, warm)
+	}
+	if warm.Cache.Hits == 0 || warm.Cache.Misses != 0 {
+		t.Fatalf("warm run missed the shared cache: %+v", warm.Cache)
+	}
+	if warm.LiveStats.Iterations != 0 {
+		t.Fatalf("warm run re-saturated: %+v", warm.LiveStats)
+	}
+	if got, want := fmt.Sprint(warm.OutputRelation), fmt.Sprint(cold.OutputRelation); got != want {
+		t.Fatalf("warm relation differs:\n  cold: %s\n  warm: %s", want, got)
+	}
+
+	stats := getStats(t, ts)
+	if stats.Requests != 2 || stats.Refined != 2 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	if stats.Cache == nil || stats.Cache.Hits == 0 {
+		t.Fatalf("stats must surface non-zero cache hits: %+v", stats)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(buf.String()) != "ok" {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, buf.String())
+	}
+}
+
+// TestCheckFailure posts a buggy model: the daemon must localize the
+// failure (422, the failing operator named) rather than crash, and
+// keep_going must list every failure.
+func TestCheckFailure(t *testing.T) {
+	b, err := models.GPT(models.Options{TP: 2, Bug: models.Bug7MissingAllReduce})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, _ := newTestServer(t)
+
+	status, resp := post(t, ts, requestBody(t, b, nil))
+	if status != http.StatusUnprocessableEntity || resp.Verdict != "failed" {
+		t.Fatalf("status %d resp %+v", status, resp)
+	}
+	if !strings.Contains(resp.Error, "refinement failed") {
+		t.Fatalf("error not localized: %q", resp.Error)
+	}
+
+	status, resp = post(t, ts, requestBody(t, b, func(m *map[string]any) {
+		(*m)["keep_going"] = true
+	}))
+	if status != http.StatusUnprocessableEntity || len(resp.Failures) == 0 {
+		t.Fatalf("keep_going: status %d resp %+v", status, resp)
+	}
+
+	if stats := getStats(t, ts); stats.Failed != 2 {
+		t.Fatalf("stats after failures: %+v", stats)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	b, err := models.Regression(models.Options{GradAccum: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, _ := newTestServer(t)
+
+	cases := map[string][]byte{
+		"not json":     []byte("{"),
+		"missing gd":   requestBody(t, b, func(m *map[string]any) { delete(*m, "gd") }),
+		"bad timeout":  requestBody(t, b, func(m *map[string]any) { (*m)["timeout"] = "soon" }),
+		"unknown name": requestBody(t, b, func(m *map[string]any) { (*m)["rel"] = map[string][]string{"nope": {"x"}} }),
+		"bad format":   requestBody(t, b, func(m *map[string]any) { (*m)["format"] = "protobuf" }),
+	}
+	for name, body := range cases {
+		t.Run(name, func(t *testing.T) {
+			status, resp := post(t, ts, body)
+			if status != http.StatusBadRequest {
+				t.Fatalf("status %d resp %+v", status, resp)
+			}
+			if resp.Error == "" {
+				t.Fatal("bad request carried no error text")
+			}
+		})
+	}
+
+	// Wrong methods.
+	resp, err := http.Get(ts.URL + "/v1/check")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/check: %d", resp.StatusCode)
+	}
+}
+
+// TestRequestTimeout threads the per-request deadline through the
+// check: an immediately-expiring timeout yields a cancellation, not a
+// verdict.
+func TestRequestTimeout(t *testing.T) {
+	b, err := models.GPT(models.Options{TP: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, _ := newTestServer(t)
+	status, resp := post(t, ts, requestBody(t, b, func(m *map[string]any) {
+		(*m)["timeout"] = "1ns"
+	}))
+	if status != http.StatusServiceUnavailable || resp.Verdict != "cancelled" {
+		t.Fatalf("status %d resp %+v", status, resp)
+	}
+}
+
+// TestConcurrentRequests hammers one daemon with a mixed model fleet —
+// run under -race in CI. All requests share one cache; repeats of the
+// same model must come back warm and identical.
+func TestConcurrentRequests(t *testing.T) {
+	builds := []func() (*models.Built, error){
+		func() (*models.Built, error) { return models.GPT(models.Options{TP: 2}) },
+		func() (*models.Built, error) { return models.Llama(models.Options{TP: 2}) },
+		func() (*models.Built, error) { return models.Regression(models.Options{GradAccum: 2}) },
+	}
+	bodies := make([][]byte, len(builds))
+	for i, build := range builds {
+		b, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bodies[i] = requestBody(t, b, nil)
+	}
+	ts, _ := newTestServer(t)
+
+	const rounds = 4
+	var wg sync.WaitGroup
+	errs := make(chan string, rounds*len(bodies))
+	for round := 0; round < rounds; round++ {
+		for i := range bodies {
+			wg.Add(1)
+			go func(body []byte) {
+				defer wg.Done()
+				status, resp := post(t, ts, body)
+				if status != http.StatusOK || resp.Verdict != "refined" {
+					errs <- fmt.Sprintf("status %d resp %+v", status, resp)
+				}
+			}(bodies[i])
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	stats := getStats(t, ts)
+	if stats.Requests != rounds*int64(len(bodies)) || stats.Refined != stats.Requests {
+		t.Fatalf("stats: %+v", stats)
+	}
+	if stats.Cache == nil || stats.Cache.Hits == 0 {
+		t.Fatalf("repeated models never hit the shared cache: %+v", stats)
+	}
+	if stats.InFlight != 0 {
+		t.Fatalf("in-flight leak: %+v", stats)
+	}
+}

@@ -1,0 +1,341 @@
+// Package vcache is ENTANGLE's content-addressed verdict cache: a
+// sharded in-memory LRU in front of an optional on-disk store, keyed
+// by the fingerprints of internal/fingerprint. The checker consults it
+// before saturating an operator and replays the stored result on a
+// hit, so re-verifying an unchanged (or mostly unchanged) model pair
+// skips the e-graph work entirely.
+//
+// Only schedule-independent verdicts are ever stored: Refined (with
+// the clean output mappings the saturation extracted) and Disproved
+// (with the failing output's index). Inconclusive verdicts depend on
+// budgets and wall clocks, EngineFault on transient runtime state, and
+// Skipped on sibling failures — none are facts about the graph, so
+// none are cacheable. Enforcing that here (not just at the call site)
+// keeps a future caller from accidentally poisoning the store.
+//
+// The disk layer is defensive by construction: entries are written to
+// a temp file (O_EXCL) and atomically renamed into place, carry a
+// versioned header with the full key fingerprint and a payload
+// checksum, and ANY defect on read — short file, bad magic, key
+// mismatch, checksum mismatch, undecodable payload — is classified as
+// a miss (with a Corrupt counter bump), never as a wrong verdict. A
+// concurrent rewrite of the same key is harmless: both writers rename
+// a fully-formed file for the same content address.
+package vcache
+
+import (
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"entangle/internal/egraph"
+	"entangle/internal/fingerprint"
+)
+
+// Verdict is the cached verdict kind. Only the two reuse-safe points
+// of the verdict lattice appear here.
+type Verdict string
+
+const (
+	VerdictRefined   Verdict = "refined"
+	VerdictDisproved Verdict = "disproved"
+)
+
+// Mapping carries one output tensor's extracted clean expressions in
+// the canonical term encoding of internal/fingerprint: Main is the
+// general extraction, Restricted the additional G_d-output-restricted
+// extraction recorded for G_s output tensors. Order is preserved —
+// replay re-adds terms in the stored order so the relation's
+// deterministic tie-breaking (insertion order) matches a live run.
+type Mapping struct {
+	Main       []string `json:"main"`
+	Restricted []string `json:"restricted,omitempty"`
+}
+
+// Entry is one cached verdict.
+type Entry struct {
+	Verdict     Verdict      `json:"verdict"`
+	Escalations int          `json:"escalations"`
+	Stats       egraph.Stats `json:"stats"`
+	// Outputs has one Mapping per operator output (Refined only).
+	Outputs []Mapping `json:"outputs,omitempty"`
+	// FailOutput is the index of the output whose mapping could not be
+	// derived (Disproved only).
+	FailOutput int `json:"fail_output,omitempty"`
+}
+
+// Stats are the cache's monotone counters. All fields are read with
+// atomic loads; Snapshot returns a plain copy.
+type Stats struct {
+	Hits        atomic.Int64 // total hits (memory + disk)
+	MemHits     atomic.Int64
+	DiskHits    atomic.Int64
+	Misses      atomic.Int64 // includes corrupt entries
+	Corrupt     atomic.Int64 // disk entries rejected by validation
+	Evictions   atomic.Int64 // in-memory LRU evictions
+	Stores      atomic.Int64
+	StoreErrors atomic.Int64 // failed disk writes (entry stays in memory)
+}
+
+// StatsSnapshot is a point-in-time copy of Stats, JSON-encodable.
+type StatsSnapshot struct {
+	Hits        int64 `json:"hits"`
+	MemHits     int64 `json:"mem_hits"`
+	DiskHits    int64 `json:"disk_hits"`
+	Misses      int64 `json:"misses"`
+	Corrupt     int64 `json:"corrupt"`
+	Evictions   int64 `json:"evictions"`
+	Stores      int64 `json:"stores"`
+	StoreErrors int64 `json:"store_errors"`
+}
+
+// Snapshot copies the counters.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Hits:        s.Hits.Load(),
+		MemHits:     s.MemHits.Load(),
+		DiskHits:    s.DiskHits.Load(),
+		Misses:      s.Misses.Load(),
+		Corrupt:     s.Corrupt.Load(),
+		Evictions:   s.Evictions.Load(),
+		Stores:      s.Stores.Load(),
+		StoreErrors: s.StoreErrors.Load(),
+	}
+}
+
+// Config sizes a cache.
+type Config struct {
+	// Dir is the on-disk store root; empty keeps the cache
+	// memory-only.
+	Dir string
+	// MaxEntries bounds the in-memory entry count across all shards
+	// (0 = DefaultMaxEntries). Disk entries are never evicted.
+	MaxEntries int
+	// Shards is the lock-striping factor (0 = DefaultShards).
+	Shards int
+}
+
+const (
+	DefaultMaxEntries = 4096
+	DefaultShards     = 16
+
+	// magic is the versioned on-disk header tag; bump it when the
+	// entry payload schema changes incompatibly.
+	magic = "EVCACHE1"
+)
+
+type shard struct {
+	mu      sync.Mutex
+	entries map[fingerprint.Hash]*list.Element
+	lru     *list.List // front = most recent; values are *lruItem
+	max     int
+}
+
+type lruItem struct {
+	key   fingerprint.Hash
+	entry *Entry
+}
+
+// Cache is the verdict cache. Safe for concurrent use.
+type Cache struct {
+	dir    string
+	shards []*shard
+	stats  Stats
+}
+
+// Open builds a cache. With a non-empty Dir the directory is created
+// eagerly so configuration errors surface at startup, not mid-check.
+func Open(cfg Config) (*Cache, error) {
+	if cfg.MaxEntries <= 0 {
+		cfg.MaxEntries = DefaultMaxEntries
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = DefaultShards
+	}
+	perShard := (cfg.MaxEntries + cfg.Shards - 1) / cfg.Shards
+	c := &Cache{dir: cfg.Dir, shards: make([]*shard, cfg.Shards)}
+	for i := range c.shards {
+		c.shards[i] = &shard{entries: map[fingerprint.Hash]*list.Element{}, lru: list.New(), max: perShard}
+	}
+	if cfg.Dir != "" {
+		if err := os.MkdirAll(filepath.Join(cfg.Dir, "v1"), 0o755); err != nil {
+			return nil, fmt.Errorf("vcache: %v", err)
+		}
+	}
+	return c, nil
+}
+
+// Stats exposes the counters.
+func (c *Cache) Stats() *Stats { return &c.stats }
+
+// Dir returns the on-disk root ("" for memory-only).
+func (c *Cache) Dir() string { return c.dir }
+
+func (c *Cache) shard(key fingerprint.Hash) *shard {
+	return c.shards[int(key[0])%len(c.shards)]
+}
+
+// Get returns the entry for key, or nil on a miss. The returned entry
+// is shared and must not be mutated.
+func (c *Cache) Get(key fingerprint.Hash) *Entry {
+	s := c.shard(key)
+	s.mu.Lock()
+	if el, ok := s.entries[key]; ok {
+		s.lru.MoveToFront(el)
+		e := el.Value.(*lruItem).entry
+		s.mu.Unlock()
+		c.stats.Hits.Add(1)
+		c.stats.MemHits.Add(1)
+		return e
+	}
+	s.mu.Unlock()
+
+	if c.dir == "" {
+		c.stats.Misses.Add(1)
+		return nil
+	}
+	e, err := c.readDisk(key)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			c.stats.Corrupt.Add(1)
+		}
+		c.stats.Misses.Add(1)
+		return nil
+	}
+	c.insertMem(key, e)
+	c.stats.Hits.Add(1)
+	c.stats.DiskHits.Add(1)
+	return e
+}
+
+// Put stores a verdict under key. Non-cacheable entries (anything but
+// Refined/Disproved) are rejected outright.
+func (c *Cache) Put(key fingerprint.Hash, e *Entry) error {
+	if e == nil {
+		return fmt.Errorf("vcache: refusing to store nil entry")
+	}
+	if e.Verdict != VerdictRefined && e.Verdict != VerdictDisproved {
+		return fmt.Errorf("vcache: refusing to store non-cacheable verdict %q", e.Verdict)
+	}
+	c.insertMem(key, e)
+	c.stats.Stores.Add(1)
+	if c.dir == "" {
+		return nil
+	}
+	if err := c.writeDisk(key, e); err != nil {
+		c.stats.StoreErrors.Add(1)
+		return err
+	}
+	return nil
+}
+
+func (c *Cache) insertMem(key fingerprint.Hash, e *Entry) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[key]; ok {
+		el.Value.(*lruItem).entry = e
+		s.lru.MoveToFront(el)
+		return
+	}
+	s.entries[key] = s.lru.PushFront(&lruItem{key: key, entry: e})
+	for s.lru.Len() > s.max {
+		oldest := s.lru.Back()
+		s.lru.Remove(oldest)
+		delete(s.entries, oldest.Value.(*lruItem).key)
+		c.stats.Evictions.Add(1)
+	}
+}
+
+// path places an entry file under a 2-hex-char fan-out directory.
+func (c *Cache) path(key fingerprint.Hash) string {
+	hx := key.Hex()
+	return filepath.Join(c.dir, "v1", hx[:2], hx)
+}
+
+// writeDisk serializes the entry with its versioned header and renames
+// it into place atomically; a torn write can only ever leave a temp
+// file behind, never a half-written entry under its final name.
+func (c *Cache) writeDisk(key fingerprint.Hash, e *Entry) error {
+	payload, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("vcache: encoding entry: %v", err)
+	}
+	sum := sha256.Sum256(payload)
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "%s\n%s\n%s\n", magic, key.Hex(), hex.EncodeToString(sum[:]))
+	buf.Write(payload)
+
+	final := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(final), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// readDisk loads and validates an entry file. Every validation failure
+// returns a non-IsNotExist error, which Get counts as corrupt.
+func (c *Cache) readDisk(key fingerprint.Hash) (*Entry, error) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, err
+	}
+	rest := data
+	next := func() (string, bool) {
+		i := bytes.IndexByte(rest, '\n')
+		if i < 0 {
+			return "", false
+		}
+		line := string(rest[:i])
+		rest = rest[i+1:]
+		return line, true
+	}
+	tag, ok := next()
+	if !ok || tag != magic {
+		return nil, fmt.Errorf("vcache: bad magic in %s", c.path(key))
+	}
+	keyHex, ok := next()
+	if !ok || keyHex != key.Hex() {
+		return nil, fmt.Errorf("vcache: key mismatch in %s", c.path(key))
+	}
+	sumHex, ok := next()
+	if !ok {
+		return nil, fmt.Errorf("vcache: truncated header in %s", c.path(key))
+	}
+	sum := sha256.Sum256(rest)
+	if hex.EncodeToString(sum[:]) != sumHex {
+		return nil, fmt.Errorf("vcache: checksum mismatch in %s", c.path(key))
+	}
+	var e Entry
+	if err := json.Unmarshal(rest, &e); err != nil {
+		return nil, fmt.Errorf("vcache: undecodable payload in %s: %v", c.path(key), err)
+	}
+	if e.Verdict != VerdictRefined && e.Verdict != VerdictDisproved {
+		return nil, fmt.Errorf("vcache: non-cacheable verdict %q in %s", e.Verdict, c.path(key))
+	}
+	return &e, nil
+}

@@ -1,0 +1,298 @@
+package vcache
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"entangle/internal/egraph"
+	"entangle/internal/fingerprint"
+)
+
+func key(i int) fingerprint.Hash {
+	return sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+}
+
+func entry(i int) *Entry {
+	return &Entry{
+		Verdict: VerdictRefined,
+		Stats:   egraph.Stats{Iterations: i, Saturated: true, Runs: 1},
+		Outputs: []Mapping{{Main: []string{fmt.Sprintf("(concat||1|d0;d%d)", i)}}},
+	}
+}
+
+func TestMemoryRoundTrip(t *testing.T) {
+	c, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Get(key(1)) != nil {
+		t.Fatal("hit on empty cache")
+	}
+	if err := c.Put(key(1), entry(1)); err != nil {
+		t.Fatal(err)
+	}
+	got := c.Get(key(1))
+	if got == nil || got.Stats.Iterations != 1 {
+		t.Fatalf("got %+v", got)
+	}
+	s := c.Stats().Snapshot()
+	if s.Hits != 1 || s.MemHits != 1 || s.Misses != 1 || s.Stores != 1 {
+		t.Fatalf("counters: %+v", s)
+	}
+}
+
+func TestDiskRoundTripAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := entry(7)
+	want.Verdict = VerdictDisproved
+	want.FailOutput = 2
+	if err := c.Put(key(7), want); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh cache over the same directory must serve the entry from
+	// disk (cold memory), then from memory.
+	c2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := c2.Get(key(7))
+	if got == nil || got.Verdict != VerdictDisproved || got.FailOutput != 2 || got.Stats.Iterations != 7 {
+		t.Fatalf("disk entry: %+v", got)
+	}
+	if s := c2.Stats().Snapshot(); s.DiskHits != 1 {
+		t.Fatalf("expected a disk hit: %+v", s)
+	}
+	c2.Get(key(7))
+	if s := c2.Stats().Snapshot(); s.MemHits != 1 {
+		t.Fatalf("expected a memory hit after promotion: %+v", s)
+	}
+}
+
+func TestNonCacheableVerdictRejected(t *testing.T) {
+	c, _ := Open(Config{})
+	if err := c.Put(key(1), &Entry{Verdict: "inconclusive"}); err == nil {
+		t.Fatal("inconclusive verdict stored")
+	}
+	if err := c.Put(key(1), nil); err == nil {
+		t.Fatal("nil entry stored")
+	}
+	if c.Get(key(1)) != nil {
+		t.Fatal("rejected entry is visible")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// One shard, capacity 2: inserting 3 distinct keys evicts the
+	// least recently used.
+	c, err := Open(Config{MaxEntries: 2, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := c.Put(key(i), entry(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Get(key(0)) // key 1 becomes LRU
+	if err := c.Put(key(2), entry(2)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Get(key(1)) != nil {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if c.Get(key(0)) == nil || c.Get(key(2)) == nil {
+		t.Fatal("recently used entries evicted")
+	}
+	if s := c.Stats().Snapshot(); s.Evictions != 1 {
+		t.Fatalf("evictions: %+v", s)
+	}
+}
+
+// entryFile returns the single cache file under dir (failing unless
+// exactly one exists).
+func entryFile(t *testing.T, dir string) string {
+	t.Helper()
+	var files []string
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			files = append(files, path)
+		}
+		return err
+	})
+	if err != nil || len(files) != 1 {
+		t.Fatalf("cache files: %v (err %v)", files, err)
+	}
+	return files[0]
+}
+
+func TestCorruptEntriesAreMisses(t *testing.T) {
+	corruptions := map[string]func([]byte) []byte{
+		"truncated":  func(b []byte) []byte { return b[:len(b)/2] },
+		"bit-flip":   func(b []byte) []byte { b[len(b)-3] ^= 0x40; return b },
+		"bad-magic":  func(b []byte) []byte { b[0] = 'X'; return b },
+		"empty":      func(b []byte) []byte { return nil },
+		"no-newline": func(b []byte) []byte { return []byte("EVCACHE1 garbage with no header lines") },
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			c, err := Open(Config{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Put(key(1), entry(1)); err != nil {
+				t.Fatal(err)
+			}
+			path := entryFile(t, dir)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, corrupt(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			// A fresh cache (cold memory) must classify the damaged
+			// file as a miss, never return it.
+			c2, err := Open(Config{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := c2.Get(key(1)); got != nil {
+				t.Fatalf("corrupt entry served: %+v", got)
+			}
+			s := c2.Stats().Snapshot()
+			if s.Corrupt != 1 || s.Misses != 1 || s.Hits != 0 {
+				t.Fatalf("counters after corruption: %+v", s)
+			}
+		})
+	}
+}
+
+func TestKeyMismatchIsCorrupt(t *testing.T) {
+	// A valid entry file stored under the wrong name (fingerprint
+	// mismatch) must not be served.
+	dir := t.TempDir()
+	c, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(key(1), entry(1)); err != nil {
+		t.Fatal(err)
+	}
+	src := entryFile(t, dir)
+	dst := c.path(key(2))
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(src)
+	if err := os.WriteFile(dst, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.Get(key(2)); got != nil {
+		t.Fatalf("mis-keyed entry served: %+v", got)
+	}
+	if s := c2.Stats().Snapshot(); s.Corrupt != 1 {
+		t.Fatalf("counters: %+v", s)
+	}
+}
+
+// N goroutines hammer one cache with mixed reads, writes, evictions,
+// and disk traffic; run under -race in CI.
+func TestConcurrentHammer(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(Config{Dir: dir, MaxEntries: 32, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 16
+	const iters = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := key((g*7 + i) % 64) // overlap across goroutines
+				if e := c.Get(k); e != nil {
+					if e.Verdict != VerdictRefined {
+						t.Errorf("unexpected verdict %q", e.Verdict)
+						return
+					}
+					continue
+				}
+				if err := c.Put(k, entry(i)); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := c.Stats().Snapshot()
+	if s.Hits == 0 || s.Stores == 0 {
+		t.Fatalf("hammer produced no traffic: %+v", s)
+	}
+	if s.Corrupt != 0 || s.StoreErrors != 0 {
+		t.Fatalf("hammer corrupted the store: %+v", s)
+	}
+	// Every key must be retrievable afterwards via disk.
+	c2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if c2.Get(key(i)) == nil {
+			t.Fatalf("key %d lost after hammer", i)
+		}
+	}
+}
+
+// Concurrent rewriters of the SAME key must never produce a torn file:
+// whatever the interleaving, readers see a fully-formed entry.
+func TestConcurrentRewriteSameKey(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := c.Put(key(0), entry(g*1000+i)); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+				// A cold cache forces the disk read path.
+				c2, err := Open(Config{Dir: dir})
+				if err != nil {
+					t.Errorf("open: %v", err)
+					return
+				}
+				if e := c2.Get(key(0)); e == nil || e.Verdict != VerdictRefined {
+					t.Errorf("torn or missing entry: %+v (stats %+v)", e, c2.Stats().Snapshot())
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s := c.Stats().Snapshot(); s.StoreErrors != 0 {
+		t.Fatalf("store errors: %+v", s)
+	}
+}

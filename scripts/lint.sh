@@ -14,7 +14,8 @@ trap 'rm -rf "$tmp"' EXIT
 echo "-- registry + source lint"
 go run ./cmd/entangle-lint \
     internal/egraph internal/core internal/lemmas \
-    internal/graph internal/relation internal/lint
+    internal/graph internal/relation internal/lint \
+    internal/fingerprint internal/vcache internal/server
 
 echo "-- graph IR lint (generated gpt tp=2 capture)"
 go run ./cmd/entangle-graphgen -model gpt -tp 2 -o "$tmp/model" >/dev/null

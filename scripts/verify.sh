@@ -24,11 +24,12 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (core, egraph, relation, lemmas, faultinject) =="
+echo "== go test -race (core, egraph, relation, lemmas, faultinject, vcache, server) =="
 # -timeout on core: the robustness suite's worst regression mode is a
 # deadlocked worker pool, which must fail the gate instead of hanging it.
 go test -race -timeout 120s ./internal/core/...
 go test -race ./internal/egraph/... ./internal/relation/... ./internal/lemmas/... ./internal/faultinject/...
+go test -race ./internal/fingerprint/... ./internal/vcache/... ./internal/server/...
 
 echo "== entangle-lint =="
 sh scripts/lint.sh
