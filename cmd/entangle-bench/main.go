@@ -8,20 +8,70 @@
 // Experiments: fig3, fig4, fig5, fig6, bugs (Table 3), ablation,
 // extensions, parallel, chaos (fault-injection robustness matrix),
 // cache (cold vs warm verdict-cache matrix; -json FILE appends the
-// run's data points to a BENCH_cache.json-style trajectory).
+// run's data points to a BENCH_cache.json-style trajectory), saturate
+// (cold-check hot-path microbenchmark; -json appends to a
+// BENCH_saturate.json-style trajectory, -baseline FILE fails the run
+// on a >20% cold-throughput regression vs. that trajectory's last
+// recorded run — the CI smoke gate).
+//
+// -cpuprofile/-memprofile write pprof profiles covering the selected
+// experiments (the hot-path tuning loop: `entangle-bench -exp
+// saturate -cpuprofile cpu.out`, then `go tool pprof cpu.out`).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 )
 
-var jsonOut = flag.String("json", "", "append the cache experiment's data points to this JSON trajectory file (e.g. BENCH_cache.json)")
+var (
+	jsonOut    = flag.String("json", "", "append the cache/saturate experiment's data points to this JSON trajectory file (e.g. BENCH_cache.json, BENCH_saturate.json)")
+	baseline   = flag.String("baseline", "", "saturate: compare against this trajectory's last run and exit non-zero on a cold-throughput regression beyond -tolerance")
+	tolerance  = flag.Float64("tolerance", 0.20, "saturate: allowed fractional cold-throughput drop vs. -baseline before failing")
+	cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile covering the selected experiments to this file")
+	memprofile = flag.String("memprofile", "", "write a pprof allocation profile taken after the selected experiments to this file")
+)
 
-func main() {
-	exp := flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6, bugs, ablation, extensions, parallel, chaos, cache, all")
+// main defers to run so profile-flushing defers execute before the
+// process exits (os.Exit would skip them).
+func main() { os.Exit(run()) }
+
+func run() int {
+	exp := flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6, bugs, ablation, extensions, parallel, chaos, cache, saturate, all")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "entangle-bench: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "entangle-bench: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "entangle-bench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "entangle-bench: %v\n", err)
+			}
+		}()
+	}
 
 	steps := []struct {
 		name string
@@ -37,6 +87,7 @@ func main() {
 		{"parallel", runParallel},
 		{"chaos", runChaos},
 		{"cache", runCache},
+		{"saturate", runSaturate},
 	}
 	ran := false
 	for _, s := range steps {
@@ -47,12 +98,13 @@ func main() {
 		txt, err := s.run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "entangle-bench: %s: %v\n", s.name, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println(txt)
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "entangle-bench: unknown experiment %q\n", *exp)
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }

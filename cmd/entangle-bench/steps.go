@@ -80,3 +80,99 @@ func appendTrajectory(path string, points []bench.CachePoint) error {
 }
 
 func runExtensions() (string, error) { return bench.Extensions() }
+
+// saturateRun is one recorded `-exp saturate` invocation in the
+// trajectory file: BENCH_saturate.json holds an array of these, one
+// per run, so the series tracks cold-check hot-path performance across
+// engine versions — and `-baseline` gates CI on regressions against
+// the last committed run.
+type saturateRun struct {
+	Timestamp string                `json:"timestamp"`
+	Go        string                `json:"go"`
+	Points    []bench.SaturatePoint `json:"points"`
+}
+
+func runSaturate() (string, error) {
+	txt, points, err := bench.Saturate()
+	if err != nil {
+		return "", err
+	}
+	if *baseline != "" {
+		base, err := lastSaturateRun(*baseline)
+		if err != nil {
+			return "", err
+		}
+		// A measurement that regresses is retried before the gate
+		// fails: a genuine regression reproduces on every attempt,
+		// while a transient slow period on a shared CI runner does
+		// not. Only a run that violates the tolerance on all attempts
+		// fails the gate.
+		const gateAttempts = 3
+		var cmp string
+		var violations []string
+		for attempt := 1; ; attempt++ {
+			cmp, violations = bench.CompareSaturate(base.Points, points, *tolerance)
+			if len(violations) == 0 || attempt == gateAttempts {
+				break
+			}
+			fmt.Fprintf(os.Stderr, "entangle-bench: saturate: attempt %d/%d regressed, re-measuring\n",
+				attempt, gateAttempts)
+			txt, points, err = bench.Saturate()
+			if err != nil {
+				return "", err
+			}
+		}
+		txt += fmt.Sprintf("baseline: %s (%s, go %s)\n%s", *baseline, base.Timestamp, base.Go, cmp)
+		if len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintf(os.Stderr, "entangle-bench: saturate: REGRESSION: %s\n", v)
+			}
+			return "", fmt.Errorf("cold-check throughput regressed beyond %.0f%% on %d workload(s)",
+				*tolerance*100, len(violations))
+		}
+		txt += "regression gate: OK\n"
+	}
+	if *jsonOut != "" {
+		if err := appendSaturateTrajectory(*jsonOut, points); err != nil {
+			return "", err
+		}
+		txt += fmt.Sprintf("appended %d data points to %s\n", len(points), *jsonOut)
+	}
+	return txt, nil
+}
+
+func lastSaturateRun(path string) (*saturateRun, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var runs []saturateRun
+	if err := json.Unmarshal(data, &runs); err != nil {
+		return nil, fmt.Errorf("%s: trajectory unreadable: %v", path, err)
+	}
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("%s: trajectory empty", path)
+	}
+	return &runs[len(runs)-1], nil
+}
+
+func appendSaturateTrajectory(path string, points []bench.SaturatePoint) error {
+	var runs []saturateRun
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &runs); err != nil {
+			return fmt.Errorf("%s: existing trajectory unreadable: %v", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	runs = append(runs, saturateRun{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Go:        runtime.Version(),
+		Points:    points,
+	})
+	data, err := json.MarshalIndent(runs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"entangle/internal/core"
+	"entangle/internal/egraph"
+	"entangle/internal/lemmas"
+)
+
+// TestSaturationDifferential is the equivalence property test for the
+// indexed saturation path: over the saturation corpus, the indexed
+// matcher (with dirty-class tracking and the applied-fingerprint
+// filter) must be observationally identical to the naive full-scan
+// matcher, and any worker count must be observationally identical to
+// the sequential walk. "Observationally identical" is pinned as: the
+// same per-rule application counts, the same iteration count and stop
+// profile, the same verdict lines, and byte-identical output-relation
+// renderings. Matches are deliberately NOT compared — the indexed
+// matcher is free to skip already-applied matches that the naive
+// matcher still enumerates.
+func TestSaturationDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model corpus differential is not short")
+	}
+	for _, w := range saturateWorkloads() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			b, err := w.Build(2, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gs, gd, ri := b.Gs, b.Gd, b.Ri
+			if w.ViaHLO {
+				gs, gd, ri, err = roundTripHLO(b)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			type variant struct {
+				name string
+				opts core.Options
+			}
+			variants := []variant{
+				{"indexed-w1", core.Options{Registry: lemmas.Default(), Workers: 1}},
+				{"naive-w1", core.Options{Registry: lemmas.Default(), Workers: 1,
+					Saturate: egraph.SaturateOpts{Unindexed: true}}},
+				{"indexed-w4", core.Options{Registry: lemmas.Default(), Workers: 4}},
+			}
+
+			type observed struct {
+				apps     map[string]int
+				iters    int
+				stops    [3]int // saturated runs are the remainder
+				verdicts string
+				outputs  string
+			}
+			obs := make([]observed, len(variants))
+			for i, v := range variants {
+				rep, err := core.NewChecker(v.opts).Check(gs, gd, ri)
+				if err != nil {
+					t.Fatalf("%s: %v", v.name, err)
+				}
+				var vs strings.Builder
+				for _, ov := range rep.Verdicts {
+					vs.WriteString(ov.Describe())
+					vs.WriteByte('\n')
+				}
+				obs[i] = observed{
+					apps:     rep.Stats.Applications,
+					iters:    rep.Stats.Iterations,
+					stops:    [3]int{rep.Stats.Runs, rep.Stats.BudgetHit, rep.Stats.Cancelled},
+					verdicts: vs.String(),
+					outputs:  rep.OutputRelation.Render(gs),
+				}
+			}
+
+			base := obs[0]
+			for i, v := range variants[1:] {
+				got := obs[i+1]
+				if !reflect.DeepEqual(base.apps, got.apps) {
+					t.Errorf("%s: rule applications diverge:\n base %v\n got  %v", v.name, base.apps, got.apps)
+				}
+				if base.iters != got.iters || base.stops != got.stops {
+					t.Errorf("%s: stats profile diverges: base iters=%d stops=%v, got iters=%d stops=%v",
+						v.name, base.iters, base.stops, got.iters, got.stops)
+				}
+				if base.verdicts != got.verdicts {
+					t.Errorf("%s: verdict lines diverge:\n base:\n%s\n got:\n%s", v.name, base.verdicts, got.verdicts)
+				}
+				if base.outputs != got.outputs {
+					t.Errorf("%s: output relation diverges:\n base:\n%s\n got:\n%s", v.name, base.outputs, got.outputs)
+				}
+			}
+		})
+	}
+}

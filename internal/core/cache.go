@@ -45,7 +45,7 @@ import (
 // version. Bump it whenever checking semantics change in a way the
 // other key components cannot see (extraction order, frontier policy,
 // verdict classification), so stale verdicts invalidate wholesale.
-const CheckerVersion = "entangle-core/1"
+const CheckerVersion = "entangle-core/2"
 
 // CacheStats summarizes one run's verdict-cache traffic in the Report.
 type CacheStats struct {

@@ -153,6 +153,19 @@ func (e *RefinementError) Error() string {
 	return msg
 }
 
+// outputResolveError classifies a failed dedicated output-resolution
+// pass (resolveOutput): the verdict names the producing operator and
+// records whether the resolve saturation reached fixpoint (disproved)
+// or stopped on a budget (inconclusive). It unwraps to the underlying
+// *RefinementError, and CheckContext strips the wrapper before
+// returning, so callers only ever see the refinement error; the
+// wrapper exists so KeepGoing mode can record the verdict and hand
+// back the partial report instead of dropping it.
+type outputResolveError struct{ verdict OpVerdict }
+
+func (e *outputResolveError) Error() string { return e.verdict.Err.Error() }
+func (e *outputResolveError) Unwrap() error { return e.verdict.Err }
+
 // Report is the result of a refinement check. On success every field
 // is populated; in KeepGoing mode a failing check still returns the
 // Report (alongside the earliest failure as the error) with Failures
@@ -257,6 +270,7 @@ func (c *Checker) CheckContext(ctx context.Context, gs, gd *graph.Graph, ri *rel
 		rules:   c.opts.Registry.Rules(), // materialized once per Check
 		gdOrder: gdOrder,
 	}
+	run.compiled = egraph.CompileRules(run.rules)
 	for _, in := range gs.Inputs {
 		if !run.rel.Has(in) {
 			return nil, fmt.Errorf("core: input relation has no mapping for G_s input %q", gs.Tensor(in).Name)
@@ -287,7 +301,23 @@ func (c *Checker) CheckContext(ctx context.Context, gs, gd *graph.Graph, ri *rel
 	// Listing 1 line 9: filter to the output relation over O(G_d).
 	ro, err := run.resolveOutputs(ctx, report)
 	if err != nil {
-		return nil, err
+		var oe *outputResolveError
+		if !errors.As(err, &oe) {
+			return nil, err // context cancellation or an engine error
+		}
+		if !c.opts.KeepGoing {
+			return nil, oe.verdict.Err
+		}
+		// An unmappable output discovered after a clean walk is a
+		// failure like any other: record the verdict so KeepGoing mode
+		// hands back the partial report instead of dropping it. (The
+		// walk's per-operator budgets can trim mappings that a later
+		// dedicated resolution pass then misses.)
+		report.Verdicts = append(report.Verdicts, oe.verdict)
+		report.Failures = append(report.Failures, oe.verdict)
+		run.reportCache(report)
+		report.Duration = time.Since(start)
+		return report, oe.verdict.Err
 	}
 	report.OutputRelation = ro
 	run.reportCache(report)
@@ -300,13 +330,17 @@ func (c *Checker) CheckContext(ctx context.Context, gs, gd *graph.Graph, ri *rel
 // gdOrder are read-only after construction, and rel is internally
 // synchronized (copy-on-read Get).
 type runState struct {
-	opts    Options
-	gs      *graph.Graph
-	gd      *graph.Graph
-	rel     *relation.Relation
-	ctx     *sym.Context
-	rules   []*egraph.Rule
-	gdOrder []*graph.Node
+	opts  Options
+	gs    *graph.Graph
+	gd    *graph.Graph
+	rel   *relation.Relation
+	ctx   *sym.Context
+	rules []*egraph.Rule
+	// compiled is the matcher's one-time analysis of rules, shared by
+	// every saturation this run performs (it is read-only and safe
+	// across workers).
+	compiled *egraph.CompiledRules
+	gdOrder  []*graph.Node
 	// cache is the per-run verdict-cache context (cache.go); nil when
 	// Options.Cache is nil. Its key map is filled before the scheduler
 	// starts and read-only afterwards.
@@ -532,6 +566,7 @@ func (r *runState) processOp(ctx context.Context, v *graph.Node, budget egraph.S
 	}
 	satOpts := budget
 	satOpts.Ctx = ctx
+	satOpts.Compiled = r.compiled
 	eg := r.newEGraph()
 
 	// Step 1 (rewrite_t_to_expr): leaves for v's inputs, unioned with
@@ -755,20 +790,23 @@ func (r *runState) leavesAreGdOutputs(t *expr.Term) bool {
 
 func (r *runState) resolveOutput(ctx context.Context, o graph.TensorID, report *Report) ([]*expr.Term, error) {
 	producer := r.gs.Tensor(o).Producer
-	fail := func() error {
+	fail := func(kind VerdictKind, reason InconclusiveReason) error {
 		var v *graph.Node
 		if producer != graph.NoProducer {
 			v = r.gs.Node(producer)
 		} else {
 			v = &graph.Node{Label: "(graph input)", Op: expr.OpIdentity}
 		}
-		return &RefinementError{Op: v, Tensor: r.gs.Tensor(o),
+		re := &RefinementError{Op: v, Tensor: r.gs.Tensor(o),
 			InputMappings: r.renderInputMappings(v)}
+		return &outputResolveError{verdict: OpVerdict{Op: v, Kind: kind, Reason: reason, Err: re}}
 	}
 
 	maps := r.rel.Get(o)
 	if len(maps) == 0 {
-		return nil, fail()
+		// No mapping at all for the output: no search ran, nothing to
+		// escalate — the same classification checkOp gives Runs == 0.
+		return nil, fail(VerdictDisproved, ReasonNone)
 	}
 	eg := r.newEGraph()
 	cls := eg.AddTerm(relation.GsLeaf(r.gs.Tensor(o)))
@@ -818,6 +856,7 @@ func (r *runState) resolveOutput(ctx context.Context, o graph.TensorID, report *
 	}
 	satOpts := r.opts.Saturate
 	satOpts.Ctx = ctx
+	satOpts.Compiled = r.compiled
 	resolveStats := eg.Saturate(r.rules, satOpts)
 	report.Stats.Merge(resolveStats)
 	report.LiveStats.Merge(resolveStats)
@@ -827,7 +866,12 @@ func (r *runState) resolveOutput(ctx context.Context, o graph.TensorID, report *
 
 	out := eg.ExtractAllClean(eg.Find(cls), r.allowGdOutput, r.opts.MaxMappings)
 	if len(out) == 0 {
-		return nil, fail()
+		if resolveStats.Saturated {
+			return nil, fail(VerdictDisproved, ReasonNone)
+		}
+		// The resolve search stopped on a budget before fixpoint; a
+		// mapping may exist beyond the limit, so don't call it a bug.
+		return nil, fail(VerdictInconclusive, ReasonBudgetExhausted)
 	}
 	return out, nil
 }

@@ -99,6 +99,24 @@ func (g *EGraph) ParentsOf(c ClassID) []ParentRef {
 	return out
 }
 
+// EachParent visits the consumers of class c without materializing a
+// slice — the allocation-free form of ParentsOf for lemmas that run
+// every iteration. The node pointer aliases the e-graph's own storage
+// and is valid only for the duration of the call; its Kids are not
+// canonicalized (pass them through Find before comparing).
+func (g *EGraph) EachParent(c ClassID, fn func(n *ENode, owner ClassID) bool) {
+	cl := g.classes[g.Find(c)]
+	if cl == nil {
+		return
+	}
+	for i := range cl.parents {
+		p := &cl.parents[i]
+		if !fn(&p.node, g.Find(p.class)) {
+			return
+		}
+	}
+}
+
 // RankOf returns the rank of the tensor denoted by class c, if shape
 // analysis can derive it.
 func (g *EGraph) RankOf(c ClassID) (int, bool) {

@@ -31,6 +31,13 @@ type ENode struct {
 	// Leaf identity (Op == expr.OpTensor).
 	TID  int
 	Name string
+
+	// head caches the e-graph-local interned ID of this node's
+	// kid-independent identity (see intern.go). Zero means not yet
+	// interned; the owning e-graph fills it on first insert/lookup.
+	// Struct copies carry it along, which is safe because heads are
+	// immutable and IDs are only ever read by the graph that set them.
+	head headID
 }
 
 // Leaf builds a tensor-leaf ENode.
@@ -40,25 +47,13 @@ func Leaf(tid int, name string) ENode {
 
 func (n ENode) isLeaf() bool { return n.Op == expr.OpTensor }
 
+// key renders a node's full structural identity as a string, for
+// diagnostics and invariant messages. The hot path never calls it:
+// hash-consing keys on the interned (head, kids) pair instead.
 func (n ENode) key() string {
 	var b strings.Builder
-	if n.isLeaf() {
-		fmt.Fprintf(&b, "t%d", n.TID)
-		return b.String()
-	}
-	b.WriteString(string(n.Op))
-	if n.Str != "" {
-		b.WriteByte('.')
-		b.WriteString(n.Str)
-	}
-	b.WriteByte('[')
-	for i, e := range n.Ints {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		b.WriteString(e.Key())
-	}
-	b.WriteString("](")
+	b.Write(appendHeadKey(nil, &n))
+	b.WriteByte('(')
 	for i, k := range n.Kids {
 		if i > 0 {
 			b.WriteByte(',')
@@ -74,28 +69,102 @@ type parentEntry struct {
 	class ClassID
 }
 
+// opCount tracks how many nodes with one operator a class holds. The
+// per-class list is short (classes mix few distinct operators), so
+// linear scans beat a map.
+type opCount struct {
+	op opID
+	n  int32
+}
+
 // Class is an equivalence class: the set of ENodes known equal.
 type Class struct {
 	id      ClassID
 	nodes   []ENode
 	parents []parentEntry
+
+	// ops counts this class's nodes per operator — the first-symbol
+	// index rule matching consults: a pattern whose first child must be
+	// rooted at op X cannot match a node whose child-0 class holds no
+	// X node, so the matcher skips it without descending.
+	ops []opCount
 }
 
 // Nodes returns the ENodes currently in the class.
 func (c *Class) Nodes() []ENode { return c.nodes }
+
+// hasOp reports whether the class currently holds a node with op.
+func (c *Class) hasOp(op opID) bool {
+	for i := range c.ops {
+		if c.ops[i].op == op {
+			return c.ops[i].n > 0
+		}
+	}
+	return false
+}
+
+func (c *Class) opsAdd(op opID, delta int32) {
+	for i := range c.ops {
+		if c.ops[i].op == op {
+			c.ops[i].n += delta
+			return
+		}
+	}
+	c.ops = append(c.ops, opCount{op: op, n: delta})
+}
 
 // EGraph is the equality-saturation engine.
 type EGraph struct {
 	parent  []ClassID
 	rank    []int
 	classes map[ClassID]*Class
-	memo    map[string]ClassID
+	memo    *memoTable
+	intern  *interner
 	work    []ClassID
 
 	// Ctx resolves symbolic-scalar comparisons in rule conditions.
 	Ctx *sym.Context
 
 	nodeCount int
+
+	// dirty accumulates classes whose node sets grew (fresh classes and
+	// union survivors) since the saturation loop last drained it; only
+	// these classes — plus ancestors within pattern-depth reach — can
+	// root an e-match that was not already produced.
+	dirty []ClassID
+
+	// Saturation node budget (rewrite.go). nodeLimit is non-zero only
+	// while Saturate runs; Instantiate then declines rule applications
+	// that would push the live node count past it, setting budgetDenied
+	// so Saturate reports the node-limit stop.
+	nodeLimit    int
+	budgetDenied bool
+
+	// Cross-call saturation state (rewrite.go). appliedFP records the
+	// fingerprint of every pure-rule application actually executed on
+	// this graph, across Saturate calls; satFixpoint remembers that the
+	// previous call reached fixpoint under satRules, which lets the
+	// next same-rules call skip the full first-iteration scan and
+	// e-match only classes dirtied since — the frontier-fold hot path.
+	appliedFP   map[string]bool
+	satRules    []*Rule
+	satFixpoint bool
+
+	// Reusable scratch, so the rebuild/match loops allocate nothing
+	// steady-state.
+	scratchSeen  map[uint64]int32 // repair dedup: node hash → first index
+	mark         []int32          // per class slot, stamped with markEpoch
+	markEpoch    int32
+	dirtyFront   []ClassID
+	dirtyNext    []ClassID
+	dirtyAll     []ClassID
+	classScratch []ClassID
+	child0ID     []opID     // per-rule child-0 op filter, resolved per iteration
+	fpBuf        []byte     // fingerprint scratch (appendFingerprint)
+	substStack   []*Subst   // e-matching result stack (matchClassOnStack)
+	headBuf      []byte     // head-key scratch (headOf)
+	substArena   substArena // per-match-phase Subst recycling (newSubst)
+	arenaOn      bool       // arena active: only during saturation matching
 
 	// shape analysis (analysis.go)
 	leafShape     func(tid int) (shape.Shape, bool)
@@ -109,7 +178,13 @@ func New(ctx *sym.Context) *EGraph {
 	if ctx == nil {
 		ctx = sym.NewContext()
 	}
-	return &EGraph{classes: map[ClassID]*Class{}, memo: map[string]ClassID{}, Ctx: ctx}
+	return &EGraph{
+		classes:     map[ClassID]*Class{},
+		memo:        newMemoTable(),
+		intern:      newInterner(),
+		scratchSeen: map[uint64]int32{},
+		Ctx:         ctx,
+	}
 }
 
 // NodeCount returns the number of live ENodes: distinct nodes
@@ -145,6 +220,7 @@ func (g *EGraph) newClass() ClassID {
 	g.parent = append(g.parent, id)
 	g.rank = append(g.rank, 0)
 	g.classes[id] = &Class{id: id}
+	g.dirty = append(g.dirty, id)
 	return id
 }
 
@@ -152,16 +228,19 @@ func (g *EGraph) canonNode(n ENode) ENode {
 	if len(n.Kids) == 0 {
 		return n
 	}
-	kids := make([]ClassID, len(n.Kids))
 	changed := false
-	for i, k := range n.Kids {
-		kids[i] = g.Find(k)
-		if kids[i] != n.Kids[i] {
+	for _, k := range n.Kids {
+		if g.Find(k) != k {
 			changed = true
+			break
 		}
 	}
 	if !changed {
-		return n
+		return n // already canonical: the common post-rebuild case, no copy
+	}
+	kids := make([]ClassID, len(n.Kids))
+	for i, k := range n.Kids {
+		kids[i] = g.Find(k)
 	}
 	n.Kids = kids
 	return n
@@ -172,29 +251,47 @@ func (g *EGraph) canonNode(n ENode) ENode {
 // ENodes.
 func (g *EGraph) Lookup(n ENode) (ClassID, bool) {
 	n = g.canonNode(n)
-	id, ok := g.memo[n.key()]
+	id, ok := g.memoLookup(&n)
 	if !ok {
 		return 0, false
 	}
 	return g.Find(id), true
 }
 
-// AddNode inserts an ENode (hash-consed) and returns its class.
+// AddNode inserts an ENode (hash-consed) and returns its class. It is
+// never budget-limited: saturation's MaxNodes cap applies to rule
+// instantiation (addNode with budget), not to direct graph building.
 func (g *EGraph) AddNode(n ENode) ClassID {
+	id, _ := g.addNode(n, false)
+	return id
+}
+
+// addNode is the hash-consing insert. With budget set (rule
+// instantiation during saturation) it declines — returns ok == false —
+// instead of creating a node beyond the live-node limit, recording the
+// denial so Saturate reports a node-limit stop.
+func (g *EGraph) addNode(n ENode, budget bool) (ClassID, bool) {
 	n = g.canonNode(n)
-	k := n.key()
-	if id, ok := g.memo[k]; ok {
-		return g.Find(id)
+	h := g.headOf(&n)
+	hash := memoHash(h, n.Kids)
+	if id, ok := g.memo.get(hash, h, n.Kids); ok {
+		return g.Find(id), true
+	}
+	if budget && g.nodeLimit > 0 && g.nodeCount >= g.nodeLimit {
+		g.budgetDenied = true
+		return 0, false
 	}
 	id := g.newClass()
-	g.classes[id].nodes = append(g.classes[id].nodes, n)
-	g.memo[k] = id
+	cl := g.classes[id]
+	cl.nodes = append(cl.nodes, n)
+	cl.opsAdd(g.opOfHead(h), 1)
+	g.memo.put(hash, h, n.Kids, id)
 	g.nodeCount++
 	for _, kid := range n.Kids {
 		kc := g.classes[g.Find(kid)]
 		kc.parents = append(kc.parents, parentEntry{node: n, class: id})
 	}
-	return id
+	return id, true
 }
 
 // AddTerm inserts a whole expression tree, returning its class.
@@ -243,27 +340,99 @@ func (g *EGraph) Union(a, b ClassID) bool {
 	ca, cb := g.classes[a], g.classes[b]
 	ca.nodes = append(ca.nodes, cb.nodes...)
 	ca.parents = append(ca.parents, cb.parents...)
+	for _, oc := range cb.ops {
+		ca.opsAdd(oc.op, oc.n)
+	}
 	delete(g.classes, b)
 	g.work = append(g.work, a)
+	g.dirty = append(g.dirty, a)
 	return true
 }
 
 // Rebuild restores the congruence invariant after unions: parents of
 // merged classes are re-canonicalized and congruent nodes unioned.
+// With InvariantChecks enabled (ENTANGLE_CHECK_INVARIANTS=1) every
+// rebuild is followed by a full structural audit that panics on drift.
 func (g *EGraph) Rebuild() {
 	for len(g.work) > 0 {
 		todo := g.work
 		g.work = nil
-		seen := map[ClassID]bool{}
+		epoch := g.nextEpoch()
 		for _, c := range todo {
 			c = g.Find(c)
-			if seen[c] {
+			if g.mark[c] == epoch {
 				continue
 			}
-			seen[c] = true
+			g.mark[c] = epoch
 			g.repair(c)
 		}
 	}
+	if InvariantChecks {
+		if err := g.CheckInvariants(); err != nil {
+			panic(fmt.Sprintf("egraph: invariant violated after Rebuild: %v", err))
+		}
+	}
+}
+
+// nextEpoch advances the scratch-mark epoch, growing the mark slice to
+// cover every allocated class slot. A slot is "in the current set" iff
+// mark[slot] == epoch, so set resets are O(1).
+func (g *EGraph) nextEpoch() int32 {
+	if len(g.mark) < len(g.parent) {
+		g.mark = append(g.mark, make([]int32, len(g.parent)-len(g.mark))...)
+	}
+	g.markEpoch++
+	if g.markEpoch <= 0 { // epoch wrapped: stale marks could alias, wipe them
+		for i := range g.mark {
+			g.mark[i] = 0
+		}
+		g.markEpoch = 1
+	}
+	return g.markEpoch
+}
+
+// dirtyTake drains the dirty-class accumulator into a canonical,
+// deduplicated candidate set, then expands it by `hops` parent steps:
+// a pattern of depth d rooted at class R can only see a node gained by
+// class D if R is within d-1 parent hops of D. Membership is recorded
+// in the epoch marks (mark[c] == markEpoch after the call); the
+// returned slice is scratch, valid until the next call.
+func (g *EGraph) dirtyTake(hops int) []ClassID {
+	epoch := g.nextEpoch()
+	all := g.dirtyAll[:0]
+	front := g.dirtyFront[:0]
+	next := g.dirtyNext[:0]
+	for _, d := range g.dirty {
+		c := g.Find(d)
+		if g.mark[c] == epoch || g.classes[c] == nil {
+			continue
+		}
+		g.mark[c] = epoch
+		front = append(front, c)
+	}
+	g.dirty = g.dirty[:0]
+	all = append(all, front...)
+	for hop := 0; hop < hops && len(front) > 0; hop++ {
+		next = next[:0]
+		for _, c := range front {
+			cl := g.classes[c]
+			if cl == nil {
+				continue
+			}
+			for i := range cl.parents {
+				pc := g.Find(cl.parents[i].class)
+				if g.mark[pc] == epoch || g.classes[pc] == nil {
+					continue
+				}
+				g.mark[pc] = epoch
+				next = append(next, pc)
+			}
+		}
+		all = append(all, next...)
+		front, next = next, front
+	}
+	g.dirtyFront, g.dirtyNext, g.dirtyAll = front, next, all
+	return all
 }
 
 func (g *EGraph) repair(c ClassID) {
@@ -272,51 +441,93 @@ func (g *EGraph) repair(c ClassID) {
 		return
 	}
 	// Re-canonicalize and dedupe this class's own nodes. Dropped
-	// duplicates shrink the live node count NodeCount reports.
-	dedup := map[string]bool{}
-	var nodes []ENode
+	// duplicates shrink the live node count NodeCount reports. Dedup is
+	// by 64-bit node hash with a structural-equality verify; a genuine
+	// hash collision falls back to a linear scan, so correctness never
+	// depends on hashes being unique.
+	seen := g.scratchSeen
+	clear(seen)
+	nodes := cl.nodes[:0]
 	for _, n := range cl.nodes {
 		cn := g.canonNode(n)
-		k := cn.key()
-		if dedup[k] {
+		h := g.headOf(&cn)
+		hash := memoHash(h, cn.Kids)
+		dup := false
+		if j, ok := seen[hash]; ok {
+			if nodesEquiv(&nodes[j], &cn) {
+				dup = true
+			} else {
+				for k := range nodes {
+					if nodesEquiv(&nodes[k], &cn) {
+						dup = true
+						break
+					}
+				}
+			}
+		} else {
+			seen[hash] = int32(len(nodes))
+		}
+		if dup {
 			g.nodeCount--
+			cl.opsAdd(g.opOfHead(h), -1)
 			continue
 		}
-		dedup[k] = true
 		nodes = append(nodes, cn)
 	}
 	cl.nodes = nodes
 
-	// Re-canonicalize parents; detect newly congruent parents.
-	type slot struct {
-		class ClassID
+	// Re-canonicalize parents; detect newly congruent parents. Same
+	// hash-plus-verify dedup, indexing the rebuilt parents slice.
+	seenP := g.scratchSeen
+	clear(seenP)
+	parents := cl.parents[:0]
+	findEquiv := func(cn *ENode, hash uint64) int {
+		if j, ok := seenP[hash]; ok {
+			if nodesEquiv(&parents[j].node, cn) {
+				return int(j)
+			}
+			for k := range parents {
+				if nodesEquiv(&parents[k].node, cn) {
+					return k
+				}
+			}
+		}
+		return -1
 	}
-	fresh := map[string]slot{}
-	var parents []parentEntry
 	for _, p := range cl.parents {
 		cn := g.canonNode(p.node)
-		oldKey := p.node.key()
-		newKey := cn.key()
-		if oldKey != newKey {
-			delete(g.memo, oldKey)
+		h := g.headOf(&cn)
+		hash := memoHash(h, cn.Kids)
+		if !kidsEqual(p.node.Kids, cn.Kids) {
+			g.memo.del(memoHash(h, p.node.Kids), h, p.node.Kids)
 		}
 		pc := g.Find(p.class)
-		if prev, ok := fresh[newKey]; ok {
-			if prev.class != pc {
-				g.Union(prev.class, pc)
+		if j := findEquiv(&cn, hash); j >= 0 {
+			prev := g.Find(parents[j].class)
+			if prev != pc {
+				g.Union(prev, pc)
 				pc = g.Find(pc)
-				fresh[newKey] = slot{class: pc}
+				parents[j].class = pc
+			} else {
+				// Two congruent parent copies live in the same class:
+				// that class now holds duplicate nodes, so queue it for
+				// its own repair — dropping the entry here without doing
+				// so would leave the duplicates (and the node count)
+				// drifting forever.
+				g.work = append(g.work, pc)
 			}
 		} else {
-			fresh[newKey] = slot{class: pc}
+			if _, ok := seenP[hash]; !ok {
+				seenP[hash] = int32(len(parents))
+			}
 			parents = append(parents, parentEntry{node: cn, class: pc})
 		}
-		if memoC, ok := g.memo[newKey]; ok {
+		if memoC, ok := g.memo.get(hash, h, cn.Kids); ok {
 			if g.Find(memoC) != pc {
 				g.Union(memoC, pc)
 			}
 		}
-		g.memo[newKey] = g.Find(pc)
+		g.memo.put(hash, h, cn.Kids, g.Find(pc))
 	}
 	cl.parents = parents
 }
@@ -338,6 +549,19 @@ func (g *EGraph) Classes() []ClassID {
 }
 
 func (g *EGraph) sortedClassIDs() []ClassID { return g.Classes() }
+
+// sortedClassIDsScratch is Classes() into a reusable buffer — the
+// saturation loop calls it once per iteration, so the ID slice would
+// otherwise be a steady allocation. Valid until the next call.
+func (g *EGraph) sortedClassIDsScratch() []ClassID {
+	out := g.classScratch[:0]
+	for id := range g.classes {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	g.classScratch = out
+	return out
+}
 
 // Class returns the class record for a (possibly stale) ID.
 func (g *EGraph) Class(id ClassID) *Class { return g.classes[g.Find(id)] }

@@ -1,0 +1,185 @@
+package egraph
+
+import "entangle/internal/expr"
+
+// Rule-indexed, dirty-tracked e-matching — the saturation hot path.
+//
+// The naive matcher (matchRules, pattern.go) visits every class × rule
+// pair each iteration; on real models most of that work re-derives
+// matches already produced, whose applications the fingerprint filter
+// then discards. The indexed matcher cuts the re-derivation two ways:
+//
+//   - Dirty-class tracking: pure rules only visit classes that gained
+//     nodes since the previous iteration, plus ancestors within
+//     pattern-depth reach (dirtyTake). Every match the naive matcher
+//     would produce outside that set is a repeat of one produced — and
+//     fingerprinted — earlier, so dropping it changes no application.
+//     The full scan runs only when there is no earlier coverage to
+//     lean on: the first iteration of a Saturate call whose graph is
+//     not carrying a fixpoint from the previous same-rules call
+//     (rewrite.go). Stateful rules are exempt: their contract is to
+//     re-run every iteration because their Apply scans graph state
+//     beyond the match.
+//
+//   - First-symbol discrimination: a pattern whose first child is an
+//     operator application can only match a node whose child-0 class
+//     holds a node with that operator; the per-class op counts
+//     (Class.ops) answer that without descending into matchNode.
+//
+// Both filters are exact, and candidate classes are visited in the
+// same ascending order with the same per-class rule order as the naive
+// matcher, so the produced match list is an order-preserving subset of
+// the naive list whose omissions all carry already-applied
+// fingerprints. That is what keeps Stats.Applications, extraction, and
+// report bytes identical between the two paths (the differential tests
+// pin this).
+
+// CompiledRules is the matcher's analysis of a rule set: rules
+// bucketed by root operator, the per-rule child-0 filter, and the
+// dirty-closure depth. It is independent of any e-graph and read-only
+// during matching, so one value may be compiled once (CompileRules)
+// and shared across goroutines via SaturateOpts.Compiled.
+type CompiledRules struct {
+	rules    []*Rule
+	varRules []int             // indexes of bare-variable-LHS rules, in order
+	byOp     map[expr.Op][]int // op-rooted rules bucketed by root op, in order
+	child0   []expr.Op         // per rule: required op of child 0 ("" = no filter)
+	// maxPureDepth is the deepest pure-rule LHS; dirty candidates are
+	// expanded by maxPureDepth-1 parent hops.
+	maxPureDepth int
+}
+
+// CompileRules analyzes a rule set for the indexed matcher. The result
+// must be passed (via SaturateOpts.Compiled) only alongside exactly
+// the same rules slice.
+func CompileRules(rules []*Rule) *CompiledRules {
+	cr := &CompiledRules{
+		rules:  rules,
+		byOp:   map[expr.Op][]int{},
+		child0: make([]expr.Op, len(rules)),
+	}
+	for i, r := range rules {
+		if r.LHS.Var != "" {
+			cr.varRules = append(cr.varRules, i)
+		} else {
+			cr.byOp[r.LHS.Op] = append(cr.byOp[r.LHS.Op], i)
+			if len(r.LHS.Kids) > 0 && r.LHS.Kids[0].Var == "" {
+				cr.child0[i] = r.LHS.Kids[0].Op
+			}
+		}
+		if !r.Stateful {
+			if d := patternDepth(r.LHS); d > cr.maxPureDepth {
+				cr.maxPureDepth = d
+			}
+		}
+	}
+	return cr
+}
+
+// resolveChild0 refreshes the interned child-0 filter ops against g's
+// interner, into the per-graph scratch g.child0ID (CompiledRules is
+// shared and stays read-only). An op can first appear mid-saturation,
+// so this runs once per iteration; an unresolved op (ID 0) means no
+// node in the graph has it, which makes the filter reject — exactly
+// what matching would conclude.
+func (g *EGraph) resolveChild0(cr *CompiledRules) {
+	if cap(g.child0ID) < len(cr.child0) {
+		g.child0ID = make([]opID, len(cr.child0))
+	}
+	g.child0ID = g.child0ID[:len(cr.child0)]
+	for i, op := range cr.child0 {
+		if op != "" {
+			g.child0ID[i] = g.intern.lookupOp(string(op))
+		}
+	}
+}
+
+// patternDepth is the match depth of a pattern: how many class levels
+// e-matching inspects. A bare variable binds the root class (depth 1);
+// VarKids binds the child-class list (depth 2); operator patterns add
+// one level over their deepest child.
+func patternDepth(p *Pattern) int {
+	if p.Var != "" {
+		return 1
+	}
+	if p.VarKids != "" {
+		return 2
+	}
+	d := 1
+	for _, k := range p.Kids {
+		if kd := 1 + patternDepth(k); kd > d {
+			d = kd
+		}
+	}
+	return d
+}
+
+// matchRulesIndexed is the indexed counterpart of matchRules. With
+// full set, every class is a pure-rule candidate; otherwise pure rules
+// only visit the dirty closure. Matches append to out (a reused
+// scratch slice).
+func (g *EGraph) matchRulesIndexed(cr *CompiledRules, full bool, out []ruleMatch) []ruleMatch {
+	g.resolveChild0(cr)
+	candEpoch := int32(0)
+	if full {
+		g.dirty = g.dirty[:0] // the full scan covers everything accumulated
+	} else {
+		hops := cr.maxPureDepth - 1
+		if hops < 0 {
+			hops = 0
+		}
+		g.dirtyTake(hops)
+		candEpoch = g.markEpoch // dirtyTake marked the closure with this epoch
+	}
+	for _, id := range g.sortedClassIDsScratch() {
+		cl := g.classes[id]
+		pureCand := full || g.mark[id] == candEpoch
+		for _, ri := range cr.varRules {
+			r := cr.rules[ri]
+			if !pureCand && !r.Stateful {
+				continue
+			}
+			mark := len(g.substStack)
+			g.matchClassOnStack(r.LHS, id, emptySubst)
+			for _, s := range g.substStack[mark:] {
+				out = append(out, ruleMatch{rule: r, m: Match{Class: id, Subst: s}})
+			}
+			g.substStack = g.substStack[:mark]
+		}
+		for ni := range cl.nodes {
+			n := &cl.nodes[ni]
+			cands := cr.byOp[n.Op]
+			if len(cands) == 0 {
+				continue
+			}
+			var canon ENode
+			canonDone := false
+			for _, ri := range cands {
+				r := cr.rules[ri]
+				if !pureCand && !r.Stateful {
+					continue
+				}
+				if cr.child0[ri] != "" && len(n.Kids) > 0 {
+					filter := g.child0ID[ri]
+					if filter == 0 {
+						continue
+					}
+					if kc := g.classes[g.Find(n.Kids[0])]; kc == nil || !kc.hasOp(filter) {
+						continue
+					}
+				}
+				mark := len(g.substStack)
+				g.matchNodeOnStack(r.LHS, n, emptySubst)
+				if len(g.substStack) > mark && !canonDone {
+					canon = g.canonNode(*n)
+					canonDone = true
+				}
+				for _, s := range g.substStack[mark:] {
+					out = append(out, ruleMatch{rule: r, m: Match{Class: id, Node: canon, Subst: s}})
+				}
+				g.substStack = g.substStack[:mark]
+			}
+		}
+	}
+	return out
+}

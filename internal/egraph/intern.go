@@ -1,0 +1,269 @@
+package egraph
+
+import "strconv"
+
+// Interned node identity. An ENode's structural identity splits into a
+// "head" — operator, Str attribute, symbolic Ints, and leaf TID,
+// everything except the child classes — and its canonical child-class
+// list. Heads are interned to small integer IDs once per e-graph, so
+// the hash-cons memo keys on (headID, kids) and never builds a string
+// on the hot path: the old ENode.key() + map[string]ClassID pair cost
+// one fmt-heavy string construction per canonicalization and was,
+// with its allocations, ~25% of cold-check CPU.
+//
+// Head IDs are e-graph-local. Nodes read back from one graph (via
+// Class.Nodes or ParentsOf) carry that graph's head ID in an
+// unexported field; inserting such a copy into a *different* graph is
+// not supported (fresh ENode literals, which every rule builds, are
+// always safe — their zero head is interned on first insert).
+
+// headID identifies an interned node head. 0 means "not yet interned";
+// valid IDs start at 1 and index headOps at id-1.
+type headID int32
+
+// opID identifies an interned operator symbol, used by the per-class
+// operator counts that drive rule indexing. 0 is unused; valid IDs
+// start at 1.
+type opID int32
+
+type interner struct {
+	heads map[string]headID
+	// headOps maps headID-1 to the interned operator of that head.
+	headOps []opID
+	ops     map[string]opID
+}
+
+func newInterner() *interner {
+	return &interner{heads: map[string]headID{}, ops: map[string]opID{}}
+}
+
+func (in *interner) opOf(op string) opID {
+	if id, ok := in.ops[op]; ok {
+		return id
+	}
+	id := opID(len(in.ops) + 1)
+	in.ops[op] = id
+	return id
+}
+
+// lookupOp returns the interned ID for op without creating one; 0
+// means no node with this operator was ever interned here.
+func (in *interner) lookupOp(op string) opID {
+	return in.ops[op]
+}
+
+// appendHeadKey renders the kid-independent part of a node's identity
+// into buf. Keys are only built for nodes whose cached head ID is
+// unset; known heads resolve without allocating — the lookup probes
+// the intern map with the byte buffer directly, so only the first
+// sighting of a head pays for a string.
+func appendHeadKey(buf []byte, n *ENode) []byte {
+	if n.isLeaf() {
+		buf = append(buf, 't')
+		return strconv.AppendInt(buf, int64(n.TID), 10)
+	}
+	buf = append(buf, n.Op...)
+	if n.Str != "" {
+		buf = append(buf, '.')
+		buf = append(buf, n.Str...)
+	}
+	buf = append(buf, '[')
+	for i, e := range n.Ints {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = e.AppendKey(buf)
+	}
+	return append(buf, ']')
+}
+
+// headOf interns n's head, caching the ID in the node.
+func (g *EGraph) headOf(n *ENode) headID {
+	if n.head != 0 {
+		return n.head
+	}
+	g.headBuf = appendHeadKey(g.headBuf[:0], n)
+	if id, ok := g.intern.heads[string(g.headBuf)]; ok {
+		n.head = id
+		return id
+	}
+	id := headID(len(g.intern.headOps) + 1)
+	g.intern.heads[string(g.headBuf)] = id
+	g.intern.headOps = append(g.intern.headOps, g.intern.opOf(string(n.Op)))
+	n.head = id
+	return id
+}
+
+// opOfHead returns the interned operator of a head.
+func (g *EGraph) opOfHead(h headID) opID { return g.intern.headOps[h-1] }
+
+// nodesEquiv reports structural equality of two canonical, interned
+// nodes.
+func nodesEquiv(a, b *ENode) bool {
+	if a.head != b.head || len(a.Kids) != len(b.Kids) {
+		return false
+	}
+	for i := range a.Kids {
+		if a.Kids[i] != b.Kids[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// memoHash mixes a node identity FNV-1a style.
+func memoHash(h headID, kids []ClassID) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	x := uint64(offset64)
+	x ^= uint64(uint32(h))
+	x *= prime64
+	for _, k := range kids {
+		x ^= uint64(uint32(k))
+		x *= prime64
+	}
+	return x
+}
+
+// memoTable is the hash-cons memo: an open-addressing table from
+// (headID, canonical kids) to the class storing that node. Entries
+// share the node's canonical Kids slice — canonNode copies on change,
+// so stored slices never mutate. Deletion (repair dropping a stale
+// key) leaves a tombstone, cleared on the next growth rehash.
+type memoTable struct {
+	entries []memoEntry
+	live    int // occupied entries
+	used    int // occupied + tombstones, drives growth
+}
+
+type memoEntry struct {
+	hash  uint64
+	head  headID // 0 = empty, -1 = tombstone
+	class ClassID
+	kids  []ClassID
+}
+
+const memoTombstone headID = -1
+
+func newMemoTable() *memoTable {
+	return &memoTable{entries: make([]memoEntry, 64)}
+}
+
+func (m *memoTable) mask() uint64 { return uint64(len(m.entries) - 1) }
+
+// get returns the class recorded for (h, kids).
+func (m *memoTable) get(hash uint64, h headID, kids []ClassID) (ClassID, bool) {
+	mask := m.mask()
+	for i := hash & mask; ; i = (i + 1) & mask {
+		e := &m.entries[i]
+		if e.head == 0 {
+			return 0, false
+		}
+		if e.head == h && e.hash == hash && kidsEqual(e.kids, kids) {
+			return e.class, true
+		}
+	}
+}
+
+// put inserts or updates the class for (h, kids).
+func (m *memoTable) put(hash uint64, h headID, kids []ClassID, class ClassID) {
+	if (m.used+1)*4 >= len(m.entries)*3 {
+		m.grow()
+	}
+	mask := m.mask()
+	firstFree := -1
+	for i := hash & mask; ; i = (i + 1) & mask {
+		e := &m.entries[i]
+		switch {
+		case e.head == 0:
+			if firstFree >= 0 {
+				e = &m.entries[firstFree]
+			} else {
+				m.used++
+			}
+			*e = memoEntry{hash: hash, head: h, class: class, kids: kids}
+			m.live++
+			return
+		case e.head == memoTombstone:
+			if firstFree < 0 {
+				firstFree = int(i)
+			}
+		case e.head == h && e.hash == hash && kidsEqual(e.kids, kids):
+			e.class = class
+			return
+		}
+	}
+}
+
+// del removes the entry for (h, kids), if present.
+func (m *memoTable) del(hash uint64, h headID, kids []ClassID) {
+	mask := m.mask()
+	for i := hash & mask; ; i = (i + 1) & mask {
+		e := &m.entries[i]
+		if e.head == 0 {
+			return
+		}
+		if e.head == h && e.hash == hash && kidsEqual(e.kids, kids) {
+			*e = memoEntry{head: memoTombstone}
+			m.live--
+			return
+		}
+	}
+}
+
+func (m *memoTable) grow() {
+	old := m.entries
+	size := len(old) * 2
+	// Growth driven by tombstones alone rehashes in place instead.
+	if m.live*4 < len(old) {
+		size = len(old)
+	}
+	m.entries = make([]memoEntry, size)
+	m.used = m.live
+	mask := m.mask()
+	for i := range old {
+		e := &old[i]
+		if e.head <= 0 {
+			continue
+		}
+		for j := e.hash & mask; ; j = (j + 1) & mask {
+			if m.entries[j].head == 0 {
+				m.entries[j] = *e
+				break
+			}
+		}
+	}
+}
+
+// each calls fn for every live entry (diagnostics and invariants).
+func (m *memoTable) each(fn func(h headID, kids []ClassID, class ClassID) bool) {
+	for i := range m.entries {
+		e := &m.entries[i]
+		if e.head <= 0 {
+			continue
+		}
+		if !fn(e.head, e.kids, e.class) {
+			return
+		}
+	}
+}
+
+func kidsEqual(a, b []ClassID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// memoLookup probes the memo for a canonical node, interning its head.
+func (g *EGraph) memoLookup(n *ENode) (ClassID, bool) {
+	h := g.headOf(n)
+	return g.memo.get(memoHash(h, n.Kids), h, n.Kids)
+}

@@ -1,0 +1,136 @@
+package egraph
+
+import (
+	"fmt"
+	"os"
+)
+
+// InvariantChecks, when true, makes every Rebuild finish with a full
+// CheckInvariants audit and panic on drift. It defaults on when the
+// ENTANGLE_CHECK_INVARIANTS environment variable is non-empty — the
+// race-gated test runs set it (scripts/verify.sh) so congruence drift
+// surfaces at the rebuild that caused it, not as a mysterious wrong
+// extraction later. The audits are O(graph) per rebuild; never enable
+// in production.
+var InvariantChecks = os.Getenv("ENTANGLE_CHECK_INVARIANTS") != ""
+
+// CheckInvariants audits the e-graph's structural invariants and
+// returns the first violation found, or nil. The invariants, which
+// Rebuild is supposed to (re)establish:
+//
+//  1. Class records are canonical: every classes-map key is its own
+//     union-find representative and matches the record's id.
+//  2. NodeCount bookkeeping: the incrementally maintained live-node
+//     count equals the stored-node total, and per-class operator
+//     counts (the first-symbol index) match a recount.
+//  3. No intra-class duplicates: no two nodes of one class
+//     canonicalize to the same identity.
+//  4. Memo ↔ class agreement, both directions: every live memo entry
+//     resolves to a class that actually holds the node, and every
+//     stored node's canonical form is in the memo pointing back at
+//     its class. (Congruence: two classes holding the same canonical
+//     node would collide on the memo entry and fail this.)
+//  5. Parent registration: every non-leaf node is recorded in each of
+//     its kids' parent lists with the owning class.
+func (g *EGraph) CheckInvariants() error {
+	// 1. Canonical class records.
+	for id, cl := range g.classes {
+		if g.Find(id) != id {
+			return fmt.Errorf("class %d is in the class map but not canonical (Find = %d)", id, g.Find(id))
+		}
+		if cl.id != id {
+			return fmt.Errorf("class %d record carries id %d", id, cl.id)
+		}
+	}
+
+	total := 0
+	for id, cl := range g.classes {
+		total += len(cl.nodes)
+
+		// 2b + 3. Operator counts and intra-class dedup.
+		recount := map[opID]int32{}
+		seen := map[string]bool{}
+		for i := range cl.nodes {
+			cn := g.canonNode(cl.nodes[i])
+			h := g.headOf(&cn)
+			recount[g.opOfHead(h)]++
+			k := cn.key()
+			if seen[k] {
+				return fmt.Errorf("class %d holds duplicate node %s", id, k)
+			}
+			seen[k] = true
+
+			// 4 (node → memo direction).
+			mc, ok := g.memo.get(memoHash(h, cn.Kids), h, cn.Kids)
+			if !ok {
+				return fmt.Errorf("class %d node %s missing from memo", id, k)
+			}
+			if g.Find(mc) != id {
+				return fmt.Errorf("class %d node %s maps to class %d in memo", id, k, g.Find(mc))
+			}
+
+			// 5. Parent registration.
+			for _, kid := range cn.Kids {
+				kc := g.classes[g.Find(kid)]
+				if kc == nil {
+					return fmt.Errorf("class %d node %s has kid %d with no class record", id, k, kid)
+				}
+				found := false
+				for j := range kc.parents {
+					pn := g.canonNode(kc.parents[j].node)
+					if g.Find(kc.parents[j].class) == id && nodesEquiv(&pn, &cn) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return fmt.Errorf("class %d node %s not registered in parents of kid class %d", id, k, g.Find(kid))
+				}
+			}
+		}
+		for _, oc := range cl.ops {
+			if oc.n != recount[oc.op] {
+				return fmt.Errorf("class %d op-count drift: op %d counted %d, recounted %d", id, oc.op, oc.n, recount[oc.op])
+			}
+			delete(recount, oc.op)
+		}
+		for op, n := range recount {
+			return fmt.Errorf("class %d op-count drift: op %d has %d nodes but no index entry", id, op, n)
+		}
+	}
+
+	// 2a. Live-node bookkeeping.
+	if g.nodeCount != total {
+		return fmt.Errorf("nodeCount %d != stored-node total %d", g.nodeCount, total)
+	}
+
+	// 4 (memo → class direction).
+	var memoErr error
+	g.memo.each(func(h headID, kids []ClassID, class ClassID) bool {
+		cl := g.classes[g.Find(class)]
+		if cl == nil {
+			memoErr = fmt.Errorf("memo entry (head %d) points at dead class %d", h, class)
+			return false
+		}
+		probe := ENode{head: h, Kids: kids}
+		for i := range cl.nodes {
+			cn := g.canonNode(cl.nodes[i])
+			g.headOf(&cn)
+			if nodesEquiv(&cn, &probe) {
+				return true
+			}
+		}
+		// Stale memo entries whose kids are no longer canonical are
+		// tolerated as long as the canonical form also resolves (the
+		// node→memo direction above checked it); a fully canonical
+		// entry must be present in its class.
+		for _, k := range kids {
+			if g.Find(k) != k {
+				return true
+			}
+		}
+		memoErr = fmt.Errorf("memo entry (head %d, kids %v) not present in class %d", h, kids, g.Find(class))
+		return false
+	})
+	return memoErr
+}

@@ -64,11 +64,18 @@ func POpN(op expr.Op, attrs []AttrPat, kidsVar string) *Pattern {
 // Subst is a substitution produced by e-matching. Bindings are stored
 // in small slices (matches bind at most a handful of variables);
 // extension is copy-on-write so substitutions can be shared across
-// backtracking branches.
+// backtracking branches. The common binding counts live in inline
+// buffers so extending costs one allocation (the Subst itself), not
+// two; the slices are capacity-capped at their length, so an append
+// can never reach into a shared buffer.
 type Subst struct {
 	classes []classBinding
 	attrs   []attrBinding
 	kids    []kidsBinding
+
+	cbuf [4]classBinding
+	abuf [2]attrBinding
+	kbuf [1]kidsBinding
 }
 
 type classBinding struct {
@@ -88,6 +95,48 @@ type kidsBinding struct {
 
 // emptySubst is the shared starting substitution (read-only).
 var emptySubst = &Subst{}
+
+// substArena bump-allocates Substs for the saturation matchers. A match
+// phase's substitutions are all dead once the apply loop that consumes
+// them finishes, so each phase recycles the previous phase's slots
+// instead of paying malloc + GC per binding — extension was the single
+// largest allocator on the cold-check path. Chunks are fixed-size and
+// never reallocated, so handed-out pointers stay stable as the arena
+// grows.
+type substArena struct {
+	chunks [][]Subst
+	ci, ni int
+}
+
+func (a *substArena) reset() { a.ci, a.ni = 0, 0 }
+
+// newSubst allocates a Subst: from the arena while a saturation match
+// phase is active, from the heap otherwise (MatchAll results escape to
+// callers with arbitrary lifetimes). Arena slots are reused without
+// zeroing — every caller overwrites all three binding slices, and the
+// inline buffers are only read up to those lengths. Chunks start small
+// and double (the checker builds one e-graph per operator, most of
+// them tiny) up to a cap that keeps big matches from over-reserving.
+func (g *EGraph) newSubst() *Subst {
+	if !g.arenaOn {
+		return &Subst{}
+	}
+	a := &g.substArena
+	if a.ci == len(a.chunks) {
+		size := 64 << uint(len(a.chunks))
+		if size > 1024 {
+			size = 1024
+		}
+		a.chunks = append(a.chunks, make([]Subst, size))
+	}
+	ch := a.chunks[a.ci]
+	s := &ch[a.ni]
+	if a.ni++; a.ni == len(ch) {
+		a.ci++
+		a.ni = 0
+	}
+	return s
+}
 
 func (s *Subst) lookupClass(name string) (ClassID, bool) {
 	for i := range s.classes {
@@ -119,27 +168,54 @@ func (s *Subst) lookupKids(name string) ([]ClassID, bool) {
 // withClass returns a new substitution extended by one class binding;
 // the receiver is unchanged (backing arrays are never appended in
 // place: capacities equal lengths by construction).
-func (s *Subst) withClass(name string, c ClassID) *Subst {
-	n := &Subst{attrs: s.attrs, kids: s.kids}
-	n.classes = make([]classBinding, len(s.classes)+1)
+func (s *Subst) withClass(g *EGraph, name string, c ClassID) *Subst {
+	n := g.newSubst()
+	n.attrs = s.attrs
+	n.kids = s.kids
+	l := len(s.classes)
+	if l < len(n.cbuf) {
+		copy(n.cbuf[:], s.classes)
+		n.cbuf[l] = classBinding{name: name, c: c}
+		n.classes = n.cbuf[: l+1 : l+1]
+		return n
+	}
+	n.classes = make([]classBinding, l+1)
 	copy(n.classes, s.classes)
-	n.classes[len(s.classes)] = classBinding{name: name, c: c}
+	n.classes[l] = classBinding{name: name, c: c}
 	return n
 }
 
-func (s *Subst) withAttr(name string, e sym.Expr) *Subst {
-	n := &Subst{classes: s.classes, kids: s.kids}
-	n.attrs = make([]attrBinding, len(s.attrs)+1)
+func (s *Subst) withAttr(g *EGraph, name string, e sym.Expr) *Subst {
+	n := g.newSubst()
+	n.classes = s.classes
+	n.kids = s.kids
+	l := len(s.attrs)
+	if l < len(n.abuf) {
+		copy(n.abuf[:], s.attrs)
+		n.abuf[l] = attrBinding{name: name, e: e}
+		n.attrs = n.abuf[: l+1 : l+1]
+		return n
+	}
+	n.attrs = make([]attrBinding, l+1)
 	copy(n.attrs, s.attrs)
-	n.attrs[len(s.attrs)] = attrBinding{name: name, e: e}
+	n.attrs[l] = attrBinding{name: name, e: e}
 	return n
 }
 
-func (s *Subst) withKids(name string, ks []ClassID) *Subst {
-	n := &Subst{classes: s.classes, attrs: s.attrs}
-	n.kids = make([]kidsBinding, len(s.kids)+1)
+func (s *Subst) withKids(g *EGraph, name string, ks []ClassID) *Subst {
+	n := g.newSubst()
+	n.classes = s.classes
+	n.attrs = s.attrs
+	l := len(s.kids)
+	if l < len(n.kbuf) {
+		copy(n.kbuf[:], s.kids)
+		n.kbuf[l] = kidsBinding{name: name, ks: ks}
+		n.kids = n.kbuf[: l+1 : l+1]
+		return n
+	}
+	n.kids = make([]kidsBinding, l+1)
 	copy(n.kids, s.kids)
-	n.kids[len(s.kids)] = kidsBinding{name: name, ks: ks}
+	n.kids[l] = kidsBinding{name: name, ks: ks}
 	return n
 }
 
@@ -191,13 +267,20 @@ func (g *EGraph) MatchAll(p *Pattern) []Match {
 			}
 			continue
 		}
-		for _, n := range cl.nodes {
+		for ni := range cl.nodes {
+			n := &cl.nodes[ni]
 			if n.Op != p.Op {
 				continue
 			}
-			for _, s := range g.matchNode(p, n, emptySubst) {
-				out = append(out, Match{Class: id, Node: g.canonNode(n), Subst: s})
+			mark := len(g.substStack)
+			g.matchNodeOnStack(p, n, emptySubst)
+			if len(g.substStack) > mark {
+				canon := g.canonNode(*n)
+				for _, s := range g.substStack[mark:] {
+					out = append(out, Match{Class: id, Node: canon, Subst: s})
+				}
 			}
+			g.substStack = g.substStack[:mark]
 		}
 	}
 	return out
@@ -224,7 +307,8 @@ func (g *EGraph) matchRules(rules []*Rule) []ruleMatch {
 				out = append(out, ruleMatch{rule: r, m: Match{Class: id, Subst: s}})
 			}
 		}
-		for _, n := range cl.nodes {
+		for ni := range cl.nodes {
+			n := &cl.nodes[ni]
 			cands := byOp[n.Op]
 			if len(cands) == 0 {
 				continue
@@ -232,13 +316,16 @@ func (g *EGraph) matchRules(rules []*Rule) []ruleMatch {
 			var canon ENode
 			canonDone := false
 			for _, r := range cands {
-				for _, s := range g.matchNode(r.LHS, n, emptySubst) {
-					if !canonDone {
-						canon = g.canonNode(n)
-						canonDone = true
-					}
+				mark := len(g.substStack)
+				g.matchNodeOnStack(r.LHS, n, emptySubst)
+				if len(g.substStack) > mark && !canonDone {
+					canon = g.canonNode(*n)
+					canonDone = true
+				}
+				for _, s := range g.substStack[mark:] {
 					out = append(out, ruleMatch{rule: r, m: Match{Class: id, Node: canon, Subst: s}})
 				}
+				g.substStack = g.substStack[:mark]
 			}
 		}
 	}
@@ -252,46 +339,65 @@ type ruleMatch struct {
 }
 
 // matchClass matches pattern p against class c, extending base; it
-// returns all consistent substitutions.
+// returns all consistent substitutions as a fresh slice. The
+// saturation matchers use matchClassOnStack directly to avoid the
+// materialization.
 func (g *EGraph) matchClass(p *Pattern, c ClassID, base *Subst) []*Subst {
-	c = g.Find(c)
-	if p.Var != "" {
-		if bound, ok := base.lookupClass(p.Var); ok {
-			if g.Find(bound) != c {
-				return nil
-			}
-			return []*Subst{base}
-		}
-		return []*Subst{base.withClass(p.Var, c)}
-	}
-	cl := g.classes[c]
-	if cl == nil {
+	mark := len(g.substStack)
+	g.matchClassOnStack(p, c, base)
+	if len(g.substStack) == mark {
 		return nil
 	}
-	var out []*Subst
-	for _, n := range cl.nodes {
-		out = append(out, g.matchNode(p, n, base)...)
-	}
+	out := make([]*Subst, len(g.substStack)-mark)
+	copy(out, g.substStack[mark:])
+	g.substStack = g.substStack[:mark]
 	return out
 }
 
-func (g *EGraph) matchNode(p *Pattern, n ENode, base *Subst) []*Subst {
+// matchClassOnStack matches pattern p against class c, extending base,
+// and pushes every consistent substitution onto g.substStack. The
+// stack discipline — callers record len(g.substStack), consume the
+// entries above it, and truncate back — is what lets the matchers run
+// allocation-free: only the substitutions themselves live on the heap,
+// never the intermediate result lists.
+func (g *EGraph) matchClassOnStack(p *Pattern, c ClassID, base *Subst) {
+	c = g.Find(c)
+	if p.Var != "" {
+		if bound, ok := base.lookupClass(p.Var); ok {
+			if g.Find(bound) == c {
+				g.substStack = append(g.substStack, base)
+			}
+			return
+		}
+		g.substStack = append(g.substStack, base.withClass(g, p.Var, c))
+		return
+	}
+	cl := g.classes[c]
+	if cl == nil {
+		return
+	}
+	for ni := range cl.nodes {
+		g.matchNodeOnStack(p, &cl.nodes[ni], base)
+	}
+}
+
+func (g *EGraph) matchNodeOnStack(p *Pattern, n *ENode, base *Subst) {
 	if n.Op != p.Op {
-		return nil
+		return
 	}
 	if p.LeafTID != nil {
 		if n.TID != *p.LeafTID {
-			return nil
+			return
 		}
 	}
 	if p.Str != "" && n.Str != p.Str {
-		return nil
+		return
 	}
 	if len(p.Attrs) > 0 && len(p.Attrs) != len(n.Ints) {
-		return nil
+		return
 	}
 	if p.VarKids == "" && len(p.Kids) != len(n.Kids) {
-		return nil
+		return
 	}
 	s := base
 	// Attributes first (cheap).
@@ -299,49 +405,58 @@ func (g *EGraph) matchNode(p *Pattern, n ENode, base *Subst) []*Subst {
 		got := n.Ints[i]
 		if ap.Var == "" {
 			if !got.Equal(ap.Lit) {
-				return nil
+				return
 			}
 			continue
 		}
 		if bound, ok := s.lookupAttr(ap.Var); ok {
 			if !bound.Equal(got) {
-				return nil
+				return
 			}
 			continue
 		}
-		s = s.withAttr(ap.Var, got)
+		s = s.withAttr(g, ap.Var, got)
 	}
 	if p.VarKids != "" {
+		if bound, ok := s.lookupKids(p.VarKids); ok {
+			if len(bound) != len(n.Kids) {
+				return
+			}
+			for i := range n.Kids {
+				if g.Find(bound[i]) != g.Find(n.Kids[i]) {
+					return
+				}
+			}
+			g.substStack = append(g.substStack, s)
+			return
+		}
 		kids := make([]ClassID, len(n.Kids))
 		for i, k := range n.Kids {
 			kids[i] = g.Find(k)
 		}
-		if bound, ok := s.lookupKids(p.VarKids); ok {
-			if len(bound) != len(kids) {
-				return nil
-			}
-			for i := range kids {
-				if g.Find(bound[i]) != kids[i] {
-					return nil
-				}
-			}
-			return []*Subst{s}
-		}
-		return []*Subst{s.withKids(p.VarKids, kids)}
+		g.substStack = append(g.substStack, s.withKids(g, p.VarKids, kids))
+		return
 	}
-	// Children: cartesian backtracking.
-	subs := []*Subst{s}
-	for i, kp := range p.Kids {
-		var next []*Subst
-		for _, cur := range subs {
-			next = append(next, g.matchClass(kp, n.Kids[i], cur)...)
-		}
-		if len(next) == 0 {
-			return nil
-		}
-		subs = next
+	if len(p.Kids) == 0 {
+		g.substStack = append(g.substStack, s)
+		return
 	}
-	return subs
+	// Children: cartesian backtracking, level by level on the stack.
+	// Frame [lo, hi) holds the substitutions consistent through child
+	// i-1; matching child i extends each onto the stack top. Indexing
+	// (not pointers) keeps the loop safe across stack reallocation.
+	mark := len(g.substStack)
+	g.matchClassOnStack(p.Kids[0], n.Kids[0], s)
+	lo, hi := mark, len(g.substStack)
+	for i := 1; i < len(p.Kids) && lo < hi; i++ {
+		for j := lo; j < hi; j++ {
+			g.matchClassOnStack(p.Kids[i], n.Kids[i], g.substStack[j])
+		}
+		lo, hi = hi, len(g.substStack)
+	}
+	// Slide the final frame down over the intermediate levels.
+	kept := copy(g.substStack[mark:], g.substStack[lo:hi])
+	g.substStack = g.substStack[:mark+kept]
 }
 
 // RTerm is a term template used to build rewrite right-hand sides.
@@ -380,6 +495,12 @@ func RLeaf(tid int, name string) *RTerm { return &RTerm{IsLeaf: true, LeafTID: t
 // its class. When lookupOnly is set it never inserts: it fails (ok =
 // false) unless every node already exists — this implements the
 // paper's constrained lemmas (§4.3.2).
+//
+// During saturation, inserts are budgeted: a node that would push the
+// live count past SaturateOpts.MaxNodes is declined and Instantiate
+// fails, leaving the graph congruent (nodes built for earlier template
+// positions stay — they are valid, just unused). Saturate observes the
+// denial and stops with a node-limit verdict.
 func (g *EGraph) Instantiate(t *RTerm, s *Subst, lookupOnly bool) (ClassID, bool) {
 	switch {
 	case t.VarName != "":
@@ -395,7 +516,7 @@ func (g *EGraph) Instantiate(t *RTerm, s *Subst, lookupOnly bool) (ClassID, bool
 		if lookupOnly {
 			return g.Lookup(n)
 		}
-		return g.AddNode(n), true
+		return g.addNode(n, true)
 	}
 	kids := make([]ClassID, len(t.Kids))
 	for i, k := range t.Kids {
@@ -409,7 +530,7 @@ func (g *EGraph) Instantiate(t *RTerm, s *Subst, lookupOnly bool) (ClassID, bool
 	if lookupOnly {
 		return g.Lookup(n)
 	}
-	return g.AddNode(n), true
+	return g.addNode(n, true)
 }
 
 // String renders a pattern for diagnostics, in the paper's notation:

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"sort"
-	"strings"
 )
 
 // Rule is a rewrite rule (a "lemma" in the paper's terms, §4.2.1).
@@ -82,16 +81,34 @@ type SaturateOpts struct {
 	MaxIters int // default 16
 	// MaxNodes caps the number of *live* ENodes — the value reported
 	// by EGraph.NodeCount(), i.e. distinct nodes currently stored
-	// across all classes, after dedup. When an application pushes the
-	// live count past the cap, Saturate stops applying matches,
-	// rebuilds (so the e-graph is left congruent), and returns with
-	// Saturated == false. Default 40_000.
+	// across all classes, after dedup. The cap is enforced inside rule
+	// instantiation: an application that would create a node beyond it
+	// is declined (its unions don't happen), and Saturate stops
+	// applying further matches, rebuilds (so the e-graph is left
+	// congruent), and returns with Saturated == false. Rules that
+	// build nodes directly through AddNode bypass the per-node check,
+	// so the live count can overshoot by at most one application's
+	// worth of nodes. Default 40_000.
 	MaxNodes int
-	// Ctx, when non-nil, cancels the run: it is checked between
-	// iterations, so a cancelled Saturate returns within one iteration,
-	// always after Rebuild — the e-graph is left congruent exactly as
-	// on a budget stop. A nil Ctx never cancels.
+	// Ctx, when non-nil, cancels the run: it is polled between
+	// iterations and every few match applications, so a cancelled
+	// Saturate returns promptly even mid-iteration — always after
+	// Rebuild, leaving the e-graph congruent exactly as on a budget
+	// stop. A nil Ctx never cancels.
 	Ctx context.Context
+	// Unindexed selects the naive reference matcher, which re-visits
+	// every class × rule pair each iteration, instead of the indexed
+	// dirty-tracked matcher (index.go). Both produce identical
+	// applications, stats, and extraction results — the differential
+	// tests compare the two paths — so this exists for those tests and
+	// for bisecting matcher regressions, not for production use.
+	Unindexed bool
+	// Compiled, when non-nil, supplies a precompiled analysis of
+	// exactly the rules slice passed to Saturate (CompileRules), saving
+	// the per-call compilation. A CompiledRules value is read-only
+	// during matching, so one value may be shared across goroutines and
+	// e-graphs. Nil means Saturate compiles on entry.
+	Compiled *CompiledRules
 }
 
 func (o SaturateOpts) withDefaults() SaturateOpts {
@@ -119,7 +136,7 @@ const (
 	// StopNodeLimit: an application pushed the live node count past
 	// MaxNodes.
 	StopNodeLimit
-	// StopCancelled: SaturateOpts.Ctx was cancelled between iterations.
+	// StopCancelled: SaturateOpts.Ctx was cancelled.
 	StopCancelled
 )
 
@@ -147,6 +164,11 @@ type Stats struct {
 	Applications map[string]int
 	Saturated    bool // every merged run reached fixpoint (vs. limit hit)
 	Nodes        int
+	// Matches counts e-matches collected across all iterations (before
+	// the applied-fingerprint filter): the match-loop work the
+	// `-exp saturate` bench tracks per iteration. With dirty-class
+	// tracking this is far below classes × rules × iterations.
+	Matches int
 	// Runs counts the saturation runs accumulated into this value.
 	// The zero value (Runs == 0) is the identity of Merge: merging a
 	// run into it adopts that run's Saturated flag instead of AND-ing
@@ -196,6 +218,7 @@ func (s *Stats) Merge(o Stats) {
 		s.Saturated = s.Saturated && o.Saturated
 	}
 	s.Runs += o.Runs
+	s.Matches += o.Matches
 	if o.Nodes > s.Nodes {
 		s.Nodes = o.Nodes
 	}
@@ -206,60 +229,144 @@ func (s *Stats) Merge(o Stats) {
 	}
 }
 
+// cancelPollEvery is how many match applications pass between context
+// polls inside one saturation iteration — frequent enough that a
+// cancelled deadline stops a large iteration in well under its full
+// apply cost, rare enough that Ctx.Err is off the hot path.
+const cancelPollEvery = 32
+
+// appendFingerprint serializes a pure-rule match identity into buf:
+// rule name plus every bound class (canonicalized), attribute, and
+// kid-list, length-prefixed so distinct matches never collide. Both
+// matchers fingerprint identically, which is what makes the indexed
+// matcher's skipped re-matches unobservable.
+func (g *EGraph) appendFingerprint(buf []byte, p ruleMatch) []byte {
+	put := func(v ClassID) {
+		u := uint32(v)
+		buf = append(buf, byte(u), byte(u>>8), byte(u>>16), byte(u>>24))
+	}
+	buf = append(buf, p.rule.Name...)
+	buf = append(buf, 0) // rule names are NUL-free, so the prefix is unambiguous
+	put(g.Find(p.m.Class))
+	//lint:ignore source-map-range-append Subst.classes is a slice; the name collides with the EGraph.classes map in the linter's field-name index
+	for i := range p.m.Subst.classes {
+		buf = append(buf, 'c')
+		put(g.Find(p.m.Subst.classes[i].c))
+	}
+	for i := range p.m.Subst.attrs {
+		buf = append(buf, 'a')
+		lenAt := len(buf)
+		buf = append(buf, 0, 0, 0, 0)
+		buf = p.m.Subst.attrs[i].e.AppendKey(buf)
+		n := uint32(len(buf) - lenAt - 4)
+		buf[lenAt], buf[lenAt+1], buf[lenAt+2], buf[lenAt+3] = byte(n), byte(n>>8), byte(n>>16), byte(n>>24)
+	}
+	for i := range p.m.Subst.kids {
+		ks := p.m.Subst.kids[i].ks
+		buf = append(buf, 'k')
+		put(ClassID(len(ks)))
+		for _, k := range ks {
+			put(g.Find(k))
+		}
+	}
+	return buf
+}
+
+// sameRules reports whether two rule slices hold identical rules in
+// identical order — the condition for carrying saturation state from
+// one Saturate call to the next on the same graph.
+func sameRules(a, b []*Rule) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Saturate runs the rules to fixpoint or until limits are hit. Matches
 // are collected on a frozen view each iteration, then applied — the
 // standard egg iteration structure.
+//
+// Saturation state persists on the graph across calls: the
+// applied-fingerprint set survives (an application executes at most
+// once per graph lifetime, not once per call), and when the previous
+// call reached fixpoint under the same rules, the next call skips the
+// full first-iteration scan and e-matches only classes dirtied since —
+// which makes the checker's fold-a-node-then-resaturate frontier loop
+// incremental instead of quadratic. A call that stopped on a budget or
+// cancellation clears the fixpoint carry, so the next call rescans
+// everything (the applied set stays valid either way: it records only
+// applications that fully executed).
 func (g *EGraph) Saturate(rules []*Rule, opts SaturateOpts) Stats {
 	opts = opts.withDefaults()
 	stats := Stats{Applications: map[string]int{}, Runs: 1}
-	applied := map[string]bool{}
-	var fp strings.Builder
+	if g.appliedFP == nil {
+		g.appliedFP = map[string]bool{}
+	}
+	applied := g.appliedFP
+	carry := g.satFixpoint && sameRules(g.satRules, rules)
+	g.satFixpoint = false
+	g.satRules = rules
+	fpBuf := g.fpBuf
+	cr := opts.Compiled
+	if cr == nil && !opts.Unindexed {
+		cr = CompileRules(rules)
+	}
+	// Arm the instantiation budget for the duration of the run.
+	g.nodeLimit = opts.MaxNodes
+	g.budgetDenied = false
+	defer func() { g.nodeLimit = 0; g.budgetDenied = false }()
 	limitHit := false
 	cancelled := false
-	for iter := 0; iter < opts.MaxIters && !limitHit; iter++ {
-		// Cancellation is checked between iterations only: the e-graph
-		// was rebuilt at the end of the previous iteration, so stopping
-		// here always leaves it congruent.
+	var todo []ruleMatch
+	for iter := 0; iter < opts.MaxIters && !limitHit && !cancelled; iter++ {
 		if opts.Ctx != nil && opts.Ctx.Err() != nil {
 			cancelled = true
 			break
 		}
 		stats.Iterations = iter + 1
-		todo := g.matchRules(rules)
+		// Substitutions live from here until the apply loop below
+		// finishes with them; the next phase's reset recycles the slots.
+		g.substArena.reset()
+		g.arenaOn = true
+		if opts.Unindexed {
+			g.dirty = g.dirty[:0] // keep the accumulator bounded
+			todo = g.matchRules(rules)
+		} else {
+			todo = g.matchRulesIndexed(cr, iter == 0 && !carry, todo[:0])
+		}
+		g.arenaOn = false
+		stats.Matches += len(todo)
 		changed := false
-		for _, p := range todo {
-			if g.nodeCount > opts.MaxNodes {
-				// Budget blown mid-iteration: stop applying matches,
-				// but fall through to Rebuild below so unions already
-				// applied this iteration are canonicalized — returning
-				// here would leave the memo and parent lists stale and
-				// later extractions non-congruent.
-				limitHit = true
+		for mi, p := range todo {
+			// Poll for cancellation mid-iteration, then fall through to
+			// Rebuild below: stopping without it would leave the memo
+			// and parent lists stale and later extractions
+			// non-congruent. The same fall-through applies to the
+			// budget stop.
+			if mi%cancelPollEvery == cancelPollEvery-1 && opts.Ctx != nil && opts.Ctx.Err() != nil {
+				cancelled = true
 				break
 			}
-			if !p.rule.Stateful {
-				// Pure rules: one application per canonical match.
-				fp.Reset()
-				fp.WriteString(p.rule.Name)
-				fmt.Fprintf(&fp, "|%d", g.Find(p.m.Class))
-				for i := range p.m.Subst.classes {
-					fmt.Fprintf(&fp, "|c%d", g.Find(p.m.Subst.classes[i].c))
-				}
-				for i := range p.m.Subst.attrs {
-					fp.WriteString("|a")
-					fp.WriteString(p.m.Subst.attrs[i].e.Key())
-				}
-				for i := range p.m.Subst.kids {
-					fp.WriteString("|k")
-					for _, k := range p.m.Subst.kids[i].ks {
-						fmt.Fprintf(&fp, ",%d", g.Find(k))
-					}
-				}
-				key := fp.String()
-				if applied[key] {
+			pure := !p.rule.Stateful
+			if pure {
+				// Pure rules: one application per canonical match. The
+				// map probe uses the byte buffer directly (no string
+				// allocation unless the key is inserted).
+				fpBuf = g.appendFingerprint(fpBuf[:0], p)
+				if applied[string(fpBuf)] {
 					continue
 				}
-				applied[key] = true
+			}
+			if g.nodeCount > opts.MaxNodes {
+				// A direct-AddNode rule overshot the live count; stop
+				// applying matches.
+				limitHit = true
+				break
 			}
 			pairs := p.rule.Apply(g, p.m)
 			for _, up := range pairs {
@@ -268,13 +375,26 @@ func (g *EGraph) Saturate(rules []*Rule, opts SaturateOpts) Stats {
 					stats.Applications[p.rule.Name]++
 				}
 			}
+			if g.budgetDenied {
+				// The instantiation cap declined part of this
+				// application: it is incomplete, so it stays out of the
+				// applied set — a later run with a bigger budget must
+				// re-derive it.
+				limitHit = true
+				break
+			}
+			if pure {
+				applied[string(fpBuf)] = true
+			}
 		}
 		g.Rebuild()
-		if !changed && !limitHit {
+		if !changed && !limitHit && !cancelled {
 			stats.Saturated = true
 			break
 		}
 	}
+	g.fpBuf = fpBuf[:0]
+	g.satFixpoint = stats.Saturated
 	switch {
 	case cancelled:
 		stats.StopReason = StopCancelled

@@ -2,6 +2,8 @@ package egraph
 
 import (
 	"context"
+	"fmt"
+	"os"
 	"reflect"
 	"testing"
 
@@ -95,28 +97,13 @@ func TestSaturateMaxNodesRebuilds(t *testing.T) {
 	assertCongruent(t, g)
 }
 
-// assertCongruent checks the rebuild invariants: every stored node is
-// canonical, its memo entry exists and maps to its class, and no two
-// classes share a node key.
+// assertCongruent checks the rebuild invariants via the full
+// structural audit: memo ↔ class agreement, no duplicate nodes, parent
+// registration, and count bookkeeping (see CheckInvariants).
 func assertCongruent(t *testing.T, g *EGraph) {
 	t.Helper()
-	owner := map[string]ClassID{}
-	for id, cl := range g.classes {
-		for _, n := range cl.nodes {
-			cn := g.canonNode(n)
-			k := cn.key()
-			if prev, ok := owner[k]; ok && g.Find(prev) != g.Find(id) {
-				t.Fatalf("node %q stored in two distinct classes (%d and %d)", k, prev, id)
-			}
-			owner[k] = id
-			memoC, ok := g.memo[k]
-			if !ok {
-				t.Fatalf("canonical node %q missing from memo", k)
-			}
-			if g.Find(memoC) != g.Find(id) {
-				t.Fatalf("memo for %q maps to class %d, stored in %d", k, g.Find(memoC), g.Find(id))
-			}
-		}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatalf("e-graph invariants violated: %v", err)
 	}
 }
 
@@ -320,3 +307,94 @@ func TestSaturateCancelMidRunLeavesCongruent(t *testing.T) {
 }
 
 func intPtr(v int) *int { return &v }
+
+// TestMain runs the whole package with the Rebuild invariant audit on,
+// so every test's rebuilds are structurally verified, not just the
+// tests that call CheckInvariants explicitly. The package variable is
+// set directly: the environment gate is evaluated at init, before
+// TestMain runs.
+func TestMain(m *testing.M) {
+	InvariantChecks = true
+	os.Exit(m.Run())
+}
+
+// TestSaturateInstantiateBudgetBounded is the regression test for the
+// MaxNodes overshoot bug: an explosive rule whose every application
+// instantiates a chain of fresh nodes used to blow far past the budget
+// before the between-applications check noticed, because Instantiate
+// itself never consulted the limit. With the in-Instantiate budget, a
+// declined insertion fails the application and the live node count
+// never exceeds MaxNodes at all.
+func TestSaturateInstantiateBudgetBounded(t *testing.T) {
+	g := New(nil)
+	g.AddTerm(leafT(3, "t"))
+	const width = 8
+	n := 0
+	explode := &Rule{
+		Name:     "explode",
+		Stateful: true,
+		LHS:      &Pattern{Op: expr.OpTensor, LeafTID: intPtr(3)},
+		Apply: func(g *EGraph, m Match) []UnionPair {
+			n++
+			tm := RClass(m.Class)
+			for i := 0; i < width; i++ {
+				tm = ROp(opG, nil, fmt.Sprintf("x%d-%d", n, i), tm)
+			}
+			c, ok := g.Instantiate(tm, emptySubst, false)
+			if !ok {
+				return nil
+			}
+			return m.With(c)
+		},
+	}
+	maxNodes := g.NodeCount() + 2*width + 3
+	stats := g.Saturate([]*Rule{explode}, SaturateOpts{MaxIters: 64, MaxNodes: maxNodes})
+	if stats.StopReason != StopNodeLimit || stats.BudgetHit != 1 {
+		t.Fatalf("explosive run misclassified: %+v", stats)
+	}
+	if got := g.NodeCount(); got > maxNodes {
+		t.Fatalf("budget overshoot: %d live nodes, MaxNodes %d", got, maxNodes)
+	}
+	if nodeTotal(g) != g.NodeCount() {
+		t.Fatalf("count bookkeeping: NodeCount %d, live total %d", g.NodeCount(), nodeTotal(g))
+	}
+	assertCongruent(t, g)
+}
+
+// TestSaturateCancelPollBoundsLatency covers the intra-iteration
+// cancellation poll: with far more pending matches than the poll
+// period, a context cancelled by the first application must stop the
+// run within one poll window instead of draining the whole match list
+// (the old behavior — cancellation was only observed at iteration
+// boundaries, so one bloated iteration could run for seconds after
+// Ctrl-C). The graph must still come out rebuilt and congruent.
+func TestSaturateCancelPollBoundsLatency(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g := New(nil)
+	const classes = 8 * cancelPollEvery
+	for i := 1; i <= classes; i++ {
+		g.AddTerm(leafT(i, fmt.Sprintf("t%d", i)))
+	}
+	apps := 0
+	countAndCancel := &Rule{
+		Name:     "count-and-cancel",
+		Stateful: true,
+		LHS:      PVar("x"),
+		Apply: func(g *EGraph, m Match) []UnionPair {
+			apps++
+			cancel()
+			return nil
+		},
+	}
+	stats := g.Saturate([]*Rule{countAndCancel}, SaturateOpts{MaxIters: 8, MaxNodes: 1 << 20, Ctx: ctx})
+	if stats.StopReason != StopCancelled || stats.Cancelled != 1 {
+		t.Fatalf("cancelled run misclassified: %+v", stats)
+	}
+	if stats.Iterations != 1 {
+		t.Fatalf("cancel must end the run in its first iteration, ran %d", stats.Iterations)
+	}
+	if apps > cancelPollEvery {
+		t.Fatalf("cancellation latency: %d applications ran after cancel, poll period is %d", apps, cancelPollEvery)
+	}
+	assertCongruent(t, g)
+}

@@ -269,23 +269,32 @@ func registerSliceJoin(r *Registry) {
 			Name: "slice-tiling", Stateful: true,
 			LHS: egraph.PVar("x"),
 			Apply: func(g *egraph.EGraph, m egraph.Match) []egraph.UnionPair {
-				byDim := map[int][]tileSlice{}
+				// This rule visits every class each iteration; the fast
+				// path — a class with no constant-span slice parents —
+				// must not allocate, so the map is built lazily.
+				var byDim map[int][]tileSlice
 				xc := g.Find(m.Class)
-				for _, p := range g.ParentsOf(xc) {
-					n := p.Node
+				g.EachParent(xc, func(n *egraph.ENode, owner egraph.ClassID) bool {
 					if n.Op != expr.OpSlice || len(n.Kids) != 1 || g.Find(n.Kids[0]) != xc {
-						continue
+						return true
 					}
 					d, ok := dimConst(n.Ints[0])
 					if !ok {
-						continue
+						return true
 					}
 					b, okB := n.Ints[1].IsConst()
 					e, okE := n.Ints[2].IsConst()
 					if !okB || !okE {
-						continue
+						return true
 					}
-					byDim[d] = append(byDim[d], tileSlice{begin: b, end: e, class: p.Class})
+					if byDim == nil {
+						byDim = map[int][]tileSlice{}
+					}
+					byDim[d] = append(byDim[d], tileSlice{begin: b, end: e, class: owner})
+					return true
+				})
+				if byDim == nil {
+					return nil
 				}
 				// Iterate dimensions in sorted order: ranging the map
 				// directly would let Go's randomized iteration order
@@ -299,12 +308,7 @@ func registerSliceJoin(r *Registry) {
 				var out []egraph.UnionPair
 				for _, d := range dims {
 					slices := byDim[d]
-					sort.Slice(slices, func(i, j int) bool {
-						if slices[i].begin != slices[j].begin {
-							return slices[i].begin < slices[j].begin
-						}
-						return slices[i].end < slices[j].end
-					})
+					sortTileSlices(slices)
 					// Targets: the base tensor's full extent, plus every
 					// existing slice span.
 					type target struct {
@@ -343,17 +347,34 @@ type tileSlice struct {
 	class      egraph.ClassID
 }
 
+// sortTileSlices orders slices by (begin, end) ascending. A hand-rolled
+// insertion sort: the lists are short and sort.Slice's reflection-based
+// swapper was a measurable share of saturation allocations.
+func sortTileSlices(s []tileSlice) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0; j-- {
+			if s[j].begin > s[j-1].begin ||
+				(s[j].begin == s[j-1].begin && s[j].end >= s[j-1].end) {
+				break
+			}
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
 // tilePath finds slice classes that tile [b, e) exactly, by greedy
 // chaining with backtracking over ties; the target's own class is
-// excluded so a span never "tiles" itself.
+// excluded so a span never "tiles" itself. The chain is accumulated in
+// a single slice trimmed on backtrack rather than rebuilt per level.
 func tilePath(slices []tileSlice, b, e int64, exclude egraph.ClassID, g *egraph.EGraph) []egraph.ClassID {
-	var dfs func(cur int64, depth int) []egraph.ClassID
-	dfs = func(cur int64, depth int) []egraph.ClassID {
+	var path []egraph.ClassID
+	var dfs func(cur int64, depth int) bool
+	dfs = func(cur int64, depth int) bool {
 		if cur == e {
-			return []egraph.ClassID{}
+			return true
 		}
 		if cur > e || depth > 64 {
-			return nil
+			return false
 		}
 		for _, s := range slices {
 			if s.begin != cur || s.end > e {
@@ -362,13 +383,18 @@ func tilePath(slices []tileSlice, b, e int64, exclude egraph.ClassID, g *egraph.
 			if s.begin == b && s.end == e && g.Find(s.class) == g.Find(exclude) {
 				continue // the target itself
 			}
-			if rest := dfs(s.end, depth+1); rest != nil {
-				return append([]egraph.ClassID{s.class}, rest...)
+			path = append(path, s.class)
+			if dfs(s.end, depth+1) {
+				return true
 			}
+			path = path[:len(path)-1]
 		}
+		return false
+	}
+	if !dfs(b, 0) {
 		return nil
 	}
-	return dfs(b, 0)
+	return path
 }
 
 func registerSliceOfConcat(r *Registry) {

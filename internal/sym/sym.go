@@ -12,6 +12,7 @@ package sym
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -165,15 +166,30 @@ func (e Expr) Equal(o Expr) bool {
 // Key returns a canonical string for use in hash-cons maps. Two
 // expressions have the same key iff they are Equal.
 func (e Expr) Key() string {
+	return string(e.AppendKey(nil))
+}
+
+// AppendKey appends Key's bytes to buf and returns the extended slice —
+// the allocation-free form for callers that intern or hash keys through
+// a reused buffer (the e-graph hot path).
+func (e Expr) AppendKey(buf []byte) []byte {
+	buf = strconv.AppendInt(buf, e.konst, 10)
 	if len(e.coeffs) == 0 {
-		return fmt.Sprintf("%d", e.konst)
+		return buf
 	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "%d", e.konst)
 	for _, s := range e.Symbols() {
-		fmt.Fprintf(&b, "%+d*%s", e.coeffs[s], s)
+		// Matches the historical fmt "%+d*%s" rendering.
+		if c := e.coeffs[s]; c >= 0 {
+			buf = append(buf, '+')
+			buf = strconv.AppendInt(buf, c, 10)
+			buf = append(buf, '*')
+		} else {
+			buf = strconv.AppendInt(buf, c, 10)
+			buf = append(buf, '*')
+		}
+		buf = append(buf, s...)
 	}
-	return b.String()
+	return buf
 }
 
 // String renders e human-readably, e.g. "S/2" style forms are rendered

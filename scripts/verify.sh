@@ -27,8 +27,12 @@ go test ./...
 echo "== go test -race (core, egraph, relation, lemmas, faultinject, vcache, server) =="
 # -timeout on core: the robustness suite's worst regression mode is a
 # deadlocked worker pool, which must fail the gate instead of hanging it.
-go test -race -timeout 120s ./internal/core/...
-go test -race ./internal/egraph/... ./internal/relation/... ./internal/lemmas/... ./internal/faultinject/...
+# ENTANGLE_CHECK_INVARIANTS makes every e-graph Rebuild finish with the
+# full structural audit, so the race section doubles as the
+# invariant-checked test mode (memo/class agreement, parent
+# registration, count bookkeeping — see egraph.CheckInvariants).
+ENTANGLE_CHECK_INVARIANTS=1 go test -race -timeout 120s ./internal/core/...
+ENTANGLE_CHECK_INVARIANTS=1 go test -race ./internal/egraph/... ./internal/relation/... ./internal/lemmas/... ./internal/faultinject/...
 go test -race ./internal/fingerprint/... ./internal/vcache/... ./internal/server/...
 
 echo "== entangle-lint =="
