@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench verify lint fmt
+.PHONY: build test bench verify lint mc fmt
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,12 @@ verify:
 # engine source, and generated capture graphs. See scripts/lint.sh.
 lint:
 	sh scripts/lint.sh
+
+# Exhaustive model check of the concurrency core at the ci scope, plus
+# the known-bug regression gate. See cmd/entangle-mc.
+mc:
+	$(GO) run ./cmd/entangle-mc -scope ci
+	$(GO) run ./cmd/entangle-mc -model known-bug -expect-violation
 
 fmt:
 	gofmt -w .

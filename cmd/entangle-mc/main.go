@@ -1,0 +1,141 @@
+// Command entangle-mc is the explicit-state model checker for the
+// repo's concurrency core: it exhaustively explores bounded models of
+// the wavefront scheduler, the verdict cache's on-disk discipline, and
+// the daemon's admission/drain gate — models that drive the shipped
+// state machines (core.SchedCore, vcache.Encode/DecodeEntry,
+// server.GateCore) — checking every safety invariant plus
+// deadlock-freedom at every reachable state.
+//
+//	entangle-mc                              # every model, ci scope
+//	entangle-mc -scope large                 # wider bounds
+//	entangle-mc -model wavefront -trace      # one model, full replay on violation
+//	entangle-mc -model known-bug -expect-violation
+//	entangle-mc -sim -seed 7 -walks 2000     # seeded random-walk mode
+//
+// A violation prints the failed invariant and the SHORTEST
+// counterexample as a numbered action script (with -trace, each step's
+// full state rendering). -expect-violation inverts the exit logic for
+// the known-bug regression gate: the checker itself is broken if the
+// planted bug is NOT found.
+//
+// Exit status: 0 on success, 1 when a violation is found (or, with
+// -expect-violation, when none is), 2 on usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"entangle/internal/mc"
+	"entangle/internal/mc/models"
+)
+
+func main() {
+	var (
+		model     = flag.String("model", "all", "model to check: all, known-bug, or one name")
+		scope     = flag.String("scope", "ci", "model scope: ci, small or large")
+		trace     = flag.Bool("trace", false, "on violation, replay the full state at every trace step")
+		maxStates = flag.Int("max-states", 0, "cap explored states (0 = default; hitting it truncates the search)")
+		maxDepth  = flag.Int("max-depth", 0, "cap BFS depth (0 = unbounded)")
+		expectBug = flag.Bool("expect-violation", false, "exit 0 iff a violation IS found (known-bug regression gate)")
+		sim       = flag.Bool("sim", false, "seeded random-walk simulation instead of exhaustive search")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		walks     = flag.Int("walks", 1000, "simulation walks")
+		depth     = flag.Int("depth", 400, "simulation per-walk depth bound")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fatal("unexpected arguments %v (use -model to pick a model)", flag.Args())
+	}
+
+	var ms []mc.Model
+	if *model == "all" {
+		var err error
+		if ms, err = models.ForScope(*scope); err != nil {
+			fatal("%v", err)
+		}
+	} else {
+		m, err := models.ByName(*model, *scope)
+		if err != nil {
+			fatal("%v", err)
+		}
+		ms = []mc.Model{m}
+	}
+
+	violations := 0
+	for _, m := range ms {
+		var v *mc.Violation
+		if *sim {
+			res, err := mc.Simulate(m, mc.SimOptions{Seed: *seed, Walks: *walks, MaxDepth: *depth})
+			if err != nil {
+				fatal("%v", err)
+			}
+			v = res.Violation
+			fmt.Printf("%-22s sim: %d walks, %d steps, %d distinct states, deepest %d, %.0f states/sec — %s\n",
+				m.Name(), res.Walks, res.Steps, res.Distinct, res.Deepest, res.StatesPerSec, verdict(v))
+		} else {
+			res, err := mc.Explore(m, mc.Options{MaxStates: *maxStates, MaxDepth: *maxDepth})
+			if err != nil {
+				fatal("%v", err)
+			}
+			v = res.Violation
+			note := ""
+			if res.Truncated {
+				note = " (TRUNCATED: not a proof at this scope)"
+			}
+			fmt.Printf("%-22s %d states, %d transitions, depth %d, %v — %s%s\n",
+				m.Name(), res.States, res.Transitions, res.Depth, res.Duration.Round(res.Duration/100+1), verdict(v), note)
+		}
+		if v != nil {
+			violations++
+			fmt.Printf("\n%s: invariant %q violated: %s\n", m.Name(), v.Invariant, v.Detail)
+			if *trace {
+				fmt.Print(v.Trace.Render())
+			} else {
+				fmt.Print(actionScript(v.Trace))
+			}
+			fmt.Println()
+		}
+	}
+
+	if *expectBug {
+		if violations == 0 {
+			fmt.Fprintln(os.Stderr, "entangle-mc: expected a violation but every model checked clean — the checker has lost its teeth")
+			os.Exit(1)
+		}
+		fmt.Println("expected violation found: the checker still finds real bugs")
+		return
+	}
+	if violations > 0 {
+		os.Exit(1)
+	}
+}
+
+func verdict(v *mc.Violation) string {
+	if v == nil {
+		return "OK"
+	}
+	return "VIOLATION"
+}
+
+// actionScript renders just the numbered actions plus the final state
+// — the compact default; -trace shows every intermediate state too.
+func actionScript(t mc.Trace) string {
+	out := ""
+	for i, s := range t {
+		if i == 0 {
+			continue
+		}
+		out += fmt.Sprintf("%3d. %s\n", i, s.Action)
+	}
+	if len(t) > 0 {
+		out += fmt.Sprintf("  => %s\n", t[len(t)-1].State)
+	}
+	return out
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "entangle-mc: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -78,10 +78,14 @@ func main() {
 	case <-ctx.Done():
 	}
 
-	// Graceful drain: stop accepting, let in-flight checks finish.
+	// Graceful drain: flip the admission gate first so no new check is
+	// admitted — even on connections already open — then stop the
+	// listener and let in-flight checks finish. The gate's drain
+	// protocol is exhaustively model-checked (entangle-mc -model daemon).
 	fmt.Fprintln(os.Stderr, "entangled: draining")
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
 	defer cancel()
+	go func() { _ = srv.Drain(drainCtx) }()
 	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal("shutdown: %v", err)
 	}

@@ -252,6 +252,7 @@ func (c *Checker) CheckContext(ctx context.Context, gs, gd *graph.Graph, ri *rel
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	//lint:ignore determinism Report.Duration is timing metadata, not checker input
 	start := time.Now()
 	order, err := gs.TopoSort()
 	if err != nil {
@@ -294,6 +295,7 @@ func (c *Checker) CheckContext(ctx context.Context, gs, gd *graph.Graph, ri *rel
 		// earliest failure as the error (the same operator the default
 		// mode would have reported).
 		run.reportCache(report)
+		//lint:ignore determinism Report.Duration is timing metadata, not checker input
 		report.Duration = time.Since(start)
 		return report, report.Failures[0].Err
 	}
@@ -316,11 +318,13 @@ func (c *Checker) CheckContext(ctx context.Context, gs, gd *graph.Graph, ri *rel
 		report.Verdicts = append(report.Verdicts, oe.verdict)
 		report.Failures = append(report.Failures, oe.verdict)
 		run.reportCache(report)
+		//lint:ignore determinism Report.Duration is timing metadata, not checker input
 		report.Duration = time.Since(start)
 		return report, oe.verdict.Err
 	}
 	report.OutputRelation = ro
 	run.reportCache(report)
+	//lint:ignore determinism Report.Duration is timing metadata, not checker input
 	report.Duration = time.Since(start)
 	return report, nil
 }
@@ -385,8 +389,10 @@ func (r *runState) observedProcessOp(ctx context.Context, v *graph.Node, budget 
 	if r.opts.OpObserver == nil {
 		return r.processOp(ctx, v, budget)
 	}
+	//lint:ignore determinism observer latency is telemetry, not checker input
 	start := time.Now()
 	stats, outs, err := r.processOp(ctx, v, budget)
+	//lint:ignore determinism observer latency is telemetry, not checker input
 	r.opts.OpObserver(v, time.Since(start))
 	return stats, outs, err
 }
@@ -439,7 +445,9 @@ func (r *runState) safePreOp(v *graph.Node) (override *egraph.SaturateOpts, err 
 // Report.Stats and Report.LiveStats respectively.
 func (r *runState) checkOp(ctx context.Context, v *graph.Node) (acc, live egraph.Stats, verdict OpVerdict, fatal error) {
 	verdict = OpVerdict{Op: v, Kind: VerdictRefined}
+	//lint:ignore determinism OpVerdict.Duration is timing metadata, not checker input
 	start := time.Now()
+	//lint:ignore determinism OpVerdict.Duration is timing metadata, not checker input
 	defer func() { verdict.Duration = time.Since(start) }()
 
 	opCtx := ctx

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"context"
 	"runtime/debug"
 	"sync"
@@ -21,6 +20,14 @@ import (
 // Workers == 1, goes through this scheduler: one code path means the
 // determinism argument below holds by construction instead of by
 // keeping two walks in sync.
+//
+// The scheduling decisions themselves — who is ready, what a failure
+// cancels, how far taint reaches — live in SchedCore (schedcore.go), a
+// pure state machine with no locks or goroutines. This file only adds
+// the concurrency shell: a mutex + condition variable around the core,
+// per-operator result buffers, and panic-proof worker accounting. The
+// split is what lets internal/mc model-check the exact shipped
+// scheduling logic exhaustively (see internal/mc/models).
 //
 // Determinism guarantees, so Workers is purely a wall-clock knob:
 //
@@ -50,27 +57,22 @@ import (
 //     wake-up) runs in a defer, so even a panic that slips past the
 //     recovery layer drains the pool instead of deadlocking it.
 
-// runSchedule checks the operators of order on a pool of workers and
-// fills report (stats, verdicts, OpsProcessed) exactly as a sequential
-// topo-order walk would. order must be a topological order of r.gs. A
-// non-nil return is fatal: a cancelled context, a malformed graph, or
-// (default mode) the earliest per-operator failure. KeepGoing-mode
-// per-operator failures are reported through report.Failures instead.
-func (r *runState) runSchedule(ctx context.Context, order []*graph.Node, workers int, report *Report) error {
+// buildSchedCore derives the dependency structure of order (which must
+// be a topological order of g): per-index outstanding-producer counts
+// and consumer lists. v waits on the distinct producers of its input
+// tensors; graph inputs are free.
+func buildSchedCore(g *graph.Graph, order []*graph.Node, keepGoing bool) *SchedCore {
 	n := len(order)
 	pos := make(map[graph.NodeID]int, n)
 	for i, v := range order {
 		pos[v.ID] = i
 	}
-
-	// Dependency edges between operators: v waits on the distinct
-	// producers of its input tensors; graph inputs are free.
 	deps := make([]int, n)
 	children := make([][]int, n)
 	for i, v := range order {
 		seen := map[int]bool{}
 		for _, in := range v.Inputs {
-			p := r.gs.Tensor(in).Producer
+			p := g.Tensor(in).Producer
 			if p == graph.NoProducer {
 				continue
 			}
@@ -82,25 +84,26 @@ func (r *runState) runSchedule(ctx context.Context, order []*graph.Node, workers
 			}
 		}
 	}
+	return NewSchedCore(deps, children, keepGoing)
+}
 
+// runSchedule checks the operators of order on a pool of workers and
+// fills report (stats, verdicts, OpsProcessed) exactly as a sequential
+// topo-order walk would. order must be a topological order of r.gs. A
+// non-nil return is fatal: a cancelled context, a malformed graph, or
+// (default mode) the earliest per-operator failure. KeepGoing-mode
+// per-operator failures are reported through report.Failures instead.
+func (r *runState) runSchedule(ctx context.Context, order []*graph.Node, workers int, report *Report) error {
+	n := len(order)
 	s := &wavefrontState{
-		order:     order,
-		deps:      deps,
-		children:  children,
-		tainted:   make([]bool, n),
-		stats:     make([]egraph.Stats, n),
-		live:      make([]egraph.Stats, n),
-		verdicts:  make([]OpVerdict, n),
-		errAt:     n,
-		fatalAt:   n,
-		keepGoing: r.opts.KeepGoing,
+		core:     buildSchedCore(r.gs, order, r.opts.KeepGoing),
+		order:    order,
+		stats:    make([]egraph.Stats, n),
+		live:     make([]egraph.Stats, n),
+		verdicts: make([]OpVerdict, n),
+		fatalAt:  n,
 	}
 	s.cond = sync.NewCond(&s.mu)
-	for i := 0; i < n; i++ {
-		if deps[i] == 0 {
-			heap.Push(&s.ready, i)
-		}
-	}
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -116,7 +119,7 @@ func (r *runState) runSchedule(ctx context.Context, order []*graph.Node, workers
 					s.mu.Unlock()
 					return
 				}
-				i := heap.Pop(&s.ready).(int)
+				i := s.core.Pop()
 				s.active++
 				s.mu.Unlock()
 
@@ -129,8 +132,8 @@ func (r *runState) runSchedule(ctx context.Context, order []*graph.Node, workers
 	if s.fatal != nil {
 		return s.fatal
 	}
-	if !s.keepGoing && s.errAt < n {
-		return s.verdicts[s.errAt].Err
+	if errAt := s.core.ErrAt(); !s.core.KeepGoing() && errAt < n {
+		return s.verdicts[errAt].Err
 	}
 	// Deterministic aggregation: merge per-operator stats and read out
 	// verdicts in topo order, never in completion order.
@@ -154,7 +157,8 @@ func (r *runState) runSchedule(ctx context.Context, order []*graph.Node, workers
 // if the check panics past checkOp's own recovery. Before this defer a
 // panicking lemma left s.active incremented forever: runnable() stayed
 // false, stopped() never turned true, and every worker slept on the
-// condition variable — the latent pool deadlock this layer fixes.
+// condition variable — the latent pool deadlock this layer fixes (and
+// that the internal/mc known-bug model reproduces as a minimal trace).
 func (r *runState) runOne(ctx context.Context, s *wavefrontState, i int) {
 	var stats, live egraph.Stats
 	var verdict OpVerdict
@@ -178,104 +182,51 @@ func (r *runState) runOne(ctx context.Context, s *wavefrontState, i int) {
 	completed = true
 }
 
-// wavefrontState is the mutex-guarded shared state of one scheduled
-// run.
+// wavefrontState is the mutex-guarded concurrency shell around
+// SchedCore for one scheduled run: the core makes every scheduling
+// decision, this struct buffers the per-operator results and keeps the
+// pool's sleep/wake protocol honest.
 type wavefrontState struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 
-	order    []*graph.Node
-	deps     []int   // outstanding producer count per topo index
-	children [][]int // consumer topo indices per topo index
-	tainted  []bool  // in the downstream cone of a failure (KeepGoing)
+	core  *SchedCore
+	order []*graph.Node
 
-	ready    minHeap // topo indices whose producers are all done
-	active   int     // operators currently being processed
+	active   int // operators currently being processed
 	stats    []egraph.Stats
 	live     []egraph.Stats // work actually performed (cache hits excluded)
 	verdicts []OpVerdict
 
-	keepGoing bool
-	errAt     int // default mode: min topo index with a failure; n = none
-	fatal     error
-	fatalAt   int // min topo index with a fatal error; n = none
+	fatal   error
+	fatalAt int // min topo index with a fatal error; n = none
 }
 
 // record stores operator i's outcome and propagates scheduling
-// consequences. Caller holds s.mu.
+// consequences through the core. Caller holds s.mu.
 func (s *wavefrontState) record(i int, stats, live egraph.Stats, v OpVerdict, fatal error) {
 	s.stats[i] = stats
 	s.live[i] = live
 	s.verdicts[i] = v
 	if fatal != nil {
 		// Earliest-in-topo-order fatal wins, for the same determinism
-		// reason as errAt; no children are released — the pool drains.
+		// reason as SchedCore.errAt; no children are released — the
+		// pool drains.
 		if i < s.fatalAt {
 			s.fatalAt = i
 			s.fatal = fatal
 		}
 		return
 	}
-	if v.Kind == VerdictRefined {
-		for _, c := range s.children[i] {
-			s.deps[c]--
-			if s.deps[c] == 0 {
-				if s.tainted[c] {
-					// Last producer resolved, but an earlier one
-					// failed: the cone member is skipped, never run.
-					s.verdicts[c] = OpVerdict{Op: s.order[c], Kind: VerdictSkipped}
-					s.propagateTaint(c)
-				} else {
-					heap.Push(&s.ready, c)
-				}
-			}
-		}
-		return
-	}
-	// Operator i failed (disproved / inconclusive / engine fault).
-	if !s.keepGoing {
-		if i < s.errAt {
-			// First failure in topo order wins; ready work at or
-			// beyond the earliest failure is cancelled (runnable
-			// filters it out).
-			s.errAt = i
-		}
-		return
-	}
-	s.propagateTaint(i)
-}
-
-// propagateTaint marks the downstream cone of a failed or skipped
-// operator: every child loses a producer and is tainted; children
-// whose producers have all resolved are marked Skipped and propagate
-// further. The result depends only on the DAG and which operators
-// failed, never on scheduling order. Caller holds s.mu.
-func (s *wavefrontState) propagateTaint(i int) {
-	stack := []int{i}
-	for len(stack) > 0 {
-		j := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, c := range s.children[j] {
-			s.tainted[c] = true
-			s.deps[c]--
-			if s.deps[c] == 0 {
-				s.verdicts[c] = OpVerdict{Op: s.order[c], Kind: VerdictSkipped}
-				stack = append(stack, c)
-			}
-		}
+	for _, c := range s.core.Resolve(i, v.Kind == VerdictRefined) {
+		s.verdicts[c] = OpVerdict{Op: s.order[c], Kind: VerdictSkipped}
 	}
 }
 
 // runnable reports whether a worker should pick up work. A fatal error
-// stops all scheduling; the default mode additionally requires the
-// earliest ready operator to precede the earliest failure (operators
-// beyond it are cancelled — their results could not change the
-// outcome), while KeepGoing schedules everything that is not skipped.
+// stops all scheduling; otherwise the core decides.
 func (s *wavefrontState) runnable() bool {
-	if s.fatal != nil || len(s.ready) == 0 {
-		return false
-	}
-	return s.keepGoing || s.ready[0] < s.errAt
+	return s.fatal == nil && s.core.Runnable()
 }
 
 // stopped reports whether the run has quiesced: nothing runnable and

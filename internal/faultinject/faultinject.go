@@ -163,8 +163,9 @@ func (in *Injector) Injected() map[Fault]int {
 
 // CacheFault is one way an on-disk verdict-cache entry can be damaged.
 // The modes mirror the failure envelope vcache's reader must absorb: a
-// torn write (Truncate), media rot (BitFlip), a foreign or
-// wrong-version file (BadMagic), and a lost payload (Empty).
+// torn write (Truncate), media rot (BitFlip, FlipChecksum), a foreign
+// or wrong-version file (BadMagic), a lost payload (HeaderOnly), and a
+// zero-length file (Empty).
 type CacheFault int
 
 const (
@@ -176,6 +177,12 @@ const (
 	BadMagic
 	// Empty leaves a zero-length file.
 	Empty
+	// HeaderOnly keeps the three header lines but drops the whole
+	// payload (a write that persisted only its first block).
+	HeaderOnly
+	// FlipChecksum flips one byte inside the stored checksum line
+	// itself, so the payload is intact but its recorded digest lies.
+	FlipChecksum
 	numCacheFaults
 )
 
@@ -189,8 +196,72 @@ func (f CacheFault) String() string {
 		return "bad-magic"
 	case Empty:
 		return "empty"
+	case HeaderOnly:
+		return "header-only"
+	case FlipChecksum:
+		return "flip-checksum"
 	}
 	return fmt.Sprintf("CacheFault(%d)", int(f))
+}
+
+// CacheFaults enumerates every damage mode, for tests and models that
+// want exhaustive coverage of the reader's failure envelope.
+func CacheFaults() []CacheFault {
+	out := make([]CacheFault, 0, int(numCacheFaults))
+	for f := CacheFault(0); f < numCacheFaults; f++ {
+		out = append(out, f)
+	}
+	return out
+}
+
+// Damage returns a damaged copy of an encoded verdict-cache entry
+// under the given fault mode. Pure: it never touches the filesystem
+// and never mutates data. CorruptCache, the edge-case tests, and the
+// internal/mc verdict-cache model all damage bytes through this one
+// function, so the byte patterns the store must survive are defined in
+// exactly one place.
+func Damage(data []byte, mode CacheFault) []byte {
+	out := append([]byte(nil), data...)
+	switch mode {
+	case Truncate:
+		out = out[:len(out)/2]
+	case BitFlip:
+		if len(out) > 0 {
+			out[len(out)-1] ^= 0x01
+		}
+	case BadMagic:
+		if len(out) > 0 {
+			out[0] = 'X'
+		}
+	case Empty:
+		out = out[:0]
+	case HeaderOnly:
+		// Keep through the third newline (magic, key, checksum lines).
+		seen := 0
+		for i, b := range out {
+			if b == '\n' {
+				if seen++; seen == 3 {
+					out = out[:i+1]
+					break
+				}
+			}
+		}
+	case FlipChecksum:
+		// The checksum is the third header line; flip its first byte
+		// (hex digit), leaving the payload untouched.
+		seen := 0
+		for i, b := range out {
+			if b == '\n' {
+				if seen++; seen == 2 {
+					if i+1 < len(out) {
+						out[i+1] ^= 0x01
+					}
+					break
+				}
+			}
+		}
+	}
+	return out
 }
 
 // CorruptCache damages every verdict-cache entry file under dir, each
@@ -200,6 +271,19 @@ func (f CacheFault) String() string {
 // The cache contract under this attack is total miss, never a wrong
 // verdict: vcache classifies every damaged file as corrupt.
 func CorruptCache(dir string, seed uint64) (int, error) {
+	return corruptCache(dir, func(name string) CacheFault {
+		return CacheFault(uint64(unit(seed, name)*float64(numCacheFaults))) % numCacheFaults
+	})
+}
+
+// CorruptCacheMode damages every verdict-cache entry file under dir
+// with one fixed fault mode — the targeted variant CorruptCache's
+// seeded sampling cannot guarantee for any single file.
+func CorruptCacheMode(dir string, mode CacheFault) (int, error) {
+	return corruptCache(dir, func(string) CacheFault { return mode })
+}
+
+func corruptCache(dir string, pick func(name string) CacheFault) (int, error) {
 	damaged := 0
 	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
 		if err != nil || info.IsDir() {
@@ -209,23 +293,8 @@ func CorruptCache(dir string, seed uint64) (int, error) {
 		if err != nil {
 			return err
 		}
-		mode := CacheFault(uint64(unit(seed, filepath.Base(path))*float64(numCacheFaults))) % numCacheFaults
-		switch mode {
-		case Truncate:
-			data = data[:len(data)/2]
-		case BitFlip:
-			if len(data) > 0 {
-				data[len(data)-1] ^= 0x01
-			}
-		case BadMagic:
-			if len(data) > 0 {
-				data[0] = 'X'
-			}
-		case Empty:
-			data = nil
-		}
 		damaged++
-		return os.WriteFile(path, data, info.Mode())
+		return os.WriteFile(path, Damage(data, pick(filepath.Base(path))), info.Mode())
 	})
 	return damaged, err
 }

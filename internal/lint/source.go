@@ -88,6 +88,7 @@ func sourceDir(dir string) ([]Diagnostic, error) {
 		files = append(files, f)
 	}
 	idx := indexPackage(files)
+	deterministic := determinismScoped(dir)
 	var out []Diagnostic
 	for _, f := range files {
 		ignores := collectIgnores(fset, f)
@@ -97,6 +98,9 @@ func sourceDir(dir string) ([]Diagnostic, error) {
 				continue
 			}
 			out = append(out, lintFunc(fset, idx, fd, ignores)...)
+		}
+		if deterministic {
+			out = append(out, lintDeterminism(fset, f, ignores)...)
 		}
 	}
 	sort.SliceStable(out, func(i, j int) bool { return posLess(out[i].Pos, out[j].Pos) })
@@ -234,12 +238,7 @@ func collectIgnores(fset *token.FileSet, f *ast.File) map[string]map[string]bool
 func lintFunc(fset *token.FileSet, idx *pkgIndex, fd *ast.FuncDecl, ignores map[string]map[string]bool) []Diagnostic {
 	locals := localMapNames(idx, fd)
 	var out []Diagnostic
-	subject := fd.Name.Name
-	if fd.Recv != nil && len(fd.Recv.List) == 1 {
-		if t := receiverTypeName(fd.Recv.List[0].Type); t != "" {
-			subject = t + "." + subject
-		}
-	}
+	subject := funcSubject(fd)
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		rng, ok := n.(*ast.RangeStmt)
 		if !ok {

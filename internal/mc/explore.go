@@ -1,0 +1,207 @@
+package mc
+
+import (
+	"fmt"
+	"time"
+)
+
+// Options bound an exhaustive exploration.
+type Options struct {
+	// MaxStates caps distinct states (0 = DefaultMaxStates). Hitting
+	// the cap stops exploration with Result.Truncated set — a truncated
+	// "no violation" is NOT a proof at the configured scope.
+	MaxStates int
+	// MaxDepth caps the BFS depth (0 = unbounded). States at MaxDepth
+	// are checked but not expanded; clipping sets Result.Truncated.
+	MaxDepth int
+	// NoDeadlock disables the implicit deadlock-freedom check.
+	NoDeadlock bool
+}
+
+// DefaultMaxStates bounds explorations that did not choose a cap.
+const DefaultMaxStates = 4_000_000
+
+// Result summarizes one exploration.
+type Result struct {
+	// Model is the model's name.
+	Model string
+	// States counts distinct reachable states visited.
+	States int
+	// Transitions counts explored edges (including ones into already-
+	// seen states).
+	Transitions int
+	// Depth is the largest BFS depth reached.
+	Depth int
+	// Truncated reports that MaxStates or MaxDepth clipped the search:
+	// absence of a violation then says nothing about the full scope.
+	Truncated bool
+	// Duration is the exploration wall time.
+	Duration time.Duration
+	// Violation is the first (therefore shallowest) property failure,
+	// or nil when every explored state satisfies every invariant.
+	Violation *Violation
+}
+
+// bfsNode is the per-state bookkeeping the seen set retains: enough to
+// reconstruct a shortest trace without retaining states themselves.
+type bfsNode struct {
+	parent fingerprint
+	action string
+	depth  int32
+	init   bool
+}
+
+// Explore runs an exhaustive breadth-first search over m's reachable
+// states, checking every invariant (and deadlock-freedom) at every
+// state. BFS order guarantees the returned counterexample, if any, is
+// a shortest one; within a depth, ties break by the deterministic
+// enumeration order of Init and Actions, so the trace is replayable
+// bit for bit. Memory holds the 32-byte fingerprint seen-set plus the
+// current frontier's states.
+func Explore(m Model, opts Options) (*Result, error) {
+	if opts.MaxStates <= 0 {
+		opts.MaxStates = DefaultMaxStates
+	}
+	// Wall-clock exploration time is reporting metadata only; it never
+	// influences the search or its verdict.
+	//lint:ignore determinism duration is reporting metadata, not search input
+	start := time.Now()
+	res := &Result{Model: m.Name()}
+
+	type frontierEntry struct {
+		s  State
+		fp fingerprint
+	}
+	seen := make(map[fingerprint]bfsNode)
+	inits := make(map[fingerprint]State)
+	var frontier []frontierEntry
+
+	finish := func() *Result {
+		//lint:ignore determinism duration is reporting metadata, not search input
+		res.Duration = time.Since(start)
+		return res
+	}
+
+	for _, s := range m.Init() {
+		fp := fingerprintOf(s.Key())
+		if _, ok := seen[fp]; ok {
+			continue
+		}
+		seen[fp] = bfsNode{depth: 0, init: true}
+		inits[fp] = s
+		frontier = append(frontier, frontierEntry{s, fp})
+		res.States++
+	}
+	if len(frontier) == 0 {
+		return nil, fmt.Errorf("mc: model %s has no initial states", m.Name())
+	}
+
+	invs := m.Invariants()
+	depth := 0
+	for len(frontier) > 0 {
+		res.Depth = depth
+		var next []frontierEntry
+		for _, fe := range frontier {
+			// Check every invariant at the state.
+			for _, inv := range invs {
+				if err := inv.Check(fe.s); err != nil {
+					trace, terr := buildTrace(m, seen, inits, fe.fp)
+					if terr != nil {
+						return nil, terr
+					}
+					res.Violation = &Violation{Invariant: inv.Name, Detail: err.Error(), Trace: trace}
+					return finish(), nil
+				}
+			}
+
+			acts := m.Actions(fe.s)
+			if len(acts) == 0 {
+				if !opts.NoDeadlock && !m.Terminal(fe.s) {
+					trace, terr := buildTrace(m, seen, inits, fe.fp)
+					if terr != nil {
+						return nil, terr
+					}
+					res.Violation = &Violation{
+						Invariant: DeadlockInvariant,
+						Detail:    "no action is enabled and the state is not a legitimate terminal state",
+						Trace:     trace,
+					}
+					return finish(), nil
+				}
+				continue
+			}
+			if opts.MaxDepth > 0 && depth >= opts.MaxDepth {
+				res.Truncated = true
+				continue
+			}
+
+			names := make(map[string]bool, len(acts))
+			for _, a := range acts {
+				if names[a.Name] {
+					return nil, fmt.Errorf("mc: model %s: duplicate action name %q in state %s",
+						m.Name(), a.Name, fe.s.Key())
+				}
+				names[a.Name] = true
+				ns := a.Next()
+				res.Transitions++
+				nfp := fingerprintOf(ns.Key())
+				if _, ok := seen[nfp]; ok {
+					continue
+				}
+				if res.States >= opts.MaxStates {
+					res.Truncated = true
+					continue
+				}
+				seen[nfp] = bfsNode{parent: fe.fp, action: a.Name, depth: int32(depth + 1)}
+				next = append(next, frontierEntry{ns, nfp})
+				res.States++
+			}
+		}
+		frontier = next
+		depth++
+	}
+	return finish(), nil
+}
+
+// buildTrace reconstructs the unique seen-set path from an initial
+// state to target, then replays it action by action to recover the
+// intermediate state renderings (the seen set keeps only fingerprints,
+// so states are re-derived through the model's own transitions).
+func buildTrace(m Model, seen map[fingerprint]bfsNode, inits map[fingerprint]State, target fingerprint) (Trace, error) {
+	// Walk parents back to an initial state.
+	var actions []string
+	fp := target
+	for {
+		node := seen[fp]
+		if node.init {
+			break
+		}
+		actions = append(actions, node.action)
+		fp = node.parent
+	}
+	// Reverse into execution order.
+	for i, j := 0, len(actions)-1; i < j; i, j = i+1, j-1 {
+		actions[i], actions[j] = actions[j], actions[i]
+	}
+
+	s, ok := inits[fp]
+	if !ok {
+		return nil, fmt.Errorf("mc: trace reconstruction lost the initial state")
+	}
+	trace := Trace{{Action: "", State: s.String()}}
+	for _, name := range actions {
+		var nextState State
+		for _, a := range m.Actions(s) {
+			if a.Name == name {
+				nextState = a.Next()
+				break
+			}
+		}
+		if nextState == nil {
+			return nil, fmt.Errorf("mc: trace replay: action %q not enabled (model transitions are not deterministic?)", name)
+		}
+		s = nextState
+		trace = append(trace, Step{Action: name, State: s.String()})
+	}
+	return trace, nil
+}

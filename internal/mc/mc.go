@@ -1,0 +1,149 @@
+// Package mc is ENTANGLE's explicit-state model checker: a small,
+// deterministic TLC-style engine in pure Go that exhaustively explores
+// every reachable state of a bounded protocol model, checking safety
+// invariants and deadlock-freedom at each one, and reporting the
+// SHORTEST counterexample as a readable action script when a property
+// fails. For depths beyond exhaustive reach, a seeded random-walk
+// simulation mode samples long executions with the same invariants.
+//
+// The repo's concurrent protocols — the wavefront scheduler's
+// dependency/taint bookkeeping, the verdict cache's atomic
+// temp+rename disk discipline, and the daemon's admission/drain gate —
+// rest on hand-written tests and the race detector, which only sample
+// interleavings. Verified-systems repos close that gap with TLA+/TLC
+// exhaustive checking plus long randomized simulation; this package is
+// that layer, with one twist that TLA+ cannot offer: the models in
+// internal/mc/models drive the *shipped Go transition code* (SchedCore,
+// vcache.EncodeEntry/DecodeEntry, server.GateCore) rather than a
+// parallel specification that could drift from it.
+//
+// Discipline for models:
+//
+//   - States are immutable values: an Action's Next must build a new
+//     State and never mutate the one it was enabled in.
+//   - Key() is a canonical encoding — equal protocol states must
+//     produce equal keys however they were reached (same discipline as
+//     internal/fingerprint: structure in, display metadata out). The
+//     explorer fingerprints keys with SHA-256 and stores only the
+//     32-byte digests, so state count, not state size, bounds memory.
+//   - Action names must be unique within a state and deterministic:
+//     they are how counterexample traces are replayed. The explorer
+//     verifies uniqueness as it goes.
+//   - Everything must be a pure function of the state: no wall clock,
+//     no map-iteration dependence, no randomness (the determinism lint
+//     check in internal/lint enforces the obvious offenders). This is
+//     what makes every trace and every report replayable bit for bit.
+package mc
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"strings"
+)
+
+// State is one immutable protocol state.
+type State interface {
+	// Key returns the canonical encoding of the state. Two states are
+	// the same state iff their keys are equal.
+	Key() string
+	// String renders the state for humans; it appears in traces.
+	String() string
+}
+
+// Action is one enabled transition out of a state. Next is pure: it
+// returns the successor without mutating the source state.
+type Action struct {
+	// Name identifies the action; unique within its state's enabled
+	// set, stable across runs (traces replay by name).
+	Name string
+	// Next builds the successor state.
+	Next func() State
+}
+
+// Invariant is a safety property checked at every explored state. A
+// nil error means the property holds; a non-nil error describes the
+// violation (it becomes the counterexample's detail line).
+type Invariant struct {
+	Name  string
+	Check func(State) error
+}
+
+// Model is a bounded protocol specification.
+type Model interface {
+	// Name identifies the model in reports and the CLI.
+	Name() string
+	// Init returns the initial states (at least one).
+	Init() []State
+	// Actions returns the transitions enabled in s, in deterministic
+	// order. An empty result makes s either terminal or a deadlock.
+	Actions(s State) []Action
+	// Invariants returns the safety properties, checked at every
+	// state.
+	Invariants() []Invariant
+	// Terminal reports whether a state with no enabled actions is a
+	// legitimate end state. A non-terminal state with no actions is a
+	// deadlock, reported as a violation of "deadlock-free".
+	Terminal(s State) bool
+}
+
+// DeadlockInvariant is the pseudo-invariant name under which deadlocks
+// are reported.
+const DeadlockInvariant = "deadlock-free"
+
+// fingerprint is the 32-byte content address of a state key —
+// internal/fingerprint's discipline applied to protocol states.
+type fingerprint [sha256.Size]byte
+
+func fingerprintOf(key string) fingerprint {
+	return sha256.Sum256([]byte(key))
+}
+
+// Step is one entry of a counterexample trace: the action taken (empty
+// for the initial state) and the rendering of the state it led to.
+type Step struct {
+	Action string
+	State  string
+}
+
+// Trace is a counterexample execution, initial state first.
+type Trace []Step
+
+// Render formats the trace as a numbered action script:
+//
+//  0. ·                    <initial state>
+//  1. w0/pick              <state>
+//  2. w0/op0/panic         <state>
+func (t Trace) Render() string {
+	width := 1
+	for _, s := range t {
+		if len(s.Action) > width {
+			width = len(s.Action)
+		}
+	}
+	var b strings.Builder
+	for i, s := range t {
+		act := s.Action
+		if act == "" {
+			act = "·"
+		}
+		fmt.Fprintf(&b, "%3d. %-*s  %s\n", i, width, act, s.State)
+	}
+	return b.String()
+}
+
+// Violation reports one failed property with its witnessing execution.
+type Violation struct {
+	// Invariant is the failed property's name (DeadlockInvariant for a
+	// deadlock).
+	Invariant string
+	// Detail is the invariant's error text.
+	Detail string
+	// Trace is the witnessing execution. From Explore it is a SHORTEST
+	// such execution (BFS explores in depth order); from Simulate it is
+	// the random walk's prefix, with no minimality guarantee.
+	Trace Trace
+}
+
+func (v *Violation) String() string {
+	return fmt.Sprintf("invariant %q violated: %s\n%s", v.Invariant, v.Detail, v.Trace.Render())
+}

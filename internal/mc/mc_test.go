@@ -1,0 +1,294 @@
+package mc
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// --- toy models -----------------------------------------------------------
+
+// counterModel is the classic lost-update race: two processes each do
+// a non-atomic read-then-increment-then-write of one shared cell. The
+// invariant "both done => mem == 2" is violated, and the shortest
+// counterexample interleaves the two reads before either write.
+type counterState struct {
+	mem int
+	pc  [2]int // 0 = to-read, 1 = to-write, 2 = done
+	reg [2]int
+}
+
+func (s counterState) Key() string {
+	return fmt.Sprintf("%d|%d,%d|%d,%d", s.mem, s.pc[0], s.pc[1], s.reg[0], s.reg[1])
+}
+func (s counterState) String() string { return "mem=" + s.Key() }
+
+type counterModel struct{}
+
+func (counterModel) Name() string  { return "counter" }
+func (counterModel) Init() []State { return []State{counterState{}} }
+func (counterModel) Actions(st State) []Action {
+	s := st.(counterState)
+	var acts []Action
+	for i := 0; i < 2; i++ {
+		i := i
+		switch s.pc[i] {
+		case 0:
+			acts = append(acts, Action{Name: fmt.Sprintf("p%d/read", i), Next: func() State {
+				n := s
+				n.reg[i] = n.mem
+				n.pc[i] = 1
+				return n
+			}})
+		case 1:
+			acts = append(acts, Action{Name: fmt.Sprintf("p%d/write", i), Next: func() State {
+				n := s
+				n.mem = n.reg[i] + 1
+				n.pc[i] = 2
+				return n
+			}})
+		}
+	}
+	return acts
+}
+func (counterModel) Invariants() []Invariant {
+	return []Invariant{{Name: "no-lost-update", Check: func(st State) error {
+		s := st.(counterState)
+		if s.pc[0] == 2 && s.pc[1] == 2 && s.mem != 2 {
+			return fmt.Errorf("both increments done but mem = %d", s.mem)
+		}
+		return nil
+	}}}
+}
+func (counterModel) Terminal(st State) bool {
+	s := st.(counterState)
+	return s.pc[0] == 2 && s.pc[1] == 2
+}
+
+// lockModel is the textbook lock-order deadlock: p0 takes A then B,
+// p1 takes B then A. The shortest deadlock is two steps deep.
+type lockState struct {
+	pc    [2]int // 0 = none, 1 = holds first lock, 2 = done
+	owner [2]int // lock A, B: -1 free, else holder
+}
+
+func (s lockState) Key() string {
+	return fmt.Sprintf("%d,%d|%d,%d", s.pc[0], s.pc[1], s.owner[0], s.owner[1])
+}
+func (s lockState) String() string { return "locks=" + s.Key() }
+
+type lockModel struct{}
+
+func (lockModel) Name() string { return "locks" }
+func (lockModel) Init() []State {
+	return []State{lockState{owner: [2]int{-1, -1}}}
+}
+func (lockModel) Actions(st State) []Action {
+	s := st.(lockState)
+	var acts []Action
+	// Process i's lock order: p0 wants A(0) then B(1); p1 wants B(1)
+	// then A(0). Finishing releases both.
+	order := [2][2]int{{0, 1}, {1, 0}}
+	for i := 0; i < 2; i++ {
+		i := i
+		if s.pc[i] < 2 {
+			want := order[i][s.pc[i]]
+			if s.owner[want] == -1 {
+				acts = append(acts, Action{Name: fmt.Sprintf("p%d/lock%d", i, want), Next: func() State {
+					n := s
+					n.owner[want] = i
+					if n.pc[i]++; n.pc[i] == 2 {
+						n.owner[0], n.owner[1] = -1, -1
+					}
+					return n
+				}})
+			}
+		}
+	}
+	return acts
+}
+func (lockModel) Invariants() []Invariant { return nil }
+func (lockModel) Terminal(st State) bool {
+	s := st.(lockState)
+	return s.pc[0] == 2 && s.pc[1] == 2
+}
+
+// --- explorer tests -------------------------------------------------------
+
+func TestExploreFindsShortestLostUpdate(t *testing.T) {
+	res, err := Explore(counterModel{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil {
+		t.Fatal("lost-update race not found")
+	}
+	if res.Violation.Invariant != "no-lost-update" {
+		t.Fatalf("wrong invariant: %q", res.Violation.Invariant)
+	}
+	// Shortest counterexample: read, read, write, write = 4 actions,
+	// 5 trace entries including the initial state.
+	if got := len(res.Violation.Trace); got != 5 {
+		t.Fatalf("counterexample not minimal: %d trace steps\n%s", got, res.Violation.Trace.Render())
+	}
+	// The trace must replay: both reads precede both writes.
+	script := res.Violation.Trace.Render()
+	if strings.Index(script, "write") < strings.Index(script, "read") {
+		t.Fatalf("trace out of order:\n%s", script)
+	}
+}
+
+func TestExploreFindsShortestDeadlock(t *testing.T) {
+	res, err := Explore(lockModel{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil {
+		t.Fatal("lock-order deadlock not found")
+	}
+	if res.Violation.Invariant != DeadlockInvariant {
+		t.Fatalf("wrong invariant: %q", res.Violation.Invariant)
+	}
+	if got := len(res.Violation.Trace); got != 3 {
+		t.Fatalf("deadlock trace not minimal: %d steps\n%s", got, res.Violation.Trace.Render())
+	}
+}
+
+func TestExploreDeterministic(t *testing.T) {
+	a, err := Explore(counterModel{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Explore(counterModel{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.States != b.States || a.Transitions != b.Transitions || a.Depth != b.Depth {
+		t.Fatalf("exploration not deterministic: %+v vs %+v", a, b)
+	}
+	if a.Violation.Trace.Render() != b.Violation.Trace.Render() {
+		t.Fatal("counterexample traces differ across runs")
+	}
+}
+
+// fixedModel wraps counterModel with the racy write removed so the
+// state space is violation-free: increments are atomic.
+type atomicCounterState struct{ mem, done int }
+
+func (s atomicCounterState) Key() string    { return fmt.Sprintf("%d/%d", s.mem, s.done) }
+func (s atomicCounterState) String() string { return s.Key() }
+
+type atomicCounterModel struct{ n int }
+
+func (atomicCounterModel) Name() string  { return "atomic-counter" }
+func (atomicCounterModel) Init() []State { return []State{atomicCounterState{}} }
+func (m atomicCounterModel) Actions(st State) []Action {
+	s := st.(atomicCounterState)
+	if s.done == m.n {
+		return nil
+	}
+	return []Action{{Name: "inc", Next: func() State {
+		return atomicCounterState{mem: s.mem + 1, done: s.done + 1}
+	}}}
+}
+func (m atomicCounterModel) Invariants() []Invariant {
+	return []Invariant{{Name: "exact-count", Check: func(st State) error {
+		s := st.(atomicCounterState)
+		if s.mem != s.done {
+			return fmt.Errorf("mem %d != increments %d", s.mem, s.done)
+		}
+		return nil
+	}}}
+}
+func (m atomicCounterModel) Terminal(st State) bool { return st.(atomicCounterState).done == m.n }
+
+func TestExploreCleanModelCountsStates(t *testing.T) {
+	res, err := Explore(atomicCounterModel{n: 10}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("unexpected violation:\n%s", res.Violation)
+	}
+	if res.States != 11 || res.Depth != 10 || res.Truncated {
+		t.Fatalf("wrong exploration summary: %+v", res)
+	}
+}
+
+func TestExploreTruncation(t *testing.T) {
+	res, err := Explore(atomicCounterModel{n: 1000}, Options{MaxStates: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Fatal("MaxStates did not mark the result truncated")
+	}
+	if res.States > 10 {
+		t.Fatalf("MaxStates exceeded: %d", res.States)
+	}
+	res, err = Explore(atomicCounterModel{n: 1000}, Options{MaxDepth: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated || res.Depth > 5 {
+		t.Fatalf("MaxDepth not honoured: %+v", res)
+	}
+}
+
+// dupModel emits two actions with the same name, which the explorer
+// must reject: action names are how traces replay.
+type dupModel struct{ atomicCounterModel }
+
+func (d dupModel) Actions(st State) []Action {
+	a := Action{Name: "same", Next: func() State { return atomicCounterState{mem: 1, done: 1} }}
+	return []Action{a, a}
+}
+
+func TestExploreRejectsDuplicateActionNames(t *testing.T) {
+	if _, err := Explore(dupModel{atomicCounterModel{n: 3}}, Options{}); err == nil {
+		t.Fatal("duplicate action names must be a model error")
+	}
+}
+
+// --- simulation tests -----------------------------------------------------
+
+func TestSimulateFindsRaceAndIsSeedDeterministic(t *testing.T) {
+	opts := SimOptions{Seed: 7, Walks: 500, MaxDepth: 50}
+	a, err := Simulate(counterModel{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Violation == nil {
+		t.Fatal("simulation never sampled the lost-update interleaving in 500 walks")
+	}
+	b, err := Simulate(counterModel{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Steps != b.Steps || a.Walks != b.Walks || a.Distinct != b.Distinct ||
+		a.Violation.Trace.Render() != b.Violation.Trace.Render() {
+		t.Fatal("same seed produced different simulations")
+	}
+}
+
+func TestSimulateCleanModel(t *testing.T) {
+	res, err := Simulate(atomicCounterModel{n: 50}, SimOptions{Seed: 1, Walks: 20, MaxDepth: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("unexpected violation:\n%s", res.Violation)
+	}
+	if res.Walks != 20 || res.Distinct != 51 {
+		t.Fatalf("wrong simulation summary: %+v", res)
+	}
+}
+
+func TestTraceRender(t *testing.T) {
+	tr := Trace{{Action: "", State: "s0"}, {Action: "go", State: "s1"}}
+	got := tr.Render()
+	want := "  0. ·   s0\n  1. go  s1\n"
+	if got != want {
+		t.Fatalf("trace rendering drifted:\n%q\nwant\n%q", got, want)
+	}
+}

@@ -1,0 +1,219 @@
+package models
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"entangle/internal/mc"
+	"entangle/internal/server"
+)
+
+// DaemonConfig bounds one daemon admission/drain model.
+type DaemonConfig struct {
+	Name string
+	// Cap is the gate's concurrent-admission bound (keep it below
+	// Clients so queueing actually happens).
+	Cap int
+	// Clients is the number of check requests in flight against the
+	// daemon's lifetime.
+	Clients int
+	// AllowAbandon lets a queued client give up (its request context
+	// expires) while the gate is at capacity.
+	AllowAbandon bool
+}
+
+// Daemon models the entangled daemon's admission gate and SIGTERM
+// drain: N clients race to be admitted through a capacity-Cap gate
+// while a drain can begin at any moment. Every transition drives a
+// copy of server.GateCore — the decision logic Gate runs under its
+// mutex in production — so the exhaustively checked property ("a drain
+// admits no new work and completes all admitted work") is checked
+// against the shipped code. Gate's blocking/wakeup mechanics collapse
+// into the model's interleaving choices; what remains is exactly the
+// state logic that can be wrong.
+type Daemon struct {
+	cfg DaemonConfig
+}
+
+func NewDaemon(cfg DaemonConfig) *Daemon { return &Daemon{cfg: cfg} }
+
+// Client program counters.
+const (
+	clWaiting  int8 = iota // arrived, not yet admitted
+	clAdmitted             // holding a gate slot, check running
+	clDone                 // check finished, slot released
+	clBounced              // rejected by the drain, or gave up queued
+)
+
+// dmState is one daemon state: the gate core by value, each client's
+// program counter, and two audit bits that turn illegal GateCore
+// answers into invariant violations instead of silent misbehaviour.
+type dmState struct {
+	m       *Daemon
+	gate    server.GateCore
+	clients []int8
+	// admitDuringDrain records that CanAdmit returned true while the
+	// drain latch was already set; admitRefused that Admit() returned
+	// false right after CanAdmit returned true.
+	admitDuringDrain bool
+	admitRefused     bool
+}
+
+func (s *dmState) clone() *dmState {
+	n := *s
+	n.clients = append([]int8(nil), s.clients...)
+	return &n
+}
+
+func (s *dmState) Key() string {
+	b := make([]byte, 0, 24)
+	b = strconv.AppendInt(b, int64(s.gate.InFlight), 10)
+	if s.gate.Draining {
+		b = append(b, 'D')
+	}
+	if s.gate.Drained {
+		b = append(b, 'd')
+	}
+	if s.admitDuringDrain {
+		b = append(b, '!')
+	}
+	if s.admitRefused {
+		b = append(b, '?')
+	}
+	b = append(b, '|')
+	for _, pc := range s.clients {
+		b = append(b, '0'+byte(pc))
+	}
+	return string(b)
+}
+
+func (s *dmState) String() string {
+	var b strings.Builder
+	b.WriteString("clients=")
+	for _, pc := range s.clients {
+		b.WriteByte([]byte{'w', 'A', '.', 'x'}[pc])
+	}
+	fmt.Fprintf(&b, " inflight=%d/%d", s.gate.InFlight, s.gate.Cap)
+	if s.gate.Draining {
+		b.WriteString(" draining")
+	}
+	if s.gate.Drained {
+		b.WriteString(" drained")
+	}
+	return b.String()
+}
+
+func (m *Daemon) Name() string { return m.cfg.Name }
+
+func (m *Daemon) Init() []mc.State {
+	return []mc.State{&dmState{
+		m:       m,
+		gate:    server.GateCore{Cap: m.cfg.Cap},
+		clients: make([]int8, m.cfg.Clients),
+	}}
+}
+
+func (m *Daemon) Actions(st mc.State) []mc.Action {
+	s := st.(*dmState)
+	var acts []mc.Action
+	if !s.gate.Draining {
+		acts = append(acts, mc.Action{Name: "drain", Next: func() mc.State {
+			n := s.clone()
+			n.gate.StartDrain()
+			return n
+		}})
+	}
+	for i, pc := range s.clients {
+		i := i
+		switch pc {
+		case clWaiting:
+			// Admission is gated by CanAdmit alone — deliberately not
+			// re-checking Draining here — so the model verifies that the
+			// shipped predicate refuses drained admissions by itself.
+			if s.gate.CanAdmit() {
+				acts = append(acts, mc.Action{Name: fmt.Sprintf("c%d/admit", i), Next: func() mc.State {
+					n := s.clone()
+					n.admitDuringDrain = n.admitDuringDrain || n.gate.Draining
+					n.admitRefused = n.admitRefused || !n.gate.Admit()
+					n.clients[i] = clAdmitted
+					return n
+				}})
+			}
+			if s.gate.Draining {
+				// Gate.Acquire fails fast with ErrDraining, including for
+				// requests already queued when the drain began.
+				acts = append(acts, mc.Action{Name: fmt.Sprintf("c%d/bounce", i), Next: func() mc.State {
+					n := s.clone()
+					n.clients[i] = clBounced
+					return n
+				}})
+			} else if m.cfg.AllowAbandon && !s.gate.CanAdmit() {
+				// Queued at capacity and the request context expires.
+				acts = append(acts, mc.Action{Name: fmt.Sprintf("c%d/abandon", i), Next: func() mc.State {
+					n := s.clone()
+					n.clients[i] = clBounced
+					return n
+				}})
+			}
+		case clAdmitted:
+			acts = append(acts, mc.Action{Name: fmt.Sprintf("c%d/done", i), Next: func() mc.State {
+				n := s.clone()
+				n.gate.Complete()
+				n.clients[i] = clDone
+				return n
+			}})
+		}
+	}
+	return acts
+}
+
+// Terminal: every client resolved and, if a drain began, it completed.
+// A no-action state failing this is a stuck drain or a stuck client —
+// reported as a deadlock.
+func (m *Daemon) Terminal(st mc.State) bool {
+	s := st.(*dmState)
+	for _, pc := range s.clients {
+		if pc == clWaiting || pc == clAdmitted {
+			return false
+		}
+	}
+	return !s.gate.Draining || s.gate.Drained
+}
+
+func (m *Daemon) Invariants() []mc.Invariant {
+	return []mc.Invariant{
+		{Name: "admission-within-capacity", Check: func(st mc.State) error {
+			s := st.(*dmState)
+			admitted := 0
+			for _, pc := range s.clients {
+				if pc == clAdmitted {
+					admitted++
+				}
+			}
+			if s.gate.InFlight != admitted {
+				return fmt.Errorf("gate counts %d in flight, %d clients admitted", s.gate.InFlight, admitted)
+			}
+			if s.gate.InFlight < 0 || s.gate.InFlight > s.gate.Cap {
+				return fmt.Errorf("in-flight %d outside [0, %d]", s.gate.InFlight, s.gate.Cap)
+			}
+			if s.admitRefused {
+				return fmt.Errorf("Admit refused after CanAdmit said yes")
+			}
+			return nil
+		}},
+		{Name: "drain-admits-no-new-work", Check: func(st mc.State) error {
+			if st.(*dmState).admitDuringDrain {
+				return fmt.Errorf("CanAdmit returned true while draining")
+			}
+			return nil
+		}},
+		{Name: "drained-means-empty", Check: func(st mc.State) error {
+			s := st.(*dmState)
+			if s.gate.Drained && (!s.gate.Draining || s.gate.InFlight != 0) {
+				return fmt.Errorf("drained latch set with draining=%v in-flight=%d", s.gate.Draining, s.gate.InFlight)
+			}
+			return nil
+		}},
+	}
+}

@@ -1,0 +1,135 @@
+// Package models holds the protocol models checked by entangle-mc:
+// bounded, deterministic specifications of the repo's three concurrent
+// protocols — the wavefront scheduler, the verdict cache's on-disk
+// discipline, and the daemon's admission/drain gate — each driving the
+// corresponding SHIPPED state machine (core.SchedCore,
+// vcache.EncodeEntry/DecodeEntry, server.GateCore) rather than a
+// re-derivation that could drift from it.
+//
+// Models come in named scopes so CI can check a space it can exhaust
+// in seconds while developers can crank the same models much wider:
+//
+//	ci     the gate run on every make verify / CI build (< 60s total)
+//	small  the minimal interesting instances, for quick iteration
+//	large  wider DAGs, more workers/writers/clients, more failures
+//
+// KnownBug returns a model of the pre-fix wavefront panic-accounting
+// bug (a panicking lemma wedged its worker forever); it exists to
+// prove, on every CI run, that the checker actually finds real
+// violations and reports a minimal trace — a regression test for the
+// regression-test machinery itself.
+package models
+
+import (
+	"fmt"
+	"sort"
+
+	"entangle/internal/mc"
+)
+
+// Scopes lists the valid scope names.
+func Scopes() []string { return []string{"ci", "small", "large"} }
+
+// ForScope builds every healthy model at the named scope. Exploring
+// all of them exhaustively must report zero violations; any violation
+// is a protocol bug (or a model bug — either way, look).
+func ForScope(scope string) ([]mc.Model, error) {
+	cfgs, err := scopeConfigs(scope)
+	if err != nil {
+		return nil, err
+	}
+	var ms []mc.Model
+	for _, c := range cfgs.wavefronts {
+		ms = append(ms, NewWavefront(c))
+	}
+	vc, err := NewVCache(cfgs.vcache)
+	if err != nil {
+		return nil, err
+	}
+	ms = append(ms, vc, NewDaemon(cfgs.daemon))
+	return ms, nil
+}
+
+// KnownBug returns the buggy wavefront model: two independent op
+// chains, two workers, Buggy accounting. The shortest counterexample
+// has one worker panic away on the first chain's root while the other
+// worker drains the second chain — and then the pool hangs with op 2
+// forever pending, exactly the deadlock PR 3 fixed.
+func KnownBug() mc.Model {
+	return NewWavefront(WavefrontConfig{
+		Name:        "known-bug",
+		DAG:         TwoChainsDAG(),
+		Workers:     2,
+		MaxFailures: 1,
+		KeepGoing:   true,
+		Buggy:       true,
+	})
+}
+
+// ByName returns one model by name at the given scope. "known-bug" is
+// scope-independent: its golden minimal trace must never drift.
+func ByName(name, scope string) (mc.Model, error) {
+	if name == "known-bug" {
+		return KnownBug(), nil
+	}
+	all, err := ForScope(scope)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range all {
+		if m.Name() == name {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("models: unknown model %q (have %v)", name, Names())
+}
+
+// Names lists every model name, sorted, known-bug last.
+func Names() []string {
+	ms, _ := ForScope("ci")
+	var names []string
+	for _, m := range ms {
+		names = append(names, m.Name())
+	}
+	sort.Strings(names)
+	return append(names, "known-bug")
+}
+
+type scopeSet struct {
+	wavefronts []WavefrontConfig
+	vcache     VCacheConfig
+	daemon     DaemonConfig
+}
+
+func scopeConfigs(scope string) (*scopeSet, error) {
+	switch scope {
+	case "ci":
+		return &scopeSet{
+			wavefronts: []WavefrontConfig{
+				{Name: "wavefront", DAG: AttentionDAG(), Workers: 2, MaxFailures: 2, KeepGoing: true},
+				{Name: "wavefront-firsterror", DAG: AttentionDAG(), Workers: 2, MaxFailures: 2},
+			},
+			vcache: VCacheConfig{Name: "vcache", Keys: 2, Writers: 3, MaxCorruptions: 1},
+			daemon: DaemonConfig{Name: "daemon", Cap: 2, Clients: 4, AllowAbandon: true},
+		}, nil
+	case "small":
+		return &scopeSet{
+			wavefronts: []WavefrontConfig{
+				{Name: "wavefront", DAG: DiamondDAG(), Workers: 2, MaxFailures: 1, KeepGoing: true},
+				{Name: "wavefront-firsterror", DAG: DiamondDAG(), Workers: 2, MaxFailures: 1},
+			},
+			vcache: VCacheConfig{Name: "vcache", Keys: 1, Writers: 1, MaxCorruptions: 1},
+			daemon: DaemonConfig{Name: "daemon", Cap: 1, Clients: 2},
+		}, nil
+	case "large":
+		return &scopeSet{
+			wavefronts: []WavefrontConfig{
+				{Name: "wavefront", DAG: TowersDAG(), Workers: 4, MaxFailures: 4, KeepGoing: true},
+				{Name: "wavefront-firsterror", DAG: TowersDAG(), Workers: 4, MaxFailures: 4},
+			},
+			vcache: VCacheConfig{Name: "vcache", Keys: 2, Writers: 6, MaxCorruptions: 2},
+			daemon: DaemonConfig{Name: "daemon", Cap: 3, Clients: 6, AllowAbandon: true},
+		}, nil
+	}
+	return nil, fmt.Errorf("models: unknown scope %q (have %v)", scope, Scopes())
+}

@@ -10,12 +10,14 @@
 //	GET  /v1/healthz  — liveness ("ok")
 //	GET  /v1/stats    — daemon counters + verdict-cache counters
 //
-// Checks run under a bounded semaphore (Config.MaxConcurrent) and a
-// per-request deadline threaded through context, so one pathological
-// graph can neither monopolize the process nor hang a drain. Graceful
-// shutdown is the caller's job (http.Server.Shutdown); the handlers
-// are plain and drain naturally because every check's context is
-// derived from the request's.
+// Checks run under a bounded admission gate (Config.MaxConcurrent, see
+// gate.go) and a per-request deadline threaded through context, so one
+// pathological graph can neither monopolize the process nor hang a
+// drain. Graceful shutdown is explicit: Server.Drain flips the gate so
+// no new check is admitted (even on connections already open) and
+// waits for admitted checks to finish; cmd/entangled calls it on
+// SIGTERM alongside http.Server.Shutdown. The gate's admission/drain
+// protocol is exhaustively model-checked in internal/mc/models.
 package server
 
 import (
@@ -58,7 +60,7 @@ type Server struct {
 	cfg   Config
 	cache *vcache.Cache
 	mux   *http.ServeMux
-	sem   chan struct{}
+	gate  *Gate
 	start time.Time
 
 	requests atomic.Int64 // /v1/check requests accepted
@@ -77,7 +79,7 @@ func New(cfg Config) *Server {
 		cfg:   cfg,
 		cache: cfg.Options.Cache,
 		mux:   http.NewServeMux(),
-		sem:   make(chan struct{}, cfg.MaxConcurrent),
+		gate:  NewGate(cfg.MaxConcurrent),
 		start: time.Now(),
 	}
 	s.mux.HandleFunc("/v1/check", s.handleCheck)
@@ -87,6 +89,12 @@ func New(cfg Config) *Server {
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Drain begins graceful shutdown: no new check is admitted from this
+// point on (queued requests are bounced with 503 "draining"), and the
+// call blocks until every already-admitted check completes or ctx
+// expires. Idempotent; safe to run alongside http.Server.Shutdown.
+func (s *Server) Drain(ctx context.Context) error { return s.gate.Drain(ctx) }
 
 // CheckRequest is the /v1/check body. Graphs arrive in the JSON
 // interchange format (or, with format "hlo", as HLO-flavoured text in
@@ -133,6 +141,7 @@ type StatsResponse struct {
 	Errors        int64                 `json:"errors"`
 	InFlight      int64                 `json:"in_flight"`
 	MaxConcurrent int                   `json:"max_concurrent"`
+	Draining      bool                  `json:"draining"`
 	Cache         *vcache.StatsSnapshot `json:"cache,omitempty"`
 }
 
@@ -158,6 +167,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Errors:        s.errored.Load(),
 		InFlight:      s.inflight.Load(),
 		MaxConcurrent: s.cfg.MaxConcurrent,
+		Draining:      s.gate.Snapshot().Draining,
 	}
 	if s.cache != nil {
 		snap := s.cache.Stats().Snapshot()
@@ -210,18 +220,20 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
-	// The semaphore bounds concurrent saturations; a request whose
-	// deadline expires while queued reports the cancellation instead
-	// of running late.
-	select {
-	case s.sem <- struct{}{}:
-		defer func() { <-s.sem }()
-	case <-ctx.Done():
+	// The gate bounds concurrent saturations and refuses admission once
+	// a drain has begun; a request whose deadline expires while queued
+	// reports the cancellation instead of running late.
+	if err := s.gate.Acquire(ctx); err != nil {
 		s.errored.Add(1)
+		msg := fmt.Sprintf("queued past deadline: %v", err)
+		if errors.Is(err, ErrDraining) {
+			msg = err.Error()
+		}
 		writeJSON(w, http.StatusServiceUnavailable,
-			CheckResponse{Verdict: "cancelled", Error: fmt.Sprintf("queued past deadline: %v", ctx.Err())})
+			CheckResponse{Verdict: "cancelled", Error: msg})
 		return
 	}
+	defer s.gate.Release()
 
 	opts := s.cfg.Options
 	opts.KeepGoing = opts.KeepGoing || req.KeepGoing

@@ -260,18 +260,77 @@ func (c *Cache) path(key fingerprint.Hash) string {
 	return filepath.Join(c.dir, "v1", hx[:2], hx)
 }
 
-// writeDisk serializes the entry with its versioned header and renames
-// it into place atomically; a torn write can only ever leave a temp
-// file behind, never a half-written entry under its final name.
-func (c *Cache) writeDisk(key fingerprint.Hash, e *Entry) error {
+// EncodeEntry serializes an entry into its exact on-disk byte format:
+// the versioned header (magic tag, key fingerprint, payload checksum,
+// one per line) followed by the JSON payload. Exported as a pure
+// function so the store's write path, its tests, and the internal/mc
+// verdict-cache model all produce byte-identical files — the model
+// checker damages and decodes the same bytes the production store
+// writes.
+func EncodeEntry(key fingerprint.Hash, e *Entry) ([]byte, error) {
 	payload, err := json.Marshal(e)
 	if err != nil {
-		return fmt.Errorf("vcache: encoding entry: %v", err)
+		return nil, fmt.Errorf("vcache: encoding entry: %v", err)
 	}
 	sum := sha256.Sum256(payload)
 	var buf bytes.Buffer
 	fmt.Fprintf(&buf, "%s\n%s\n%s\n", magic, key.Hex(), hex.EncodeToString(sum[:]))
 	buf.Write(payload)
+	return buf.Bytes(), nil
+}
+
+// DecodeEntry parses and validates on-disk entry bytes for key. It is
+// the single defensive gate on the read path: ANY defect — truncation,
+// bad magic, key mismatch, checksum mismatch, undecodable payload, a
+// non-cacheable verdict — returns an error, never a wrong entry. The
+// store, the chaos tests, and the internal/mc model all call this
+// exact function, so "a decode error is always a miss" is one piece of
+// code checked three ways.
+func DecodeEntry(key fingerprint.Hash, data []byte) (*Entry, error) {
+	rest := data
+	next := func() (string, bool) {
+		i := bytes.IndexByte(rest, '\n')
+		if i < 0 {
+			return "", false
+		}
+		line := string(rest[:i])
+		rest = rest[i+1:]
+		return line, true
+	}
+	tag, ok := next()
+	if !ok || tag != magic {
+		return nil, fmt.Errorf("vcache: bad magic")
+	}
+	keyHex, ok := next()
+	if !ok || keyHex != key.Hex() {
+		return nil, fmt.Errorf("vcache: key mismatch")
+	}
+	sumHex, ok := next()
+	if !ok {
+		return nil, fmt.Errorf("vcache: truncated header")
+	}
+	sum := sha256.Sum256(rest)
+	if hex.EncodeToString(sum[:]) != sumHex {
+		return nil, fmt.Errorf("vcache: checksum mismatch")
+	}
+	var e Entry
+	if err := json.Unmarshal(rest, &e); err != nil {
+		return nil, fmt.Errorf("vcache: undecodable payload: %v", err)
+	}
+	if e.Verdict != VerdictRefined && e.Verdict != VerdictDisproved {
+		return nil, fmt.Errorf("vcache: non-cacheable verdict %q", e.Verdict)
+	}
+	return &e, nil
+}
+
+// writeDisk serializes the entry with its versioned header and renames
+// it into place atomically; a torn write can only ever leave a temp
+// file behind, never a half-written entry under its final name.
+func (c *Cache) writeDisk(key fingerprint.Hash, e *Entry) error {
+	data, err := EncodeEntry(key, e)
+	if err != nil {
+		return err
+	}
 
 	final := c.path(key)
 	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
@@ -281,7 +340,7 @@ func (c *Cache) writeDisk(key fingerprint.Hash, e *Entry) error {
 	if err != nil {
 		return err
 	}
-	if _, err := tmp.Write(buf.Bytes()); err != nil {
+	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return err
@@ -304,38 +363,9 @@ func (c *Cache) readDisk(key fingerprint.Hash) (*Entry, error) {
 	if err != nil {
 		return nil, err
 	}
-	rest := data
-	next := func() (string, bool) {
-		i := bytes.IndexByte(rest, '\n')
-		if i < 0 {
-			return "", false
-		}
-		line := string(rest[:i])
-		rest = rest[i+1:]
-		return line, true
+	e, err := DecodeEntry(key, data)
+	if err != nil {
+		return nil, fmt.Errorf("%v in %s", err, c.path(key))
 	}
-	tag, ok := next()
-	if !ok || tag != magic {
-		return nil, fmt.Errorf("vcache: bad magic in %s", c.path(key))
-	}
-	keyHex, ok := next()
-	if !ok || keyHex != key.Hex() {
-		return nil, fmt.Errorf("vcache: key mismatch in %s", c.path(key))
-	}
-	sumHex, ok := next()
-	if !ok {
-		return nil, fmt.Errorf("vcache: truncated header in %s", c.path(key))
-	}
-	sum := sha256.Sum256(rest)
-	if hex.EncodeToString(sum[:]) != sumHex {
-		return nil, fmt.Errorf("vcache: checksum mismatch in %s", c.path(key))
-	}
-	var e Entry
-	if err := json.Unmarshal(rest, &e); err != nil {
-		return nil, fmt.Errorf("vcache: undecodable payload in %s: %v", c.path(key), err)
-	}
-	if e.Verdict != VerdictRefined && e.Verdict != VerdictDisproved {
-		return nil, fmt.Errorf("vcache: non-cacheable verdict %q in %s", e.Verdict, c.path(key))
-	}
-	return &e, nil
+	return e, nil
 }

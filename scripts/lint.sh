@@ -15,7 +15,8 @@ echo "-- registry + source lint"
 go run ./cmd/entangle-lint \
     internal/egraph internal/core internal/lemmas \
     internal/graph internal/relation internal/lint \
-    internal/fingerprint internal/vcache internal/server
+    internal/fingerprint internal/vcache internal/server \
+    internal/mc internal/mc/models internal/faultinject
 
 echo "-- graph IR lint (generated gpt tp=2 capture)"
 go run ./cmd/entangle-graphgen -model gpt -tp 2 -o "$tmp/model" >/dev/null

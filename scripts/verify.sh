@@ -24,7 +24,7 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (core, egraph, relation, lemmas, faultinject, vcache, server) =="
+echo "== go test -race (core, egraph, relation, lemmas, faultinject, vcache, server, bench, mc) =="
 # -timeout on core: the robustness suite's worst regression mode is a
 # deadlocked worker pool, which must fail the gate instead of hanging it.
 # ENTANGLE_CHECK_INVARIANTS makes every e-graph Rebuild finish with the
@@ -34,6 +34,18 @@ echo "== go test -race (core, egraph, relation, lemmas, faultinject, vcache, ser
 ENTANGLE_CHECK_INVARIANTS=1 go test -race -timeout 120s ./internal/core/...
 ENTANGLE_CHECK_INVARIANTS=1 go test -race ./internal/egraph/... ./internal/relation/... ./internal/lemmas/... ./internal/faultinject/...
 go test -race ./internal/fingerprint/... ./internal/vcache/... ./internal/server/...
+# bench drives the checker through its concurrent harnesses; mc's own
+# large-scope exploration is skipped here (-short) and covered by the
+# dedicated mc CI job.
+go test -race -timeout 300s ./internal/bench/...
+go test -race -short ./internal/mc/...
+
+echo "== entangle-mc (exhaustive model check, ci scope) =="
+# Every protocol model must check clean at the ci scope, and the
+# planted known-bug model must still be caught — a regression test for
+# the checker's teeth, not just for the protocols.
+go run ./cmd/entangle-mc -scope ci
+go run ./cmd/entangle-mc -model known-bug -expect-violation >/dev/null
 
 echo "== entangle-lint =="
 sh scripts/lint.sh
