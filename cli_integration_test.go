@@ -19,6 +19,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"entangle"
 )
 
 func buildTool(t *testing.T, dir, pkg string) string {
@@ -153,6 +155,98 @@ func TestCLIWorkflow(t *testing.T) {
 	if mask(warm8) != mask(cold) {
 		t.Fatalf("warm 8-worker report differs from cold:\n--- cold ---\n%s--- warm ---\n%s", cold, warm8)
 	}
+}
+
+// TestCLIDiff drives the -diff mode through the file formats: write an
+// old/new graph pair where the edit swaps one add's operands (a
+// refinement-preserving change whose cone fingerprint still moves),
+// diff them against a shared G_d and relation sidecar, and check that
+// only the edit's downstream cone was re-checked. A second diff of the
+// graph against itself must replay everything; a semantically broken
+// edit must exit 1 and name the newly failing operator.
+func TestCLIDiff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	check := buildTool(t, dir, "./cmd/entangle")
+
+	buildGd := func() *entangle.Graph {
+		bd := entangle.NewBuilder("Gd", nil)
+		half := entangle.ShapeOf(2, 6)
+		X0, X1 := bd.Input("X0", half), bd.Input("X1", half)
+		Y0, Y1 := bd.Input("Y0", half), bd.Input("Y1", half)
+		V0, V1 := bd.Input("V0", half), bd.Input("V1", half)
+		Z0 := bd.Unary("r0/act", "gelu", bd.Add("r0/adder", X0, Y0))
+		Z1 := bd.Unary("r1/act", "gelu", bd.Add("r1/adder", X1, Y1))
+		U0 := bd.Unary("r0/side", "gelu", V0)
+		U1 := bd.Unary("r1/side", "gelu", V1)
+		bd.Output(Z0, Z1, U0, U1)
+		return bd.MustBuild()
+	}
+	buildGs := func(swap bool, fn string) *entangle.Graph {
+		bs := entangle.NewBuilder("Gs", nil)
+		X := bs.Input("X", entangle.ShapeOf(4, 6))
+		Y := bs.Input("Y", entangle.ShapeOf(4, 6))
+		V := bs.Input("V", entangle.ShapeOf(4, 6))
+		a, b := X, Y
+		if swap {
+			a, b = Y, X
+		}
+		Z := bs.Unary("act", fn, bs.Add("adder", a, b))
+		U := bs.Unary("side", "gelu", V)
+		bs.Output(Z, U)
+		return bs.MustBuild()
+	}
+	writeGraph := func(name string, g *entangle.Graph) string {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := entangle.WriteGraph(f, g); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		return path
+	}
+	gdPath := writeGraph("gd.json", buildGd())
+	oldPath := writeGraph("old.json", buildGs(false, "gelu"))
+	newPath := writeGraph("new.json", buildGs(true, "gelu"))
+	brokenPath := writeGraph("broken.json", buildGs(false, "relu"))
+	relPath := filepath.Join(dir, "relation.json")
+	os.WriteFile(relPath, []byte(`{
+		"X": ["concat(X0, X1, dim=0)"],
+		"Y": ["concat(Y0, Y1, dim=0)"],
+		"V": ["concat(V0, V1, dim=0)"]}`), 0o644)
+	cacheDir := filepath.Join(dir, "vcache")
+
+	// 1. The swapped edit: the untouched side branch replays, the
+	// adder and its consumer re-check, and the run exits 0.
+	out := run(t, check, 0, "-diff", "-gd", gdPath, "-rel", relPath, "-cache", cacheDir, oldPath, newPath)
+	if !strings.Contains(out, "3 ops — 1 unchanged (1 replayed), 2 re-checked") {
+		t.Fatalf("diff output:\n%s", out)
+	}
+	if !strings.Contains(out, "adder: check (cone changed) -> refined") {
+		t.Fatalf("diff output misses the edited operator:\n%s", out)
+	}
+
+	// 2. Diffing a graph against itself on the now-warm cache replays
+	// every verdict.
+	out = run(t, check, 0, "-diff", "-gd", gdPath, "-rel", relPath, "-cache", cacheDir, oldPath, oldPath)
+	if !strings.Contains(out, "3 ops — 3 unchanged (3 replayed), 0 re-checked") {
+		t.Fatalf("self-diff output:\n%s", out)
+	}
+
+	// 3. A semantic break exits 1 and classifies the operator as newly
+	// failing.
+	out = run(t, check, 1, "-diff", "-gd", gdPath, "-rel", relPath, "-cache", cacheDir, oldPath, brokenPath)
+	if !strings.Contains(out, "newly failing:") || !strings.Contains(out, "REFINEMENT FAILED") {
+		t.Fatalf("broken diff output:\n%s", out)
+	}
+
+	// 4. Usage errors exit 2.
+	run(t, check, 2, "-diff", oldPath)
 }
 
 // TestCLIDaemon drives cmd/entangled end to end: start it with an

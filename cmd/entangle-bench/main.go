@@ -12,7 +12,10 @@
 // (cold-check hot-path microbenchmark; -json appends to a
 // BENCH_saturate.json-style trajectory, -baseline FILE fails the run
 // on a >20% cold-throughput regression vs. that trajectory's last
-// recorded run — the CI smoke gate).
+// recorded run — the CI smoke gate), diff (single-op-edit incremental
+// re-verification vs a cold full check; fails unless the diff
+// re-checks exactly the edit's downstream cone and replays everything
+// else; -json FILE appends to a BENCH_diff.json-style trajectory).
 //
 // -cpuprofile/-memprofile write pprof profiles covering the selected
 // experiments (the hot-path tuning loop: `entangle-bench -exp
@@ -40,7 +43,7 @@ var (
 func main() { os.Exit(run()) }
 
 func run() int {
-	exp := flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6, bugs, ablation, extensions, parallel, chaos, cache, saturate, all")
+	exp := flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6, bugs, ablation, extensions, parallel, chaos, cache, saturate, diff, all")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -88,6 +91,7 @@ func run() int {
 		{"chaos", runChaos},
 		{"cache", runCache},
 		{"saturate", runSaturate},
+		{"diff", runDiff},
 	}
 	ran := false
 	for _, s := range steps {

@@ -81,6 +81,53 @@ func appendTrajectory(path string, points []bench.CachePoint) error {
 
 func runExtensions() (string, error) { return bench.Extensions() }
 
+// diffRun is one recorded `-exp diff` invocation in the trajectory
+// file: BENCH_diff.json holds an array of these, one per run, so the
+// series tracks incremental re-verification speedups across checker
+// versions. The experiment self-gates on correctness (exact-cone
+// re-check, full replay of unchanged operators), so every recorded
+// point is a verified one.
+type diffRun struct {
+	Timestamp string            `json:"timestamp"`
+	Go        string            `json:"go"`
+	Points    []bench.DiffPoint `json:"points"`
+}
+
+func runDiff() (string, error) {
+	txt, points, err := bench.Diff()
+	if err != nil {
+		return "", err
+	}
+	if *jsonOut != "" {
+		if err := appendDiffTrajectory(*jsonOut, points); err != nil {
+			return "", err
+		}
+		txt += fmt.Sprintf("appended %d data points to %s\n", len(points), *jsonOut)
+	}
+	return txt, nil
+}
+
+func appendDiffTrajectory(path string, points []bench.DiffPoint) error {
+	var runs []diffRun
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &runs); err != nil {
+			return fmt.Errorf("%s: existing trajectory unreadable: %v", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	runs = append(runs, diffRun{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Go:        runtime.Version(),
+		Points:    points,
+	})
+	data, err := json.MarshalIndent(runs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 // saturateRun is one recorded `-exp saturate` invocation in the
 // trajectory file: BENCH_saturate.json holds an array of these, one
 // per run, so the series tracks cold-check hot-path performance across

@@ -1,9 +1,10 @@
 // Command entangle-mc is the explicit-state model checker for the
 // repo's concurrency core: it exhaustively explores bounded models of
-// the wavefront scheduler, the verdict cache's on-disk discipline, and
-// the daemon's admission/drain gate — models that drive the shipped
-// state machines (core.SchedCore, vcache.Encode/DecodeEntry,
-// server.GateCore) — checking every safety invariant plus
+// the wavefront scheduler, the verdict cache's on-disk discipline, the
+// daemon's admission/drain gate, and the diff planner's edit space —
+// models that drive the shipped state machines and functions
+// (core.SchedCore, vcache.Encode/DecodeEntry, server.GateCore,
+// core.DiffPlan) — checking every safety invariant plus
 // deadlock-freedom at every reachable state.
 //
 //	entangle-mc                              # every model, ci scope

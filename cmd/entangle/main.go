@@ -17,6 +17,22 @@
 // an unchanged (or mostly unchanged) model pair replays stored
 // verdicts instead of re-saturating.
 //
+// With -diff, positional arguments name the old and new sequential
+// graphs, and the checker re-verifies incrementally: operators whose
+// upstream cone is unchanged replay their verdicts from the cache,
+// only the edit's downstream cone is re-saturated, and the delta —
+// what changed, what was replayed, which failures are new — is
+// printed. The relation file is parsed against each graph in turn, so
+// one sidecar serves both as long as the input names survive the edit:
+//
+//	entangle -diff -gd dist.json -rel relation.json \
+//	    -cache /var/cache/entangle old.json new.json
+//
+// Without -cache the diff uses a run-local in-memory cache: the old
+// graph is checked first to populate it, which still demonstrates the
+// delta but saves no wall clock; a persistent -cache directory is the
+// intended mode.
+//
 // With -lint, positional arguments name captured graph files, and the
 // graph IR lint layer (internal/lint) runs over each instead of a
 // refinement check:
@@ -44,6 +60,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"entangle"
 	"entangle/internal/exprparse"
@@ -65,11 +82,29 @@ func main() {
 		escal   = flag.Int("budget-escalations", 0, "retries with a 4x larger saturation budget before an operator is declared inconclusive (0 = default of 1, negative = disabled)")
 		cache   = flag.String("cache", "", "verdict cache directory: operators whose content-addressed fingerprint matches a prior run replay the stored verdict instead of re-saturating (empty = no cache)")
 		doLint  = flag.Bool("lint", false, "lint the given graph files instead of checking refinement")
+		doDiff  = flag.Bool("diff", false, "incrementally re-verify: positional args are the old and new G_s; only the edit's downstream cone is re-checked")
 		jsonOut = flag.Bool("json", false, "with -lint: emit findings as JSON")
 	)
 	flag.Parse()
 	if *doLint {
 		lintGraphs(flag.Args(), *format, *jsonOut)
+		return
+	}
+	opts := entangle.CheckerOptions{
+		Workers:           *workers,
+		OpTimeout:         *opTO,
+		KeepGoing:         *keepGo,
+		BudgetEscalations: *escal,
+	}
+	if *cache != "" {
+		vc, err := entangle.OpenVerdictCache(entangle.VerdictCacheConfig{Dir: *cache})
+		if err != nil {
+			fatal(2, "opening cache: %v", err)
+		}
+		opts.Cache = vc
+	}
+	if *doDiff {
+		diffGraphs(flag.Args(), *gdPath, *relPath, *format, opts, *timeout, *verbose)
 		return
 	}
 	if *gsPath == "" || *gdPath == "" || *relPath == "" {
@@ -90,19 +125,6 @@ func main() {
 		fatal(2, "loading relation: %v", err)
 	}
 
-	opts := entangle.CheckerOptions{
-		Workers:           *workers,
-		OpTimeout:         *opTO,
-		KeepGoing:         *keepGo,
-		BudgetEscalations: *escal,
-	}
-	if *cache != "" {
-		vc, err := entangle.OpenVerdictCache(entangle.VerdictCacheConfig{Dir: *cache})
-		if err != nil {
-			fatal(2, "opening cache: %v", err)
-		}
-		opts.Cache = vc
-	}
 	checker := entangle.NewChecker(opts)
 	if *expect != "" {
 		if err := checkExpectation(checker, gs, gd, ri, *expect); err != nil {
@@ -169,6 +191,90 @@ func main() {
 	if *verbose {
 		fmt.Println("full relation (including intermediates):")
 		fmt.Print(report.FullRelation.Render(gs))
+	}
+}
+
+// diffGraphs runs the -diff mode: check the old graph (replaying from
+// a warm cache, or populating a fresh one), then incrementally
+// re-verify the new graph and print the delta. Exit codes mirror the
+// plain check: 0 when the new graph refines, 1 on a refinement
+// failure, 2 on input errors, 3 when cancelled.
+func diffGraphs(paths []string, gdPath, relPath, format string, opts entangle.CheckerOptions, timeout time.Duration, verbose bool) {
+	if len(paths) != 2 || gdPath == "" || relPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: entangle -diff -gd <graph> -rel <relation.json> [-cache DIR] <old-gs> <new-gs>")
+		os.Exit(2)
+	}
+	oldGs, err := loadGraph(paths[0], format)
+	if err != nil {
+		fatal(2, "loading old G_s: %v", err)
+	}
+	newGs, err := loadGraph(paths[1], format)
+	if err != nil {
+		fatal(2, "loading new G_s: %v", err)
+	}
+	gd, err := loadGraph(gdPath, format)
+	if err != nil {
+		fatal(2, "loading G_d: %v", err)
+	}
+	oldRi, err := loadRelation(relPath, oldGs, gd)
+	if err != nil {
+		fatal(2, "loading relation against old G_s: %v", err)
+	}
+	newRi, err := loadRelation(relPath, newGs, gd)
+	if err != nil {
+		fatal(2, "loading relation against new G_s: %v", err)
+	}
+	if opts.Cache == nil {
+		vc, err := entangle.OpenVerdictCache(entangle.VerdictCacheConfig{})
+		if err != nil {
+			fatal(2, "opening in-memory cache: %v", err)
+		}
+		opts.Cache = vc
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	// Baseline pass over the old graph: a warm cache replays it, a cold
+	// one is populated. Old-graph failures are delta context ("already
+	// failing before the edit"), not fatal — KeepGoing caches every
+	// independent verdict regardless.
+	warm := opts
+	warm.KeepGoing = true
+	if _, err := entangle.NewChecker(warm).CheckContext(ctx, oldGs, gd, oldRi); err != nil {
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "entangle: diff cancelled (%v): %v\n", ctx.Err(), err)
+			os.Exit(3)
+		}
+		var re *entangle.RefinementError
+		var ie *entangle.InconclusiveError
+		if !errors.As(err, &re) && !errors.As(err, &ie) {
+			fatal(2, "checking old G_s: %v", err)
+		}
+	}
+
+	delta, err := entangle.NewChecker(opts).DiffCheckContext(ctx, oldGs, newGs, gd, oldRi, newRi)
+	if delta == nil {
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "entangle: diff cancelled (%v): %v\n", ctx.Err(), err)
+			os.Exit(3)
+		}
+		fatal(2, "%v", err)
+	}
+	fmt.Print(delta.Render())
+	if verbose {
+		fmt.Println("output relation R_o:")
+		fmt.Print(delta.Report.OutputRelation.Render(newGs))
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "REFINEMENT FAILED (%d operators, %d checked)\n%s",
+			len(delta.Report.Failures), delta.Report.OpsProcessed, delta.Report.RenderFailures())
+		os.Exit(1)
 	}
 }
 

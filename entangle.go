@@ -93,6 +93,20 @@ type (
 	Expectation = core.Expectation
 	// ExpectationError reports a violated user expectation.
 	ExpectationError = core.ExpectationError
+	// Plan is the checker's decision layer: one disposition per G_s
+	// operator, serializable, consumed by the executor (Report.Plan).
+	Plan = core.Plan
+	// PlanOp is one operator's planned treatment.
+	PlanOp = core.PlanOp
+	// Disposition is the planner's per-operator decision: check live,
+	// replay from cache, skip as provably unchanged, or re-check
+	// because an upstream cone changed.
+	Disposition = core.Disposition
+	// DeltaReport is the outcome of a diff-aware incremental
+	// re-verification (Checker.DiffCheck).
+	DeltaReport = core.DeltaReport
+	// DeltaOp is one re-checked operator's delta entry.
+	DeltaOp = core.DeltaOp
 	// Relation maps G_s tensors to clean expressions over G_d tensors.
 	Relation = relation.Relation
 	// Term is a symbolic tensor expression.
@@ -128,6 +142,22 @@ const (
 	ReasonBudgetExhausted = core.ReasonBudgetExhausted
 	ReasonTimeout         = core.ReasonTimeout
 )
+
+// Planner dispositions (see Disposition).
+const (
+	DispCheck           = core.DispCheck
+	DispReplayCache     = core.DispReplayCache
+	DispSkipUnchanged   = core.DispSkipUnchanged
+	DispTaintedUpstream = core.DispTaintedUpstream
+)
+
+// DiffPlan compares an edited sequential graph against its predecessor
+// and plans the minimal re-check: unchanged-cone operators are skipped
+// (their cached verdicts still hold), changed-cone operators are
+// re-checked. Checker.DiffCheck executes such a plan end to end.
+func DiffPlan(oldGs *Graph, oldRi *Relation, newGs *Graph, newRi *Relation, gd *Graph) (*Plan, error) {
+	return core.DiffPlan(oldGs, oldRi, newGs, newRi, gd)
+}
 
 // NewRelation returns an empty relation.
 func NewRelation() *Relation { return relation.New() }

@@ -8,6 +8,7 @@ import (
 	"entangle/internal/core"
 	"entangle/internal/egraph"
 	"entangle/internal/lemmas"
+	"entangle/internal/vcache"
 )
 
 // TestSaturationDifferential is the equivalence property test for the
@@ -93,6 +94,123 @@ func TestSaturationDifferential(t *testing.T) {
 				}
 				if base.outputs != got.outputs {
 					t.Errorf("%s: output relation diverges:\n base:\n%s\n got:\n%s", v.name, base.outputs, got.outputs)
+				}
+			}
+		})
+	}
+}
+
+// TestPlannedPathDifferential is the equivalence property test for the
+// plan/execute split: over the saturation corpus, the planned path
+// (dispositions decided up front, cache probes prefetched into the
+// Plan) must be observationally identical to the legacy inline path
+// (Options.Unplanned) at workers 1 and 4, on both a cold and a warm
+// verdict cache. "Observationally identical" here additionally pins
+// the cache counters: the plan-time prefetch must not double-count
+// hits or misses relative to inline probing.
+func TestPlannedPathDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model corpus differential is not short")
+	}
+	for _, w := range saturateWorkloads() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			b, err := w.Build(2, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gs, gd, ri := b.Gs, b.Gd, b.Ri
+			if w.ViaHLO {
+				gs, gd, ri, err = roundTripHLO(b)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			type variant struct {
+				name      string
+				workers   int
+				unplanned bool
+			}
+			variants := []variant{
+				{"planned-w1", 1, false},
+				{"unplanned-w1", 1, true},
+				{"planned-w4", 4, false},
+				{"unplanned-w4", 4, true},
+			}
+
+			type observed struct {
+				verdicts string
+				outputs  string
+				iters    int
+				cache    core.CacheStats
+			}
+			// Each variant gets its own fresh cache so cold runs are
+			// genuinely cold; phase 0 is the cold pass, phase 1 replays
+			// the same check against the now-warm cache.
+			obs := make([][2]observed, len(variants))
+			for i, v := range variants {
+				vc, err := vcache.Open(vcache.Config{Dir: t.TempDir()})
+				if err != nil {
+					t.Fatal(err)
+				}
+				checker := core.NewChecker(core.Options{
+					Registry: lemmas.Default(), Workers: v.workers,
+					Cache: vc, Unplanned: v.unplanned,
+				})
+				for phase := 0; phase < 2; phase++ {
+					rep, err := checker.Check(gs, gd, ri)
+					if err != nil {
+						t.Fatalf("%s phase %d: %v", v.name, phase, err)
+					}
+					var vs strings.Builder
+					for _, ov := range rep.Verdicts {
+						vs.WriteString(ov.Describe())
+						vs.WriteByte('\n')
+					}
+					cache := rep.Cache
+					obs[i][phase] = observed{
+						verdicts: vs.String(),
+						outputs:  rep.OutputRelation.Render(gs),
+						iters:    rep.Stats.Iterations,
+						cache:    cache,
+					}
+					if v.unplanned && rep.Plan != nil {
+						t.Fatalf("%s phase %d: unplanned run still produced a plan", v.name, phase)
+					}
+					if !v.unplanned && rep.Plan == nil {
+						t.Fatalf("%s phase %d: planned run produced no plan", v.name, phase)
+					}
+				}
+			}
+
+			for phase, label := range []string{"cold", "warm"} {
+				base := obs[0][phase]
+				for i, v := range variants[1:] {
+					got := obs[i+1][phase]
+					if base.verdicts != got.verdicts {
+						t.Errorf("%s %s: verdict lines diverge:\n base:\n%s\n got:\n%s", v.name, label, base.verdicts, got.verdicts)
+					}
+					if base.outputs != got.outputs {
+						t.Errorf("%s %s: output relation diverges:\n base:\n%s\n got:\n%s", v.name, label, base.outputs, got.outputs)
+					}
+					if base.iters != got.iters {
+						t.Errorf("%s %s: iterations diverge: base %d, got %d", v.name, label, base.iters, got.iters)
+					}
+					// Counter parity: every op is probed exactly once on
+					// both paths, so hits+misses always agree. The split
+					// itself agrees only on the warm pass: on a cold cache
+					// the inline path can hit a verdict stored EARLIER IN
+					// THE SAME RUN by a duplicate-cone sibling, which the
+					// plan-time prefetch (all probes before any store)
+					// deliberately reads as a miss — the verdicts still
+					// match, since a duplicate cone replays identically.
+					if base.cache.Hits+base.cache.Misses != got.cache.Hits+got.cache.Misses {
+						t.Errorf("%s %s: probe counts diverge: base %+v, got %+v", v.name, label, base.cache, got.cache)
+					}
+					if phase == 1 && base.cache != got.cache {
+						t.Errorf("%s %s: cache counters diverge: base %+v, got %+v", v.name, label, base.cache, got.cache)
+					}
 				}
 			}
 		})

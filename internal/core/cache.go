@@ -78,6 +78,16 @@ type cacheState struct {
 	baseCorrupt, baseEvictions          int64
 }
 
+// cacheOptionsString is the canonical encoding of the verdict-relevant
+// options, hashed into the ambient digest. Workers, OpTimeout,
+// KeepGoing, and observers are deliberately absent: they steer
+// scheduling and wall clocks, never a cacheable verdict.
+func (o Options) cacheOptionsString() string {
+	return fmt.Sprintf("mm=%d|mfi=%d|df=%t|si=%d|sn=%d|be=%d",
+		o.MaxMappings, o.MaxFrontierIters, o.DisableFrontier,
+		o.Saturate.MaxIters, o.Saturate.MaxNodes, o.BudgetEscalations)
+}
+
 // initCache precomputes the ambient digest and every operator's key.
 // Called after runState construction, before any operator runs.
 func (r *runState) initCache(order []*graph.Node) error {
@@ -88,14 +98,8 @@ func (r *runState) initCache(order []*graph.Node) error {
 	if err != nil {
 		return fmt.Errorf("core: cache: %v", err)
 	}
-	opts := fmt.Sprintf("mm=%d|mfi=%d|df=%t|si=%d|sn=%d|be=%d",
-		r.opts.MaxMappings, r.opts.MaxFrontierIters, r.opts.DisableFrontier,
-		r.opts.Saturate.MaxIters, r.opts.Saturate.MaxNodes, r.opts.BudgetEscalations)
-	// Workers, OpTimeout, KeepGoing, and observers are deliberately
-	// absent: they steer scheduling and wall clocks, never a cacheable
-	// verdict.
 	ambient := fingerprint.Ambient(CheckerVersion, r.opts.Registry.Fingerprint(),
-		[]byte(opts), fingerprint.GraphDigest(r.gd), r.gs.Ctx)
+		[]byte(r.opts.cacheOptionsString()), fingerprint.GraphDigest(r.gd), r.gs.Ctx)
 	cones := fingerprint.NewConeHasher(r.gs, r.rel, gdix)
 	keys := make(map[graph.NodeID]fingerprint.Hash, len(order))
 	for _, v := range order {
@@ -186,7 +190,7 @@ func (r *runState) replayEntry(v *graph.Node, e *vcache.Entry) (egraph.Stats, Op
 			r.rel.AddAll(out, all[i].main)
 			r.rel.AddAll(out, all[i].restricted)
 		}
-		return e.Stats, OpVerdict{Op: v, Kind: VerdictRefined, Escalations: e.Escalations}, true
+		return e.Stats, OpVerdict{Op: v, Kind: VerdictRefined, Escalations: e.Escalations, Replayed: true}, true
 
 	case vcache.VerdictDisproved:
 		if e.FailOutput < 0 || e.FailOutput >= len(v.Outputs) {
@@ -194,7 +198,7 @@ func (r *runState) replayEntry(v *graph.Node, e *vcache.Entry) (egraph.Stats, Op
 		}
 		re := &RefinementError{Op: v, Tensor: r.gs.Tensor(v.Outputs[e.FailOutput]),
 			InputMappings: r.renderInputMappings(v)}
-		return e.Stats, OpVerdict{Op: v, Kind: VerdictDisproved, Err: re, Escalations: e.Escalations}, true
+		return e.Stats, OpVerdict{Op: v, Kind: VerdictDisproved, Err: re, Escalations: e.Escalations, Replayed: true}, true
 	}
 	return egraph.Stats{}, OpVerdict{}, false
 }

@@ -100,6 +100,12 @@ type Options struct {
 	// whose budget a PreOp override replaced bypass the cache: the
 	// override changes the effective budget without changing the key.
 	Cache *vcache.Cache
+	// Unplanned bypasses the planning layer (planner.go): dispositions
+	// are decided inline at check time, the pre-plan code path. Both
+	// paths produce byte-identical reports — the differential suite
+	// asserts exactly that — so this exists for those tests and for
+	// bisecting planner regressions, not for production use.
+	Unplanned bool
 }
 
 // escalationFactor is the geometric budget growth per escalation.
@@ -190,6 +196,10 @@ type Report struct {
 	// Cache summarizes this run's verdict-cache traffic; zero when
 	// Options.Cache is nil.
 	Cache CacheStats
+	// Plan is the decision layer's output this run executed: one
+	// disposition per operator in topo order (planner.go). Nil on the
+	// Options.Unplanned path.
+	Plan *Plan
 	// OpsProcessed counts the G_s operators actually checked (skipped
 	// cone members in KeepGoing mode are excluded).
 	OpsProcessed int
@@ -249,6 +259,16 @@ func (c *Checker) Check(gs, gd *graph.Graph, ri *relation.Relation) (*Report, er
 // the error; in the default mode a failed check returns a nil Report,
 // as before.
 func (c *Checker) CheckContext(ctx context.Context, gs, gd *graph.Graph, ri *relation.Relation) (*Report, error) {
+	return c.checkContext(ctx, gs, gd, ri, nil)
+}
+
+// planFn builds the Plan for one run after the cache keys are
+// precomputed; DiffCheckContext injects the diff planner through it.
+// nil selects the full-check planner (or, with Options.Unplanned, no
+// plan at all).
+type planFn func(r *runState, order []*graph.Node) (*Plan, error)
+
+func (c *Checker) checkContext(ctx context.Context, gs, gd *graph.Graph, ri *relation.Relation, planner planFn) (*Report, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -280,8 +300,21 @@ func (c *Checker) CheckContext(ctx context.Context, gs, gd *graph.Graph, ri *rel
 	if err := run.initCache(order); err != nil {
 		return nil, err
 	}
+	switch {
+	case planner != nil:
+		plan, err := planner(run, order)
+		if err != nil {
+			return nil, err
+		}
+		if len(plan.Ops) != len(order) {
+			return nil, fmt.Errorf("core: plan covers %d operators, graph has %d", len(plan.Ops), len(order))
+		}
+		run.plan = plan
+	case !c.opts.Unplanned:
+		run.plan = run.buildPlan(order)
+	}
 
-	report := &Report{FullRelation: run.rel, Stats: egraph.Stats{Applications: map[string]int{}}}
+	report := &Report{FullRelation: run.rel, Stats: egraph.Stats{Applications: map[string]int{}}, Plan: run.plan}
 	workers := c.opts.Workers
 	if workers > len(order) {
 		workers = len(order)
@@ -349,6 +382,10 @@ type runState struct {
 	// Options.Cache is nil. Its key map is filled before the scheduler
 	// starts and read-only afterwards.
 	cache *cacheState
+	// plan is the decision layer's output (planner.go), built before
+	// the scheduler starts and read-only afterwards; nil on the
+	// Options.Unplanned path.
+	plan *Plan
 }
 
 func mergedContext(gs, gd *graph.Graph) *sym.Context {
@@ -443,7 +480,13 @@ func (r *runState) safePreOp(v *graph.Node) (override *egraph.SaturateOpts, err 
 // from the cache on a hit — while live carries only work performed
 // this run (zero on a hit); the scheduler merges them into
 // Report.Stats and Report.LiveStats respectively.
-func (r *runState) checkOp(ctx context.Context, v *graph.Node) (acc, live egraph.Stats, verdict OpVerdict, fatal error) {
+//
+// pop is the operator's plan entry (nil on the unplanned path). The
+// planned and unplanned paths differ only in *when* the cache was
+// probed — plan time versus check time; entries are immutable, so the
+// replayed bytes are the same — and hit/miss accounting happens here
+// in both, keeping reports byte-identical between them.
+func (r *runState) checkOp(ctx context.Context, pop *PlanOp, v *graph.Node) (acc, live egraph.Stats, verdict OpVerdict, fatal error) {
 	verdict = OpVerdict{Op: v, Kind: VerdictRefined}
 	//lint:ignore determinism OpVerdict.Duration is timing metadata, not checker input
 	start := time.Now()
@@ -474,9 +517,27 @@ func (r *runState) checkOp(ctx context.Context, v *graph.Node) (acc, live egraph
 
 	// A PreOp override changes the effective budget without changing
 	// the cache key, so overridden operators bypass the cache in both
-	// directions (no lookup, no store).
+	// directions (no lookup, no store) — the plan's disposition is
+	// advisory for overridden operators.
 	useCache := r.cache != nil && !overridden
-	if useCache {
+	switch {
+	case useCache && pop != nil:
+		// Planned path: consume the plan-time probe. A prefetched entry
+		// replays exactly as a check-time hit would; a failed replay or
+		// an absent entry falls through to the live check below.
+		if pop.entry != nil {
+			if stats, cached, ok := r.replayEntry(v, pop.entry); ok {
+				r.cache.hits.Add(1)
+				acc = stats
+				cached.Duration = verdict.Duration
+				verdict = cached
+				return
+			}
+			r.cache.replayRejects.Add(1)
+		}
+		r.cache.misses.Add(1)
+	case useCache:
+		// Unplanned path: probe and replay at check time.
 		if stats, cached, ok := r.replayCached(v); ok {
 			acc = stats
 			cached.Duration = verdict.Duration

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"entangle/internal/expr"
+	"entangle/internal/graph"
+	"entangle/internal/lemmas"
+	"entangle/internal/relation"
+	"entangle/internal/shape"
+)
+
+// The diff fixture: an add feeding an activation, plus an independent
+// activation branch. Two-rank split on dim 0 throughout.
+//
+//	G_s: S = add(X, Y); Z = act(S); U = gelu(V)
+//	G_d: per rank r: S_r = add(X_r, Y_r); Z_r = act(S_r); U_r = gelu(V_r)
+//
+// The canonical refinement-preserving edit swaps the add's operands:
+// add(Y, X) still refines (add-is-sum + sum-commutative), but the cone
+// fingerprint hashes input ORDER, so the adder's cone — and its
+// consumers' — change.
+func diffGd(t *testing.T) *graph.Graph {
+	t.Helper()
+	bd := graph.NewBuilder("Gd", nil)
+	half := shape.Of(2, 6)
+	X0, X1 := bd.Input("X0", half), bd.Input("X1", half)
+	Y0, Y1 := bd.Input("Y0", half), bd.Input("Y1", half)
+	V0, V1 := bd.Input("V0", half), bd.Input("V1", half)
+	S0 := bd.Add("r0/adder", X0, Y0)
+	S1 := bd.Add("r1/adder", X1, Y1)
+	Z0 := bd.Unary("r0/act", "gelu", S0)
+	Z1 := bd.Unary("r1/act", "gelu", S1)
+	U0 := bd.Unary("r0/side", "gelu", V0)
+	U1 := bd.Unary("r1/side", "gelu", V1)
+	bd.Output(Z0, Z1, U0, U1)
+	return bd.MustBuild()
+}
+
+// diffGs builds one G_s variant with its own input relation against
+// gd. swap reverses the add's operands; fn is the activation ("gelu"
+// matches gd, anything else is a semantic break).
+func diffGs(t *testing.T, gd *graph.Graph, swap bool, fn string) (*graph.Graph, *relation.Relation) {
+	t.Helper()
+	bs := graph.NewBuilder("Gs", nil)
+	X := bs.Input("X", shape.Of(4, 6))
+	Y := bs.Input("Y", shape.Of(4, 6))
+	V := bs.Input("V", shape.Of(4, 6))
+	a, b := X, Y
+	if swap {
+		a, b = Y, X
+	}
+	S := bs.Add("adder", a, b)
+	Z := bs.Unary("act", fn, S)
+	U := bs.Unary("side", "gelu", V)
+	bs.Output(Z, U)
+	gs := bs.MustBuild()
+
+	ri := relation.New()
+	gdT := func(name string) *expr.Term {
+		tt, ok := gd.TensorByName(name)
+		if !ok {
+			t.Fatalf("missing gd tensor %q", name)
+		}
+		return relation.GdLeaf(tt)
+	}
+	gsID := func(name string) graph.TensorID {
+		tt, ok := gs.TensorByName(name)
+		if !ok {
+			t.Fatalf("missing gs tensor %q", name)
+		}
+		return tt.ID
+	}
+	ri.Add(gsID("X"), expr.ConcatI(0, gdT("X0"), gdT("X1")))
+	ri.Add(gsID("Y"), expr.ConcatI(0, gdT("Y0"), gdT("Y1")))
+	ri.Add(gsID("V"), expr.ConcatI(0, gdT("V0"), gdT("V1")))
+	return gs, ri
+}
+
+// TestDiffPlanDirtySet checks DiffPlan's disposition logic in
+// isolation (no cache, no execution): the edited operator is Check,
+// its consumers TaintedUpstream, the independent branch SkipUnchanged
+// — and an identical graph is all-skip.
+func TestDiffPlanDirtySet(t *testing.T) {
+	gd := diffGd(t)
+	oldGs, oldRi := diffGs(t, gd, false, "gelu")
+	newGs, newRi := diffGs(t, gd, true, "gelu")
+
+	plan, err := DiffPlan(oldGs, oldRi, newGs, newRi, gd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Mode != PlanModeDiff {
+		t.Fatalf("mode %q", plan.Mode)
+	}
+	want := map[string]Disposition{
+		"adder": DispCheck,
+		"act":   DispTaintedUpstream,
+		"side":  DispSkipUnchanged,
+	}
+	for label, disp := range want {
+		if op := planOpByLabel(t, plan, label); op.Disposition != disp {
+			t.Errorf("%s planned %s (%s), want %s", label, op.Disposition, op.Reason, disp)
+		}
+	}
+	if plan.Checks != 1 || plan.Tainted != 1 || plan.Skips != 1 || plan.Replays != 0 {
+		t.Fatalf("totals %+v", plan)
+	}
+
+	// Same graph twice (built independently, so node IDs need not
+	// match): every cone is unchanged.
+	sameGs, sameRi := diffGs(t, gd, false, "gelu")
+	same, err := DiffPlan(oldGs, oldRi, sameGs, sameRi, gd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.Skips != len(same.Ops) {
+		t.Fatalf("identical graph not all-skip: %+v", same)
+	}
+}
+
+// TestDiffCheckReplaysUnchanged is the tentpole's end-to-end contract:
+// after a warm full check of the old graph, re-verifying the swapped
+// edit saturates only the edit's downstream cone (adder, act) and
+// replays the untouched branch (side) from the cache.
+func TestDiffCheckReplaysUnchanged(t *testing.T) {
+	gd := diffGd(t)
+	oldGs, oldRi := diffGs(t, gd, false, "gelu")
+	newGs, newRi := diffGs(t, gd, true, "gelu")
+	reg := lemmas.Default()
+	checker := NewChecker(Options{Registry: reg, Cache: openCache(t)})
+
+	if _, err := checker.Check(oldGs, gd, oldRi); err != nil {
+		t.Fatalf("old graph: %v", err)
+	}
+	delta, err := checker.DiffCheck(oldGs, newGs, gd, oldRi, newRi)
+	if err != nil {
+		t.Fatalf("diff check: %v", err)
+	}
+	if delta.UnchangedOps != 1 || delta.ReplayedOps != 1 || delta.RecheckedOps != 2 {
+		t.Fatalf("delta counts %d unchanged / %d replayed / %d rechecked, want 1/1/2",
+			delta.UnchangedOps, delta.ReplayedOps, delta.RecheckedOps)
+	}
+	if len(delta.Changed) != 2 || len(delta.NewlyFailing) != 0 {
+		t.Fatalf("changed %v newly failing %v", delta.Changed, delta.NewlyFailing)
+	}
+	for _, op := range delta.Changed {
+		if op.Verdict != "refined" {
+			t.Errorf("%s re-checked to %q, want refined (%s)", op.Label, op.Verdict, op.Cause)
+		}
+	}
+	if delta.Report.Cache.Hits != 1 {
+		t.Errorf("cache hits %d, want 1 (the replayed side branch): %+v",
+			delta.Report.Cache.Hits, delta.Report.Cache)
+	}
+	if delta.Report.LiveStats.Iterations == 0 {
+		t.Error("re-checked cone performed no live saturation")
+	}
+	rendered := delta.Render()
+	if !strings.Contains(rendered, "3 ops — 1 unchanged (1 replayed), 2 re-checked") {
+		t.Errorf("render header: %q", rendered)
+	}
+	if !strings.Contains(rendered, "adder: check (cone changed) -> refined") ||
+		!strings.Contains(rendered, "act: tainted-upstream (upstream cone changed) -> refined") {
+		t.Errorf("render body: %q", rendered)
+	}
+
+	// The incremental run's relation must match a from-scratch check of
+	// the edited graph — replay never changes results, only work.
+	full, err := NewChecker(Options{Registry: reg}).Check(newGs, gd, newRi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := delta.Report.OutputRelation.Render(newGs), full.OutputRelation.Render(newGs); got != want {
+		t.Errorf("diff relation differs from full check:\n--- full ---\n%s\n--- diff ---\n%s", want, got)
+	}
+}
+
+// TestDiffCheckNewlyFailing breaks the activation in the edited graph:
+// the diff must localize the failure to the edited operator and
+// classify it newly-failing ("refined before the edit"), while the
+// untouched branch still replays.
+func TestDiffCheckNewlyFailing(t *testing.T) {
+	gd := diffGd(t)
+	oldGs, oldRi := diffGs(t, gd, false, "gelu")
+	newGs, newRi := diffGs(t, gd, false, "relu") // G_d still computes gelu
+	checker := NewChecker(Options{Registry: lemmas.Default(), Cache: openCache(t)})
+
+	if _, err := checker.Check(oldGs, gd, oldRi); err != nil {
+		t.Fatalf("old graph: %v", err)
+	}
+	delta, err := checker.DiffCheck(oldGs, newGs, gd, oldRi, newRi)
+	if err == nil {
+		t.Fatal("broken edit verified")
+	}
+	if delta == nil {
+		t.Fatal("per-operator failure must still produce a delta report")
+	}
+	// Only act's own attribute changed: adder and side are unchanged
+	// and replay; act is the lone re-check.
+	if delta.UnchangedOps != 2 || delta.ReplayedOps != 2 || delta.RecheckedOps != 1 {
+		t.Fatalf("delta counts %d unchanged / %d replayed / %d rechecked, want 2/2/1",
+			delta.UnchangedOps, delta.ReplayedOps, delta.RecheckedOps)
+	}
+	if len(delta.NewlyFailing) != 1 {
+		t.Fatalf("newly failing %v", delta.NewlyFailing)
+	}
+	nf := delta.NewlyFailing[0]
+	if nf.Label != "act" || !strings.Contains(nf.Cause, "refined before the edit") {
+		t.Fatalf("newly failing entry %+v", nf)
+	}
+	if nf.Verdict != "disproved" {
+		t.Fatalf("verdict %q, want disproved", nf.Verdict)
+	}
+	if !strings.Contains(delta.Render(), "newly failing:") {
+		t.Errorf("render misses the newly-failing section: %q", delta.Render())
+	}
+}
+
+// TestDiffCheckNoCache: without a cache the plan still proves which
+// cones are unchanged, but every "replay" honestly falls back to a
+// live check — slower, never stale, and the verdicts still match.
+func TestDiffCheckNoCache(t *testing.T) {
+	gd := diffGd(t)
+	oldGs, oldRi := diffGs(t, gd, false, "gelu")
+	newGs, newRi := diffGs(t, gd, true, "gelu")
+	checker := NewChecker(Options{Registry: lemmas.Default()})
+
+	delta, err := checker.DiffCheck(oldGs, newGs, gd, oldRi, newRi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.UnchangedOps != 1 || delta.ReplayedOps != 0 || delta.RecheckedOps != 3 {
+		t.Fatalf("delta counts %d unchanged / %d replayed / %d rechecked, want 1/0/3",
+			delta.UnchangedOps, delta.ReplayedOps, delta.RecheckedOps)
+	}
+	for _, op := range delta.Plan.Ops {
+		if op.Key != "" {
+			t.Fatalf("cacheless diff plan op carries a key: %+v", op)
+		}
+	}
+}

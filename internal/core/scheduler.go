@@ -178,7 +178,7 @@ func (r *runState) runOne(ctx context.Context, s *wavefrontState, i int) {
 		s.cond.Broadcast()
 		s.mu.Unlock()
 	}()
-	stats, live, verdict, fatal = r.checkOp(ctx, s.order[i])
+	stats, live, verdict, fatal = r.checkOp(ctx, r.planOp(i), s.order[i])
 	completed = true
 }
 

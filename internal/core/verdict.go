@@ -96,6 +96,12 @@ type OpVerdict struct {
 	// Escalations counts the budget-escalation retries this operator
 	// consumed before the verdict was reached.
 	Escalations int
+	// Replayed marks a verdict reconstructed from the verdict cache
+	// rather than computed by a live saturation. Like Duration it is
+	// excluded from Describe — a warm report renders byte-identically
+	// to the cold one — but DeltaReport reads it to count how much of a
+	// diff run was replayed.
+	Replayed bool
 	// Duration is the operator's total check wall clock across all
 	// attempts. Zero for skipped operators. Excluded from Describe so
 	// rendered reports stay byte-identical across runs.

@@ -165,6 +165,7 @@ type EGraph struct {
 	headBuf      []byte     // head-key scratch (headOf)
 	substArena   substArena // per-match-phase Subst recycling (newSubst)
 	arenaOn      bool       // arena active: only during saturation matching
+	cleanCostBuf []int      // extraction cost table (cleanCosts), indexed by ClassID
 
 	// shape analysis (analysis.go)
 	leafShape     func(tid int) (shape.Shape, bool)

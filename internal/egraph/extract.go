@@ -16,16 +16,26 @@ const inf = int(^uint(0) >> 2)
 
 // cleanCosts computes, for every class, the minimal size of a clean
 // expression over allowed leaves representing it (inf when none
-// exists). Fixpoint iteration handles cycles introduced by unions.
-func (g *EGraph) cleanCosts(allowed func(tid int) bool) map[ClassID]int {
-	cost := map[ClassID]int{}
+// exists). Fixpoint iteration handles cycles introduced by unions; the
+// fixpoint is order-independent, so costs can live in a dense slice
+// indexed by canonical ClassID. The slice is the e-graph's reusable
+// scratch — the checker runs an extraction per G_s output plus a
+// HasCleanRepresentation per operator output, and a per-call map was
+// the lemma path's largest steady-state allocation. The returned slice
+// aliases that scratch: it is valid until the next cleanCosts call.
+func (g *EGraph) cleanCosts(allowed func(tid int) bool) []int {
+	n := len(g.parent)
+	if cap(g.cleanCostBuf) < n {
+		g.cleanCostBuf = make([]int, n)
+	}
+	cost := g.cleanCostBuf[:n]
+	for i := range cost {
+		cost[i] = inf
+	}
 	for {
 		changed := false
 		for id, cl := range g.classes {
-			best, ok := cost[id]
-			if !ok {
-				best = inf
-			}
+			best := cost[id]
 			for _, n := range cl.nodes {
 				c := g.nodeCleanCost(n, cost, allowed)
 				if c < best {
@@ -41,7 +51,7 @@ func (g *EGraph) cleanCosts(allowed func(tid int) bool) map[ClassID]int {
 	}
 }
 
-func (g *EGraph) nodeCleanCost(n ENode, cost map[ClassID]int, allowed func(tid int) bool) int {
+func (g *EGraph) nodeCleanCost(n ENode, cost []int, allowed func(tid int) bool) int {
 	if n.isLeaf() {
 		if allowed(n.TID) {
 			return 0
@@ -53,8 +63,8 @@ func (g *EGraph) nodeCleanCost(n ENode, cost map[ClassID]int, allowed func(tid i
 	}
 	total := 1
 	for _, k := range n.Kids {
-		kc, ok := cost[g.Find(k)]
-		if !ok || kc >= inf {
+		kc := cost[g.Find(k)]
+		if kc >= inf {
 			return inf
 		}
 		total += kc
@@ -76,7 +86,7 @@ func (g *EGraph) ExtractClean(c ClassID, allowed func(tid int) bool) (*expr.Term
 	return g.buildMin(c, cost, allowed), true
 }
 
-func (g *EGraph) buildMin(c ClassID, cost map[ClassID]int, allowed func(tid int) bool) *expr.Term {
+func (g *EGraph) buildMin(c ClassID, cost []int, allowed func(tid int) bool) *expr.Term {
 	cl := g.classes[g.Find(c)]
 	var best *ENode
 	bestCost := inf
@@ -155,8 +165,8 @@ func (g *EGraph) ExtractAllClean(c ClassID, allowed func(tid int) bool, limit in
 }
 
 // HasCleanRepresentation reports whether class c contains any clean
-// expression over the allowed leaves.
+// expression over the allowed leaves. It only consults the cost table
+// — no term is materialized.
 func (g *EGraph) HasCleanRepresentation(c ClassID, allowed func(tid int) bool) bool {
-	_, ok := g.ExtractClean(c, allowed)
-	return ok
+	return g.cleanCosts(allowed)[g.Find(c)] < inf
 }

@@ -533,6 +533,26 @@ func (g *EGraph) Instantiate(t *RTerm, s *Subst, lookupOnly bool) (ClassID, bool
 	return g.addNode(n, true)
 }
 
+// InstantiateOp inserts a single n-ary node over existing kid classes
+// and returns its class — the one-level special case of Instantiate
+// that dynamic lemmas hit on every application, stripped of the RTerm
+// template tree. It is budgeted exactly like rule instantiation: a
+// node that would push the live count past SaturateOpts.MaxNodes is
+// declined (ok == false). The common case — the node already exists —
+// allocates nothing; only a genuine insert copies kids (addNode
+// retains its kid slice in the memo table and parent lists, and
+// callers routinely reuse theirs).
+func (g *EGraph) InstantiateOp(op expr.Op, ints []sym.Expr, str string, kids []ClassID) (ClassID, bool) {
+	n := ENode{Op: op, Str: str, Ints: ints, Kids: kids}
+	if id, ok := g.Lookup(n); ok {
+		return id, true
+	}
+	ck := make([]ClassID, len(kids))
+	copy(ck, kids)
+	n.Kids = ck
+	return g.addNode(n, true)
+}
+
 // String renders a pattern for diagnostics, in the paper's notation:
 // "(matmul (concat ?A0 ?A1 0) ?B)".
 func (p *Pattern) String() string {

@@ -225,6 +225,67 @@ func TestConeLocalityAndSensitivity(t *testing.T) {
 	}
 }
 
+// Cone stability under graph edits is what the diff planner's dirty
+// set rests on: after editing ONE operator, every untouched operator
+// must keep its exact cone fingerprint even when the edited graph is
+// also renamed wholesale and pushed through the JSON round trip (which
+// renumbers node and tensor IDs in topological order). Only the edited
+// operator and its downstream cone may move.
+func TestConeStableUnderGraphEdits(t *testing.T) {
+	// adder → act is the edited chain; side is the untouched branch.
+	build := func(swap bool) (*graph.Graph, [3]graph.NodeID) {
+		b := graph.NewBuilder("gs", sym.NewContext())
+		sh := shape.Shape{sym.Const(4), sym.Const(4)}
+		x, y, v := b.Input("x", sh), b.Input("y", sh), b.Input("v", sh)
+		a, c := x, y
+		if swap {
+			a, c = y, x
+		}
+		s := b.Add("adder", a, c)
+		z := b.Unary("act", "gelu", s)
+		u := b.Unary("side", "gelu", v)
+		b.Output(z, u)
+		g, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g, [3]graph.NodeID{g.Tensor(s).Producer, g.Tensor(z).Producer, g.Tensor(u).Producer}
+	}
+	oldG, oldIDs := build(false)
+	newG, _ := build(true)
+	for _, n := range newG.Nodes {
+		n.Label = "renamed/" + n.Label
+	}
+	for _, tn := range newG.Tensors {
+		tn.Name = "renamed_" + tn.Name
+	}
+	newG = roundTrip(t, newG)
+	// Recover the renumbered IDs structurally: the round trip reassigns
+	// IDs in topological order, and labels survive the trip.
+	var newIDs [3]graph.NodeID
+	for _, n := range newG.Nodes {
+		switch n.Label {
+		case "renamed/adder":
+			newIDs[0] = n.ID
+		case "renamed/act":
+			newIDs[1] = n.ID
+		case "renamed/side":
+			newIDs[2] = n.ID
+		}
+	}
+	oldCones := NewConeHasher(oldG, nil, nil)
+	newCones := NewConeHasher(newG, nil, nil)
+	if oldCones.Node(oldIDs[2]) != newCones.Node(newIDs[2]) {
+		t.Error("untouched operator's cone fingerprint moved under edit+rename+renumber")
+	}
+	if oldCones.Node(oldIDs[0]) == newCones.Node(newIDs[0]) {
+		t.Error("operand swap did not change the edited operator's cone fingerprint")
+	}
+	if oldCones.Node(oldIDs[1]) == newCones.Node(newIDs[1]) {
+		t.Error("operand swap did not propagate to the downstream cone")
+	}
+}
+
 // Input-relation entries are part of a cone that consumes them.
 func TestRelationEntersCone(t *testing.T) {
 	g, a, _ := small(t, 4, 3)

@@ -89,18 +89,12 @@ func allSameClass(g *egraph.EGraph, kids []egraph.ClassID) bool {
 	return true
 }
 
-// rkids wraps concrete classes as RTerm children.
-func rkids(kids []egraph.ClassID) []*egraph.RTerm {
-	out := make([]*egraph.RTerm, len(kids))
-	for i, k := range kids {
-		out[i] = egraph.RClass(k)
-	}
-	return out
-}
-
-// addAll inserts an n-ary node over concrete kid classes.
+// addAll inserts an n-ary node over concrete kid classes. It goes
+// through InstantiateOp rather than an RTerm template: lemmas call it
+// on every application, and the template tree was pure allocation
+// overhead for an already-concrete node.
 func addAll(g *egraph.EGraph, op expr.Op, ints []sym.Expr, str string, kids []egraph.ClassID) egraph.ClassID {
-	c, _ := g.Instantiate(egraph.ROp(op, ints, str, rkids(kids)...), nil, false)
+	c, _ := g.InstantiateOp(op, ints, str, kids)
 	return c
 }
 

@@ -27,6 +27,7 @@ const CheckDeterminism = "determinism"
 var determinismDirs = []string{
 	"internal/core",
 	"internal/egraph",
+	"internal/fingerprint",
 	"internal/mc",
 	"internal/mc/models",
 }

@@ -53,23 +53,28 @@ func TestDeterminismScope(t *testing.T) {
 		}
 	}
 
-	// And the suffix match must hold for absolute paths too.
-	abs := filepath.Join(t.TempDir(), "work", "internal", "egraph")
-	if err := os.MkdirAll(abs, 0o755); err != nil {
-		t.Fatal(err)
-	}
-	if err := os.WriteFile(filepath.Join(abs, "clock.go"), src, 0o644); err != nil {
-		t.Fatal(err)
-	}
-	ds, err = Source(abs)
-	if err != nil {
-		t.Fatal(err)
-	}
-	found := false
-	for _, d := range ds {
-		found = found || d.Check == CheckDeterminism
-	}
-	if !found {
-		t.Error("determinism check did not fire in an absolute internal/egraph path")
+	// And the suffix match must hold for absolute paths too, across
+	// every package carrying the contract — internal/fingerprint joined
+	// when the diff planner started deriving dirty sets from its cone
+	// hashes, so a wall-clock read there would silently break plans.
+	for _, pkg := range determinismDirs {
+		abs := filepath.Join(t.TempDir(), "work", filepath.FromSlash(pkg))
+		if err := os.MkdirAll(abs, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(abs, "clock.go"), src, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		ds, err = Source(abs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, d := range ds {
+			found = found || d.Check == CheckDeterminism
+		}
+		if !found {
+			t.Errorf("determinism check did not fire in an absolute %s path", pkg)
+		}
 	}
 }

@@ -1,9 +1,10 @@
 // Package models holds the protocol models checked by entangle-mc:
 // bounded, deterministic specifications of the repo's three concurrent
 // protocols — the wavefront scheduler, the verdict cache's on-disk
-// discipline, and the daemon's admission/drain gate — each driving the
-// corresponding SHIPPED state machine (core.SchedCore,
-// vcache.EncodeEntry/DecodeEntry, server.GateCore) rather than a
+// discipline, and the daemon's admission/drain gate — plus the
+// (sequential) diff planner, each driving the corresponding SHIPPED
+// state machine or function (core.SchedCore, vcache.EncodeEntry/
+// DecodeEntry, server.GateCore, core.DiffPlan) rather than a
 // re-derivation that could drift from it.
 //
 // Models come in named scopes so CI can check a space it can exhaust
@@ -47,6 +48,9 @@ func ForScope(scope string) ([]mc.Model, error) {
 		return nil, err
 	}
 	ms = append(ms, vc, NewDaemon(cfgs.daemon))
+	for _, c := range cfgs.planners {
+		ms = append(ms, NewPlanner(c))
+	}
 	return ms, nil
 }
 
@@ -99,6 +103,7 @@ type scopeSet struct {
 	wavefronts []WavefrontConfig
 	vcache     VCacheConfig
 	daemon     DaemonConfig
+	planners   []PlannerConfig
 }
 
 func scopeConfigs(scope string) (*scopeSet, error) {
@@ -111,6 +116,10 @@ func scopeConfigs(scope string) (*scopeSet, error) {
 			},
 			vcache: VCacheConfig{Name: "vcache", Keys: 2, Writers: 3, MaxCorruptions: 1},
 			daemon: DaemonConfig{Name: "daemon", Cap: 2, Clients: 4, AllowAbandon: true},
+			planners: []PlannerConfig{
+				{Name: "planner", DAG: MoEDAG(), MaxEdits: 2},
+				{Name: "planner-attn", DAG: AttentionDAG(), MaxEdits: 2},
+			},
 		}, nil
 	case "small":
 		return &scopeSet{
@@ -118,8 +127,9 @@ func scopeConfigs(scope string) (*scopeSet, error) {
 				{Name: "wavefront", DAG: DiamondDAG(), Workers: 2, MaxFailures: 1, KeepGoing: true},
 				{Name: "wavefront-firsterror", DAG: DiamondDAG(), Workers: 2, MaxFailures: 1},
 			},
-			vcache: VCacheConfig{Name: "vcache", Keys: 1, Writers: 1, MaxCorruptions: 1},
-			daemon: DaemonConfig{Name: "daemon", Cap: 1, Clients: 2},
+			vcache:   VCacheConfig{Name: "vcache", Keys: 1, Writers: 1, MaxCorruptions: 1},
+			daemon:   DaemonConfig{Name: "daemon", Cap: 1, Clients: 2},
+			planners: []PlannerConfig{{Name: "planner", DAG: ChainDAG(3), MaxEdits: 1}},
 		}, nil
 	case "large":
 		return &scopeSet{
@@ -127,8 +137,9 @@ func scopeConfigs(scope string) (*scopeSet, error) {
 				{Name: "wavefront", DAG: TowersDAG(), Workers: 4, MaxFailures: 4, KeepGoing: true},
 				{Name: "wavefront-firsterror", DAG: TowersDAG(), Workers: 4, MaxFailures: 4},
 			},
-			vcache: VCacheConfig{Name: "vcache", Keys: 2, Writers: 6, MaxCorruptions: 2},
-			daemon: DaemonConfig{Name: "daemon", Cap: 3, Clients: 6, AllowAbandon: true},
+			vcache:   VCacheConfig{Name: "vcache", Keys: 2, Writers: 6, MaxCorruptions: 2},
+			daemon:   DaemonConfig{Name: "daemon", Cap: 3, Clients: 6, AllowAbandon: true},
+			planners: []PlannerConfig{{Name: "planner", DAG: TowersDAG(), MaxEdits: 3}},
 		}, nil
 	}
 	return nil, fmt.Errorf("models: unknown scope %q (have %v)", scope, Scopes())

@@ -7,6 +7,9 @@
 // Endpoints:
 //
 //	POST /v1/check    — graph pair + input relation in, Report out
+//	POST /v1/recheck  — base G_s + edited candidates in, per-candidate
+//	                    incremental delta out (only each edit's
+//	                    downstream cone is re-saturated)
 //	GET  /v1/healthz  — liveness ("ok")
 //	GET  /v1/stats    — daemon counters + verdict-cache counters
 //
@@ -36,6 +39,7 @@ import (
 	"entangle/internal/exprparse"
 	"entangle/internal/graph"
 	"entangle/internal/hlo"
+	"entangle/internal/relation"
 	"entangle/internal/vcache"
 )
 
@@ -83,6 +87,7 @@ func New(cfg Config) *Server {
 		start: time.Now(),
 	}
 	s.mux.HandleFunc("/v1/check", s.handleCheck)
+	s.mux.HandleFunc("/v1/recheck", s.handleRecheck)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	return s
@@ -284,6 +289,215 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusUnprocessableEntity, resp)
 	}
+}
+
+// RecheckRequest is the /v1/recheck body: one base (already-verified)
+// sequential graph plus edited candidate variants, all sharing the
+// same G_d and relation sidecar (parsed against each graph by input
+// name). Each candidate is re-verified incrementally against the base:
+// operators whose upstream cone is unchanged replay their verdicts
+// from the daemon's warm cache, only each edit's downstream cone is
+// re-saturated.
+type RecheckRequest struct {
+	Format     string              `json:"format,omitempty"` // "json" (default) or "hlo"
+	Base       json.RawMessage     `json:"base"`
+	Candidates []json.RawMessage   `json:"candidates"`
+	Gd         json.RawMessage     `json:"gd"`
+	Rel        map[string][]string `json:"rel"`
+	Timeout    string              `json:"timeout,omitempty"` // per-check Go duration
+}
+
+// RecheckCandidate is one candidate's delta in the /v1/recheck reply.
+// Verdict is "refined", "failed", or "cancelled" (a drain begun
+// mid-batch cancels the remaining candidates; completed ones keep
+// their results).
+type RecheckCandidate struct {
+	Verdict      string          `json:"verdict"`
+	Error        string          `json:"error,omitempty"`
+	Failures     []string        `json:"failures,omitempty"`
+	UnchangedOps int             `json:"unchanged_ops"`
+	ReplayedOps  int             `json:"replayed_ops"`
+	RecheckedOps int             `json:"rechecked_ops"`
+	Changed      []core.DeltaOp  `json:"changed,omitempty"`
+	NewlyFailing []core.DeltaOp  `json:"newly_failing,omitempty"`
+	DurationMS   int64           `json:"duration_ms"`
+	Cache        core.CacheStats `json:"cache"`
+}
+
+// RecheckResponse is the /v1/recheck reply. Status mirrors handleCheck
+// per batch: 503 when the base check or any candidate was cancelled,
+// 422 when any candidate failed refinement, 200 when every candidate
+// refined.
+type RecheckResponse struct {
+	BaseVerdict string             `json:"base_verdict"`
+	Candidates  []RecheckCandidate `json:"candidates"`
+	Error       string             `json:"error,omitempty"`
+}
+
+func (s *Server) handleRecheck(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.requests.Add(1)
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+
+	var req RecheckRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.badRequest(w, "decoding request: %v", err)
+		return
+	}
+	if len(req.Candidates) == 0 {
+		s.badRequest(w, "recheck needs at least one candidate graph")
+		return
+	}
+	base, err := decodeGraph(req.Base, req.Format)
+	if err != nil {
+		s.badRequest(w, "loading base G_s: %v", err)
+		return
+	}
+	gd, err := decodeGraph(req.Gd, req.Format)
+	if err != nil {
+		s.badRequest(w, "loading G_d: %v", err)
+		return
+	}
+	baseRi, err := exprparse.ParseRelation(req.Rel, base, gd)
+	if err != nil {
+		s.badRequest(w, "loading relation against base: %v", err)
+		return
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.Timeout != "" {
+		timeout, err = time.ParseDuration(req.Timeout)
+		if err != nil || timeout <= 0 {
+			s.badRequest(w, "bad timeout %q", req.Timeout)
+			return
+		}
+	}
+	// Per-check context: the request context caps the whole batch, the
+	// timeout caps each admitted check individually.
+	checkCtx := func() (context.Context, context.CancelFunc) {
+		if timeout > 0 {
+			return context.WithTimeout(r.Context(), timeout)
+		}
+		return context.WithCancel(r.Context())
+	}
+
+	// Warm the cache with the base graph's verdicts under one gate slot
+	// (replays when the daemon has seen it before). Base refinement
+	// failures are delta context — candidates then classify their own
+	// failures as pre-existing — not batch errors.
+	resp := RecheckResponse{BaseVerdict: "refined"}
+	warm := s.cfg.Options
+	warm.KeepGoing = true
+	baseErr := func() error {
+		ctx, cancel := checkCtx()
+		defer cancel()
+		if err := s.gate.Acquire(ctx); err != nil {
+			return err
+		}
+		defer s.gate.Release()
+		_, err := core.NewChecker(warm).CheckContext(ctx, base, gd, baseRi)
+		if err != nil {
+			var re *core.RefinementError
+			var ie *core.InconclusiveError
+			if errors.As(err, &re) || errors.As(err, &ie) {
+				resp.BaseVerdict = "failed"
+				return nil
+			}
+		}
+		return err
+	}()
+	if baseErr != nil {
+		s.errored.Add(1)
+		if r.Context().Err() != nil || errors.Is(baseErr, ErrDraining) || errors.Is(baseErr, context.DeadlineExceeded) {
+			resp.BaseVerdict = "cancelled"
+			resp.Error = baseErr.Error()
+			writeJSON(w, http.StatusServiceUnavailable, resp)
+			return
+		}
+		s.badRequest(w, "checking base G_s: %v", baseErr)
+		return
+	}
+
+	// Each candidate takes its own gate slot, so a drain begun
+	// mid-batch bounces the remaining candidates ("draining") while the
+	// finished ones keep their deltas.
+	anyFailed, anyCancelled := false, false
+	for _, raw := range req.Candidates {
+		resp.Candidates = append(resp.Candidates, s.recheckOne(r.Context(), checkCtx, req.Format, raw, base, baseRi, gd, req.Rel))
+		c := &resp.Candidates[len(resp.Candidates)-1]
+		switch c.Verdict {
+		case "refined":
+			s.refined.Add(1)
+		case "failed":
+			s.failed.Add(1)
+			anyFailed = true
+		default:
+			s.errored.Add(1)
+			anyCancelled = true
+		}
+	}
+	switch {
+	case anyCancelled:
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+	case anyFailed:
+		writeJSON(w, http.StatusUnprocessableEntity, resp)
+	default:
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// recheckOne incrementally re-verifies a single candidate against the
+// warmed base under its own gate slot.
+func (s *Server) recheckOne(reqCtx context.Context, checkCtx func() (context.Context, context.CancelFunc),
+	format string, raw json.RawMessage, base *graph.Graph, baseRi *relation.Relation,
+	gd *graph.Graph, rel map[string][]string) RecheckCandidate {
+	cand, err := decodeGraph(raw, format)
+	if err != nil {
+		return RecheckCandidate{Verdict: "failed", Error: fmt.Sprintf("loading candidate: %v", err)}
+	}
+	ri, err := exprparse.ParseRelation(rel, cand, gd)
+	if err != nil {
+		return RecheckCandidate{Verdict: "failed", Error: fmt.Sprintf("loading relation against candidate: %v", err)}
+	}
+	ctx, cancel := checkCtx()
+	defer cancel()
+	if err := s.gate.Acquire(ctx); err != nil {
+		msg := fmt.Sprintf("queued past deadline: %v", err)
+		if errors.Is(err, ErrDraining) {
+			msg = err.Error()
+		}
+		return RecheckCandidate{Verdict: "cancelled", Error: msg}
+	}
+	defer s.gate.Release()
+
+	delta, err := core.NewChecker(s.cfg.Options).DiffCheckContext(ctx, base, cand, gd, baseRi, ri)
+	if delta == nil {
+		if ctx.Err() != nil {
+			return RecheckCandidate{Verdict: "cancelled", Error: err.Error()}
+		}
+		return RecheckCandidate{Verdict: "failed", Error: err.Error()}
+	}
+	c := RecheckCandidate{
+		Verdict:      "refined",
+		UnchangedOps: delta.UnchangedOps,
+		ReplayedOps:  delta.ReplayedOps,
+		RecheckedOps: delta.RecheckedOps,
+		Changed:      delta.Changed,
+		NewlyFailing: delta.NewlyFailing,
+		DurationMS:   delta.Report.Duration.Milliseconds(),
+		Cache:        delta.Report.Cache,
+	}
+	if err != nil {
+		c.Verdict = "failed"
+		c.Error = err.Error()
+		for _, v := range delta.Report.Failures {
+			c.Failures = append(c.Failures, v.Describe())
+		}
+	}
+	return c
 }
 
 func (s *Server) badRequest(w http.ResponseWriter, format string, args ...any) {

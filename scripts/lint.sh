@@ -16,7 +16,8 @@ go run ./cmd/entangle-lint \
     internal/egraph internal/core internal/lemmas \
     internal/graph internal/relation internal/lint \
     internal/fingerprint internal/vcache internal/server \
-    internal/mc internal/mc/models internal/faultinject
+    internal/mc internal/mc/models internal/faultinject \
+    internal/bench
 
 echo "-- graph IR lint (generated gpt tp=2 capture)"
 go run ./cmd/entangle-graphgen -model gpt -tp 2 -o "$tmp/model" >/dev/null

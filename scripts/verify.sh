@@ -34,9 +34,10 @@ echo "== go test -race (core, egraph, relation, lemmas, faultinject, vcache, ser
 ENTANGLE_CHECK_INVARIANTS=1 go test -race -timeout 120s ./internal/core/...
 ENTANGLE_CHECK_INVARIANTS=1 go test -race ./internal/egraph/... ./internal/relation/... ./internal/lemmas/... ./internal/faultinject/...
 go test -race ./internal/fingerprint/... ./internal/vcache/... ./internal/server/...
-# bench drives the checker through its concurrent harnesses; mc's own
-# large-scope exploration is skipped here (-short) and covered by the
-# dedicated mc CI job.
+# bench drives the checker through its concurrent harnesses — including
+# the planned-vs-unplanned differential at workers 1/4 that pins the
+# plan/execute refactor byte-identical; mc's own large-scope exploration
+# is skipped here (-short) and covered by the dedicated mc CI job.
 go test -race -timeout 300s ./internal/bench/...
 go test -race -short ./internal/mc/...
 
