@@ -15,7 +15,11 @@
 // recorded run — the CI smoke gate), diff (single-op-edit incremental
 // re-verification vs a cold full check; fails unless the diff
 // re-checks exactly the edit's downstream cone and replays everything
-// else; -json FILE appends to a BENCH_diff.json-style trajectory).
+// else; -json FILE appends to a BENCH_diff.json-style trajectory),
+// fleet (sharded verdict fleet: a 3-node simulated cluster must render
+// byte-identical reports to a single node, fault-free and under seeded
+// chaos with crash/partition/heal, plus a throughput-vs-node-count
+// sweep; -json FILE appends to a BENCH_fleet.json-style trajectory).
 //
 // -cpuprofile/-memprofile write pprof profiles covering the selected
 // experiments (the hot-path tuning loop: `entangle-bench -exp
@@ -43,7 +47,7 @@ var (
 func main() { os.Exit(run()) }
 
 func run() int {
-	exp := flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6, bugs, ablation, extensions, parallel, chaos, cache, saturate, diff, all")
+	exp := flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6, bugs, ablation, extensions, parallel, chaos, cache, saturate, diff, fleet, all")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -92,6 +96,7 @@ func run() int {
 		{"cache", runCache},
 		{"saturate", runSaturate},
 		{"diff", runDiff},
+		{"fleet", runFleet},
 	}
 	ran := false
 	for _, s := range steps {

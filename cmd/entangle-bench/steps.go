@@ -81,6 +81,53 @@ func appendTrajectory(path string, points []bench.CachePoint) error {
 
 func runExtensions() (string, error) { return bench.Extensions() }
 
+// fleetRun is one recorded `-exp fleet` invocation in the trajectory
+// file: BENCH_fleet.json holds an array of these, one per run, so the
+// series tracks sharded-fleet overhead and chaos resilience across
+// versions. The experiment self-gates on report byte-identity with the
+// single-node run and on the crash/restart durability sweep, so every
+// recorded point is a verified one.
+type fleetRun struct {
+	Timestamp string             `json:"timestamp"`
+	Go        string             `json:"go"`
+	Points    []bench.FleetPoint `json:"points"`
+}
+
+func runFleet() (string, error) {
+	txt, points, err := bench.Fleet()
+	if err != nil {
+		return "", err
+	}
+	if *jsonOut != "" {
+		if err := appendFleetTrajectory(*jsonOut, points); err != nil {
+			return "", err
+		}
+		txt += fmt.Sprintf("appended %d data points to %s\n", len(points), *jsonOut)
+	}
+	return txt, nil
+}
+
+func appendFleetTrajectory(path string, points []bench.FleetPoint) error {
+	var runs []fleetRun
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &runs); err != nil {
+			return fmt.Errorf("%s: existing trajectory unreadable: %v", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	runs = append(runs, fleetRun{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Go:        runtime.Version(),
+		Points:    points,
+	})
+	data, err := json.MarshalIndent(runs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 // diffRun is one recorded `-exp diff` invocation in the trajectory
 // file: BENCH_diff.json holds an array of these, one per run, so the
 // series tracks incremental re-verification speedups across checker

@@ -6,9 +6,20 @@
 //
 //	entangled -addr :8372 -cache /var/cache/entangle
 //
+// With -peers, the daemon joins a sharded checker fleet: each verdict
+// fingerprint has exactly one owning node (rendezvous hashing over the
+// static member list), verdicts are forwarded to and fetched from
+// their owners over /v1/peer/verdict, and every fleet failure mode
+// degrades to a local cold check — slower, never wrong:
+//
+//	entangled -addr :8372 -cache /var/a -self a \
+//	          -peers a=http://10.0.0.1:8372,b=http://10.0.0.2:8372
+//
 // Endpoints (see internal/server):
 //
 //	POST /v1/check    {"gs": <graph>, "gd": <graph>, "rel": {...}}
+//	POST /v1/recheck
+//	GET|PUT /v1/peer/verdict?key=<hex>   (fleet nodes only)
 //	GET  /v1/healthz
 //	GET  /v1/stats
 //
@@ -29,7 +40,9 @@ import (
 	"time"
 
 	"entangle"
+	"entangle/internal/cluster"
 	"entangle/internal/server"
+	"entangle/internal/vcache"
 )
 
 func main() {
@@ -42,6 +55,18 @@ func main() {
 		opTO    = flag.Duration("op-timeout", 0, "per-operator deadline within each check (0 = none)")
 		escal   = flag.Int("budget-escalations", 0, "retries with a 4x larger saturation budget before an operator is declared inconclusive (0 = default of 1, negative = disabled)")
 		drainTO = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight checks")
+
+		// Transport hardening: every stage of an HTTP exchange gets a
+		// deadline so one slow or malicious client can never pin a
+		// connection (and its goroutine) forever.
+		hdrTO   = flag.Duration("read-header-timeout", 10*time.Second, "deadline for reading a request's headers")
+		readTO  = flag.Duration("read-timeout", 2*time.Minute, "deadline for reading a whole request including its body")
+		writeTO = flag.Duration("write-timeout", 0, "deadline for writing a response (0 = request-timeout + 1m, or none when request-timeout is 0)")
+		idleTO  = flag.Duration("idle-timeout", 2*time.Minute, "how long an idle keep-alive connection is kept open")
+		maxBody = flag.Int64("max-body-bytes", 0, "request body cap; oversized requests get 413 (0 = 64 MiB)")
+
+		selfID = flag.String("self", "", "this node's fleet member ID (required with -peers)")
+		peers  = flag.String("peers", "", "static fleet member list as id=url,... including this node; enables sharded peer caching")
 	)
 	flag.Parse()
 
@@ -53,24 +78,76 @@ func main() {
 		fatal("opening cache: %v", err)
 	}
 
+	// In a fleet, the checker consults the cluster-routing store while
+	// peers are served the raw local shard directly; single-node daemons
+	// use the local cache for both.
+	var store entangle.VerdictStore = vc
+	var local *vcache.Cache
+	var clusterInfo func() any
+	var fleet *cluster.Cache
+	if *peers != "" {
+		if *selfID == "" {
+			fatal("-peers requires -self")
+		}
+		members, err := cluster.ParsePeers(*peers)
+		if err != nil {
+			fatal("%v", err)
+		}
+		ms, err := cluster.NewMembership(*selfID, members)
+		if err != nil {
+			fatal("%v", err)
+		}
+		client := cluster.NewClient(cluster.ClientConfig{Transport: &cluster.HTTPTransport{}})
+		fleet, err = cluster.NewCache(cluster.CacheConfig{Membership: ms, Local: vc, Client: client})
+		if err != nil {
+			fatal("%v", err)
+		}
+		store, local = fleet, vc
+		clusterInfo = func() any {
+			return map[string]any{
+				"self":    ms.Self().ID,
+				"members": len(ms.Members()),
+				"cache":   fleet.ClusterStats(),
+				"client":  fleet.ClientStats(),
+			}
+		}
+	} else if *selfID != "" {
+		fatal("-self requires -peers")
+	}
+
 	srv := server.New(server.Config{
 		Options: entangle.CheckerOptions{
 			Workers:           *workers,
 			OpTimeout:         *opTO,
 			BudgetEscalations: *escal,
-			Cache:             vc,
+			Cache:             store,
 		},
 		MaxConcurrent:  *conc,
 		DefaultTimeout: *reqTO,
+		MaxBodyBytes:   *maxBody,
+		Local:          local,
+		ClusterInfo:    clusterInfo,
 	})
-	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	// The write deadline must outlast the longest admissible check, or
+	// the server would cut off a verdict mid-response.
+	if *writeTO == 0 && *reqTO > 0 {
+		*writeTO = *reqTO + time.Minute
+	}
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: *hdrTO,
+		ReadTimeout:       *readTO,
+		WriteTimeout:      *writeTO,
+		IdleTimeout:       *idleTO,
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "entangled: listening on %s (cache %s)\n", *addr, cacheDesc(*cache))
+	fmt.Fprintf(os.Stderr, "entangled: listening on %s (cache %s%s)\n", *addr, cacheDesc(*cache), fleetDesc(fleet))
 
 	select {
 	case err := <-errc:
@@ -80,9 +157,14 @@ func main() {
 
 	// Graceful drain: flip the admission gate first so no new check is
 	// admitted — even on connections already open — then stop the
-	// listener and let in-flight checks finish. The gate's drain
+	// listener and let in-flight checks finish. Peer traffic stops too:
+	// in-flight forwards abort (the verdicts are already safe locally)
+	// and peers degrade to their own cold checks. The gate's drain
 	// protocol is exhaustively model-checked (entangle-mc -model daemon).
 	fmt.Fprintln(os.Stderr, "entangled: draining")
+	if fleet != nil {
+		fleet.Close()
+	}
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
 	defer cancel()
 	go func() { _ = srv.Drain(drainCtx) }()
@@ -97,6 +179,14 @@ func cacheDesc(dir string) string {
 		return "in-memory"
 	}
 	return dir
+}
+
+func fleetDesc(fleet *cluster.Cache) string {
+	if fleet == nil {
+		return ""
+	}
+	ms := fleet.Membership()
+	return fmt.Sprintf(", fleet %s of %d nodes", ms.Self().ID, len(ms.Members()))
 }
 
 func fatal(format string, args ...any) {

@@ -120,6 +120,10 @@ type (
 	// VerdictCacheConfig sizes a VerdictCache (directory, in-memory
 	// capacity, shard count).
 	VerdictCacheConfig = vcache.Config
+	// VerdictStore is the cache interface CheckerOptions.Cache accepts:
+	// a single-node *VerdictCache or a fleet-routing cluster cache
+	// (internal/cluster) both satisfy it.
+	VerdictStore = core.VerdictStore
 )
 
 // NewBuilder starts a graph with the given name; ctx may be nil.

@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerConfig tunes the per-peer circuit breaker.
+type BreakerConfig struct {
+	// FailThreshold is how many consecutive failures open the breaker
+	// (0 = DefaultFailThreshold).
+	FailThreshold int
+	// Cooldown is how long an open breaker refuses traffic before
+	// allowing one half-open probe (0 = DefaultCooldown).
+	Cooldown time.Duration
+}
+
+const (
+	DefaultFailThreshold = 3
+	DefaultCooldown      = 5 * time.Second
+)
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = DefaultFailThreshold
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = DefaultCooldown
+	}
+	return c
+}
+
+// breaker is one peer's circuit breaker: closed (traffic flows) →
+// open after FailThreshold consecutive failures (traffic skipped, the
+// caller degrades to its local path without paying a timeout) →
+// half-open after Cooldown (exactly one probe allowed) → closed again
+// on probe success, open on probe failure. Hammering a dead peer costs
+// a timeout per attempt per worker; the breaker caps that at one
+// timeout per cooldown window for the whole node.
+type breaker struct {
+	cfg   BreakerConfig
+	clock Clock
+
+	mu        sync.Mutex
+	failures  int       // consecutive failures while closed
+	openUntil time.Time // zero when closed
+	probing   bool      // a half-open probe is in flight
+}
+
+func newBreaker(cfg BreakerConfig, clock Clock) *breaker {
+	return &breaker{cfg: cfg.withDefaults(), clock: clock}
+}
+
+// Allow reports whether a call to the peer may proceed. While open it
+// returns false until the cooldown expires; the first Allow after that
+// claims the single half-open probe slot.
+func (b *breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.openUntil.IsZero() {
+		return true
+	}
+	if b.clock.Now().Before(b.openUntil) {
+		return false
+	}
+	// Cooldown over: admit exactly one probe; everyone else keeps
+	// degrading until the probe reports.
+	if b.probing {
+		return false
+	}
+	b.probing = true
+	return true
+}
+
+// Success records a successful call, closing the breaker.
+func (b *breaker) Success() {
+	b.mu.Lock()
+	b.failures, b.openUntil, b.probing = 0, time.Time{}, false
+	b.mu.Unlock()
+}
+
+// Failure records a failed call, reporting whether this failure was a
+// half-open probe that re-opened the breaker. While closed it counts
+// toward the threshold.
+func (b *breaker) Failure() (reopened bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.probing {
+		b.probing = false
+		b.openUntil = b.clock.Now().Add(b.cfg.Cooldown)
+		return true
+	}
+	if !b.openUntil.IsZero() {
+		return false // already open; late failures from in-flight calls don't extend it
+	}
+	b.failures++
+	if b.failures >= b.cfg.FailThreshold {
+		b.openUntil = b.clock.Now().Add(b.cfg.Cooldown)
+		b.failures = 0
+	}
+	return false
+}
+
+// Open reports whether the breaker is currently refusing traffic
+// (stats only; racy by nature).
+func (b *breaker) Open() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return !b.openUntil.IsZero() && b.clock.Now().Before(b.openUntil)
+}

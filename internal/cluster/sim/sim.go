@@ -1,0 +1,373 @@
+// Package sim is a deterministic in-process cluster simulator: N fleet
+// nodes wired over in-memory transports, with seed-driven fault
+// injection (message drop, delay, in-flight corruption via
+// internal/faultinject's network fault family) and scripted topology
+// events (node crash/restart, partition/heal). It exists to let chaos
+// tests and `entangle-bench -exp fleet` drive the real production
+// stack — cluster.Cache, cluster.Client, the rendezvous router, the
+// vcache byte format — through hostile conditions without sockets,
+// goroutine sleeps, or wall-clock dependence:
+//
+//   - The transport is synchronous: a "delayed" message is an immediate
+//     deadline error, a "dropped" one an immediate connection error, so
+//     a chaos run completes in milliseconds and injects identically on
+//     every machine.
+//
+//   - Every fault decision is a pure hash of (seed, message label), and
+//     backoff sleeps run on an instant clock that advances virtual time
+//     instead of sleeping, so a single-worker run is reproducible
+//     byte for byte.
+//
+//   - Crash keeps the node's disk directory and discards everything
+//     else, exactly the durability contract of a real SIGKILL; restart
+//     reopens the same directory, so "no committed verdict lost across
+//     crash/restart" is testable directly.
+package sim
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"entangle/internal/cluster"
+	"entangle/internal/faultinject"
+	"entangle/internal/fingerprint"
+	"entangle/internal/vcache"
+)
+
+// Config parameterizes a simulated fleet.
+type Config struct {
+	// Nodes is the fleet size (IDs "n0".."n<N-1>").
+	Nodes int
+	// Dir is the root directory; node i's verdict shard persists at
+	// Dir/n<i> across Crash/Restart.
+	Dir string
+	// Net is the per-message fault configuration (zero rates = fault
+	// free).
+	Net faultinject.NetConfig
+	// Policy and Breaker tune every node's peer client (zero values =
+	// production defaults; backoff runs on the instant clock either
+	// way).
+	Policy  cluster.RetryPolicy
+	Breaker cluster.BreakerConfig
+	// CallTimeout bounds each node's whole Get/Put peer exchange
+	// (0 = cluster.DefaultCallTimeout; virtual — the simulator never
+	// sleeps).
+	CallTimeout time.Duration
+}
+
+// Cluster is a simulated fleet. All methods are safe for concurrent
+// use; topology events (Crash/Restart/Partition/Heal) are typically
+// scripted from the test goroutine between checks.
+type Cluster struct {
+	cfg     Config
+	net     *faultinject.NetInjector
+	members []cluster.Member
+	clock   *instantClock
+
+	mu    sync.Mutex
+	nodes []*Node
+	down  map[string]bool
+	part  map[string]int // node ID → partition group (all 0 when healed)
+	seq   map[string]uint64
+}
+
+// Node is one simulated fleet member: a real vcache shard on disk plus
+// the real cluster cache routing through the simulated transport.
+type Node struct {
+	// ID is the node's member ID ("n0", "n1", ...).
+	ID string
+
+	c     *Cluster
+	local *vcache.Cache
+	cache *cluster.Cache
+}
+
+// New builds and starts a fleet of cfg.Nodes nodes.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("sim: fleet needs at least one node")
+	}
+	c := &Cluster{
+		cfg:   cfg,
+		net:   faultinject.NewNet(cfg.Net),
+		clock: newInstantClock(),
+		down:  map[string]bool{},
+		part:  map[string]int{},
+		seq:   map[string]uint64{},
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		c.members = append(c.members, cluster.Member{
+			ID:  "n" + strconv.Itoa(i),
+			URL: "mem://n" + strconv.Itoa(i),
+		})
+	}
+	c.nodes = make([]*Node, cfg.Nodes)
+	for i := range c.nodes {
+		n, err := c.boot(i)
+		if err != nil {
+			return nil, err
+		}
+		c.nodes[i] = n
+	}
+	return c, nil
+}
+
+// boot opens (or reopens) node i's shard and builds its fleet cache.
+func (c *Cluster) boot(i int) (*Node, error) {
+	id := c.members[i].ID
+	local, err := vcache.Open(vcache.Config{Dir: filepath.Join(c.cfg.Dir, id)})
+	if err != nil {
+		return nil, fmt.Errorf("sim: opening shard for %s: %w", id, err)
+	}
+	ms, err := cluster.NewMembership(id, c.members)
+	if err != nil {
+		return nil, err
+	}
+	client := cluster.NewClient(cluster.ClientConfig{
+		Transport: &transport{c: c, src: id},
+		Policy:    c.cfg.Policy,
+		Breaker:   c.cfg.Breaker,
+		Clock:     c.clock,
+	})
+	cache, err := cluster.NewCache(cluster.CacheConfig{
+		Membership:  ms,
+		Local:       local,
+		Client:      client,
+		CallTimeout: c.cfg.CallTimeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Node{ID: id, c: c, local: local, cache: cache}, nil
+}
+
+// Members returns the static fleet view.
+func (c *Cluster) Members() []cluster.Member {
+	return append([]cluster.Member(nil), c.members...)
+}
+
+// Node returns node i. After a Restart the same *Node keeps working —
+// its store is swapped in place — so callers may hold on to it across
+// topology events.
+func (c *Cluster) Node(i int) *Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nodes[i]
+}
+
+// Injected reports the network faults fired so far.
+func (c *Cluster) Injected() map[faultinject.NetFault]int { return c.net.Injected() }
+
+// Crash takes node i down: its fleet cache stops peer traffic, peers'
+// messages to it fail, and its in-memory state is discarded. The disk
+// directory survives — that is the whole point.
+func (c *Cluster) Crash(i int) {
+	c.mu.Lock()
+	n := c.nodes[i]
+	c.down[n.ID] = true
+	c.mu.Unlock()
+	n.crash()
+}
+
+// Restart brings a crashed node back: the shard directory is reopened
+// (committed verdicts reappear; the memory tier starts cold) and a
+// fresh fleet cache is swapped into the same *Node. Peers re-warm it
+// lazily through forwards and fetches — there is no transfer protocol.
+func (c *Cluster) Restart(i int) error {
+	fresh, err := c.boot(i)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	n := c.nodes[i]
+	c.mu.Unlock()
+	n.adopt(fresh)
+	c.mu.Lock()
+	delete(c.down, n.ID)
+	c.mu.Unlock()
+	return nil
+}
+
+// Partition splits the fleet into groups: messages within a group flow,
+// messages across groups fail. Nodes not named fall into an implicit
+// extra group together. Overwrites any previous partition.
+func (c *Cluster) Partition(groups ...[]int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.part = map[string]int{}
+	for g, ids := range groups {
+		for _, i := range ids {
+			c.part[c.members[i].ID] = g + 1
+		}
+	}
+}
+
+// Heal removes the partition.
+func (c *Cluster) Heal() {
+	c.mu.Lock()
+	c.part = map[string]int{}
+	c.mu.Unlock()
+}
+
+// reachable decides whether a message from src to dst can be delivered
+// at all, and hands back the destination node when it can.
+func (c *Cluster) reachable(src, dst string) (*Node, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.down[dst] {
+		return nil, fmt.Errorf("sim: node %s is down", dst)
+	}
+	if c.part[src] != c.part[dst] {
+		return nil, fmt.Errorf("sim: %s and %s are partitioned", src, dst)
+	}
+	for _, n := range c.nodes {
+		if n.ID == dst {
+			return n, nil
+		}
+	}
+	return nil, fmt.Errorf("sim: unknown node %s", dst)
+}
+
+// label builds the fault-decision key for one message: verb, endpoints,
+// content key, and a per-message sequence number so a retry of the same
+// logical message re-rolls its fate.
+func (c *Cluster) label(verb, src, dst string, key fingerprint.Hash) string {
+	base := verb + "/" + src + ">" + dst + "/" + key.Hex()
+	c.mu.Lock()
+	c.seq[base]++
+	n := c.seq[base]
+	c.mu.Unlock()
+	return base + "#" + strconv.FormatUint(n, 10)
+}
+
+// Store returns the node's fleet-routing verdict store (a
+// core.VerdictStore — plug it into core.Options.Cache). Stable across
+// Restart.
+func (n *Node) Store() *cluster.Cache {
+	n.c.mu.Lock()
+	defer n.c.mu.Unlock()
+	return n.cache
+}
+
+// Local returns the node's raw shard (assertions on what is committed).
+func (n *Node) Local() *vcache.Cache {
+	n.c.mu.Lock()
+	defer n.c.mu.Unlock()
+	return n.local
+}
+
+func (n *Node) crash() {
+	n.c.mu.Lock()
+	cache := n.cache
+	n.c.mu.Unlock()
+	cache.Close()
+}
+
+func (n *Node) adopt(fresh *Node) {
+	n.c.mu.Lock()
+	n.local, n.cache = fresh.local, fresh.cache
+	n.c.mu.Unlock()
+}
+
+// transport is one node's view of the simulated network. It mirrors the
+// daemon's /v1/peer/verdict semantics — fetch serves the destination's
+// raw shard, offer runs the destination's decode gate — with the fault
+// injector deciding each message's fate first.
+type transport struct {
+	c   *Cluster
+	src string
+}
+
+var _ cluster.Transport = (*transport)(nil)
+
+func (t *transport) Fetch(ctx context.Context, peer cluster.Member, key fingerprint.Hash) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	label := t.c.label("fetch", t.src, peer.ID, key)
+	dst, err := t.c.reachable(t.src, peer.ID)
+	if err != nil {
+		return nil, err
+	}
+	fault := t.c.net.Decide(label)
+	switch fault {
+	case faultinject.NetDrop:
+		return nil, fmt.Errorf("sim: injected drop (%s)", label)
+	case faultinject.NetDelay:
+		// Modeled as an immediate per-attempt deadline miss.
+		return nil, context.DeadlineExceeded
+	}
+	e := dst.Local().Get(key)
+	if e == nil {
+		return nil, cluster.ErrNotFound
+	}
+	data, err := vcache.EncodeEntry(key, e)
+	if err != nil {
+		return nil, err
+	}
+	if fault == faultinject.NetCorrupt {
+		// The reply is damaged in flight; the fetcher's decode gate must
+		// turn this into a degradation, never a wrong verdict.
+		data = faultinject.Damage(data, t.c.net.DamageMode(label))
+	}
+	return data, nil
+}
+
+func (t *transport) Offer(ctx context.Context, peer cluster.Member, key fingerprint.Hash, data []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	label := t.c.label("offer", t.src, peer.ID, key)
+	dst, err := t.c.reachable(t.src, peer.ID)
+	if err != nil {
+		return err
+	}
+	switch t.c.net.Decide(label) {
+	case faultinject.NetDrop:
+		return fmt.Errorf("sim: injected drop (%s)", label)
+	case faultinject.NetDelay:
+		return context.DeadlineExceeded
+	case faultinject.NetCorrupt:
+		data = faultinject.Damage(data, t.c.net.DamageMode(label))
+	}
+	// The receiving node's decode gate: a damaged offer is refused (the
+	// sender counts a forward failure), exactly like the daemon's 400.
+	e, err := vcache.DecodeEntry(key, data)
+	if err != nil {
+		return fmt.Errorf("sim: %s rejected offer: %v", peer.ID, err)
+	}
+	return dst.Local().Put(key, e)
+}
+
+// instantClock advances virtual time instead of sleeping, so retry
+// backoff and breaker cooldowns behave realistically (monotone,
+// ordered) while a chaos run finishes in real milliseconds.
+type instantClock struct {
+	base time.Time
+	ns   atomic.Int64
+}
+
+func newInstantClock() *instantClock {
+	// An arbitrary fixed epoch: virtual time must be deterministic, so
+	// it cannot start at wall clock.
+	return &instantClock{base: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *instantClock) Now() time.Time {
+	return c.base.Add(time.Duration(c.ns.Load()))
+}
+
+func (c *instantClock) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d > 0 {
+		c.ns.Add(int64(d))
+	}
+	return nil
+}

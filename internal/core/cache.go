@@ -47,6 +47,22 @@ import (
 // verdict classification), so stale verdicts invalidate wholesale.
 const CheckerVersion = "entangle-core/2"
 
+// VerdictStore is the verdict-cache surface the checker consults: a
+// content-addressed Get/Put plus the monotone counters the Report's
+// cache section is derived from. *vcache.Cache is the single-node
+// implementation; internal/cluster's Cache implements the same
+// interface over a sharded fleet (local shard + peer fetch/forward
+// with graceful degradation), so everything above this seam — the
+// planner's prefetch, replay, storeVerdict, the daemon — is
+// fleet-agnostic. Implementations must be safe for concurrent use and
+// must uphold vcache's contract: Get never returns a wrong or stale
+// entry (any doubt is a miss), Put rejects non-cacheable verdicts.
+type VerdictStore interface {
+	Get(key fingerprint.Hash) *vcache.Entry
+	Put(key fingerprint.Hash, e *vcache.Entry) error
+	Stats() *vcache.Stats
+}
+
 // CacheStats summarizes one run's verdict-cache traffic in the Report.
 type CacheStats struct {
 	// Hits/Misses/Stores/ReplayRejects count this run's own lookups
@@ -67,7 +83,7 @@ type CacheStats struct {
 
 // cacheState is the per-run cache context hanging off runState.
 type cacheState struct {
-	cache *vcache.Cache
+	cache VerdictStore
 	gdix  *fingerprint.GdIndex
 	// keys holds every operator's precomputed cache key. Filling the
 	// map before the scheduler starts keeps the cone hasher's memo

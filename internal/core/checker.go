@@ -24,7 +24,6 @@ import (
 	"entangle/internal/relation"
 	"entangle/internal/shape"
 	"entangle/internal/sym"
-	"entangle/internal/vcache"
 )
 
 // Options tune the checker. The zero value selects the defaults used
@@ -99,7 +98,9 @@ type Options struct {
 	// be shared across checkers and concurrent Check calls. Operators
 	// whose budget a PreOp override replaced bypass the cache: the
 	// override changes the effective budget without changing the key.
-	Cache *vcache.Cache
+	// *vcache.Cache is the single-node store; a cluster.Cache routes
+	// the same Get/Put through shard owners across a fleet.
+	Cache VerdictStore
 	// Unplanned bypasses the planning layer (planner.go): dispositions
 	// are decided inline at check time, the pre-plan code path. Both
 	// paths produce byte-identical reports — the differential suite

@@ -299,6 +299,115 @@ func corruptCache(dir string, pick func(name string) CacheFault) (int, error) {
 	return damaged, err
 }
 
+// NetFault is one way a peer-to-peer message can be damaged in flight
+// — the network fault family behind the cluster simulator
+// (internal/cluster/sim). Crash/restart and partition/heal are
+// topology events scripted by the simulator itself, not per-message
+// faults, so they do not appear here.
+type NetFault int
+
+const (
+	// NetNone: the message is delivered intact.
+	NetNone NetFault = iota
+	// NetDrop: the message vanishes; the sender sees a connection
+	// error (and its retry policy decides what happens next).
+	NetDrop
+	// NetDelay: the reply arrives after the sender's per-attempt
+	// deadline; the sender sees a timeout. The simulator models this
+	// as an immediate deadline error rather than a real sleep, so
+	// chaos tests stay fast and deterministic.
+	NetDelay
+	// NetCorrupt: the payload is damaged in flight (a Damage mode
+	// chosen from the same hash); the receiver's DecodeEntry must
+	// classify it as a miss, never a wrong verdict.
+	NetCorrupt
+)
+
+func (f NetFault) String() string {
+	switch f {
+	case NetNone:
+		return "none"
+	case NetDrop:
+		return "drop"
+	case NetDelay:
+		return "delay"
+	case NetCorrupt:
+		return "corrupt"
+	}
+	return fmt.Sprintf("NetFault(%d)", int(f))
+}
+
+// NetConfig parameterizes a NetInjector. Rates are per-message
+// probabilities carved out of the unit interval in order drop, delay,
+// corrupt — the same discipline as operator faults.
+type NetConfig struct {
+	// Seed drives the per-message hash.
+	Seed uint64
+	// DropRate is the fraction of messages that vanish.
+	DropRate float64
+	// DelayRate is the fraction of messages that miss the sender's
+	// per-attempt deadline.
+	DelayRate float64
+	// CorruptRate is the fraction of messages whose payload is damaged
+	// in flight.
+	CorruptRate float64
+}
+
+// NetInjector makes deterministic per-message fault decisions. A
+// message is identified by a label the transport builds from
+// (src, dst, verb, key, attempt), so decisions are schedule-independent
+// — the same message gets the same fate however worker goroutines
+// interleave — while a retry (different attempt number) re-rolls.
+type NetInjector struct {
+	cfg NetConfig
+
+	mu       sync.Mutex
+	injected map[NetFault]int
+}
+
+// NewNet builds a network fault injector.
+func NewNet(cfg NetConfig) *NetInjector {
+	return &NetInjector{cfg: cfg, injected: map[NetFault]int{}}
+}
+
+// Decide returns the fault for one message label. Pure: it depends
+// only on (Seed, rates, label).
+func (in *NetInjector) Decide(label string) NetFault {
+	u := unit(in.cfg.Seed, label)
+	var f NetFault
+	switch {
+	case u < in.cfg.DropRate:
+		f = NetDrop
+	case u < in.cfg.DropRate+in.cfg.DelayRate:
+		f = NetDelay
+	case u < in.cfg.DropRate+in.cfg.DelayRate+in.cfg.CorruptRate:
+		f = NetCorrupt
+	default:
+		return NetNone
+	}
+	in.mu.Lock()
+	in.injected[f]++
+	in.mu.Unlock()
+	return f
+}
+
+// DamageMode picks the Damage mode for a NetCorrupt message,
+// deterministically from the same (seed, label) hash family.
+func (in *NetInjector) DamageMode(label string) CacheFault {
+	return CacheFault(uint64(unit(in.cfg.Seed^0xc0a7, label)*float64(numCacheFaults))) % numCacheFaults
+}
+
+// Injected reports how many faults of each kind fired so far.
+func (in *NetInjector) Injected() map[NetFault]int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := map[NetFault]int{}
+	for f, n := range in.injected {
+		out[f] = n
+	}
+	return out
+}
+
 // unit hashes (seed, label) to a uniform point in [0, 1) with an
 // FNV-1a pass over the label followed by a splitmix64 finalizer.
 func unit(seed uint64, label string) float64 {

@@ -25,6 +25,8 @@ const CheckDeterminism = "determinism"
 // contract, matched by path suffix so relative and absolute dir
 // arguments both land.
 var determinismDirs = []string{
+	"internal/cluster",
+	"internal/cluster/sim",
 	"internal/core",
 	"internal/egraph",
 	"internal/fingerprint",

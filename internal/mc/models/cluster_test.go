@@ -1,0 +1,83 @@
+package models
+
+import (
+	"strings"
+	"testing"
+
+	"entangle/internal/cluster"
+	"entangle/internal/mc"
+	"entangle/internal/vcache"
+)
+
+// TestKnownBugClusterFindsSplitBrain is the regression gate for the
+// shard-ownership invariants: ownership computed over node-local
+// liveness views must violate one-owner in the minimal two-step trace
+// (crash the owner, let exactly one peer notice).
+func TestKnownBugClusterFindsSplitBrain(t *testing.T) {
+	m, err := KnownBugCluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mc.Explore(m, mc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil {
+		t.Fatal("the buggy ownership model found no violation: the invariants have no teeth")
+	}
+	if res.Violation.Invariant != "every-fingerprint-has-exactly-one-owner" {
+		t.Fatalf("wrong invariant %q:\n%s", res.Violation.Invariant, res.Violation)
+	}
+	// BFS guarantees minimality: initial state + crash + one observe.
+	if got := len(res.Violation.Trace); got != 3 {
+		t.Fatalf("counterexample not minimal: %d trace entries\n%s", got, res.Violation.Trace.Render())
+	}
+	script := res.Violation.Trace.Render()
+	if !strings.Contains(script, "crash/") || !strings.Contains(script, "/observe/") {
+		t.Fatalf("trace is not the crash+observe split-brain:\n%s", script)
+	}
+}
+
+// TestClusterModelUsesRealCodec pins the model's wire bytes to the
+// production codec: clean bytes decode, every damage mode is rejected —
+// the same property the never-stale invariant relies on at every state.
+func TestClusterModelUsesRealCodec(t *testing.T) {
+	m, err := NewCluster(ClusterConfig{Name: "codec", Nodes: 3, Keys: 2, MaxCrashes: 1, MaxDamage: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range m.clean {
+		e, err := vcache.DecodeEntry(m.keys[k], m.clean[k])
+		if err != nil {
+			t.Fatalf("key %d clean bytes do not decode: %v", k, err)
+		}
+		if e.Verdict != vcache.VerdictRefined {
+			t.Fatalf("key %d verdict drifted: %s", k, e.Verdict)
+		}
+		for mi, mode := range m.modes {
+			if _, err := vcache.DecodeEntry(m.keys[k], m.damaged[k][mi]); err == nil {
+				t.Fatalf("damage mode %s not rejected for key %d", mode, k)
+			}
+		}
+	}
+}
+
+// TestClusterModelCastIsCoherent checks each key's cast assignment: the
+// producer and reader are distinct non-owners, and the static owner
+// matches the shipped rendezvous function.
+func TestClusterModelCastIsCoherent(t *testing.T) {
+	m, err := NewCluster(ClusterConfig{Name: "cast", Nodes: 4, Keys: 3, MaxCrashes: 1, MaxDamage: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range m.keys {
+		owner := m.staticOwner[k]
+		if got := m.indexOf(cluster.Owner(m.members, m.keys[k])); got != owner {
+			t.Fatalf("key %d: staticOwner %d but cluster.Owner says %d", k, owner, got)
+		}
+		if m.producer[k] == owner || m.reader[k] == owner || m.producer[k] == m.reader[k] {
+			t.Fatalf("key %d: degenerate cast owner=%d producer=%d reader=%d",
+				k, owner, m.producer[k], m.reader[k])
+		}
+	}
+}

@@ -51,7 +51,11 @@ func ForScope(scope string) ([]mc.Model, error) {
 	for _, c := range cfgs.planners {
 		ms = append(ms, NewPlanner(c))
 	}
-	return ms, nil
+	cl, err := NewCluster(cfgs.cluster)
+	if err != nil {
+		return nil, err
+	}
+	return append(ms, cl), nil
 }
 
 // KnownBug returns the buggy wavefront model: two independent op
@@ -70,11 +74,31 @@ func KnownBug() mc.Model {
 	})
 }
 
-// ByName returns one model by name at the given scope. "known-bug" is
-// scope-independent: its golden minimal trace must never drift.
+// KnownBugCluster returns the buggy shard-ownership model: ownership
+// computed over each node's local liveness view instead of the static
+// member list. The shortest counterexample is two steps — crash the
+// owner of some key, let ONE other node's failure detector notice —
+// after which two live nodes disagree about who owns that key, the
+// split-brain race the one-owner invariant exists to exclude.
+func KnownBugCluster() (mc.Model, error) {
+	return NewCluster(ClusterConfig{
+		Name:       "known-bug-cluster",
+		Nodes:      3,
+		Keys:       2,
+		MaxCrashes: 1,
+		Buggy:      true,
+	})
+}
+
+// ByName returns one model by name at the given scope. "known-bug" and
+// "known-bug-cluster" are scope-independent: their golden minimal
+// traces must never drift.
 func ByName(name, scope string) (mc.Model, error) {
 	if name == "known-bug" {
 		return KnownBug(), nil
+	}
+	if name == "known-bug-cluster" {
+		return KnownBugCluster()
 	}
 	all, err := ForScope(scope)
 	if err != nil {
@@ -88,7 +112,7 @@ func ByName(name, scope string) (mc.Model, error) {
 	return nil, fmt.Errorf("models: unknown model %q (have %v)", name, Names())
 }
 
-// Names lists every model name, sorted, known-bug last.
+// Names lists every model name, sorted, known-bug variants last.
 func Names() []string {
 	ms, _ := ForScope("ci")
 	var names []string
@@ -96,7 +120,7 @@ func Names() []string {
 		names = append(names, m.Name())
 	}
 	sort.Strings(names)
-	return append(names, "known-bug")
+	return append(names, "known-bug", "known-bug-cluster")
 }
 
 type scopeSet struct {
@@ -104,6 +128,7 @@ type scopeSet struct {
 	vcache     VCacheConfig
 	daemon     DaemonConfig
 	planners   []PlannerConfig
+	cluster    ClusterConfig
 }
 
 func scopeConfigs(scope string) (*scopeSet, error) {
@@ -120,6 +145,7 @@ func scopeConfigs(scope string) (*scopeSet, error) {
 				{Name: "planner", DAG: MoEDAG(), MaxEdits: 2},
 				{Name: "planner-attn", DAG: AttentionDAG(), MaxEdits: 2},
 			},
+			cluster: ClusterConfig{Name: "cluster", Nodes: 3, Keys: 2, MaxCrashes: 1, MaxDamage: 1},
 		}, nil
 	case "small":
 		return &scopeSet{
@@ -130,6 +156,7 @@ func scopeConfigs(scope string) (*scopeSet, error) {
 			vcache:   VCacheConfig{Name: "vcache", Keys: 1, Writers: 1, MaxCorruptions: 1},
 			daemon:   DaemonConfig{Name: "daemon", Cap: 1, Clients: 2},
 			planners: []PlannerConfig{{Name: "planner", DAG: ChainDAG(3), MaxEdits: 1}},
+			cluster:  ClusterConfig{Name: "cluster", Nodes: 3, Keys: 1, MaxCrashes: 1, MaxDamage: 1},
 		}, nil
 	case "large":
 		return &scopeSet{
@@ -140,6 +167,7 @@ func scopeConfigs(scope string) (*scopeSet, error) {
 			vcache:   VCacheConfig{Name: "vcache", Keys: 2, Writers: 6, MaxCorruptions: 2},
 			daemon:   DaemonConfig{Name: "daemon", Cap: 3, Clients: 6, AllowAbandon: true},
 			planners: []PlannerConfig{{Name: "planner", DAG: TowersDAG(), MaxEdits: 3}},
+			cluster:  ClusterConfig{Name: "cluster", Nodes: 4, Keys: 2, MaxCrashes: 2, MaxDamage: 2},
 		}, nil
 	}
 	return nil, fmt.Errorf("models: unknown scope %q (have %v)", scope, Scopes())

@@ -15,8 +15,8 @@ func TestAllModelsCleanAtCIScope(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ms) != 6 {
-		t.Fatalf("ci scope has %d models, want 6", len(ms))
+	if len(ms) != 7 {
+		t.Fatalf("ci scope has %d models, want 7", len(ms))
 	}
 	for _, m := range ms {
 		res, err := mc.Explore(m, mc.Options{})

@@ -1,0 +1,188 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"entangle/internal/cluster"
+	"entangle/internal/core"
+	"entangle/internal/egraph"
+	"entangle/internal/fingerprint"
+	"entangle/internal/graph"
+	"entangle/internal/vcache"
+)
+
+// TestDrainMidRecheckBatch drains the gate while a recheck batch is
+// mid-flight: the candidate being checked when the drain latch flips
+// holds an admitted gate slot, so it must run to completion and keep
+// its delta; the batch's remaining candidates must bounce cleanly as
+// "cancelled"/draining, never hang or half-run.
+func TestDrainMidRecheckBatch(t *testing.T) {
+	vc, err := vcache.Open(vcache.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The drain begins deterministically inside candidate 1's check: the
+	// edited candidate re-saturates "act" (its cone moved), which is the
+	// second time the hook sees that label — the first was the base
+	// warm-up check.
+	var srv *Server
+	var actChecks atomic.Int32
+	srv = New(Config{Options: core.Options{
+		Cache: vc,
+		PreOp: func(v *graph.Node) *egraph.SaturateOpts {
+			if v.Label == "act" && actChecks.Add(1) == 2 {
+				srv.gate.StartDrain()
+			}
+			return nil
+		},
+	}})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	base := graphJSON(t, recheckGs(t, false, "gelu"))
+	status, rr := postRecheck(t, ts, map[string]any{
+		"base":       base,
+		"candidates": []json.RawMessage{graphJSON(t, recheckGs(t, true, "gelu")), base},
+		"gd":         graphJSON(t, recheckGd(t)),
+		"rel":        recheckRel,
+	})
+	if status != http.StatusServiceUnavailable || rr.BaseVerdict != "refined" {
+		t.Fatalf("status %d, response %+v", status, rr)
+	}
+	if len(rr.Candidates) != 2 {
+		t.Fatalf("candidates %+v", rr.Candidates)
+	}
+	// The in-flight candidate finished its full delta despite the drain.
+	inflight := rr.Candidates[0]
+	if inflight.Verdict != "refined" || inflight.RecheckedOps != 2 || inflight.ReplayedOps != 1 {
+		t.Fatalf("in-flight candidate did not run to completion: %+v", inflight)
+	}
+	// The next candidate was refused at the gate, not abandoned mid-check.
+	bounced := rr.Candidates[1]
+	if bounced.Verdict != "cancelled" || !strings.Contains(bounced.Error, "draining") {
+		t.Fatalf("post-drain candidate not cleanly bounced: %+v", bounced)
+	}
+	// With the batch gone, the drain itself must complete.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("drain after batch: %v", err)
+	}
+}
+
+// blockingTransport wedges every peer forward until its context is
+// cancelled, simulating an unresponsive owner at the moment the daemon
+// is told to shut down. Fetches answer authoritative misses so the
+// check reaches its Put-side forwards.
+type blockingTransport struct {
+	started chan struct{}
+	once    sync.Once
+}
+
+func (b *blockingTransport) Fetch(ctx context.Context, peer cluster.Member, key fingerprint.Hash) ([]byte, error) {
+	return nil, cluster.ErrNotFound
+}
+
+func (b *blockingTransport) Offer(ctx context.Context, peer cluster.Member, key fingerprint.Hash, data []byte) error {
+	b.once.Do(func() { close(b.started) })
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// TestDrainAbortsInFlightPeerForward runs the daemon's SIGTERM sequence
+// — close the fleet cache, then drain the gate — while a check is
+// wedged inside a peer forward to an unresponsive owner. Close must
+// abort the in-flight forward, the check must still complete with its
+// correct verdict (the forward degrades; the verdict is already safe
+// locally), and the drain must finish instead of waiting out the peer.
+func TestDrainAbortsInFlightPeerForward(t *testing.T) {
+	vc, err := vcache.Open(vcache.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enough peers that the fixture's (deterministic) fingerprints are
+	// overwhelmingly likely to include peer-owned keys; the guard below
+	// fails loudly if a key-derivation change ever breaks that.
+	members := []cluster.Member{{ID: "a", URL: "mem://a"}}
+	for _, id := range []string{"b", "c", "d", "e", "f", "g", "h", "i"} {
+		members = append(members, cluster.Member{ID: id, URL: "mem://" + id})
+	}
+	ms, err := cluster.NewMembership("a", members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt := &blockingTransport{started: make(chan struct{})}
+	fleet, err := cluster.NewCache(cluster.CacheConfig{
+		Membership: ms,
+		Local:      vc,
+		Client:     cluster.NewClient(cluster.ClientConfig{Transport: bt}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Options: core.Options{Cache: fleet}, Local: vc})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	body, err := json.Marshal(CheckRequest{
+		Gs:  graphJSON(t, recheckGs(t, false, "gelu")),
+		Gd:  graphJSON(t, recheckGd(t)),
+		Rel: recheckRel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		status int
+		resp   CheckResponse
+		err    error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/check", "application/json", bytes.NewReader(body))
+		if err != nil {
+			done <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		var cr CheckResponse
+		err = json.NewDecoder(resp.Body).Decode(&cr)
+		done <- result{status: resp.StatusCode, resp: cr, err: err}
+	}()
+
+	select {
+	case <-bt.started:
+		// A forward is wedged in flight; now shut down underneath it.
+	case r := <-done:
+		t.Fatalf("check finished without forwarding (all fixture keys self-owned? response %+v, err %v); widen the member list", r.resp, r.err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("check neither forwarded nor finished")
+	}
+
+	fleet.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("drain stuck behind a wedged peer forward: %v", err)
+	}
+
+	r := <-done
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if r.status != http.StatusOK || r.resp.Verdict != "refined" {
+		t.Fatalf("wedged-forward check did not complete correctly: status %d, %+v", r.status, r.resp)
+	}
+	if st := fleet.ClusterStats(); st.ForwardFailures == 0 {
+		t.Fatalf("no forward failure recorded — the aborted forward vanished: %+v", st)
+	}
+}

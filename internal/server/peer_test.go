@@ -1,0 +1,209 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"entangle/internal/core"
+	"entangle/internal/fingerprint"
+	"entangle/internal/models"
+	"entangle/internal/vcache"
+)
+
+// newPeerServer builds a daemon with a local verdict shard wired to the
+// peer endpoints (a fleet node's configuration).
+func newPeerServer(t *testing.T) (*Server, *httptest.Server, *vcache.Cache) {
+	t.Helper()
+	vc, err := vcache.Open(vcache.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Options: core.Options{Cache: vc}, Local: vc})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts, vc
+}
+
+func peerURL(ts *httptest.Server, key fingerprint.Hash) string {
+	return ts.URL + "/v1/peer/verdict?key=" + key.Hex()
+}
+
+func doPeer(t *testing.T, method, url string, body []byte) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestPeerVerdictRoundTrip drives the fleet exchange end to end over
+// real HTTP: a miss is an authoritative 404, an offered entry is
+// validated and stored, and a subsequent fetch returns bytes that
+// decode to the same entry.
+func TestPeerVerdictRoundTrip(t *testing.T) {
+	_, ts, vc := newPeerServer(t)
+	key := fingerprint.Hash{1, 2, 3}
+	e := &vcache.Entry{Verdict: vcache.VerdictRefined, Outputs: []vcache.Mapping{{Main: []string{"I0"}}}}
+	data, err := vcache.EncodeEntry(key, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if resp := doPeer(t, http.MethodGet, peerURL(ts, key), nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("miss: status %d", resp.StatusCode)
+	}
+	if resp := doPeer(t, http.MethodPut, peerURL(ts, key), data); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("offer: status %d", resp.StatusCode)
+	}
+	if got := vc.Get(key); got == nil || got.Verdict != vcache.VerdictRefined {
+		t.Fatalf("offer did not land in the local shard: %+v", got)
+	}
+
+	resp := doPeer(t, http.MethodGet, peerURL(ts, key), nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fetch: status %d", resp.StatusCode)
+	}
+	wire, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := vcache.DecodeEntry(key, wire)
+	if err != nil {
+		t.Fatalf("fetched bytes fail the decode gate: %v", err)
+	}
+	if back.Verdict != e.Verdict || len(back.Outputs) != 1 || back.Outputs[0].Main[0] != "I0" {
+		t.Fatalf("round trip mangled the entry: %+v", back)
+	}
+
+	stats := getStats(t, ts)
+	if stats.PeerGets != 2 || stats.PeerPuts != 1 {
+		t.Fatalf("peer counters: gets %d puts %d", stats.PeerGets, stats.PeerPuts)
+	}
+}
+
+// TestPeerVerdictRejectsCorrupt flips one payload byte: the offer must
+// be refused with 400 and must not reach the shard — the decode gate is
+// what keeps a corrupting peer from planting wrong verdicts.
+func TestPeerVerdictRejectsCorrupt(t *testing.T) {
+	_, ts, vc := newPeerServer(t)
+	key := fingerprint.Hash{9}
+	data, err := vcache.EncodeEntry(key, &vcache.Entry{Verdict: vcache.VerdictRefined})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+
+	if resp := doPeer(t, http.MethodPut, peerURL(ts, key), data); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("corrupt offer: status %d", resp.StatusCode)
+	}
+	if vc.Get(key) != nil {
+		t.Fatal("corrupt offer was stored")
+	}
+}
+
+func TestPeerVerdictRequestValidation(t *testing.T) {
+	_, ts, _ := newPeerServer(t)
+	key := fingerprint.Hash{4}
+
+	if resp := doPeer(t, http.MethodGet, ts.URL+"/v1/peer/verdict?key=zz", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad key: status %d", resp.StatusCode)
+	}
+	if resp := doPeer(t, http.MethodDelete, peerURL(ts, key), nil); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("bad method: status %d", resp.StatusCode)
+	}
+
+	// A daemon without a local shard is not a fleet node: 404.
+	single, _ := newTestServer(t)
+	if resp := doPeer(t, http.MethodGet, peerURL(single, key), nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("single-node peer fetch: status %d", resp.StatusCode)
+	}
+}
+
+// TestPeerVerdictDraining verifies a draining node refuses peer traffic
+// outright (503) so shutdown never waits on fleet chatter.
+func TestPeerVerdictDraining(t *testing.T) {
+	srv, ts, _ := newPeerServer(t)
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if resp := doPeer(t, http.MethodGet, peerURL(ts, fingerprint.Hash{7}), nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining peer fetch: status %d", resp.StatusCode)
+	}
+}
+
+// TestBodyLimit enforces Config.MaxBodyBytes on every write endpoint:
+// oversized bodies get 413, and legitimate requests under the bound
+// still work.
+func TestBodyLimit(t *testing.T) {
+	b, err := models.Regression(models.Options{GradAccum: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := requestBody(t, b, func(m *map[string]any) {
+		(*m)["pad"] = strings.Repeat("x", 8192) // push past the bound regardless of graph size
+	})
+
+	vc, err := vcache.Open(vcache.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{
+		Options:      core.Options{Cache: vc},
+		Local:        vc,
+		MaxBodyBytes: 4096, // far below any real graph body
+	})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	status, resp := post(t, ts, body)
+	if status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized /v1/check: status %d resp %+v", status, resp)
+	}
+	if !strings.Contains(resp.Error, "exceeds") {
+		t.Fatalf("413 carried no limit text: %q", resp.Error)
+	}
+
+	rb, err := json.Marshal(map[string]any{"base": json.RawMessage("{}"), "candidates": []json.RawMessage{[]byte(`{}`)}, "pad": strings.Repeat("x", 8192)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := http.Post(ts.URL+"/v1/recheck", "application/json", bytes.NewReader(rb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr.Body.Close()
+	if rr.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized /v1/recheck: status %d", rr.StatusCode)
+	}
+
+	key := fingerprint.Hash{5}
+	big := make([]byte, 8192)
+	if resp := doPeer(t, http.MethodPut, peerURL(ts, key), big); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized peer offer: status %d", resp.StatusCode)
+	}
+
+	// Small requests still pass the bound (the error, if any, is about
+	// content, not size).
+	small, err := vcache.EncodeEntry(key, &vcache.Entry{Verdict: vcache.VerdictRefined})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := doPeer(t, http.MethodPut, peerURL(ts, key), small); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("in-bound peer offer: status %d", resp.StatusCode)
+	}
+	if stats := getStats(t, ts); stats.Errors == 0 {
+		t.Fatalf("oversized bodies not counted as errors: %+v", stats)
+	}
+}

@@ -26,9 +26,11 @@ package server
 import (
 	"bytes"
 	"context"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"sync/atomic"
@@ -37,6 +39,7 @@ import (
 	"entangle/internal/core"
 	"entangle/internal/egraph"
 	"entangle/internal/exprparse"
+	"entangle/internal/fingerprint"
 	"entangle/internal/graph"
 	"entangle/internal/hlo"
 	"entangle/internal/relation"
@@ -57,12 +60,32 @@ type Config struct {
 	// DefaultTimeout bounds each check when the request carries no
 	// timeout of its own (0 = none).
 	DefaultTimeout time.Duration
+	// MaxBodyBytes bounds every request body via http.MaxBytesReader
+	// (0 = DefaultMaxBodyBytes). Oversized requests get 413 instead of
+	// buffering without bound.
+	MaxBodyBytes int64
+	// Local is this node's own verdict shard, served raw to fleet
+	// peers on /v1/peer/verdict. It is deliberately distinct from
+	// Options.Cache: in a fleet, Options.Cache is the cluster-routing
+	// store, and peer traffic must hit the local shard directly or a
+	// fetch could recurse back into the fleet. Nil disables the peer
+	// endpoints (404).
+	Local *vcache.Cache
+	// ClusterInfo, when non-nil, is rendered into /v1/stats under
+	// "cluster" (the daemon wires the fleet cache's counters here).
+	ClusterInfo func() any
 }
+
+// DefaultMaxBodyBytes bounds request bodies when Config.MaxBodyBytes
+// is zero: large enough for captured production graphs, small enough
+// that a malicious or confused client cannot buffer the daemon into
+// the ground.
+const DefaultMaxBodyBytes = 64 << 20
 
 // Server handles the daemon's HTTP API. Safe for concurrent use.
 type Server struct {
 	cfg   Config
-	cache *vcache.Cache
+	cache core.VerdictStore
 	mux   *http.ServeMux
 	gate  *Gate
 	start time.Time
@@ -72,12 +95,17 @@ type Server struct {
 	failed   atomic.Int64 // checks that disproved or degraded
 	errored  atomic.Int64 // malformed requests, cancellations, faults
 	inflight atomic.Int64 // checks currently running or queued
+	peerGets atomic.Int64 // /v1/peer/verdict fetches served (hit or miss)
+	peerPuts atomic.Int64 // /v1/peer/verdict offers accepted
 }
 
 // New builds a server.
 func New(cfg Config) *Server {
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
 	}
 	s := &Server{
 		cfg:   cfg,
@@ -88,6 +116,7 @@ func New(cfg Config) *Server {
 	}
 	s.mux.HandleFunc("/v1/check", s.handleCheck)
 	s.mux.HandleFunc("/v1/recheck", s.handleRecheck)
+	s.mux.HandleFunc("/v1/peer/verdict", s.handlePeerVerdict)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	return s
@@ -147,7 +176,12 @@ type StatsResponse struct {
 	InFlight      int64                 `json:"in_flight"`
 	MaxConcurrent int                   `json:"max_concurrent"`
 	Draining      bool                  `json:"draining"`
+	PeerGets      int64                 `json:"peer_gets,omitempty"`
+	PeerPuts      int64                 `json:"peer_puts,omitempty"`
 	Cache         *vcache.StatsSnapshot `json:"cache,omitempty"`
+	// Cluster is the fleet cache's counter block (Config.ClusterInfo);
+	// absent on single-node daemons.
+	Cluster any `json:"cluster,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -178,7 +212,111 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		snap := s.cache.Stats().Snapshot()
 		resp.Cache = &snap
 	}
+	if s.cfg.Local != nil {
+		resp.PeerGets = s.peerGets.Load()
+		resp.PeerPuts = s.peerPuts.Load()
+	}
+	if s.cfg.ClusterInfo != nil {
+		resp.Cluster = s.cfg.ClusterInfo()
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handlePeerVerdict serves the fleet's peer-to-peer verdict exchange:
+// GET fetches this node's entry for a key, PUT accepts a forwarded
+// verdict. Both sides speak the vcache on-disk byte format (EncodeEntry
+// /DecodeEntry), so the same defensive gates that protect the disk
+// store protect the wire: a corrupt offer is rejected with 400 and
+// never stored, and a reply that fails the fetcher's decode is treated
+// as a miss. The handler serves Config.Local — the node's own shard —
+// directly, never Options.Cache, so peer traffic cannot recurse back
+// into fleet routing.
+func (s *Server) handlePeerVerdict(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Local == nil {
+		http.Error(w, "not a fleet node", http.StatusNotFound)
+		return
+	}
+	if s.gate.Snapshot().Draining {
+		// Peers treat 503 like any transport failure: retry elsewhere in
+		// time or degrade to a local cold check. Refusing early keeps a
+		// drain from waiting on peer chatter.
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	raw, err := hex.DecodeString(r.URL.Query().Get("key"))
+	var key fingerprint.Hash
+	if err != nil || len(raw) != len(key) {
+		http.Error(w, "key must be 64 hex characters", http.StatusBadRequest)
+		return
+	}
+	copy(key[:], raw)
+
+	switch r.Method {
+	case http.MethodGet:
+		s.peerGets.Add(1)
+		e := s.cfg.Local.Get(key)
+		if e == nil {
+			http.Error(w, "not found", http.StatusNotFound)
+			return
+		}
+		data, err := vcache.EncodeEntry(key, e)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("encoding entry: %v", err), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		_, _ = w.Write(data)
+
+	case http.MethodPut:
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				http.Error(w, fmt.Sprintf("entry exceeds %d bytes", tooBig.Limit), http.StatusRequestEntityTooLarge)
+				return
+			}
+			http.Error(w, fmt.Sprintf("reading entry: %v", err), http.StatusBadRequest)
+			return
+		}
+		e, err := vcache.DecodeEntry(key, body)
+		if err != nil {
+			// The decode gate is the correctness boundary: an offer that
+			// fails validation is refused, so a confused or corrupting
+			// peer can never plant a wrong verdict in this shard.
+			http.Error(w, fmt.Sprintf("rejecting entry: %v", err), http.StatusBadRequest)
+			return
+		}
+		if err := s.cfg.Local.Put(key, e); err != nil {
+			http.Error(w, fmt.Sprintf("storing entry: %v", err), http.StatusInternalServerError)
+			return
+		}
+		s.peerPuts.Add(1)
+		w.WriteHeader(http.StatusNoContent)
+
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// decodeBody decodes a JSON request body under the configured byte
+// bound. Oversized bodies are answered 413 and malformed ones 400; in
+// both cases the request is counted as errored and false is returned.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.errored.Add(1)
+			writeJSON(w, http.StatusRequestEntityTooLarge, CheckResponse{
+				Verdict: "failed",
+				Error:   fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit),
+			})
+			return false
+		}
+		s.badRequest(w, "decoding request: %v", err)
+		return false
+	}
+	return true
 }
 
 func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
@@ -191,8 +329,7 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	defer s.inflight.Add(-1)
 
 	var req CheckRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.badRequest(w, "decoding request: %v", err)
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	gs, err := decodeGraph(req.Gs, req.Format)
@@ -344,8 +481,7 @@ func (s *Server) handleRecheck(w http.ResponseWriter, r *http.Request) {
 	defer s.inflight.Add(-1)
 
 	var req RecheckRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.badRequest(w, "decoding request: %v", err)
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if len(req.Candidates) == 0 {

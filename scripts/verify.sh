@@ -24,7 +24,7 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (core, egraph, relation, lemmas, faultinject, vcache, server, bench, mc) =="
+echo "== go test -race (core, egraph, relation, lemmas, faultinject, vcache, server, cluster, bench, mc) =="
 # -timeout on core: the robustness suite's worst regression mode is a
 # deadlocked worker pool, which must fail the gate instead of hanging it.
 # ENTANGLE_CHECK_INVARIANTS makes every e-graph Rebuild finish with the
@@ -33,7 +33,7 @@ echo "== go test -race (core, egraph, relation, lemmas, faultinject, vcache, ser
 # registration, count bookkeeping — see egraph.CheckInvariants).
 ENTANGLE_CHECK_INVARIANTS=1 go test -race -timeout 120s ./internal/core/...
 ENTANGLE_CHECK_INVARIANTS=1 go test -race ./internal/egraph/... ./internal/relation/... ./internal/lemmas/... ./internal/faultinject/...
-go test -race ./internal/fingerprint/... ./internal/vcache/... ./internal/server/...
+go test -race ./internal/fingerprint/... ./internal/vcache/... ./internal/server/... ./internal/cluster/...
 # bench drives the checker through its concurrent harnesses — including
 # the planned-vs-unplanned differential at workers 1/4 that pins the
 # plan/execute refactor byte-identical; mc's own large-scope exploration
@@ -47,6 +47,7 @@ echo "== entangle-mc (exhaustive model check, ci scope) =="
 # the checker's teeth, not just for the protocols.
 go run ./cmd/entangle-mc -scope ci
 go run ./cmd/entangle-mc -model known-bug -expect-violation >/dev/null
+go run ./cmd/entangle-mc -model known-bug-cluster -expect-violation >/dev/null
 
 echo "== entangle-lint =="
 sh scripts/lint.sh
