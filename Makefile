@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench verify lint mc fmt
+.PHONY: build test bench verify lint mc fuzz fmt
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,12 @@ lint:
 mc:
 	$(GO) run ./cmd/entangle-mc -scope ci
 	$(GO) run ./cmd/entangle-mc -model known-bug -expect-violation
+
+# Short fuzz pass: replay the committed regression corpus (all nine
+# paper bug classes), then run one bounded randomized campaign. Exits
+# non-zero on any replay failure or unsound case. See cmd/entangle-fuzz.
+fuzz:
+	$(GO) run ./cmd/entangle-fuzz -corpus internal/fuzz/testdata/corpus -n 25
 
 fmt:
 	gofmt -w .

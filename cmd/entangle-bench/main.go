@@ -19,7 +19,12 @@
 // fleet (sharded verdict fleet: a 3-node simulated cluster must render
 // byte-identical reports to a single node, fault-free and under seeded
 // chaos with crash/partition/heal, plus a throughput-vs-node-count
-// sweep; -json FILE appends to a BENCH_fleet.json-style trajectory).
+// sweep; -json FILE appends to a BENCH_fleet.json-style trajectory),
+// fuzz (randomized strategy fuzzer: a seeded campaign of composed
+// parallelizations cross-checked against the numeric oracle plus the
+// §6.2 bug-class rediscovery sweep; self-gates on soundness and full
+// class coverage; -json FILE appends to a BENCH_fuzz.json-style
+// trajectory).
 //
 // -cpuprofile/-memprofile write pprof profiles covering the selected
 // experiments (the hot-path tuning loop: `entangle-bench -exp
@@ -47,7 +52,7 @@ var (
 func main() { os.Exit(run()) }
 
 func run() int {
-	exp := flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6, bugs, ablation, extensions, parallel, chaos, cache, saturate, diff, fleet, all")
+	exp := flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6, bugs, ablation, extensions, parallel, chaos, cache, saturate, diff, fleet, fuzz, all")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -97,6 +102,7 @@ func run() int {
 		{"saturate", runSaturate},
 		{"diff", runDiff},
 		{"fleet", runFleet},
+		{"fuzz", runFuzz},
 	}
 	ran := false
 	for _, s := range steps {

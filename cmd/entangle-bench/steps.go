@@ -175,6 +175,54 @@ func appendDiffTrajectory(path string, points []bench.DiffPoint) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// fuzzRun is one recorded `-exp fuzz` invocation in the trajectory
+// file: BENCH_fuzz.json holds an array of these, one per run, so the
+// series tracks fuzzer throughput, unique lemma gaps, and shrink
+// quality across checker versions. The experiment self-gates (all
+// nine bug classes rediscovered as Disproved, zero unsound cases,
+// every Refined case numerically validated), so every recorded point
+// is a verified one.
+type fuzzRun struct {
+	Timestamp string            `json:"timestamp"`
+	Go        string            `json:"go"`
+	Points    []bench.FuzzPoint `json:"points"`
+}
+
+func runFuzz() (string, error) {
+	txt, points, err := bench.Fuzz()
+	if err != nil {
+		return "", err
+	}
+	if *jsonOut != "" {
+		if err := appendFuzzTrajectory(*jsonOut, points); err != nil {
+			return "", err
+		}
+		txt += fmt.Sprintf("appended %d data points to %s\n", len(points), *jsonOut)
+	}
+	return txt, nil
+}
+
+func appendFuzzTrajectory(path string, points []bench.FuzzPoint) error {
+	var runs []fuzzRun
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &runs); err != nil {
+			return fmt.Errorf("%s: existing trajectory unreadable: %v", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	runs = append(runs, fuzzRun{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Go:        runtime.Version(),
+		Points:    points,
+	})
+	data, err := json.MarshalIndent(runs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 // saturateRun is one recorded `-exp saturate` invocation in the
 // trajectory file: BENCH_saturate.json holds an array of these, one
 // per run, so the series tracks cold-check hot-path performance across

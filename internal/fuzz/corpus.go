@@ -1,0 +1,144 @@
+package fuzz
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"entangle/internal/graph"
+)
+
+// CorpusCase is one replayable minimized case. The digests pin the
+// exact graphs the plan built when the case was recorded, so replay
+// doubles as a byte-level reproducibility gate.
+type CorpusCase struct {
+	Name     string  `json:"name"`
+	Plan     Plan    `json:"plan"`
+	Defect   *Defect `json:"defect,omitempty"`
+	Expect   Outcome `json:"expect"`
+	GapKey   string  `json:"gap_key,omitempty"`
+	GsSHA256 string  `json:"gs_sha256"`
+	GdSHA256 string  `json:"gd_sha256"`
+	Note     string  `json:"note,omitempty"`
+}
+
+// Digest hashes a graph's canonical JSON encoding.
+func Digest(g *graph.Graph) (string, error) {
+	data, err := g.MarshalJSON()
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(data)), nil
+}
+
+// NewCorpusCase records a case with its graph digests.
+func NewCorpusCase(name string, res *Result, note string) (CorpusCase, error) {
+	cc := CorpusCase{
+		Name:   name,
+		Plan:   res.Case.Plan,
+		Defect: res.Case.Defect,
+		Expect: res.Outcome,
+		GapKey: res.GapKey,
+		Note:   note,
+	}
+	var err error
+	if cc.GsSHA256, err = Digest(res.Case.Gs); err != nil {
+		return cc, err
+	}
+	if cc.GdSHA256, err = Digest(res.Case.Gd); err != nil {
+		return cc, err
+	}
+	return cc, nil
+}
+
+// SaveCorpus writes one pretty-printed JSON file per case into dir.
+func SaveCorpus(dir string, cases []CorpusCase) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, c := range cases {
+		data, err := json.MarshalIndent(c, "", "  ")
+		if err != nil {
+			return err
+		}
+		name := strings.ReplaceAll(c.Name, "/", "_") + ".json"
+		if err := os.WriteFile(filepath.Join(dir, name), append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadCorpus reads every *.json case in dir, sorted by file name.
+func LoadCorpus(dir string) ([]CorpusCase, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	out := make([]CorpusCase, 0, len(names))
+	for _, n := range names {
+		data, err := os.ReadFile(filepath.Join(dir, n))
+		if err != nil {
+			return nil, err
+		}
+		var c CorpusCase
+		if err := json.Unmarshal(data, &c); err != nil {
+			return nil, fmt.Errorf("fuzz: corpus %s: %w", n, err)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// Replay rebuilds a corpus case, verifies the graphs reproduce
+// byte-for-byte, re-evaluates, and checks the outcome. A formerly
+// failing case that now does better (a lemma gap that closed, an
+// inconclusive injection now disproved) reports improved=true instead
+// of an error; anything else that diverges is an error.
+func Replay(c CorpusCase, workers int) (improved bool, err error) {
+	cs, err := Compose(c.Plan, c.Defect)
+	if err != nil {
+		return false, fmt.Errorf("fuzz: replay %s: %w", c.Name, err)
+	}
+	gsD, err := Digest(cs.Gs)
+	if err != nil {
+		return false, err
+	}
+	gdD, err := Digest(cs.Gd)
+	if err != nil {
+		return false, err
+	}
+	if gsD != c.GsSHA256 || gdD != c.GdSHA256 {
+		return false, fmt.Errorf("fuzz: replay %s: graph digests diverged (G_s %s→%s, G_d %s→%s): generator no longer reproduces the corpus",
+			c.Name, short(c.GsSHA256), short(gsD), short(c.GdSHA256), short(gdD))
+	}
+	res, err := Evaluate(cs, workers)
+	if err != nil {
+		return false, fmt.Errorf("fuzz: replay %s: %w", c.Name, err)
+	}
+	if res.Outcome == c.Expect {
+		return false, nil
+	}
+	if c.Expect == OutcomeLemmaGap && (res.Outcome == OutcomeAgree || res.Outcome == OutcomeRediscovered) {
+		return true, nil
+	}
+	return false, fmt.Errorf("fuzz: replay %s: outcome %s, corpus expects %s", c.Name, res.Outcome, c.Expect)
+}
+
+func short(d string) string {
+	if len(d) > 12 {
+		return d[:12]
+	}
+	return d
+}

@@ -1,0 +1,99 @@
+package fuzz
+
+import "fmt"
+
+// DefectClass names one paper-Table-3-style defect the injector can
+// plant into an otherwise correct composition. Every class is
+// shape-safe: the mutated G_d still builds and type-checks, the
+// numbers are just wrong (or, for missing-register, the input relation
+// is incomplete) — exactly the bugs the paper's checker exists to
+// catch.
+type DefectClass string
+
+const (
+	// DefectRoPEOffset slices the per-rank rotary tables without the
+	// rank offset — every rank rotates with rank 0's rows (bug 1).
+	DefectRoPEOffset DefectClass = "rope-offset"
+	// DefectAuxLossScale drops the 1/R scale on the token-split
+	// auxiliary loss before the reduce (bug 2).
+	DefectAuxLossScale DefectClass = "auxloss-scale"
+	// DefectPadSlice reconstructs a padded gather with the unpadded
+	// stride, keeping padding rows and dropping data rows (bug 3).
+	DefectPadSlice DefectClass = "pad-slice"
+	// DefectGatherOrder reassembles shards in rotated rank order —
+	// the off-by-one shard-placement misconfiguration (bug 4/9 style).
+	DefectGatherOrder DefectClass = "gather-order"
+	// DefectMissingRegister declares per-rank weight copies without
+	// registering them in the input relation R_i: the graphs may even
+	// agree numerically, but refinement is unverifiable and the
+	// checker must disprove it (bug 5: missing weight registration).
+	DefectMissingRegister DefectClass = "missing-register"
+	// DefectAccumScale drops the 1/R scale on microbatch-split losses
+	// — unscaled gradient accumulation (bug 6).
+	DefectAccumScale DefectClass = "accum-scale"
+	// DefectMissingCollective drops the all-reduce that combines
+	// partial products; ranks consume their own partial as if it were
+	// the full value (bug 7).
+	DefectMissingCollective DefectClass = "missing-collective"
+	// DefectDoubleReduce all-reduces an already-replicated value as if
+	// it were partial, overcounting by the degree R (bug 8 style:
+	// misplaced gradient sync).
+	DefectDoubleReduce DefectClass = "double-reduce"
+	// DefectScatterNoReduce replaces a reduce-scatter with a local
+	// slice: each rank keeps its own partial's rows and never sees its
+	// peers' contributions (bug 9 style: wrong reduce op).
+	DefectScatterNoReduce DefectClass = "scatter-no-reduce"
+)
+
+// Classes is the canonical injection order: all nine paper bug classes.
+var Classes = []DefectClass{
+	DefectRoPEOffset,
+	DefectAuxLossScale,
+	DefectPadSlice,
+	DefectGatherOrder,
+	DefectMissingRegister,
+	DefectAccumScale,
+	DefectMissingCollective,
+	DefectDoubleReduce,
+	DefectScatterNoReduce,
+}
+
+// PaperBug maps a class to the §6.2 Table-3 bug it reproduces in
+// spirit.
+func (c DefectClass) PaperBug() int {
+	switch c {
+	case DefectRoPEOffset:
+		return 1
+	case DefectAuxLossScale:
+		return 2
+	case DefectPadSlice:
+		return 3
+	case DefectGatherOrder:
+		return 4
+	case DefectMissingRegister:
+		return 5
+	case DefectAccumScale:
+		return 6
+	case DefectMissingCollective:
+		return 7
+	case DefectDoubleReduce:
+		return 8
+	case DefectScatterNoReduce:
+		return 9
+	}
+	return 0
+}
+
+// NumericBenign reports whether the class corrupts only the relation,
+// not the computed values: such graphs must still be disproved (no
+// clean mapping exists) even though the numeric differential agrees.
+func (c DefectClass) NumericBenign() bool { return c == DefectMissingRegister }
+
+// Defect selects one injection: a class and which of the composition's
+// sites of that class (in emission order) to corrupt.
+type Defect struct {
+	Class DefectClass `json:"class"`
+	Site  int         `json:"site"`
+}
+
+func (d Defect) String() string { return fmt.Sprintf("%s@%d", d.Class, d.Site) }

@@ -1,0 +1,289 @@
+package fuzz
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// ---------------------------------------------------------------------
+// RNG and plan determinism
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+	if NewRNG(7).Uint64() == NewRNG(8).Uint64() {
+		t.Fatal("different seeds produced the same first draw")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) must panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestParseFamilies(t *testing.T) {
+	fs, err := ParseFamilies(nil)
+	if err != nil || len(fs) != len(Families) {
+		t.Fatalf("nil must mean all families: %v %v", fs, err)
+	}
+	fs, err = ParseFamilies([]string{"gpt", "chain"})
+	if err != nil || len(fs) != 2 || fs[0] != FamilyGPT {
+		t.Fatalf("parse: %v %v", fs, err)
+	}
+	if _, err := ParseFamilies([]string{"bert"}); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}
+
+// ---------------------------------------------------------------------
+// Generator reproducibility (satellite: same seed ⇒ byte-identical
+// graphs across runs and worker counts)
+
+func TestSameSeedIsByteIdentical(t *testing.T) {
+	master := NewRNG(99)
+	for i := 0; i < 10; i++ {
+		p := RandomPlan(master, Families, 4)
+		a, err := Compose(p, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		b, err := Compose(p, nil)
+		if err != nil {
+			t.Fatalf("%s: rebuild: %v", p, err)
+		}
+		da1, _ := Digest(a.Gs)
+		db1, _ := Digest(b.Gs)
+		da2, _ := Digest(a.Gd)
+		db2, _ := Digest(b.Gd)
+		if da1 != db1 || da2 != db2 {
+			t.Fatalf("%s: rebuild not byte-identical (G_s %s vs %s, G_d %s vs %s)", p, da1, db1, da2, db2)
+		}
+		if !reflect.DeepEqual(a.Sites, b.Sites) {
+			t.Fatalf("%s: site census diverged: %v vs %v", p, a.Sites, b.Sites)
+		}
+	}
+}
+
+func TestVerdictIndependentOfWorkers(t *testing.T) {
+	master := NewRNG(4242)
+	for i := 0; i < 6; i++ {
+		p := RandomPlan(master, []Family{FamilyChain}, 4)
+		cs1, err := Compose(p, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		cs4, err := Compose(p, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		r1, err := Evaluate(cs1, 1)
+		if err != nil {
+			t.Fatalf("%s: workers=1: %v", p, err)
+		}
+		r4, err := Evaluate(cs4, 4)
+		if err != nil {
+			t.Fatalf("%s: workers=4: %v", p, err)
+		}
+		if r1.Outcome != r4.Outcome || r1.GapKey != r4.GapKey {
+			t.Fatalf("%s: outcome depends on workers: %s/%q vs %s/%q",
+				p, r1.Outcome, r1.GapKey, r4.Outcome, r4.GapKey)
+		}
+		if r1.Report.RenderFailures() != r4.Report.RenderFailures() {
+			t.Fatalf("%s: failure rendering depends on workers", p)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Injection machinery
+
+// Every (class, site) pair counted by a correct build must fire when
+// injected into a rebuild — the composer's determinism contract.
+func TestEverySiteInCensusFires(t *testing.T) {
+	master := NewRNG(77)
+	for i := 0; i < 8; i++ {
+		p := RandomPlan(master, []Family{FamilyChain}, 4)
+		cs, err := Compose(p, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		for _, cl := range Classes {
+			for s := 0; s < cs.Sites[cl]; s++ {
+				if _, err := Compose(p, &Defect{Class: cl, Site: s}); err != nil {
+					t.Fatalf("%s: inject %s@%d: %v", p, cl, s, err)
+				}
+			}
+		}
+	}
+}
+
+// The campaign is the main property test: correct compositions must
+// never disagree with the numeric oracle, injected defects must be
+// disproved or surface as lemma gaps, and nothing may be unsound.
+func TestCampaignProperties(t *testing.T) {
+	n := 25
+	if testing.Short() {
+		n = 6
+	}
+	stats, err := Run(Config{Seed: 1, N: n, Workers: 2, Shrink: true})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if stats.Unsound > 0 {
+		t.Fatalf("unsound cases: %d (%v)", stats.Unsound, stats.Repros)
+	}
+	if stats.Correct != n {
+		t.Fatalf("correct cases: %d, want %d", stats.Correct, n)
+	}
+	if stats.Injected == 0 || stats.Rediscovered == 0 {
+		t.Fatalf("no injections exercised: %+v", stats)
+	}
+	// Every outcome must be accounted for.
+	if stats.Agree+stats.Rediscovered+stats.LemmaGaps+stats.Masked+stats.Unsound != stats.Cases {
+		t.Fatalf("outcome counts do not add up: %+v", stats)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Rediscovery of the paper's bug classes
+
+func TestAllNineClassesRediscovered(t *testing.T) {
+	for _, cl := range Classes {
+		res, err := Rediscover(cl, 42, 2, 200)
+		if err != nil {
+			t.Errorf("%s: %v", cl, err)
+			continue
+		}
+		if res.Outcome != OutcomeRediscovered {
+			t.Errorf("%s: outcome %s, want %s", cl, res.Outcome, OutcomeRediscovered)
+		}
+		if res.Case.Defect == nil || res.Case.Defect.Class != cl {
+			t.Errorf("%s: witness carries wrong defect %v", cl, res.Case.Defect)
+		}
+		if ops := res.Case.Gs.OperatorCount(); ops > 6 {
+			t.Errorf("%s: shrunk witness still has %d operators", cl, ops)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Shrinker
+
+func TestShrinkerMinimizes(t *testing.T) {
+	// A deep chain with a defect: the shrinker must strip unrelated
+	// blocks while preserving the disproof.
+	p := Plan{Seed: 5, Family: FamilyChain, Degree: 2,
+		Blocks: []int{blockFFN, blockUnary, blockRMSNorm, blockSoftmax}, Head: headMSE}
+	cs, err := Compose(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d *Defect
+	for _, cl := range Classes {
+		if cs.Sites[cl] > 0 && !cl.NumericBenign() {
+			d = &Defect{Class: cl, Site: 0}
+			break
+		}
+	}
+	if d == nil {
+		t.Skip("no injectable site in this plan")
+	}
+	orig, err := Compose(p, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origRes, err := Evaluate(orig, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if origRes.Outcome == OutcomeAgree {
+		t.Fatalf("injected case evaluated as agree")
+	}
+	small, res, err := Shrink(p, d, 2, func(r *Result) bool { return r.Outcome == origRes.Outcome })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != origRes.Outcome {
+		t.Fatalf("shrunk outcome %s, want %s", res.Outcome, origRes.Outcome)
+	}
+	if len(small.Blocks) >= len(p.Blocks) && small.Head == p.Head {
+		t.Fatalf("shrinker removed nothing: %s -> %s", p, small)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Corpus
+
+func TestCorpusRoundTrip(t *testing.T) {
+	res, err := Rediscover(DefectGatherOrder, 7, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := NewCorpusCase("roundtrip", res, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := SaveCorpus(dir, []CorpusCase{cc}); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 1 || !reflect.DeepEqual(loaded[0], cc) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", loaded, cc)
+	}
+	if _, err := Replay(loaded[0], 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The committed corpus holds one minimized Disproved witness per paper
+// bug class; replay re-derives the graphs byte-for-byte and re-checks
+// the verdicts.
+func TestCommittedCorpusReplays(t *testing.T) {
+	cases, err := LoadCorpus(filepath.Join("testdata", "corpus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) != len(Classes) {
+		t.Fatalf("committed corpus has %d cases, want one per class (%d)", len(cases), len(Classes))
+	}
+	seen := map[DefectClass]bool{}
+	for _, c := range cases {
+		improved, err := Replay(c, 2)
+		if err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+			continue
+		}
+		if improved {
+			t.Logf("%s: corpus expectation improved (gap closed)", c.Name)
+		}
+		if c.Defect != nil {
+			seen[c.Defect.Class] = true
+		}
+	}
+	for _, cl := range Classes {
+		if !seen[cl] {
+			t.Errorf("no corpus witness for class %s", cl)
+		}
+	}
+}
+
+func TestLoadCorpusRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "bad.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCorpus(dir); err == nil {
+		t.Fatal("malformed corpus file accepted")
+	}
+}

@@ -1,0 +1,72 @@
+package fuzz
+
+import "errors"
+
+// Shrink greedily minimizes a plan while keep still holds on the
+// rebuilt and re-evaluated case: chain blocks are dropped one at a
+// time, the head is simplified away, and the degree is lowered. Moves
+// that break composition (an injected site that no longer exists, a
+// strategy that no longer applies) are simply skipped. Returns the
+// smallest surviving plan and its evaluation.
+//
+// keep must hold for the input plan; Shrink evaluates it first and
+// errors otherwise, so corpus entries always record a verified repro.
+func Shrink(p Plan, d *Defect, workers int, keep func(*Result) bool) (Plan, *Result, error) {
+	best, bestRes, err := evalPlan(p, d, workers)
+	if err != nil {
+		return p, nil, err
+	}
+	if !keep(bestRes) {
+		return p, bestRes, errors.New("fuzz: shrink: property does not hold on the initial plan")
+	}
+	for improved := true; improved; {
+		improved = false
+		for _, cand := range shrinkMoves(best) {
+			cp, res, err := evalPlan(cand, d, workers)
+			if err != nil {
+				continue // move killed the composition; try the next one
+			}
+			if keep(res) {
+				best, bestRes = cp, res
+				improved = true
+				break // restart from the smaller plan
+			}
+		}
+	}
+	return best, bestRes, nil
+}
+
+func evalPlan(p Plan, d *Defect, workers int) (Plan, *Result, error) {
+	cs, err := Compose(p, d)
+	if err != nil {
+		return p, nil, err
+	}
+	res, err := Evaluate(cs, workers)
+	if err != nil {
+		return p, nil, err
+	}
+	return p, res, nil
+}
+
+// shrinkMoves enumerates candidate simplifications, smallest-first.
+func shrinkMoves(p Plan) []Plan {
+	var out []Plan
+	if p.Family == FamilyChain {
+		for i := range p.Blocks {
+			q := p
+			q.Blocks = append(append([]int{}, p.Blocks[:i]...), p.Blocks[i+1:]...)
+			out = append(out, q)
+		}
+		if p.Head != headNone {
+			q := p
+			q.Head = headNone
+			out = append(out, q)
+		}
+	}
+	if p.Degree > 2 {
+		q := p
+		q.Degree = 2
+		out = append(out, q)
+	}
+	return out
+}

@@ -30,6 +30,7 @@ var determinismDirs = []string{
 	"internal/core",
 	"internal/egraph",
 	"internal/fingerprint",
+	"internal/fuzz",
 	"internal/mc",
 	"internal/mc/models",
 }

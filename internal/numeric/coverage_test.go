@@ -1,0 +1,302 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+
+	"entangle/internal/expr"
+)
+
+// Coverage for kernels the original suite exercised only indirectly
+// (through graph-level differentials): reduce variants, the collective
+// eval semantics in applyOp, RoPE on hand-computed values, and the MoE
+// routing composite on concrete shapes. The fuzzer's numeric oracle
+// leans on all of these, so each gets a direct ground-truth check.
+
+func TestReduceSumVariants(t *testing.T) {
+	a := FromData([]int{2, 3}, []float64{1, 2, 3, 4, 5, 6})
+
+	// Reduce along dim 0: the reduced dim stays, with extent 1.
+	d0, err := ReduceSum(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d0.Shape[0] != 1 || d0.Shape[1] != 3 {
+		t.Fatalf("reduce dim0 shape %v, want [1 3]", d0.Shape)
+	}
+	want0 := []float64{5, 7, 9}
+	for i, v := range d0.Data {
+		if v != want0[i] {
+			t.Fatalf("reduce dim0 = %v, want %v", d0.Data, want0)
+		}
+	}
+
+	// Reduce along dim 1, addressed both directly and as -1.
+	d1, err := ReduceSum(a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Shape[0] != 2 || d1.Shape[1] != 1 {
+		t.Fatalf("reduce dim1 shape %v, want [2 1]", d1.Shape)
+	}
+	want1 := []float64{6, 15}
+	for i, v := range d1.Data {
+		if v != want1[i] {
+			t.Fatalf("reduce dim1 = %v, want %v", d1.Data, want1)
+		}
+	}
+	dNeg, err := ReduceSum(a, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxAbsDiff(d1, dNeg) != 0 {
+		t.Fatal("ReduceSum(-1) differs from ReduceSum(1)")
+	}
+
+	if _, err := ReduceSum(a, 2); err == nil {
+		t.Fatal("out-of-range reduce dim must fail")
+	}
+}
+
+func TestReduceSumSplitIdentities(t *testing.T) {
+	r := rng()
+	a := Rand(r, 4, 6)
+
+	// Splitting the reduced dim turns the reduction partial: the full
+	// reduction is the SUM of per-chunk reductions (the layout the
+	// composer records as Partial).
+	full0, _ := ReduceSum(a, 0)
+	top, _ := Slice(a, 0, 0, 2)
+	bot, _ := Slice(a, 0, 2, 4)
+	rt, _ := ReduceSum(top, 0)
+	rb, _ := ReduceSum(bot, 0)
+	sum, _ := SumN(rt, rb)
+	if MaxAbsDiff(full0, sum) > 1e-12 {
+		t.Fatal("reduce over a split dim is not the sum of chunk reductions")
+	}
+
+	// Splitting an untouched dim commutes with the reduction: the
+	// result stays sharded on that dim (concat of chunk reductions).
+	full1, _ := ReduceSum(a, 1)
+	r1, _ := ReduceSum(top, 1)
+	r2, _ := ReduceSum(bot, 1)
+	cat, _ := Concat(0, r1, r2)
+	if MaxAbsDiff(full1, cat) > 1e-12 {
+		t.Fatal("reduce along an unsplit dim is not shard-local")
+	}
+}
+
+// TestCollectiveEval pins the collective semantics the graph evaluator
+// gives the multi-output ops: allreduce broadcasts the sum, allgather
+// broadcasts the concat, reducescatter hands each rank its slice of
+// the sum. These are exactly the reconstruction rules the fuzz oracle
+// inverts, so they get direct coverage here.
+func TestCollectiveEval(t *testing.T) {
+	a := FromData([]int{2, 2}, []float64{1, 2, 3, 4})
+	b := FromData([]int{2, 2}, []float64{10, 20, 30, 40})
+
+	ar, err := applyOp(expr.OpAllReduce, "", nil, []*Dense{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ar) != 2 {
+		t.Fatalf("allreduce outputs %d, want 2", len(ar))
+	}
+	wantSum, _ := SumN(a, b)
+	for i, o := range ar {
+		if MaxAbsDiff(o, wantSum) != 0 {
+			t.Fatalf("allreduce rank %d differs from the sum", i)
+		}
+	}
+
+	ag, err := applyOp(expr.OpAllGather, "", []int{0}, []*Dense{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCat, _ := Concat(0, a, b)
+	for i, o := range ag {
+		if MaxAbsDiff(o, wantCat) != 0 {
+			t.Fatalf("allgather rank %d differs from the concat", i)
+		}
+	}
+
+	rs, err := applyOp(expr.OpReduceScatter, "", []int{0}, []*Dense{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range rs {
+		want, _ := Slice(wantSum, 0, i, i+1)
+		if MaxAbsDiff(o, want) != 0 {
+			t.Fatalf("reducescatter rank %d is not its slice of the sum", i)
+		}
+	}
+	// reducescatter + allgather over the scatter dim reassembles the
+	// allreduce — the equivalence the ZeRO-style strategies rely on.
+	back, err := applyOp(expr.OpAllGather, "", []int{0}, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxAbsDiff(back[0], wantSum) != 0 {
+		t.Fatal("reducescatter∘allgather does not reassemble the allreduce")
+	}
+
+	// A scatter extent that does not divide by the rank count is a
+	// typed error, not a silent truncation.
+	c := FromData([]int{3, 2}, []float64{1, 2, 3, 4, 5, 6})
+	d := FromData([]int{3, 2}, []float64{6, 5, 4, 3, 2, 1})
+	if _, err := applyOp(expr.OpReduceScatter, "", []int{0}, []*Dense{c, d}); err == nil {
+		t.Fatal("indivisible reducescatter must fail")
+	}
+}
+
+// TestRoPEConcrete checks the adjacent-pair rotation on hand-computed
+// values rather than through a locality identity: one pair rotated by
+// 90° (cos=0, sin=1) and one left alone (cos=1, sin=0).
+func TestRoPEConcrete(t *testing.T) {
+	x := FromData([]int{1, 4}, []float64{1, 2, 3, 4})
+	cos := FromData([]int{1, 4}, []float64{0, 0, 1, 1})
+	sin := FromData([]int{1, 4}, []float64{1, 1, 0, 0})
+	got, err := RoPE(x, cos, sin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pair (1,2) under cos=0,sin=1: (1·0 − 2·1, 1·1 + 2·0) = (−2, 1).
+	// Pair (3,4) under cos=1,sin=0 is the identity.
+	want := []float64{-2, 1, 3, 4}
+	for i, v := range got.Data {
+		if math.Abs(v-want[i]) > 1e-15 {
+			t.Fatalf("rope = %v, want %v", got.Data, want)
+		}
+	}
+
+	odd := FromData([]int{1, 3}, []float64{1, 2, 3})
+	if _, err := RoPE(odd, odd, odd); err == nil {
+		t.Fatal("odd hidden extent must fail")
+	}
+}
+
+// TestRouterConcrete pins the MoE routing composite on a concrete
+// shape: Router is softmax(x·w) along the expert dim, so rows are
+// probability distributions, and equal logits route uniformly.
+func TestRouterConcrete(t *testing.T) {
+	x := FromData([]int{2, 2}, []float64{1, 1, 2, 0})
+	w := FromData([]int{2, 3}, []float64{1, 1, 1, 1, 1, 1})
+	probs, err := Router(x, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probs.Shape[0] != 2 || probs.Shape[1] != 3 {
+		t.Fatalf("router shape %v, want [2 3]", probs.Shape)
+	}
+	// All-ones weights give equal logits per row: uniform 1/3.
+	for i, v := range probs.Data {
+		if math.Abs(v-1.0/3.0) > 1e-12 {
+			t.Fatalf("router probs[%d] = %v, want uniform 1/3", i, v)
+		}
+	}
+
+	r := rng()
+	xr, wr := Rand(r, 3, 4), Rand(r, 4, 5)
+	pr, err := Router(xr, wr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		row := 0.0
+		for j := 0; j < 5; j++ {
+			row += pr.Data[i*5+j]
+		}
+		if math.Abs(row-1) > 1e-12 {
+			t.Fatalf("router row %d sums to %v, want 1", i, row)
+		}
+	}
+}
+
+// TestAuxLossConcrete checks the load-balancing loss value by hand:
+// E · mean over tokens of Σ_j p_j² — minimized (value 1) by uniform
+// routing, E for a fully collapsed router.
+func TestAuxLossConcrete(t *testing.T) {
+	uniform := FromData([]int{2, 4}, []float64{
+		0.25, 0.25, 0.25, 0.25,
+		0.25, 0.25, 0.25, 0.25,
+	})
+	a, err := AuxLoss(uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Data) != 1 || math.Abs(a.Data[0]-1) > 1e-12 {
+		t.Fatalf("uniform auxloss = %v, want 1", a.Data)
+	}
+
+	collapsed := FromData([]int{2, 4}, []float64{
+		1, 0, 0, 0,
+		1, 0, 0, 0,
+	})
+	c, err := AuxLoss(collapsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.Data[0]-4) > 1e-12 {
+		t.Fatalf("collapsed auxloss = %v, want 4 (=E)", c.Data)
+	}
+
+	if _, err := AuxLoss(FromData([]int{3}, []float64{1, 0, 0})); err == nil {
+		t.Fatal("rank-1 auxloss input must fail")
+	}
+}
+
+// TestMoERoutingComposite runs the full routing pipeline — router,
+// auxloss, token split — on concrete shapes, mirroring the seq-split
+// strategy the composer emits for the seedmoe family: per-chunk
+// auxlosses, scaled by 1/R, summed.
+func TestMoERoutingComposite(t *testing.T) {
+	r := rng()
+	x, w := Rand(r, 6, 4), Rand(r, 4, 8)
+	probs, err := Router(x, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := AuxLoss(probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	x1, _ := Slice(x, 0, 0, 3)
+	x2, _ := Slice(x, 0, 3, 6)
+	p1, _ := Router(x1, w)
+	p2, _ := Router(x2, w)
+	a1, _ := AuxLoss(p1)
+	a2, _ := AuxLoss(p2)
+	sum, _ := SumN(a1, a2)
+	scaled, _ := ScaleRat(sum, 1, 2)
+	if MaxAbsDiff(full, scaled) > 1e-12 {
+		t.Fatal("seq-split routing composite does not match the full pipeline")
+	}
+
+	// Dropping the 1/R rescale (paper bug 2, the auxloss-scale defect)
+	// must be numerically observable.
+	if MaxAbsDiff(full, sum) < 1e-9 {
+		t.Fatal("unscaled partial sum should differ from the full auxloss")
+	}
+}
+
+func TestEmbeddingShardMasking(t *testing.T) {
+	table := FromData([]int{2, 2}, []float64{
+		1, 2,
+		3, 4,
+	})
+	ids := FromData([]int{3}, []float64{1, 2, 3})
+
+	// Shard covering vocab rows [2,4): ids 2 and 3 hit rows 0 and 1 of
+	// the shard; id 1 is out of shard and must contribute zeros.
+	e, err := EmbeddingShard(table, ids, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 0, 1, 2, 3, 4}
+	for i, v := range e.Data {
+		if v != want[i] {
+			t.Fatalf("embedding shard = %v, want %v", e.Data, want)
+		}
+	}
+}

@@ -46,19 +46,46 @@ type Env struct {
 	Ri *relation.Relation
 
 	Derivs map[string]Derivation // G_d input name → derivation
+
+	// full tracks G_d tensors known to hold a complete (replicated or
+	// gathered) value, so AllGatherSeq can reject gather-after-gather
+	// compositions: gathering an already-full tensor type-checks (the
+	// concat just grows the sequence dim) but is essentially always an
+	// SP composition mistake, and randomized composers hit it.
+	full map[graph.TensorID]bool
 }
 
 // NewEnv starts building a distributed implementation of gs with
-// parallelism degree r.
+// parallelism degree r. Degree 1 is legal and degenerates to the
+// identity parallelization: Shard maps each input to a bare leaf and
+// the collective helpers emit no collectives.
 func NewEnv(gs *graph.Graph, name string, r int) *Env {
-	return &Env{
+	e := &Env{
 		Gs:     gs,
 		B:      graph.NewBuilder(name, gs.Ctx.Clone()),
 		R:      r,
 		Ri:     relation.New(),
 		Derivs: map[string]Derivation{},
+		full:   map[graph.TensorID]bool{},
+	}
+	if r < 1 {
+		e.failBuilder(fmt.Errorf("strategy: parallelism degree %d < 1", r))
+	}
+	return e
+}
+
+// MarkFull records that a G_d tensor holds a complete value (a full
+// copy of some sequential tensor, not a shard or partial sum), for the
+// gather-after-gather validation. Builders that construct collectives
+// outside the Env helpers can use it to keep the layout tracking honest.
+func (e *Env) MarkFull(ids ...graph.TensorID) {
+	for _, id := range ids {
+		e.full[id] = true
 	}
 }
+
+// KnownFull reports whether id was marked as holding a complete value.
+func (e *Env) KnownFull(id graph.TensorID) bool { return e.full[id] }
 
 // gsInput resolves a sequential input tensor by name.
 func (e *Env) gsInput(name string) (*graph.Tensor, error) {
@@ -92,6 +119,7 @@ func (e *Env) Replicate(gsName string) []graph.TensorID {
 			gd, _ := e.B.Graph().TensorByName(name)
 			e.Ri.Add(t.ID, relation.GdLeaf(gd))
 		}
+		e.full[out[r]] = true
 	}
 	return out
 }
@@ -110,6 +138,7 @@ func (e *Env) Shared(gsName string) graph.TensorID {
 		gd, _ := e.B.Graph().TensorByName(gsName)
 		e.Ri.Add(t.ID, relation.GdLeaf(gd))
 	}
+	e.full[id] = true
 	return id
 }
 
@@ -149,12 +178,37 @@ func (e *Env) ShardNamed(gsName, baseName string, dim int) []graph.TensorID {
 		}
 	}
 	if e.B.Err() == nil {
-		e.Ri.Add(t.ID, expr.Concat(sym.Const(int64(dim)), leaves...))
+		// A degree-1 "shard" is the whole tensor: map it as a bare
+		// leaf, not a one-piece concat. The concat form is equivalent
+		// but not clean-simplest, and identity parallelizations should
+		// produce identity relations.
+		if e.R == 1 {
+			e.Ri.Add(t.ID, leaves[0])
+			e.full[out[0]] = true
+		} else {
+			e.Ri.Add(t.ID, expr.Concat(sym.Const(int64(dim)), leaves...))
+		}
 	}
 	return out
 }
 
 func (e *Env) failBuilder(err error) { e.B.Fail(err) }
+
+// GatherError is the typed rejection for gather-after-gather: an
+// AllGatherSeq applied to a tensor already known to hold a full value.
+// The resulting graph would type-check — concat just grows the
+// sequence dim — but the composition is a strategy bug, so Build
+// returns this error (retrievable with errors.As).
+type GatherError struct {
+	// Label is the gather's label.
+	Label string
+	// Tensor names the already-full input tensor.
+	Tensor string
+}
+
+func (e *GatherError) Error() string {
+	return fmt.Sprintf("strategy: %s: gather-after-gather: input %q already holds a full value", e.Label, e.Tensor)
+}
 
 // ReduceMode selects how a row-parallel linear combines partials.
 type ReduceMode int
@@ -189,9 +243,17 @@ func (e *Env) RowParallelLinear(label string, xs []graph.TensorID, wGsName strin
 	for r := 0; r < e.R; r++ {
 		partials[r] = e.B.MatMul(rankName(r, label), xs[r], ws[r])
 	}
+	if e.R == 1 {
+		// Degree-1: the single "partial" is the full product; every
+		// reduce mode is the identity, so emit no collective.
+		e.full[partials[0]] = true
+		return partials
+	}
 	switch mode {
 	case ReduceAllReduce:
-		return e.B.AllReduce(label+"/allreduce", partials...)
+		out := e.B.AllReduce(label+"/allreduce", partials...)
+		e.MarkFull(out...)
+		return out
 	case ReduceScatterSeq:
 		return e.B.ReduceScatter(label+"/reducescatter", 0, partials...)
 	case ReduceNone:
@@ -203,8 +265,26 @@ func (e *Env) RowParallelLinear(label string, xs []graph.TensorID, wGsName strin
 
 // AllGatherSeq gathers sequence shards into full-sequence replicas on
 // every rank (Megatron SP's g operator before column-parallel linears).
+// At degree 1 it is the identity and emits no collective. Gathering a
+// tensor already known to hold a full value (a replica, a previous
+// gather, an all-reduce output) poisons the builder with *GatherError.
 func (e *Env) AllGatherSeq(label string, xs []graph.TensorID) []graph.TensorID {
-	return e.B.AllGather(label, 0, xs...)
+	for _, x := range xs {
+		if e.full[x] {
+			e.failBuilder(&GatherError{Label: label, Tensor: e.B.Graph().Tensor(x).Name})
+			out := make([]graph.TensorID, len(xs))
+			copy(out, xs)
+			return out
+		}
+	}
+	if e.R == 1 && len(xs) == 1 {
+		e.full[xs[0]] = true
+		out := []graph.TensorID{xs[0]}
+		return out
+	}
+	out := e.B.AllGather(label, 0, xs...)
+	e.MarkFull(out...)
+	return out
 }
 
 // SplitInputs derives concrete per-rank inputs from sequential inputs

@@ -1,10 +1,12 @@
 package strategy
 
 import (
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
 
+	"entangle/internal/expr"
 	"entangle/internal/graph"
 	"entangle/internal/numeric"
 	"entangle/internal/shape"
@@ -163,5 +165,111 @@ func TestRowParallelModes(t *testing.T) {
 				t.Fatal("ReduceNone must omit collectives")
 			}
 		}
+	}
+}
+
+// Degree-1 parallelizations must be identities: bare-leaf input
+// mappings (no one-piece concats) and no collectives, and the checker
+// must refine the result like any other strategy.
+func TestDegree1ShardIsIdentity(t *testing.T) {
+	gs := seqLinear(t)
+	e := NewEnv(gs, "gd", 1)
+	xs := e.Shard("x", 0)
+	ws := e.Shard("w", 1)
+	y := e.B.MatMul("r0/linear", xs[0], ws[0])
+	e.B.Output(y)
+	gd, err := e.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"x", "w"} {
+		tt, _ := gs.TensorByName(name)
+		maps := e.Ri.Get(tt.ID)
+		if len(maps) != 1 {
+			t.Fatalf("%s: want 1 mapping, got %v", name, maps)
+		}
+		if strings.Contains(maps[0].String(), "concat") {
+			t.Fatalf("%s: degree-1 shard mapped as concat: %s", name, maps[0])
+		}
+	}
+	if gd.OperatorCount() != 1 {
+		t.Fatalf("degree-1 G_d should have exactly the matmul, got %d ops", gd.OperatorCount())
+	}
+}
+
+func TestDegree1CollectivesAreIdentity(t *testing.T) {
+	b := graph.NewBuilder("gs", nil)
+	x := b.Input("x", shape.Of(4, 8))
+	w1 := b.Input("w1", shape.Of(8, 8))
+	w2 := b.Input("w2", shape.Of(8, 8))
+	h := b.MatMul("fc1", x, w1)
+	b.Output(b.MatMul("fc2", h, w2))
+	gs := b.MustBuild()
+
+	for _, mode := range []ReduceMode{ReduceAllReduce, ReduceScatterSeq} {
+		e := NewEnv(gs, "gd", 1)
+		xs := e.Shard("x", 0)
+		hs := e.ColumnParallelLinear("fc1", xs, "w1")
+		gathered := e.AllGatherSeq("gather", hs)
+		if len(gathered) != 1 || gathered[0] != hs[0] {
+			t.Fatalf("degree-1 gather is not the identity: %v vs %v", gathered, hs)
+		}
+		out := e.RowParallelLinear("fc2", gathered, "w2", mode)
+		e.B.Output(out...)
+		gd, err := e.Build()
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		for _, n := range gd.Nodes {
+			if expr.Collective(n.Op) {
+				t.Fatalf("mode %v: degree-1 build emitted collective %s (%s)", mode, n.Op, n.Label)
+			}
+		}
+	}
+}
+
+func TestDegree0Rejected(t *testing.T) {
+	gs := seqLinear(t)
+	e := NewEnv(gs, "gd", 0)
+	if _, err := e.Build(); err == nil {
+		t.Fatal("degree 0 accepted")
+	}
+}
+
+func TestGatherAfterGatherTypedError(t *testing.T) {
+	b := graph.NewBuilder("gs", nil)
+	x := b.Input("x", shape.Of(4, 8))
+	b.Output(b.Unary("act", "gelu", x))
+	gs := b.MustBuild()
+
+	e := NewEnv(gs, "gd", 2)
+	xs := e.Shard("x", 0)
+	g1 := e.AllGatherSeq("gather1", xs)
+	e.AllGatherSeq("gather2", g1)
+	_, err := e.Build()
+	if err == nil {
+		t.Fatal("gather-after-gather accepted")
+	}
+	var ge *GatherError
+	if !errors.As(err, &ge) {
+		t.Fatalf("want *GatherError, got %T: %v", err, err)
+	}
+	if ge.Label != "gather2" {
+		t.Fatalf("wrong gather blamed: %+v", ge)
+	}
+}
+
+func TestGatherOfReplicaTypedError(t *testing.T) {
+	b := graph.NewBuilder("gs", nil)
+	x := b.Input("x", shape.Of(4, 8))
+	b.Output(b.Unary("act", "gelu", x))
+	gs := b.MustBuild()
+
+	e := NewEnv(gs, "gd", 2)
+	xs := e.Replicate("x")
+	e.AllGatherSeq("gather", xs)
+	var ge *GatherError
+	if _, err := e.Build(); !errors.As(err, &ge) {
+		t.Fatalf("want *GatherError, got %v", err)
 	}
 }

@@ -24,7 +24,7 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (core, egraph, relation, lemmas, faultinject, vcache, server, cluster, bench, mc) =="
+echo "== go test -race (core, egraph, relation, lemmas, faultinject, vcache, server, cluster, bench, fuzz, mc) =="
 # -timeout on core: the robustness suite's worst regression mode is a
 # deadlocked worker pool, which must fail the gate instead of hanging it.
 # ENTANGLE_CHECK_INVARIANTS makes every e-graph Rebuild finish with the
@@ -39,6 +39,9 @@ go test -race ./internal/fingerprint/... ./internal/vcache/... ./internal/server
 # plan/execute refactor byte-identical; mc's own large-scope exploration
 # is skipped here (-short) and covered by the dedicated mc CI job.
 go test -race -timeout 300s ./internal/bench/...
+# fuzz composes random strategies and checks them with Workers>1; the
+# race run doubles as a worker-count-independence stress.
+go test -race -timeout 300s ./internal/fuzz/...
 go test -race -short ./internal/mc/...
 
 echo "== entangle-mc (exhaustive model check, ci scope) =="
